@@ -1,0 +1,82 @@
+// Command corpusgen synthesizes the WSJ-substitute corpus and writes it
+// as JSON, so every other tool (ldatrain, searchd, experiments) can work
+// from the same deterministic document set.
+//
+// Usage:
+//
+//	corpusgen -out corpus.json -docs 2000 -topics 24 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/textproc"
+	"toppriv/internal/trec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("corpusgen: ")
+
+	var (
+		out      = flag.String("out", "corpus.json", "output path")
+		docs     = flag.Int("docs", 2000, "number of documents")
+		topics   = flag.Int("topics", 24, "ground-truth topic count")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		stats    = flag.Bool("stats", true, "print corpus statistics")
+		trecDocs = flag.String("trec", "", "ingest a TREC SGML document file (e.g. the real WSJ collection) instead of synthesizing")
+	)
+	flag.Parse()
+
+	an := textproc.NewAnalyzer()
+	var (
+		c   *corpus.Corpus
+		gt  *corpus.GroundTruth
+		err error
+	)
+	if *trecDocs != "" {
+		tf, err2 := os.Open(*trecDocs)
+		if err2 != nil {
+			log.Fatal(err2)
+		}
+		parsed, err2 := trec.ParseDocuments(tf)
+		tf.Close()
+		if err2 != nil {
+			log.Fatal(err2)
+		}
+		c, err = corpus.Build(parsed, an, textproc.PruneSpec{MinDocFreq: 2})
+	} else {
+		c, gt, err = corpus.Synthesize(corpus.GenSpec{
+			Seed:      *seed,
+			NumDocs:   *docs,
+			NumTopics: *topics,
+		}, an)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := c.WriteJSON(f); err != nil {
+		log.Fatal(err)
+	}
+
+	if *stats {
+		fmt.Printf("documents:    %d\n", c.NumDocs())
+		fmt.Printf("vocabulary:   %d terms\n", c.VocabSize())
+		fmt.Printf("tokens:       %d (mean %.1f per doc)\n", c.TotalTokens(), c.AvgDocLen())
+		if gt != nil {
+			fmt.Printf("topics:       %d ground-truth (%s … %s)\n",
+				len(gt.TopicNames), gt.TopicNames[0], gt.TopicNames[len(gt.TopicNames)-1])
+		}
+		fmt.Printf("written:      %s\n", *out)
+	}
+}

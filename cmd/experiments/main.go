@@ -1,0 +1,194 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§V) against the synthetic laboratory. Run it with no
+// flags to produce everything; use -fig / -table to select one
+// artifact. Output is aligned text; -csv writes sweep data for external
+// plotting.
+//
+// Usage:
+//
+//	experiments                 # everything (a few minutes)
+//	experiments -fig 2          # Figure 2 only
+//	experiments -table attacks  # §IV-D resilience table only
+//	experiments -quick          # small environment for smoke runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"toppriv/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		fig    = flag.Int("fig", 0, "regenerate one figure (2..6); 0 = all")
+		table  = flag.String("table", "", "regenerate one table (2, 3, 4, pir, quality, effectiveness, ablations, attacks); empty = all")
+		quick  = flag.Bool("quick", false, "small environment (fast, noisier)")
+		seed   = flag.Int64("seed", 1, "experiment seed")
+		csvOut = flag.String("csv", "", "write Figure 2/3 sweep points as CSV to this file")
+	)
+	flag.Parse()
+
+	spec := experiment.EnvSpec{Seed: *seed}
+	if *quick {
+		spec.NumDocs = 500
+		spec.NumTopics = 12
+		spec.Ks = []int{6, 12, 18}
+		spec.NumQueries = 40
+		spec.TrainIters = 60
+	}
+
+	start := time.Now()
+	log.Printf("building environment (%d docs, %d topics, models %v)…",
+		orDefault(spec.NumDocs, 2000), orDefault(spec.NumTopics, 32), spec.Ks)
+	env, err := experiment.NewEnv(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("environment ready in %v (vocab %d)", time.Since(start).Round(time.Millisecond), env.Corpus.VocabSize())
+
+	runAll := *fig == 0 && *table == ""
+	out := os.Stdout
+
+	var csvPoints []experiment.Point
+	if runAll || *fig == 2 {
+		points, err := experiment.Fig2(env, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.PrintPoints(out, "Figure 2: TopPriv with ε1 = 5%, varying ε2", points)
+		fmt.Fprintln(out)
+		if err := experiment.ExposureChart("Figure 2a shape: exposure vs ε2", points).Render(out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out)
+		csvPoints = append(csvPoints, points...)
+	}
+	if runAll || *fig == 3 {
+		points, err := experiment.Fig3(env, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.PrintPoints(out, "Figure 3: TopPriv with ε1 = ε2", points)
+		fmt.Fprintln(out)
+		csvPoints = append(csvPoints, points...)
+	}
+	if runAll || *fig == 4 {
+		points, err := experiment.Fig4(env, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.PrintPDXPoints(out, points)
+		fmt.Fprintln(out)
+	}
+	if runAll || *fig == 5 {
+		points, err := experiment.Fig5(env, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.PrintRatioPoints(out, points)
+		fmt.Fprintln(out)
+		if err := experiment.RatioChart(points).Render(out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out)
+	}
+	if runAll || *fig == 6 {
+		points, err := experiment.Fig6(env, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.PrintScalePoints(out, points)
+		fmt.Fprintln(out)
+	}
+
+	if runAll || *table == "2" {
+		cols, err := experiment.Table2(env, nil, 20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.PrintTopicColumns(out, "Table II: sample topics in the default model", cols)
+		fmt.Fprintln(out)
+	}
+	if runAll || *table == "3" {
+		cols, err := experiment.Table3(env, "medicine", 20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.PrintTopicColumns(out, "Table III: the medicine topic across models", cols)
+		fmt.Fprintln(out)
+	}
+	if runAll || *table == "4" {
+		cols, err := experiment.Table4(env, 20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.PrintTopicColumns(out, "Table IV: an undersized model is indistinct", cols)
+		fmt.Fprintln(out)
+	}
+	if runAll || *table == "pir" {
+		experiment.PrintPIR(out, experiment.PIRTable(env))
+		fmt.Fprintln(out)
+	}
+	if runAll || *table == "quality" {
+		rows, err := experiment.RetrievalQuality(env, 10, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.PrintQuality(out, rows, 10)
+		fmt.Fprintln(out)
+	}
+	if runAll || *table == "effectiveness" {
+		rows, err := experiment.Effectiveness(env, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.PrintEffectiveness(out, rows)
+		fmt.Fprintln(out)
+	}
+	if runAll || *table == "ablations" {
+		rows, err := experiment.Ablations(env, 0.05, 0.01, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.PrintAblations(out, rows)
+		fmt.Fprintln(out)
+	}
+	if runAll || *table == "attacks" {
+		rows, err := experiment.AttackTable(env, 0.05, 0.01, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiment.PrintAttacks(out, rows)
+		fmt.Fprintln(out)
+	}
+
+	if *csvOut != "" && len(csvPoints) > 0 {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiment.WritePointsCSV(f, csvPoints); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("sweep CSV written to %s", *csvOut)
+	}
+	log.Printf("done in %v", time.Since(start).Round(time.Millisecond))
+}
+
+func orDefault(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,79 @@
+// Command searchd hosts the enterprise search engine over HTTP: the
+// unmodified server of the paper's system model. It serves /search,
+// /doc/{id} and /stats, and — like any real engine — retains a query
+// log, which is exactly what the curious adversary of the threat model
+// gets to analyze.
+//
+// Usage:
+//
+//	searchd -corpus corpus.json -addr :8080 [-bm25]
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/index"
+	"toppriv/internal/search"
+	"toppriv/internal/textproc"
+	"toppriv/internal/vsm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("searchd: ")
+
+	var (
+		corpusPath = flag.String("corpus", "corpus.json", "corpus JSON from corpusgen")
+		addr       = flag.String("addr", ":8080", "listen address")
+		bm25       = flag.Bool("bm25", false, "score with BM25 instead of tf-idf cosine")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*corpusPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an := textproc.NewAnalyzer()
+	c, err := corpus.ReadJSON(f, an, textproc.PruneSpec{MinDocFreq: 2})
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	idx, err := index.Build(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scoring := vsm.Cosine
+	if *bm25 {
+		scoring = vsm.BM25
+	}
+	engine, err := vsm.NewEngine(idx, an, scoring)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := search.NewServer(engine, c.Docs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := idx.ComputeStats()
+	log.Printf("serving %d docs / %d terms (%s scoring) on %s",
+		stats.NumDocs, stats.NumTerms, scoring, ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(httpSrv.Serve(ln))
+}

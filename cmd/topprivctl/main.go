@@ -1,0 +1,168 @@
+// Command topprivctl is the trusted client of Fig. 1 as a CLI: it reads
+// queries from the command line (or stdin), obfuscates each one through
+// TopPriv against a trained model, submits the whole cycle to a running
+// searchd, and prints only the genuine results — optionally showing the
+// ghost queries so you can see what the server saw.
+//
+// Usage:
+//
+//	topprivctl -server http://localhost:8080 -model model.gob \
+//	    -eps1 0.05 -eps2 0.01 -show-ghosts "apache helicopter army"
+//
+// With no positional arguments, queries are read one per line from
+// stdin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+
+	"toppriv/internal/belief"
+	"toppriv/internal/core"
+	"toppriv/internal/lda"
+	"toppriv/internal/search"
+	"toppriv/internal/textproc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("topprivctl: ")
+
+	var (
+		server     = flag.String("server", "http://localhost:8080", "searchd base URL")
+		modelPath  = flag.String("model", "model.gob", "trained LDA model from ldatrain")
+		eps1       = flag.Float64("eps1", 0.05, "relevance threshold ε1")
+		eps2       = flag.Float64("eps2", 0.01, "exposure threshold ε2 (≤ ε1)")
+		k          = flag.Int("k", 10, "results per query")
+		seed       = flag.Int64("seed", 0, "obfuscation seed (0 = nondeterministic)")
+		showGhosts = flag.Bool("show-ghosts", false, "print the ghost queries the server saw")
+		plain      = flag.Bool("plain", false, "skip obfuscation (for comparison)")
+		session    = flag.Bool("session", false, "keep a sticky decoy profile across the queries of this invocation (resists cross-cycle intersection analysis)")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := lda.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	inf, err := lda.NewInferencer(m, lda.InferSpec{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	beliefs, err := belief.NewEngine(inf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obf, err := core.NewObfuscator(beliefs, core.Params{Eps1: *eps1, Eps2: *eps2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rngSeed := *seed
+	if rngSeed == 0 {
+		rngSeed = int64(os.Getpid())
+	}
+	an := textproc.NewAnalyzer()
+	client, err := search.NewClient(*server, http.DefaultClient, obf, an, rand.New(rand.NewSource(rngSeed)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	client.K = *k
+
+	var sess *core.Session
+	if *session {
+		sess, err = core.NewSession(obf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sess.MaxSticky = 6
+	}
+
+	run := func(query string) {
+		query = strings.TrimSpace(query)
+		if query == "" {
+			return
+		}
+		var hits []search.SearchHit
+		var err error
+		var sessionCycle *core.Cycle
+		switch {
+		case *plain:
+			hits, err = client.SearchPlain(query)
+		case sess != nil:
+			// Session mode: obfuscate with the sticky profile, then
+			// submit each query of the cycle individually.
+			terms := an.Analyze(query)
+			if len(terms) == 0 {
+				log.Printf("query %q: no indexable terms", query)
+				return
+			}
+			sessionCycle, err = sess.Obfuscate(terms, rand.New(rand.NewSource(rngSeed+int64(len(sess.History)))))
+			if err == nil {
+				for i, q := range sessionCycle.Queries {
+					res, qerr := client.SearchPlain(strings.Join(q, " "))
+					if qerr != nil {
+						err = qerr
+						break
+					}
+					if i == sessionCycle.UserIndex {
+						hits = res
+					}
+				}
+			}
+		default:
+			hits, err = client.Search(query)
+		}
+		if err != nil {
+			log.Printf("query %q: %v", query, err)
+			return
+		}
+		fmt.Printf("query: %s\n", query)
+		if !*plain {
+			cyc := sessionCycle
+			if cyc == nil {
+				cyc = client.LastCycle()
+			}
+			if cyc != nil {
+				fmt.Printf("  cycle: %d queries, intention |U|=%d, exposure %.2f%%, satisfied=%v\n",
+					cyc.Len(), len(cyc.Intention), cyc.Exposure*100, cyc.Satisfied)
+				if *showGhosts {
+					for i, g := range cyc.Queries {
+						tag := "ghost"
+						if i == cyc.UserIndex {
+							tag = "USER "
+						}
+						fmt.Printf("  [%s] %s\n", tag, strings.Join(g, " "))
+					}
+				}
+			}
+		}
+		for i, h := range hits {
+			fmt.Printf("  %2d. doc %-6d %.4f  %s\n", i+1, h.Doc, h.Score, h.Title)
+		}
+	}
+
+	if flag.NArg() > 0 {
+		for _, q := range flag.Args() {
+			run(q)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		run(sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}

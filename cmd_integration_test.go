@@ -1,0 +1,180 @@
+package toppriv
+
+// End-to-end integration test of the command-line tools: build all the
+// binaries, generate a corpus, train a model, host the server, and run
+// an obfuscated query through topprivctl — the full deployment pipeline
+// a user would follow.
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTools compiles all cmd binaries into a temp dir once.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator),
+		"./cmd/corpusgen", "./cmd/ldatrain", "./cmd/searchd", "./cmd/topprivctl", "./cmd/experiments")
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return dir
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+	corpusPath := filepath.Join(work, "corpus.json")
+	modelPath := filepath.Join(work, "model.gob")
+
+	// 1. corpusgen
+	out, err := exec.Command(filepath.Join(bin, "corpusgen"),
+		"-out", corpusPath, "-docs", "300", "-topics", "8", "-seed", "5").CombinedOutput()
+	if err != nil {
+		t.Fatalf("corpusgen: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "documents:    300") {
+		t.Fatalf("corpusgen stats missing:\n%s", out)
+	}
+	if fi, err := os.Stat(corpusPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("corpus file not written: %v", err)
+	}
+
+	// 2. ldatrain
+	out, err = exec.Command(filepath.Join(bin, "ldatrain"),
+		"-corpus", corpusPath, "-out", modelPath, "-k", "8", "-iters", "40", "-top", "3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("ldatrain: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "topic ") {
+		t.Fatalf("ldatrain top words missing:\n%s", out)
+	}
+
+	// 3. searchd on an ephemeral port.
+	srv := exec.Command(filepath.Join(bin, "searchd"),
+		"-corpus", corpusPath, "-addr", "127.0.0.1:0")
+	stderr, err := srv.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+	addr := waitForAddr(t, stderr)
+
+	// 4. topprivctl: obfuscated query against the live server.
+	ctl := exec.Command(filepath.Join(bin, "topprivctl"),
+		"-server", "http://"+addr, "-model", modelPath,
+		"-eps1", "0.04", "-eps2", "0.015", "-seed", "9", "-show-ghosts",
+		"stock market investors trading dow jones")
+	ctlOut, err := ctl.CombinedOutput()
+	if err != nil {
+		t.Fatalf("topprivctl: %v\n%s", err, ctlOut)
+	}
+	text := string(ctlOut)
+	if !strings.Contains(text, "cycle:") {
+		t.Errorf("no cycle report in output:\n%s", text)
+	}
+	if !strings.Contains(text, "[USER ]") {
+		t.Errorf("user query not marked in output:\n%s", text)
+	}
+	if !strings.Contains(text, "1.") {
+		t.Errorf("no results printed:\n%s", text)
+	}
+
+	// 5. topprivctl -session: sticky decoy profile across two queries.
+	sessCmd := exec.Command(filepath.Join(bin, "topprivctl"),
+		"-server", "http://"+addr, "-model", modelPath,
+		"-eps1", "0.04", "-eps2", "0.015", "-seed", "11", "-session",
+		"stock market investors trading", "dow jones index shares")
+	sessOut, err := sessCmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("topprivctl -session: %v\n%s", err, sessOut)
+	}
+	if strings.Count(string(sessOut), "cycle:") != 2 {
+		t.Errorf("session mode should report two cycles:\n%s", sessOut)
+	}
+
+	// 6. topprivctl -plain for comparison.
+	plain := exec.Command(filepath.Join(bin, "topprivctl"),
+		"-server", "http://"+addr, "-model", modelPath, "-plain",
+		"stock market investors trading dow jones")
+	plainOut, err := plain.CombinedOutput()
+	if err != nil {
+		t.Fatalf("topprivctl -plain: %v\n%s", err, plainOut)
+	}
+	if topDoc(t, text) != topDoc(t, string(plainOut)) {
+		t.Error("obfuscated and plain searches returned different top documents")
+	}
+}
+
+func TestCLIExperimentsQuickFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	bin := buildTools(t)
+	out, err := exec.Command(filepath.Join(bin, "experiments"),
+		"-quick", "-fig", "6").CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiments: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Figure 6") {
+		t.Fatalf("figure output missing:\n%s", out)
+	}
+}
+
+var addrRe = regexp.MustCompile(`on (\d+\.\d+\.\d+\.\d+:\d+)`)
+
+// waitForAddr reads searchd's stderr until it logs its bound address.
+func waitForAddr(t *testing.T, r io.Reader) string {
+	t.Helper()
+	lines := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(r)
+		for sc.Scan() {
+			if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+				lines <- m[1]
+				return
+			}
+		}
+		close(lines)
+	}()
+	select {
+	case addr, ok := <-lines:
+		if !ok {
+			t.Fatal("searchd exited before logging its address")
+		}
+		return addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("timeout waiting for searchd to start")
+		return ""
+	}
+}
+
+var topDocRe = regexp.MustCompile(`1\. doc (\d+)`)
+
+func topDoc(t *testing.T, out string) string {
+	t.Helper()
+	m := topDocRe.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no results in output:\n%s", out)
+	}
+	return m[1]
+}

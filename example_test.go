@@ -1,0 +1,72 @@
+package toppriv_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"toppriv"
+)
+
+// The examples build a deliberately tiny service so they run in well
+// under a second; real deployments use the defaults (2,000 docs+).
+func exampleService() *toppriv.Service {
+	svc, err := toppriv.NewService(toppriv.ServiceSpec{
+		Seed: 42,
+		Corpus: toppriv.CorpusSpec{
+			NumDocs:   150,
+			NumTopics: 6,
+			DocLenMin: 40,
+			DocLenMax: 70,
+		},
+		TrainIters: 40,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return svc
+}
+
+// ExampleNewService shows the one-call setup: corpus, index, engine and
+// topic model behind a single facade.
+func ExampleNewService() {
+	svc := exampleService()
+	fmt.Println("docs:", svc.Corpus.NumDocs())
+	fmt.Println("topics:", svc.Model.K)
+	fmt.Println("has results:", len(svc.Search("stock market investors", 5)) > 0)
+	// Output:
+	// docs: 150
+	// topics: 6
+	// has results: true
+}
+
+// ExampleService_NewObfuscator walks one query through TopPriv.
+func ExampleService_NewObfuscator() {
+	svc := exampleService()
+	obf, err := svc.NewObfuscator(toppriv.PrivacyParams{Eps1: 0.04, Eps2: 0.02})
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	terms := svc.AnalyzeQuery("stock market investors trading dow jones index shares volume composite")
+	cycle, err := obf.Obfuscate(terms, rng)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cycle has ghost queries:", cycle.Len() > 1)
+	fmt.Println("user query preserved:", len(cycle.UserQuery()) == len(terms))
+	// Output:
+	// cycle has ghost queries: true
+	// user query preserved: true
+}
+
+// ExamplePrivacyParams_Validate shows the ε1 ≥ ε2 discipline of the
+// privacy model.
+func ExamplePrivacyParams_Validate() {
+	good := toppriv.PrivacyParams{Eps1: 0.05, Eps2: 0.01}
+	bad := toppriv.PrivacyParams{Eps1: 0.01, Eps2: 0.05}
+	fmt.Println("good:", good.Validate() == nil)
+	fmt.Println("bad: ", bad.Validate() == nil)
+	// Output:
+	// good: true
+	// bad:  false
+}

@@ -1,0 +1,110 @@
+// Quickstart: build a small enterprise search service, issue the
+// paper's §IV-C demonstration query ("u.s. army, abrams tank m-1,
+// bradley fighting vehicle, apache helicopter ah-64, patriot missile,
+// blackhawk helicopter" — TREC topic 91), and show how TopPriv hides
+// its topical intention behind semantically coherent ghost queries on
+// unrelated topics (finance, education, …).
+//
+// Run:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"toppriv"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("building service (synthetic corpus + LDA model)…")
+	svc, err := toppriv.NewService(toppriv.ServiceSpec{
+		Seed: 1,
+		Corpus: toppriv.CorpusSpec{
+			NumDocs:   800,
+			NumTopics: 12,
+		},
+		TrainIters: 100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d docs, %d terms, %d topics\n\n",
+		svc.Corpus.NumDocs(), svc.Corpus.VocabSize(), svc.Model.K)
+
+	// The paper's demonstration query (TREC topic 91).
+	userQuery := "u.s. army abrams tank m-1 bradley fighting vehicle apache helicopter ah-64 patriot missile blackhawk helicopter"
+	fmt.Printf("user query: %s\n\n", userQuery)
+
+	// 1. Plain search — what an unprotected user gets.
+	hits := svc.Search(userQuery, 5)
+	fmt.Println("plain search results:")
+	for i, h := range hits {
+		fmt.Printf("  %d. doc %-5d %.4f  %s\n", i+1, h.Doc, h.Score, h.Title)
+	}
+
+	// 2. What the query reveals: its topical boost profile.
+	rng := rand.New(rand.NewSource(7))
+	terms := svc.AnalyzeQuery(userQuery)
+	boost := svc.Beliefs.Boost(terms, rng)
+	fmt.Println("\ntopic boosts of the raw query (top 3):")
+	printTopBoosts(svc, boost, 3)
+
+	// 3. Obfuscate. ε1/ε2 scaled to this model size.
+	obf, err := svc.NewObfuscator(toppriv.PrivacyParams{Eps1: 0.04, Eps2: 0.015})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cycle, err := obf.Obfuscate(terms, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTopPriv cycle: %d queries (user query hidden at position %d)\n",
+		cycle.Len(), cycle.UserIndex)
+	for i, q := range cycle.Queries {
+		tag := "ghost"
+		if i == cycle.UserIndex {
+			tag = "USER "
+		}
+		fmt.Printf("  [%s] %s\n", tag, strings.Join(q, " "))
+	}
+	fmt.Printf("\nintention topics |U| = %d, exposure after mixing = %.2f%% (ε2 = 1.5%%), satisfied = %v\n",
+		len(cycle.Intention), cycle.Exposure*100, cycle.Satisfied)
+
+	fmt.Println("\ncycle topic boosts as the adversary sees them (top 3):")
+	printTopBoosts(svc, cycle.Boost, 3)
+	fmt.Println("\nthe genuine (military) topic no longer tops the list — the intention is obfuscated.")
+}
+
+// printTopBoosts shows the n most boosted topics with a few head words
+// each, so the output reads like the paper's examples.
+func printTopBoosts(svc *toppriv.Service, boost []float64, n int) {
+	type tb struct {
+		topic int
+		b     float64
+	}
+	tbs := make([]tb, len(boost))
+	for t, b := range boost {
+		tbs[t] = tb{t, b}
+	}
+	for i := 0; i < n && i < len(tbs); i++ {
+		best := i
+		for j := i + 1; j < len(tbs); j++ {
+			if tbs[j].b > tbs[best].b {
+				best = j
+			}
+		}
+		tbs[i], tbs[best] = tbs[best], tbs[i]
+		words := make([]string, 0, 5)
+		for _, tw := range svc.Model.TopWords(tbs[i].topic, 5) {
+			words = append(words, tw.Term)
+		}
+		fmt.Printf("  topic %2d  boost %+.2f%%  [%s]\n",
+			tbs[i].topic, tbs[i].b*100, strings.Join(words, " "))
+	}
+}

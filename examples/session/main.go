@@ -1,0 +1,125 @@
+// Session: shows why per-query obfuscation is not enough when a user
+// keeps researching the same subject. An adversary who watches the
+// query log over time can intersect the cycles: the genuine topic
+// recurs in every cycle while freshly-random masking topics mostly
+// don't. The session-level obfuscator (toppriv.Session) keeps each
+// user's decoy profile sticky, so the decoys recur exactly like the
+// genuine topic and the frequency analysis collapses.
+//
+// Run:
+//
+//	go run ./examples/session
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"toppriv"
+
+	"toppriv/internal/adversary"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("building service…")
+	svc, err := toppriv.NewService(toppriv.ServiceSpec{
+		Seed: 17,
+		Corpus: toppriv.CorpusSpec{
+			NumDocs:   1000,
+			NumTopics: 16,
+		},
+		TrainIters: 100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := toppriv.PrivacyParams{Eps1: 0.04, Eps2: 0.015}
+
+	// A researcher issues 8 different queries, all about medicine.
+	medicine := svc.GroundTruth.TopicByName("medicine")
+	queries := make([][]string, 8)
+	rng := rand.New(rand.NewSource(23))
+	for i := range queries {
+		words := svc.GroundTruth.TopicWords[medicine]
+		n := 8 + i%5
+		var terms []string
+		for _, w := range words[i : i+n] {
+			terms = append(terms, svc.AnalyzeQuery(w)...)
+		}
+		queries[i] = terms
+	}
+
+	// TopM covers a realistic recurrence window: the adversary counts the
+	// six most boosted topics of each cycle.
+	attack := &adversary.IntersectionAttack{Eng: svc.Beliefs, TopM: 6}
+
+	// Case 1: independent per-query obfuscation.
+	obf, err := svc.NewObfuscator(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var indepCycles [][][]string
+	var trueU []int
+	for _, q := range queries {
+		cyc, err := obf.Obfuscate(q, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		indepCycles = append(indepCycles, cyc.Queries)
+		if len(trueU) == 0 && len(cyc.Intention) > 0 {
+			trueU = cyc.Intention
+		}
+	}
+	if len(trueU) == 0 {
+		log.Fatal("no intention detected; adjust thresholds")
+	}
+
+	// Case 2: one sticky session with a compact decoy profile.
+	sess, err := svc.NewSession(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess.MaxSticky = 4
+	var stickyCycles [][][]string
+	for _, q := range queries {
+		cyc, err := sess.Obfuscate(q, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stickyCycles = append(stickyCycles, cyc.Queries)
+	}
+
+	evalRng := rand.New(rand.NewSource(29))
+	// The adversary's real deliverable is the confusion set: topics that
+	// recur in (almost) every cycle's top boosted topics. The genuine
+	// interest is always in it — the question is how many decoys keep it
+	// company.
+	setIndep := attack.RecurrentTopics(indepCycles, 0.8, evalRng)
+	setSticky := attack.RecurrentTopics(stickyCycles, 0.8, evalRng)
+
+	fmt.Printf("\nresearcher's true interest: topic %d  [%s]\n",
+		trueU[0], headWords(svc.Model, trueU[0]))
+	fmt.Printf("\nintersection analysis over %d cycles (topics recurring in >=80%% of cycles):\n", len(queries))
+	fmt.Printf("  independent cycles -> confusion set %v — the interest is pinned to 1 in %d\n",
+		setIndep, len(setIndep))
+	fmt.Printf("  sticky session     -> confusion set %v — 1 in %d, plausible deniability restored\n",
+		setSticky, len(setSticky))
+
+	fmt.Printf("\nsession decoy profile: %v\n", sess.StickyTopics())
+	for _, tm := range sess.StickyTopics() {
+		fmt.Printf("  topic %2d  [%s]\n", tm, headWords(svc.Model, tm))
+	}
+	fmt.Println("\nsticky decoys recur like the genuine topic, so recurrence stops identifying it.")
+}
+
+func headWords(m *toppriv.Model, t int) string {
+	var words []string
+	for _, tw := range m.TopWords(t, 5) {
+		words = append(words, tw.Term)
+	}
+	return strings.Join(words, " ")
+}

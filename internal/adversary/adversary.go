@@ -1,0 +1,364 @@
+// Package adversary simulates the attack strategies of §IV-D against
+// query cycles, so that TopPriv's resilience claims can be validated
+// empirically rather than argued only in prose:
+//
+//   - CoherenceAttack: discount ghost queries whose term combinations are
+//     not semantically coherent (defeats TrackMeNot, not TopPriv).
+//   - DiscountAttack: take the highest-exposure topics of B(t|C) as the
+//     intention (fails because relevant topics rank low after masking).
+//   - EliminationAttack: strip query words that rank highly for
+//     high-exposure topics and re-infer (removes genuine terms too).
+//   - ProbeAttack: replay the ghost-generation algorithm on each query in
+//     the cycle and test whether it reproduces the others (fails because
+//     masking topics and words are drawn randomly).
+//
+// The adversary here has everything the paper grants it: the corpus, the
+// LDA model, and the ghost-generation implementation — but not the
+// user's secret ε1/ε2.
+package adversary
+
+import (
+	"math/rand"
+
+	"toppriv/internal/belief"
+	"toppriv/internal/core"
+)
+
+// Trial is one observed cycle together with the ground truth the
+// adversary is trying to recover (known only to the evaluation harness).
+type Trial struct {
+	// Cycle is the query cycle as the search engine sees it.
+	Cycle [][]string
+	// UserIndex is the true position of the genuine query.
+	UserIndex int
+	// TrueIntention is the genuine U.
+	TrueIntention []int
+}
+
+// QueryGuesser attacks try to identify the genuine query in a cycle.
+type QueryGuesser interface {
+	Name() string
+	// GuessUser returns the index in cycle believed to be the user query.
+	GuessUser(cycle [][]string, rng *rand.Rand) int
+}
+
+// IntentionGuesser attacks try to recover the topic set U.
+type IntentionGuesser interface {
+	Name() string
+	// GuessIntention returns the adversary's guess at U. The evaluation
+	// harness passes sizeHint = |U| (a generous concession: real
+	// adversaries do not know ε1, hence not |U| either).
+	GuessIntention(cycle [][]string, sizeHint int, rng *rand.Rand) []int
+}
+
+// --- Coherence attack ---------------------------------------------------
+
+// CoherenceAttack scores each query's semantic coherence — the largest
+// fraction of its terms that fall inside a single topic's head — and
+// guesses the user query uniformly among the most coherent ones. It
+// defeats random-ghost schemes because their ghosts score near zero.
+type CoherenceAttack struct {
+	Eng *belief.Engine
+	// TopN is the topic-head size used to judge coherence. Default 40.
+	TopN int
+	// Threshold is the coherence level below which a query is dismissed
+	// as a ghost. Default 0.3.
+	Threshold float64
+
+	heads []map[string]bool
+}
+
+// Name implements QueryGuesser.
+func (a *CoherenceAttack) Name() string { return "coherence" }
+
+func (a *CoherenceAttack) init() {
+	if a.heads != nil {
+		return
+	}
+	if a.TopN == 0 {
+		a.TopN = 40
+	}
+	if a.Threshold == 0 {
+		a.Threshold = 0.3
+	}
+	m := a.Eng.Model()
+	a.heads = make([]map[string]bool, m.K)
+	for t := 0; t < m.K; t++ {
+		head := make(map[string]bool, a.TopN)
+		for _, tw := range m.TopWords(t, a.TopN) {
+			head[tw.Term] = true
+		}
+		a.heads[t] = head
+	}
+}
+
+// Coherence returns the query's coherence score in [0, 1].
+func (a *CoherenceAttack) Coherence(query []string) float64 {
+	a.init()
+	if len(query) == 0 {
+		return 0
+	}
+	best := 0
+	for _, head := range a.heads {
+		hits := 0
+		for _, w := range query {
+			if head[w] {
+				hits++
+			}
+		}
+		if hits > best {
+			best = hits
+		}
+	}
+	return float64(best) / float64(len(query))
+}
+
+// GuessUser implements QueryGuesser.
+func (a *CoherenceAttack) GuessUser(cycle [][]string, rng *rand.Rand) int {
+	a.init()
+	var survivors []int
+	for i, q := range cycle {
+		if a.Coherence(q) >= a.Threshold {
+			survivors = append(survivors, i)
+		}
+	}
+	if len(survivors) == 0 {
+		return rng.Intn(len(cycle))
+	}
+	return survivors[rng.Intn(len(survivors))]
+}
+
+// --- Discount attack ----------------------------------------------------
+
+// DiscountAttack guesses the intention as the sizeHint topics with the
+// largest boost in the cycle posterior.
+type DiscountAttack struct {
+	Eng *belief.Engine
+}
+
+// Name implements IntentionGuesser.
+func (a *DiscountAttack) Name() string { return "discount-high-exposure" }
+
+// GuessIntention implements IntentionGuesser.
+func (a *DiscountAttack) GuessIntention(cycle [][]string, sizeHint int, rng *rand.Rand) []int {
+	boost := a.Eng.CycleBoost(cycle, rng)
+	return topBoosted(boost, sizeHint)
+}
+
+// --- Elimination attack -------------------------------------------------
+
+// EliminationAttack removes, from every query, the terms that rank in
+// the head of the cycle's highest-boost topics (presumed decoys), then
+// re-infers the truncated cycle and reads off the top boosted topics.
+// §IV-D's point: the removed words include genuine terms (the same word
+// ranks highly for several topics), so the recovered intention drifts.
+type EliminationAttack struct {
+	Eng *belief.Engine
+	// StripTopics is how many high-boost topics to discount. Default 2.
+	StripTopics int
+	// TopN is the head size per stripped topic. Default 40.
+	TopN int
+}
+
+// Name implements IntentionGuesser.
+func (a *EliminationAttack) Name() string { return "eliminate-decoy-terms" }
+
+// GuessIntention implements IntentionGuesser.
+func (a *EliminationAttack) GuessIntention(cycle [][]string, sizeHint int, rng *rand.Rand) []int {
+	strip := a.StripTopics
+	if strip == 0 {
+		strip = 2
+	}
+	topN := a.TopN
+	if topN == 0 {
+		topN = 40
+	}
+	boost := a.Eng.CycleBoost(cycle, rng)
+	suspects := topBoosted(boost, strip)
+	m := a.Eng.Model()
+	banned := make(map[string]bool)
+	for _, t := range suspects {
+		for _, tw := range m.TopWords(t, topN) {
+			banned[tw.Term] = true
+		}
+	}
+	truncated := make([][]string, 0, len(cycle))
+	for _, q := range cycle {
+		var kept []string
+		for _, w := range q {
+			if !banned[w] {
+				kept = append(kept, w)
+			}
+		}
+		if len(kept) > 0 {
+			truncated = append(truncated, kept)
+		}
+	}
+	if len(truncated) == 0 {
+		return topBoosted(boost, sizeHint)
+	}
+	reBoost := a.Eng.CycleBoost(truncated, rng)
+	return topBoosted(reBoost, sizeHint)
+}
+
+// --- Probe attack -------------------------------------------------------
+
+// ProbeAttack replays the obfuscator: treating each query q in the cycle
+// as the candidate user query, it generates ghosts for q with the same
+// implementation and measures how well they match the remaining queries
+// (by best-pairing Jaccard similarity over term sets). The candidate
+// whose synthetic ghosts best explain the rest is guessed as the user
+// query. Randomness in masking-topic and word selection makes the
+// replay non-reproducible, which is TopPriv's defense.
+type ProbeAttack struct {
+	Obf *core.Obfuscator
+}
+
+// Name implements QueryGuesser.
+func (a *ProbeAttack) Name() string { return "probe-replay" }
+
+// GuessUser implements QueryGuesser.
+func (a *ProbeAttack) GuessUser(cycle [][]string, rng *rand.Rand) int {
+	bestIdx := 0
+	bestScore := -1.0
+	for i, q := range cycle {
+		cyc, err := a.Obf.Obfuscate(q, rng)
+		if err != nil {
+			continue
+		}
+		score := 0.0
+		count := 0
+		for j, other := range cycle {
+			if j == i {
+				continue
+			}
+			best := 0.0
+			for gi, g := range cyc.Queries {
+				if gi == cyc.UserIndex {
+					continue
+				}
+				if s := jaccard(g, other); s > best {
+					best = s
+				}
+			}
+			score += best
+			count++
+		}
+		if count > 0 {
+			score /= float64(count)
+		}
+		if score > bestScore {
+			bestScore = score
+			bestIdx = i
+		}
+	}
+	return bestIdx
+}
+
+// --- Evaluation ---------------------------------------------------------
+
+// EvalQueryGuess returns the fraction of trials where the guesser
+// identified the genuine query. Random guessing scores ~ E[1/υ].
+func EvalQueryGuess(g QueryGuesser, trials []Trial, rng *rand.Rand) float64 {
+	if len(trials) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, tr := range trials {
+		if g.GuessUser(tr.Cycle, rng) == tr.UserIndex {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(trials))
+}
+
+// EvalIntentionRecall returns the mean recall of the true intention
+// across trials: |guess ∩ trueU| / |trueU|.
+func EvalIntentionRecall(g IntentionGuesser, trials []Trial, rng *rand.Rand) float64 {
+	total := 0.0
+	n := 0
+	for _, tr := range trials {
+		if len(tr.TrueIntention) == 0 {
+			continue
+		}
+		guess := g.GuessIntention(tr.Cycle, len(tr.TrueIntention), rng)
+		inGuess := make(map[int]bool, len(guess))
+		for _, t := range guess {
+			inGuess[t] = true
+		}
+		hits := 0
+		for _, t := range tr.TrueIntention {
+			if inGuess[t] {
+				hits++
+			}
+		}
+		total += float64(hits) / float64(len(tr.TrueIntention))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// RandomGuessBaseline returns the expected success rate of picking a
+// query uniformly at random from each trial's cycle.
+func RandomGuessBaseline(trials []Trial) float64 {
+	if len(trials) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, tr := range trials {
+		sum += 1 / float64(len(tr.Cycle))
+	}
+	return sum / float64(len(trials))
+}
+
+// topBoosted returns the n indices with the largest boost values.
+func topBoosted(boost []float64, n int) []int {
+	idx := make([]int, len(boost))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort: n is small.
+	if n > len(idx) {
+		n = len(idx)
+	}
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if boost[idx[j]] > boost[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:n]
+}
+
+// jaccard computes set similarity between two term slices.
+func jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	setA := make(map[string]struct{}, len(a))
+	for _, w := range a {
+		setA[w] = struct{}{}
+	}
+	inter := 0
+	setB := make(map[string]struct{}, len(b))
+	for _, w := range b {
+		if _, dup := setB[w]; dup {
+			continue
+		}
+		setB[w] = struct{}{}
+		if _, ok := setA[w]; ok {
+			inter++
+		}
+	}
+	union := len(setA) + len(setB) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,138 @@
+package adversary
+
+import (
+	"math/rand"
+	"sort"
+
+	"toppriv/internal/belief"
+)
+
+// SessionTrial is a sequence of cycles observed from one user whose
+// underlying interest is stable across queries.
+type SessionTrial struct {
+	Cycles        [][][]string
+	TrueIntention []int
+}
+
+// IntersectionAttack exploits repetition across a user's query history:
+// in each cycle it notes the TopM most boosted topics, then counts how
+// often each topic recurs across cycles. A genuine interest the user
+// keeps querying recurs in every cycle; independently drawn masking
+// topics recur only ~1/υ of the time — unless the client keeps its
+// decoy profile sticky (core.Session), in which case the decoys recur
+// too and the frequencies are uninformative.
+type IntersectionAttack struct {
+	Eng *belief.Engine
+	// TopM is how many top-boosted topics are noted per cycle. Default 3.
+	TopM int
+}
+
+// Name identifies the attack in reports.
+func (a *IntersectionAttack) Name() string { return "intersection" }
+
+// GuessIntentionSession returns the sizeHint topics that recur most
+// often across the session's cycles (ties broken by accumulated boost).
+func (a *IntersectionAttack) GuessIntentionSession(cycles [][][]string, sizeHint int, rng *rand.Rand) []int {
+	topM := a.TopM
+	if topM == 0 {
+		topM = 3
+	}
+	k := a.Eng.NumTopics()
+	counts := make([]int, k)
+	mass := make([]float64, k)
+	for _, cycle := range cycles {
+		boost := a.Eng.CycleBoost(cycle, rng)
+		for _, t := range topBoosted(boost, topM) {
+			counts[t]++
+			mass[t] += boost[t]
+		}
+	}
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a2, b2 := order[i], order[j]
+		if counts[a2] != counts[b2] {
+			return counts[a2] > counts[b2]
+		}
+		if mass[a2] != mass[b2] {
+			return mass[a2] > mass[b2]
+		}
+		return a2 < b2
+	})
+	if sizeHint > len(order) {
+		sizeHint = len(order)
+	}
+	return order[:sizeHint]
+}
+
+// RecurrentTopics returns the topics that land in the per-cycle
+// top-TopM boosted set in at least minFrac of the session's cycles —
+// the adversary's *confusion set*. A recurring genuine interest is
+// always in it; the privacy question is how many decoys keep it
+// company. Against independent per-query obfuscation the set collapses
+// to the genuine topics; against a sticky session the persistent decoys
+// recur just as reliably and the set stays large.
+func (a *IntersectionAttack) RecurrentTopics(cycles [][][]string, minFrac float64, rng *rand.Rand) []int {
+	topM := a.TopM
+	if topM == 0 {
+		topM = 3
+	}
+	if len(cycles) == 0 {
+		return nil
+	}
+	k := a.Eng.NumTopics()
+	counts := make([]int, k)
+	for _, cycle := range cycles {
+		boost := a.Eng.CycleBoost(cycle, rng)
+		for _, t := range topBoosted(boost, topM) {
+			counts[t]++
+		}
+	}
+	need := int(minFrac * float64(len(cycles)))
+	if need < 1 {
+		need = 1
+	}
+	var out []int
+	for t, c := range counts {
+		if c >= need {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if counts[out[i]] != counts[out[j]] {
+			return counts[out[i]] > counts[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// EvalSessionRecall returns the mean recall of the true intention over
+// session trials.
+func EvalSessionRecall(a *IntersectionAttack, trials []SessionTrial, rng *rand.Rand) float64 {
+	total, n := 0.0, 0
+	for _, tr := range trials {
+		if len(tr.TrueIntention) == 0 || len(tr.Cycles) == 0 {
+			continue
+		}
+		guess := a.GuessIntentionSession(tr.Cycles, len(tr.TrueIntention), rng)
+		inGuess := make(map[int]bool, len(guess))
+		for _, t := range guess {
+			inGuess[t] = true
+		}
+		hits := 0
+		for _, t := range tr.TrueIntention {
+			if inGuess[t] {
+				hits++
+			}
+		}
+		total += float64(hits) / float64(len(tr.TrueIntention))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,137 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"toppriv/internal/core"
+)
+
+// buildSessions generates per-user query histories: each user has one
+// stable interest topic and issues several distinct queries on it.
+// sticky selects the session-level obfuscator (decoy profile reuse) vs
+// independent per-query obfuscation.
+func buildSessions(t *testing.T, f *fixture, sticky bool, seed int64) []SessionTrial {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var trials []SessionTrial
+	for topic := 0; topic < 8; topic++ {
+		var cycles [][][]string
+		var trueU []int
+		var sess *core.Session
+		if sticky {
+			var err error
+			sess, err = core.NewSession(f.obf)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 8; i++ {
+			q := f.topicQuery(topic, 8+(i%6))
+			var cyc *core.Cycle
+			var err error
+			if sticky {
+				cyc, err = sess.Obfuscate(q, rng)
+			} else {
+				cyc, err = f.obf.Obfuscate(q, rng)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cyc.Intention) == 0 {
+				continue
+			}
+			cycles = append(cycles, cyc.Queries)
+			if len(trueU) == 0 {
+				trueU = cyc.Intention
+			}
+		}
+		if len(cycles) >= 4 {
+			trials = append(trials, SessionTrial{Cycles: cycles, TrueIntention: trueU})
+		}
+	}
+	if len(trials) == 0 {
+		t.Fatal("no session trials generated")
+	}
+	return trials
+}
+
+func TestIntersectionAttackBeatsIndependentCycles(t *testing.T) {
+	// Without sticky decoys, cross-cycle frequency analysis should
+	// recover the recurring interest far better than single-cycle
+	// discounting does.
+	f := getFixture(t)
+	attack := &IntersectionAttack{Eng: f.eng}
+	independent := buildSessions(t, f, false, 900)
+	recall := EvalSessionRecall(attack, independent, rand.New(rand.NewSource(901)))
+	if recall < 0.5 {
+		t.Errorf("intersection attack on independent cycles: recall %v, expected it to work", recall)
+	}
+}
+
+func TestStickySessionsBluntIntersection(t *testing.T) {
+	f := getFixture(t)
+	attack := &IntersectionAttack{Eng: f.eng}
+	independent := buildSessions(t, f, false, 902)
+	sticky := buildSessions(t, f, true, 902)
+	rIndep := EvalSessionRecall(attack, independent, rand.New(rand.NewSource(903)))
+	rSticky := EvalSessionRecall(attack, sticky, rand.New(rand.NewSource(903)))
+	if rSticky >= rIndep {
+		t.Errorf("sticky sessions should blunt the attack: sticky %v vs independent %v", rSticky, rIndep)
+	}
+}
+
+func TestIntersectionEdgeCases(t *testing.T) {
+	f := getFixture(t)
+	attack := &IntersectionAttack{Eng: f.eng}
+	if got := EvalSessionRecall(attack, nil, rand.New(rand.NewSource(1))); got != 0 {
+		t.Error("no trials should score 0")
+	}
+	empty := []SessionTrial{{Cycles: nil, TrueIntention: []int{1}}}
+	if got := EvalSessionRecall(attack, empty, rand.New(rand.NewSource(2))); got != 0 {
+		t.Error("empty sessions should score 0")
+	}
+	guess := attack.GuessIntentionSession(nil, 3, rand.New(rand.NewSource(3)))
+	if len(guess) != 3 {
+		t.Errorf("sizeHint not honored: %v", guess)
+	}
+}
+
+func TestRecurrentTopicsConfusionSet(t *testing.T) {
+	f := getFixture(t)
+	attack := &IntersectionAttack{Eng: f.eng, TopM: 5}
+	independent := buildSessions(t, f, false, 910)
+	sticky := buildSessions(t, f, true, 910)
+	rng := rand.New(rand.NewSource(911))
+	// The genuine topic must be in the confusion set either way; sticky
+	// sessions should yield a set at least as large on average.
+	var szIndep, szSticky, n int
+	for i := range independent {
+		si := attack.RecurrentTopics(independent[i].Cycles, 0.8, rng)
+		if !contains(si, independent[i].TrueIntention[0]) {
+			t.Errorf("trial %d: genuine topic missing from independent confusion set %v", i, si)
+		}
+		szIndep += len(si)
+		n++
+	}
+	for i := range sticky {
+		ss := attack.RecurrentTopics(sticky[i].Cycles, 0.8, rng)
+		szSticky += len(ss)
+	}
+	if n > 0 && szSticky < szIndep {
+		t.Errorf("sticky confusion sets (%d total) should not be smaller than independent (%d)",
+			szSticky, szIndep)
+	}
+	if got := attack.RecurrentTopics(nil, 0.8, rng); got != nil {
+		t.Error("no cycles should return nil")
+	}
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

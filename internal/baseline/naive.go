@@ -1,0 +1,29 @@
+package baseline
+
+// NaiveDownload models the paper's §V-D comparison point: shipping the
+// whole inverted index to the client so queries never leave the machine.
+// It trades a large one-time transfer (and a re-engineered engine: the
+// client must score documents itself) against TopPriv's smaller one-time
+// LDA-model transfer.
+type NaiveDownload struct {
+	// IndexBytes is the serialized inverted-index size.
+	IndexBytes int64
+	// ModelBytes is the LDA model size TopPriv ships instead.
+	ModelBytes int64
+}
+
+// Saving returns the fractional space saving of shipping the model
+// instead of the index: 1 − model/index. The paper reports ~45% at WSJ
+// scale, widening as the corpus grows (Figure 6).
+func (n NaiveDownload) Saving() float64 {
+	if n.IndexBytes == 0 {
+		return 0
+	}
+	return 1 - float64(n.ModelBytes)/float64(n.IndexBytes)
+}
+
+// RequiresEngineChange reports whether the approach needs the search
+// engine re-architected. Always true for the naive approach (relevance
+// scoring moves to the client); recorded here so comparison tables can
+// print it alongside the numbers.
+func (n NaiveDownload) RequiresEngineChange() bool { return true }

@@ -1,0 +1,70 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"toppriv/internal/belief"
+)
+
+// TrackMeNot generates ghost queries the way the TrackMeNot browser
+// extension does (paper §II): random term combinations with no topical
+// structure. It exists as the contrast case for the adversary's
+// coherence attack — its ghosts "often can be ruled out easily because
+// their term combinations are not meaningful" — and as an ablation
+// anchor for TopPriv's topic-cognizant generation.
+type TrackMeNot struct {
+	eng *belief.Engine
+	// NumGhosts is the fixed number of ghost queries per user query.
+	NumGhosts int
+	// MinLen and MaxLen bound each ghost's length.
+	MinLen, MaxLen int
+}
+
+// NewTrackMeNot builds the generator.
+func NewTrackMeNot(eng *belief.Engine, numGhosts, minLen, maxLen int) (*TrackMeNot, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("baseline: nil belief engine")
+	}
+	if numGhosts < 1 {
+		return nil, fmt.Errorf("baseline: numGhosts = %d, need >= 1", numGhosts)
+	}
+	if minLen < 1 || maxLen < minLen {
+		return nil, fmt.Errorf("baseline: bad ghost length bounds [%d, %d]", minLen, maxLen)
+	}
+	return &TrackMeNot{eng: eng, NumGhosts: numGhosts, MinLen: minLen, MaxLen: maxLen}, nil
+}
+
+// Cycle returns the user query mixed among NumGhosts random ghost
+// queries, shuffled. The second return value is the user query's index.
+func (tmn *TrackMeNot) Cycle(userTerms []string, rng *rand.Rand) ([][]string, int, error) {
+	if len(userTerms) == 0 {
+		return nil, 0, fmt.Errorf("baseline: empty user query")
+	}
+	m := tmn.eng.Model()
+	queries := [][]string{userTerms}
+	for g := 0; g < tmn.NumGhosts; g++ {
+		n := tmn.MinLen + rng.Intn(tmn.MaxLen-tmn.MinLen+1)
+		ghost := make([]string, 0, n)
+		seen := make(map[int]struct{}, n)
+		for len(ghost) < n && len(seen) < m.V {
+			w := rng.Intn(m.V)
+			if _, dup := seen[w]; dup {
+				continue
+			}
+			seen[w] = struct{}{}
+			ghost = append(ghost, m.Terms[w])
+		}
+		queries = append(queries, ghost)
+	}
+	userIdx := 0
+	perm := rng.Perm(len(queries))
+	shuffled := make([][]string, len(queries))
+	for to, from := range perm {
+		shuffled[to] = queries[from]
+		if from == 0 {
+			userIdx = to
+		}
+	}
+	return shuffled, userIdx, nil
+}

@@ -1,0 +1,60 @@
+package belief
+
+import (
+	"math"
+)
+
+// This file quantifies the "reasonable doubt" the privacy model aims to
+// create (§IV-A: suppressing topics below ε1 "creates reasonable doubt
+// in the adversary whether they constitute the true intention"). The
+// entropy of the adversary's posterior — and the KL divergence from the
+// prior — measure how much a cycle actually tells him.
+
+// Entropy returns the Shannon entropy (nats) of a probability
+// distribution. Zero-probability entries contribute nothing.
+func Entropy(p []float64) float64 {
+	h := 0.0
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}
+
+// NormalizedEntropy returns Entropy(p) / ln(len(p)) in [0, 1]: 1 means
+// the adversary learned nothing (uniform belief), 0 means certainty.
+// Distributions of length < 2 return 0.
+func NormalizedEntropy(p []float64) float64 {
+	if len(p) < 2 {
+		return 0
+	}
+	return Entropy(p) / math.Log(float64(len(p)))
+}
+
+// KLDivergence returns D(post ‖ prior) in nats — the information the
+// observation carried about the topic distribution. Entries where the
+// prior is zero but the posterior is not make the divergence infinite;
+// with LDA's smoothed priors that cannot happen, but the guard keeps
+// the function total.
+func KLDivergence(post, prior []float64) float64 {
+	d := 0.0
+	for i := range post {
+		if post[i] <= 0 {
+			continue
+		}
+		if i >= len(prior) || prior[i] <= 0 {
+			return math.Inf(1)
+		}
+		d += post[i] * math.Log(post[i]/prior[i])
+	}
+	return d
+}
+
+// InformationGain reports the KL divergence of the cycle posterior from
+// the prior — how many nats the submitted cycle leaked about the
+// topical belief. Comparing the gain of a protected cycle against the
+// raw query's gain gives a single-number privacy summary.
+func (e *Engine) InformationGain(posterior []float64) float64 {
+	return KLDivergence(posterior, e.Prior())
+}

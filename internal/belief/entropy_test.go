@@ -1,0 +1,68 @@
+package belief
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEntropyKnownValues(t *testing.T) {
+	if got := Entropy([]float64{1}); got != 0 {
+		t.Errorf("point mass entropy = %v", got)
+	}
+	uniform4 := []float64{0.25, 0.25, 0.25, 0.25}
+	if got := Entropy(uniform4); math.Abs(got-math.Log(4)) > 1e-12 {
+		t.Errorf("uniform entropy = %v, want ln 4", got)
+	}
+	if got := NormalizedEntropy(uniform4); math.Abs(got-1) > 1e-12 {
+		t.Errorf("normalized uniform entropy = %v, want 1", got)
+	}
+	if got := NormalizedEntropy([]float64{1, 0, 0, 0}); got != 0 {
+		t.Errorf("normalized point-mass entropy = %v, want 0", got)
+	}
+	if NormalizedEntropy([]float64{1}) != 0 {
+		t.Error("length-1 distribution should normalize to 0")
+	}
+	// Zero entries contribute nothing.
+	if got := Entropy([]float64{0.5, 0.5, 0}); math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Errorf("entropy with zero entry = %v", got)
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	if got := KLDivergence(p, p); math.Abs(got) > 1e-12 {
+		t.Errorf("D(p||p) = %v, want 0", got)
+	}
+	q := []float64{0.9, 0.1}
+	if got := KLDivergence(q, p); got <= 0 {
+		t.Errorf("D(q||p) = %v, want > 0", got)
+	}
+	// Missing prior support → +Inf.
+	if got := KLDivergence([]float64{0.5, 0.5}, []float64{1, 0}); !math.IsInf(got, 1) {
+		t.Errorf("unsupported posterior should be +Inf, got %v", got)
+	}
+}
+
+func TestInformationGainDropsUnderObfuscation(t *testing.T) {
+	// The cycle posterior should carry much less information about the
+	// topics than the raw query's posterior.
+	e, gt := testEngine(t)
+	rng := rand.New(rand.NewSource(501))
+	genuine := analyzedHead(gt, 0, 12)
+	rawGain := e.InformationGain(e.Posterior(genuine, rng))
+	ghost1 := analyzedHead(gt, 2, 12)
+	ghost2 := analyzedHead(gt, 4, 12)
+	ghost3 := analyzedHead(gt, 5, 12)
+	cycleGain := e.InformationGain(e.CyclePosterior([][]string{genuine, ghost1, ghost2, ghost3}, rng))
+	if !(cycleGain < rawGain) {
+		t.Errorf("cycle gain %v not below raw gain %v", cycleGain, rawGain)
+	}
+	// And the cycle posterior's entropy is higher (more doubt).
+	rng2 := rand.New(rand.NewSource(501))
+	rawH := NormalizedEntropy(e.Posterior(genuine, rng2))
+	cycleH := NormalizedEntropy(e.CyclePosterior([][]string{genuine, ghost1, ghost2, ghost3}, rng2))
+	if cycleH <= rawH {
+		t.Errorf("cycle entropy %v not above raw %v", cycleH, rawH)
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"toppriv/internal/belief"
+)
+
+// CalibrateEps2 inverts the threshold→effort relationship of §IV-A
+// ("from the thresholds adjust υ to meet the user requirement"): given
+// a fixed ε1 and a per-query budget of at most targetUpsilon queries,
+// it finds the tightest ε2 whose mean cycle length over the sample
+// workload stays within budget. The search is a bisection over ε2 in
+// (0, ε1]; cycle length is monotonically non-increasing in ε2 on
+// average, which bisection tolerates noise in via the sample mean.
+//
+// Returns the calibrated ε2 and the measured mean υ at that setting.
+func CalibrateEps2(eng *belief.Engine, eps1 float64, targetUpsilon float64, sample [][]string, seed int64) (float64, float64, error) {
+	if eng == nil {
+		return 0, 0, fmt.Errorf("core: nil belief engine")
+	}
+	if eps1 <= 0 || eps1 >= 1 {
+		return 0, 0, fmt.Errorf("core: eps1 = %v, need (0,1)", eps1)
+	}
+	if targetUpsilon < 1 {
+		return 0, 0, fmt.Errorf("core: targetUpsilon = %v, need >= 1", targetUpsilon)
+	}
+	if len(sample) == 0 {
+		return 0, 0, fmt.Errorf("core: empty sample workload")
+	}
+
+	meanUpsilon := func(eps2 float64) (float64, error) {
+		obf, err := NewObfuscator(eng, Params{Eps1: eps1, Eps2: eps2})
+		if err != nil {
+			return 0, err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		total := 0.0
+		for _, q := range sample {
+			cyc, err := obf.Obfuscate(q, rng)
+			if err != nil {
+				return 0, err
+			}
+			total += float64(cyc.Len())
+		}
+		return total / float64(len(sample)), nil
+	}
+
+	// If even the loosest legal setting (ε2 = ε1) blows the budget,
+	// report it with the measured effort so the caller can decide.
+	loose, err := meanUpsilon(eps1)
+	if err != nil {
+		return 0, 0, err
+	}
+	if loose > targetUpsilon {
+		return eps1, loose, nil
+	}
+
+	lo, hi := eps1/1000, eps1 // lo: tight (expensive), hi: loose (cheap)
+	best, bestUps := hi, loose
+	for iter := 0; iter < 12 && hi-lo > eps1/1000; iter++ {
+		mid := (lo + hi) / 2
+		ups, err := meanUpsilon(mid)
+		if err != nil {
+			return 0, 0, err
+		}
+		if ups <= targetUpsilon {
+			// Budget holds: try tighter (smaller ε2).
+			best, bestUps = mid, ups
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return best, bestUps, nil
+}
+
+// EpsUpsilonCurve measures mean cycle length at each ε2 in the grid —
+// the data behind calibration decisions (the paper's Figure 2c).
+type EpsUpsilonPoint struct {
+	Eps2    float64
+	Upsilon float64
+}
+
+// MeasureEpsUpsilon evaluates the grid (sorted ascending) against the
+// sample workload.
+func MeasureEpsUpsilon(eng *belief.Engine, eps1 float64, grid []float64, sample [][]string, seed int64) ([]EpsUpsilonPoint, error) {
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("core: empty grid")
+	}
+	sorted := append([]float64{}, grid...)
+	sort.Float64s(sorted)
+	out := make([]EpsUpsilonPoint, 0, len(sorted))
+	for _, eps2 := range sorted {
+		if eps2 > eps1 {
+			continue
+		}
+		obf, err := NewObfuscator(eng, Params{Eps1: eps1, Eps2: eps2})
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		total := 0.0
+		for _, q := range sample {
+			cyc, err := obf.Obfuscate(q, rng)
+			if err != nil {
+				return nil, err
+			}
+			total += float64(cyc.Len())
+		}
+		out = append(out, EpsUpsilonPoint{Eps2: eps2, Upsilon: total / float64(len(sample))})
+	}
+	return out, nil
+}

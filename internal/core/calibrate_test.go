@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+)
+
+func sampleQueries(f *fixture, n int) [][]string {
+	var out [][]string
+	for topic := 0; topic < n; topic++ {
+		out = append(out, f.topicQuery(topic%8, 10+topic%6))
+	}
+	return out
+}
+
+func TestCalibrateEps2MeetsBudget(t *testing.T) {
+	f := getFixture(t)
+	sample := sampleQueries(f, 8)
+	const eps1 = 0.04
+	const budget = 4.0
+	eps2, ups, err := CalibrateEps2(f.eng, eps1, budget, sample, 601)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps2 <= 0 || eps2 > eps1 {
+		t.Fatalf("calibrated eps2 = %v outside (0, eps1]", eps2)
+	}
+	if ups > budget {
+		t.Errorf("calibrated mean upsilon %v exceeds budget %v", ups, budget)
+	}
+	// A generous budget must allow a tighter (smaller) eps2 than a tiny one.
+	eps2Tight, _, err := CalibrateEps2(f.eng, eps1, 12, sample, 601)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps2Tight > eps2 {
+		t.Errorf("larger budget should calibrate tighter: %v vs %v", eps2Tight, eps2)
+	}
+}
+
+func TestCalibrateEps2Validation(t *testing.T) {
+	f := getFixture(t)
+	sample := sampleQueries(f, 2)
+	if _, _, err := CalibrateEps2(nil, 0.05, 4, sample, 1); err == nil {
+		t.Error("nil engine must error")
+	}
+	if _, _, err := CalibrateEps2(f.eng, 0, 4, sample, 1); err == nil {
+		t.Error("bad eps1 must error")
+	}
+	if _, _, err := CalibrateEps2(f.eng, 0.05, 0.5, sample, 1); err == nil {
+		t.Error("budget < 1 must error")
+	}
+	if _, _, err := CalibrateEps2(f.eng, 0.05, 4, nil, 1); err == nil {
+		t.Error("empty sample must error")
+	}
+}
+
+func TestMeasureEpsUpsilonMonotone(t *testing.T) {
+	f := getFixture(t)
+	sample := sampleQueries(f, 6)
+	points, err := MeasureEpsUpsilon(f.eng, 0.04, []float64{0.04, 0.01, 0.005}, sample, 603)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// Sorted ascending by eps2; upsilon should be non-increasing in eps2
+	// (tight thresholds cost more queries).
+	for i := 1; i < len(points); i++ {
+		if points[i-1].Eps2 >= points[i].Eps2 {
+			t.Fatal("grid not sorted")
+		}
+	}
+	if points[0].Upsilon < points[len(points)-1].Upsilon {
+		t.Errorf("tightest eps2 should need the most queries: %+v", points)
+	}
+	// Points above eps1 are skipped.
+	pts, err := MeasureEpsUpsilon(f.eng, 0.01, []float64{0.005, 0.05}, sample, 604)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Errorf("eps2 > eps1 should be skipped: %+v", pts)
+	}
+	if _, err := MeasureEpsUpsilon(f.eng, 0.01, nil, sample, 1); err == nil {
+		t.Error("empty grid must error")
+	}
+}

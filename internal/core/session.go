@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Session obfuscates a sequence of queries from one user, keeping the
+// user's decoy profile stable: masking topics accepted in earlier
+// cycles are preferred in later ones. Without stickiness, a user who
+// repeatedly queries the same interest is exposed to cross-cycle
+// frequency analysis — her genuine topic recurs in every cycle while
+// fresh random masks each appear only once (adversary.Intersection-
+// Attack demonstrates this). With stickiness, the decoy topics recur
+// exactly like the genuine one, so frequency analysis has nothing to
+// separate them by.
+//
+// This extends the per-query algorithm of §IV-C to the query-log
+// threat the paper's adversary actually mounts ("analyze the search
+// activity of the users after the fact", §III-B).
+//
+// A Session is not safe for concurrent use; it models one user's
+// client-side state.
+type Session struct {
+	obf *Obfuscator
+	// sticky holds masking topics in order of first adoption.
+	sticky []int
+	inSet  map[int]bool
+	// MaxSticky caps the remembered decoy profile (0 = unlimited).
+	MaxSticky int
+	// History of per-cycle diagnostics, in query order.
+	History []*Cycle
+}
+
+// NewSession starts a session over an obfuscator.
+func NewSession(obf *Obfuscator) (*Session, error) {
+	if obf == nil {
+		return nil, fmt.Errorf("core: nil obfuscator")
+	}
+	return &Session{obf: obf, inSet: make(map[int]bool)}, nil
+}
+
+// Obfuscate generates the next cycle, preferring the session's
+// established masking topics, and records the cycle in History.
+func (s *Session) Obfuscate(userTerms []string, rng *rand.Rand) (*Cycle, error) {
+	cyc, err := s.obf.ObfuscateSticky(userTerms, s.sticky, rng)
+	if err != nil {
+		return nil, err
+	}
+	for _, tm := range cyc.MaskingTopics {
+		if s.inSet[tm] {
+			continue
+		}
+		if s.MaxSticky > 0 && len(s.sticky) >= s.MaxSticky {
+			break
+		}
+		s.inSet[tm] = true
+		s.sticky = append(s.sticky, tm)
+	}
+	s.History = append(s.History, cyc)
+	return cyc, nil
+}
+
+// StickyTopics returns the session's current decoy profile (copy).
+func (s *Session) StickyTopics() []int {
+	out := make([]int, len(s.sticky))
+	copy(out, s.sticky)
+	return out
+}
+
+// Reset clears the decoy profile and history (e.g. on a new pseudonym).
+func (s *Session) Reset() {
+	s.sticky = nil
+	s.inSet = make(map[int]bool)
+	s.History = nil
+}

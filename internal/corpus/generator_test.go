@@ -1,0 +1,284 @@
+package corpus
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"toppriv/internal/textproc"
+)
+
+func smallSpec() GenSpec {
+	return GenSpec{
+		Seed:      42,
+		NumDocs:   200,
+		NumTopics: 8,
+		DocLenMin: 40,
+		DocLenMax: 80,
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	c1, gt1, err := Synthesize(smallSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, gt2, err := Synthesize(smallSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.NumDocs() != c2.NumDocs() || c1.VocabSize() != c2.VocabSize() {
+		t.Fatal("same seed produced different corpora")
+	}
+	for d := range c1.Docs {
+		if c1.Docs[d].Text != c2.Docs[d].Text {
+			t.Fatalf("doc %d text differs across identical seeds", d)
+		}
+	}
+	for g := range gt1.TopicWords {
+		for i := range gt1.TopicWords[g] {
+			if gt1.TopicWords[g][i] != gt2.TopicWords[g][i] {
+				t.Fatalf("ground truth differs at topic %d word %d", g, i)
+			}
+		}
+	}
+}
+
+func TestSynthesizeSeedsDiffer(t *testing.T) {
+	spec := smallSpec()
+	c1, _, _ := Synthesize(spec, nil)
+	spec.Seed = 43
+	c2, _, _ := Synthesize(spec, nil)
+	same := true
+	for d := range c1.Docs {
+		if c1.Docs[d].Text != c2.Docs[d].Text {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	spec := smallSpec()
+	c, gt, err := Synthesize(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDocs() != spec.NumDocs {
+		t.Errorf("NumDocs = %d, want %d", c.NumDocs(), spec.NumDocs)
+	}
+	if c.GroundTruthTopics != spec.NumTopics {
+		t.Errorf("GroundTruthTopics = %d, want %d", c.GroundTruthTopics, spec.NumTopics)
+	}
+	if len(gt.TopicNames) != spec.NumTopics || len(gt.TopicWords) != spec.NumTopics {
+		t.Fatal("ground truth shape mismatch")
+	}
+	for g, words := range gt.TopicWords {
+		if len(words) != 60 { // default WordsPerTopic
+			t.Errorf("topic %d has %d words, want 60", g, len(words))
+		}
+	}
+	if got := c.AvgDocLen(); got < 20 || got > 80 {
+		t.Errorf("AvgDocLen = %v, outside plausible range", got)
+	}
+	for d, doc := range c.Docs {
+		if len(doc.TrueTopics) != spec.NumTopics {
+			t.Fatalf("doc %d TrueTopics len = %d", d, len(doc.TrueTopics))
+		}
+		sum := 0.0
+		for _, p := range doc.TrueTopics {
+			if p < 0 {
+				t.Fatalf("doc %d negative topic prob", d)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("doc %d mixture sums to %v", d, sum)
+		}
+	}
+}
+
+func TestSynthesizeUsesThemeNames(t *testing.T) {
+	_, gt, err := Synthesize(smallSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.TopicNames[0] != "finance" || gt.TopicNames[1] != "technology" {
+		t.Errorf("expected theme names, got %v", gt.TopicNames[:2])
+	}
+	if gt.TopicByName("finance") != 0 {
+		t.Error("TopicByName lookup failed")
+	}
+	if gt.TopicByName("nonexistent") != -1 {
+		t.Error("TopicByName should return -1 for unknown names")
+	}
+}
+
+func TestSynthesizeMoreTopicsThanThemes(t *testing.T) {
+	spec := smallSpec()
+	spec.NumTopics = len(Themes()) + 4
+	spec.NumDocs = 50
+	_, gt, err := Synthesize(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := gt.TopicNames[len(gt.TopicNames)-1]
+	if last == "" || gt.TopicByName(last) != spec.NumTopics-1 {
+		t.Errorf("synthetic topic naming broken: %q", last)
+	}
+	// Synthetic topics must still have a full vocabulary.
+	if len(gt.TopicWords[spec.NumTopics-1]) != 60 {
+		t.Error("synthetic topic vocabulary incomplete")
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	bad := []GenSpec{
+		{NumDocs: -1},
+		{NumTopics: 1, NumDocs: 10},
+		{NumDocs: 10, DocLenMin: 100, DocLenMax: 50},
+		{NumDocs: 10, BackgroundFrac: 1.5},
+	}
+	for i, spec := range bad {
+		if _, _, err := Synthesize(spec, nil); err == nil {
+			t.Errorf("spec %d: expected validation error", i)
+		}
+	}
+}
+
+func TestTopicWordsDistinctHeads(t *testing.T) {
+	// The head (top 10) of each topic should be mostly exclusive to it,
+	// otherwise queries cannot have a clear topical intent.
+	_, gt, err := Synthesize(smallSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, words := range gt.TopicWords {
+		for _, w := range words[:10] {
+			seen[w]++
+		}
+	}
+	for w, n := range seen {
+		if n > 1 {
+			t.Errorf("head word %q appears in %d topics", w, n)
+		}
+	}
+}
+
+func TestDirichletProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, alpha := range []float64{0.05, 0.5, 1, 5} {
+		for trial := 0; trial < 50; trial++ {
+			v := randDirichlet(rng, alpha, 10)
+			sum := 0.0
+			for _, p := range v {
+				if p < 0 || p > 1 {
+					t.Fatalf("alpha=%v: component %v out of range", alpha, p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("alpha=%v: sum %v", alpha, sum)
+			}
+		}
+	}
+}
+
+func TestDirichletSparsity(t *testing.T) {
+	// Small alpha should concentrate mass: max component typically large.
+	rng := rand.New(rand.NewSource(2))
+	bigMax := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		v := randDirichlet(rng, 0.05, 20)
+		mx := 0.0
+		for _, p := range v {
+			if p > mx {
+				mx = p
+			}
+		}
+		if mx > 0.5 {
+			bigMax++
+		}
+	}
+	if bigMax < trials/2 {
+		t.Errorf("sparse Dirichlet not concentrating: only %d/%d draws had max > 0.5", bigMax, trials)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, shape := range []float64{0.3, 1, 2.5, 10} {
+		const n = 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += randGamma(rng, shape)
+		}
+		mean := sum / n
+		if math.Abs(mean-shape) > 0.15*shape+0.05 {
+			t.Errorf("shape %v: sample mean %v too far from %v", shape, mean, shape)
+		}
+	}
+}
+
+func TestSampleCategorical(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 10000; i++ {
+		counts[sampleCategorical(rng, weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index sampled %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("weight ratio = %v, want ≈3", ratio)
+	}
+}
+
+func TestWordSynthUnique(t *testing.T) {
+	ws := newWordSynth(rand.New(rand.NewSource(5)))
+	avoid := map[string]struct{}{}
+	batch := ws.batch(500, avoid)
+	seen := map[string]struct{}{}
+	for _, w := range batch {
+		if _, dup := seen[w]; dup {
+			t.Fatalf("duplicate synthesized word %q", w)
+		}
+		seen[w] = struct{}{}
+		if len(w) < 3 {
+			t.Errorf("implausibly short word %q", w)
+		}
+	}
+}
+
+func TestBuildPrunesHapax(t *testing.T) {
+	docs := []Document{
+		{Text: "alpha beta alpha"},
+		{Text: "alpha gamma"},
+	}
+	an := textproc.NewAnalyzer(textproc.WithStemming(false))
+	c, err := Build(docs, an, textproc.PruneSpec{MinDocFreq: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Vocab.ID("alpha") == textproc.InvalidTerm {
+		t.Error("alpha should survive pruning")
+	}
+	if c.Vocab.ID("beta") != textproc.InvalidTerm {
+		t.Error("beta (df=1) should be pruned")
+	}
+	// Bags must be remapped consistently.
+	for _, bag := range c.Bags {
+		for _, id := range bag {
+			if int(id) >= c.Vocab.Size() {
+				t.Fatal("bag references out-of-range term after prune")
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"toppriv/internal/textproc"
+)
+
+// SampleSpec configures representative-subset extraction. The paper
+// (§V-A) leaves "training the LDA model on a representative dataset,
+// comprising documents sampled from the corpus and/or only the more
+// impactful words (e.g., as determined by TF-IDF values)" as future
+// work; this implements both reductions.
+type SampleSpec struct {
+	// DocFraction keeps this fraction of documents, sampled uniformly
+	// without replacement. 0 or 1 keeps all documents.
+	DocFraction float64
+	// TopWordFraction keeps only the most impactful fraction of the
+	// vocabulary, ranked by a TF-IDF mass score. 0 or 1 keeps all terms.
+	TopWordFraction float64
+	// Seed drives the document sampling.
+	Seed int64
+}
+
+// Sample extracts a reduced training corpus per spec. Document IDs are
+// renumbered densely; the vocabulary contains only terms that survive
+// both reductions and still occur in the sampled documents.
+func Sample(c *Corpus, spec SampleSpec) (*Corpus, error) {
+	if c == nil || c.Vocab == nil {
+		return nil, fmt.Errorf("corpus: Sample of nil corpus")
+	}
+	if spec.DocFraction < 0 || spec.DocFraction > 1 {
+		return nil, fmt.Errorf("corpus: DocFraction = %v, need [0,1]", spec.DocFraction)
+	}
+	if spec.TopWordFraction < 0 || spec.TopWordFraction > 1 {
+		return nil, fmt.Errorf("corpus: TopWordFraction = %v, need [0,1]", spec.TopWordFraction)
+	}
+
+	// 1. Choose documents.
+	docIdx := make([]int, c.NumDocs())
+	for i := range docIdx {
+		docIdx[i] = i
+	}
+	if spec.DocFraction > 0 && spec.DocFraction < 1 {
+		rng := rand.New(rand.NewSource(spec.Seed))
+		rng.Shuffle(len(docIdx), func(i, j int) { docIdx[i], docIdx[j] = docIdx[j], docIdx[i] })
+		keep := int(spec.DocFraction * float64(len(docIdx)))
+		if keep < 1 {
+			keep = 1
+		}
+		docIdx = docIdx[:keep]
+		sort.Ints(docIdx)
+	}
+
+	// 2. Choose impactful words by TF-IDF mass: cf(w) · ln(1 + N/df(w)).
+	keepWord := make([]bool, c.Vocab.Size())
+	if spec.TopWordFraction > 0 && spec.TopWordFraction < 1 {
+		type scored struct {
+			id    textproc.TermID
+			score float64
+		}
+		scores := make([]scored, c.Vocab.Size())
+		n := float64(c.NumDocs())
+		for w := 0; w < c.Vocab.Size(); w++ {
+			id := textproc.TermID(w)
+			df := float64(c.Vocab.DocFreq(id))
+			score := 0.0
+			if df > 0 {
+				score = float64(c.Vocab.CollFreq(id)) * math.Log(1+n/df)
+			}
+			scores[w] = scored{id: id, score: score}
+		}
+		sort.Slice(scores, func(i, j int) bool {
+			if scores[i].score != scores[j].score {
+				return scores[i].score > scores[j].score
+			}
+			return scores[i].id < scores[j].id
+		})
+		keep := int(spec.TopWordFraction * float64(len(scores)))
+		if keep < 1 {
+			keep = 1
+		}
+		for _, s := range scores[:keep] {
+			keepWord[s.id] = true
+		}
+	} else {
+		for w := range keepWord {
+			keepWord[w] = true
+		}
+	}
+
+	// 3. Rebuild the reduced corpus through the shared Build path so
+	// vocabulary IDs are dense and frequencies consistent.
+	newVocab := textproc.NewVocab()
+	remap := make([]textproc.TermID, c.Vocab.Size())
+	for w := range remap {
+		remap[w] = textproc.InvalidTerm
+	}
+	docs := make([]Document, 0, len(docIdx))
+	bags := make([][]textproc.TermID, 0, len(docIdx))
+	for newID, old := range docIdx {
+		src := c.Docs[old]
+		src.ID = DocID(newID)
+		var bag []textproc.TermID
+		for _, id := range c.Bags[old] {
+			if !keepWord[id] {
+				continue
+			}
+			nid := remap[id]
+			if nid == textproc.InvalidTerm {
+				nid = newVocab.Add(c.Vocab.Term(id))
+				remap[id] = nid
+			}
+			bag = append(bag, nid)
+		}
+		newVocab.ObserveDoc(bag)
+		docs = append(docs, src)
+		bags = append(bags, bag)
+	}
+	return &Corpus{
+		Docs:              docs,
+		Vocab:             newVocab,
+		Bags:              bags,
+		GroundTruthTopics: c.GroundTruthTopics,
+	}, nil
+}

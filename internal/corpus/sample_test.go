@@ -1,0 +1,125 @@
+package corpus
+
+import (
+	"testing"
+
+	"toppriv/internal/textproc"
+)
+
+func sampleFixture(t *testing.T) *Corpus {
+	t.Helper()
+	c, _, err := Synthesize(GenSpec{Seed: 101, NumDocs: 200, NumTopics: 8, DocLenMin: 40, DocLenMax: 80}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSampleDocFraction(t *testing.T) {
+	c := sampleFixture(t)
+	s, err := Sample(c, SampleSpec{DocFraction: 0.25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumDocs() != 50 {
+		t.Errorf("sampled %d docs, want 50", s.NumDocs())
+	}
+	// IDs must be dense from 0.
+	for i, d := range s.Docs {
+		if d.ID != DocID(i) {
+			t.Fatalf("doc %d has ID %d", i, d.ID)
+		}
+	}
+	// Vocabulary must only contain terms that occur in the sample.
+	for w := 0; w < s.Vocab.Size(); w++ {
+		if s.Vocab.CollFreq(textproc.TermID(w)) == 0 {
+			t.Fatalf("term %q has zero collection frequency", s.Vocab.Term(textproc.TermID(w)))
+		}
+	}
+	if s.GroundTruthTopics != c.GroundTruthTopics {
+		t.Error("GroundTruthTopics lost in sampling")
+	}
+}
+
+func TestSampleWordFraction(t *testing.T) {
+	c := sampleFixture(t)
+	s, err := Sample(c, SampleSpec{TopWordFraction: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumDocs() != c.NumDocs() {
+		t.Errorf("word-only sampling dropped docs: %d vs %d", s.NumDocs(), c.NumDocs())
+	}
+	if s.Vocab.Size() >= c.Vocab.Size() {
+		t.Errorf("vocab not reduced: %d vs %d", s.Vocab.Size(), c.Vocab.Size())
+	}
+	// The kept words carry more TF-IDF mass per term than the corpus
+	// average — they are the impactful head.
+	if s.TotalTokens() < c.TotalTokens()/4 {
+		t.Errorf("top 30%% of terms should retain most token mass: %d of %d",
+			s.TotalTokens(), c.TotalTokens())
+	}
+}
+
+func TestSampleBothReductions(t *testing.T) {
+	c := sampleFixture(t)
+	s, err := Sample(c, SampleSpec{DocFraction: 0.5, TopWordFraction: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumDocs() != 100 {
+		t.Errorf("docs = %d", s.NumDocs())
+	}
+	if s.Vocab.Size() >= c.Vocab.Size()/2+1 {
+		t.Errorf("vocab = %d, want <= half of %d", s.Vocab.Size(), c.Vocab.Size())
+	}
+	// Frequencies must be internally consistent after remapping.
+	for d, bag := range s.Bags {
+		if len(bag) == 0 {
+			continue
+		}
+		for _, id := range bag {
+			if int(id) >= s.Vocab.Size() {
+				t.Fatalf("doc %d references out-of-range term %d", d, id)
+			}
+		}
+	}
+}
+
+func TestSampleIdentity(t *testing.T) {
+	c := sampleFixture(t)
+	s, err := Sample(c, SampleSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumDocs() != c.NumDocs() || s.TotalTokens() != c.TotalTokens() {
+		t.Error("zero-valued spec must be the identity")
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	c := sampleFixture(t)
+	a, _ := Sample(c, SampleSpec{DocFraction: 0.3, Seed: 5})
+	b, _ := Sample(c, SampleSpec{DocFraction: 0.3, Seed: 5})
+	if a.NumDocs() != b.NumDocs() {
+		t.Fatal("nondeterministic sampling")
+	}
+	for i := range a.Docs {
+		if a.Docs[i].Title != b.Docs[i].Title {
+			t.Fatal("nondeterministic document selection")
+		}
+	}
+}
+
+func TestSampleValidation(t *testing.T) {
+	c := sampleFixture(t)
+	if _, err := Sample(nil, SampleSpec{}); err == nil {
+		t.Error("nil corpus must error")
+	}
+	if _, err := Sample(c, SampleSpec{DocFraction: -0.5}); err == nil {
+		t.Error("negative fraction must error")
+	}
+	if _, err := Sample(c, SampleSpec{TopWordFraction: 1.5}); err == nil {
+		t.Error("fraction > 1 must error")
+	}
+}

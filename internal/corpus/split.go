@@ -1,0 +1,68 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"toppriv/internal/textproc"
+)
+
+// Split partitions the corpus's documents into a training part and a
+// held-out part (heldFrac of the documents, at least 1 and at most
+// NumDocs-1), deterministically under seed. Each part is rebuilt as an
+// independent corpus with its own dense vocabulary; evaluation code
+// maps terms across parts by surface form.
+func Split(c *Corpus, heldFrac float64, seed int64) (train, held *Corpus, err error) {
+	if c == nil || c.Vocab == nil {
+		return nil, nil, fmt.Errorf("corpus: Split of nil corpus")
+	}
+	if heldFrac <= 0 || heldFrac >= 1 {
+		return nil, nil, fmt.Errorf("corpus: heldFrac = %v, need (0,1)", heldFrac)
+	}
+	n := c.NumDocs()
+	if n < 2 {
+		return nil, nil, fmt.Errorf("corpus: need >= 2 docs to split, have %d", n)
+	}
+	nHeld := int(heldFrac * float64(n))
+	if nHeld < 1 {
+		nHeld = 1
+	}
+	if nHeld >= n {
+		nHeld = n - 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	heldSet := make(map[int]bool, nHeld)
+	for _, d := range perm[:nHeld] {
+		heldSet[d] = true
+	}
+	build := func(keep func(int) bool) *Corpus {
+		vocab := textproc.NewVocab()
+		remap := make(map[textproc.TermID]textproc.TermID)
+		var docs []Document
+		var bags [][]textproc.TermID
+		for d := 0; d < n; d++ {
+			if !keep(d) {
+				continue
+			}
+			doc := c.Docs[d]
+			doc.ID = DocID(len(docs))
+			bag := make([]textproc.TermID, 0, len(c.Bags[d]))
+			for _, id := range c.Bags[d] {
+				nid, ok := remap[id]
+				if !ok {
+					nid = vocab.Add(c.Vocab.Term(id))
+					remap[id] = nid
+				}
+				bag = append(bag, nid)
+			}
+			vocab.ObserveDoc(bag)
+			docs = append(docs, doc)
+			bags = append(bags, bag)
+		}
+		return &Corpus{Docs: docs, Vocab: vocab, Bags: bags, GroundTruthTopics: c.GroundTruthTopics}
+	}
+	train = build(func(d int) bool { return !heldSet[d] })
+	held = build(func(d int) bool { return heldSet[d] })
+	return train, held, nil
+}

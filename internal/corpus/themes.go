@@ -1,0 +1,197 @@
+package corpus
+
+// Theme is a named ground-truth topic with seed vocabulary. Seed words
+// occupy the top Zipf ranks of the topic's word distribution, so a
+// trained LDA model recovers recognizably "WSJ-like" topics (finance,
+// technology, education, medicine, …), which is what the paper's
+// Tables II–IV display.
+type Theme struct {
+	Name  string
+	Words []string
+}
+
+// Themes returns the built-in theme catalogue. The first len(result)
+// themes of a generated corpus use these in order; corpora with more
+// ground-truth topics than themes fill the remainder with synthesized
+// topical vocabularies.
+func Themes() []Theme {
+	return []Theme{
+		{"finance", []string{
+			"stock", "shares", "market", "investors", "dow", "jones", "index",
+			"trading", "volume", "rose", "fell", "points", "composite", "nasdaq",
+			"exchange", "securities", "broker", "dividend", "portfolio", "equity",
+			"bullish", "bearish", "rally", "futures",
+		}},
+		{"technology", []string{
+			"computer", "software", "ibm", "apple", "machines", "systems",
+			"digital", "technology", "personal", "computers", "microsoft",
+			"hardware", "workstation", "mainframe", "chips", "processor",
+			"semiconductor", "intel", "memory", "network", "data", "product",
+			"lotus", "sun",
+		}},
+		{"education", []string{
+			"school", "university", "students", "education", "college",
+			"teachers", "professor", "public", "student", "schools", "harvard",
+			"class", "tuition", "campus", "faculty", "curriculum", "parents",
+			"children", "educational", "degree", "scholarship", "enrollment",
+			"graduate", "academic",
+		}},
+		{"medicine", []string{
+			"aids", "cancer", "patients", "disease", "drug", "doctors", "blood",
+			"heart", "virus", "treatment", "hospital", "clinical", "fda",
+			"researchers", "testing", "cells", "medical", "symptoms", "vaccine",
+			"therapy", "diagnosis", "infection", "surgery", "immune",
+		}},
+		{"military", []string{
+			"army", "tank", "abrams", "apache", "helicopter", "missile",
+			"patriot", "blackhawk", "weapons", "defense", "pentagon", "troops",
+			"combat", "armor", "artillery", "battalion", "radar", "stealth",
+			"bomber", "navy", "marines", "brigade", "munitions", "warfare",
+		}},
+		{"aviation", []string{
+			"airline", "airport", "flight", "boeing", "aircraft", "passengers",
+			"pilots", "runway", "carrier", "fares", "routes", "jet", "airbus",
+			"terminal", "aviation", "hub", "cockpit", "fleet", "turbine",
+			"takeoff", "landing", "airways", "cargo", "charter",
+		}},
+		{"energy", []string{
+			"oil", "crude", "barrel", "opec", "gasoline", "refinery", "drilling",
+			"petroleum", "gas", "pipeline", "wells", "exploration", "saudi",
+			"texaco", "exxon", "fuel", "reserves", "rig", "offshore", "diesel",
+			"kerosene", "output", "barrels", "crudeoil",
+		}},
+		{"law", []string{
+			"court", "judge", "ruling", "lawsuit", "attorney", "trial", "jury",
+			"appeal", "plaintiff", "defendant", "verdict", "litigation",
+			"justice", "supreme", "federal", "statute", "copyright", "patent",
+			"infringement", "settlement", "damages", "counsel", "testimony",
+			"indictment",
+		}},
+		{"politics", []string{
+			"president", "congress", "senate", "house", "administration",
+			"republican", "democrat", "election", "campaign", "votes",
+			"legislation", "bill", "governor", "senator", "white", "washington",
+			"policy", "lawmakers", "veto", "budget", "committee", "cabinet",
+			"nominee", "partisan",
+		}},
+		{"realestate", []string{
+			"estate", "property", "rental", "tenants", "lease", "commercial",
+			"building", "office", "square", "footage", "landlord", "developer",
+			"construction", "mortgage", "housing", "apartments", "vacancy",
+			"zoning", "realty", "condominium", "skyscraper", "renovation",
+			"plaza", "downtown",
+		}},
+		{"banking", []string{
+			"bank", "loans", "deposits", "credit", "interest", "rates",
+			"lending", "savings", "branches", "bancorp", "thrift", "regulators",
+			"capital", "reserve", "fdic", "insolvency", "depositors",
+			"vault", "teller", "overdraft", "collateral", "borrowers",
+			"refinance", "underwriting",
+		}},
+		{"autos", []string{
+			"cars", "ford", "chrysler", "automobile", "vehicles", "dealers",
+			"models", "chevrolet", "toyota", "honda", "sedan", "trucks",
+			"assembly", "automotive", "motors", "dealership", "horsepower",
+			"engine", "transmission", "chassis", "recall", "warranty",
+			"showroom", "import",
+		}},
+		{"agriculture", []string{
+			"farmers", "crop", "wheat", "corn", "soybeans", "grain", "harvest",
+			"livestock", "cattle", "acres", "farm", "agriculture", "drought",
+			"irrigation", "fertilizer", "bushels", "dairy", "poultry",
+			"commodity", "silo", "planting", "yield", "orchard", "ranch",
+		}},
+		{"retail", []string{
+			"stores", "retailer", "sales", "shoppers", "merchandise", "chain",
+			"mall", "discount", "walmart", "sears", "apparel", "inventory",
+			"holiday", "customers", "outlets", "catalog", "grocery",
+			"supermarket", "checkout", "pricing", "markdown", "boutique",
+			"franchise", "wholesale",
+		}},
+		{"telecom", []string{
+			"telephone", "phone", "calls", "cellular", "wireless", "bell",
+			"longdistance", "fiber", "switching", "subscribers", "telephony",
+			"tariff", "fcc", "modem", "satellite", "broadband", "telegraph",
+			"handset", "paging", "dialing", "switchboard", "trunk", "dialtone",
+			"telecom",
+		}},
+		{"entertainment", []string{
+			"film", "movie", "studio", "hollywood", "television", "actors",
+			"producer", "director", "boxoffice", "theater", "audiences",
+			"primetime", "broadcast", "celebrity", "premiere", "script",
+			"screenplay", "sitcom", "ratings", "cable", "cinema", "sequel",
+			"blockbuster", "animation",
+		}},
+		{"sports", []string{
+			"team", "game", "season", "players", "league", "coach", "baseball",
+			"football", "basketball", "playoffs", "stadium", "championship",
+			"score", "pitcher", "quarterback", "tournament", "olympic",
+			"athletes", "ballpark", "roster", "innings", "touchdown",
+			"referee", "draft",
+		}},
+		{"food", []string{
+			"restaurant", "chef", "menu", "cuisine", "dining", "recipes",
+			"beverage", "brewery", "wine", "coffee", "snack", "cereal",
+			"flavors", "nutrition", "calories", "organic", "bakery", "dessert",
+			"gourmet", "catering", "kitchen", "ingredients", "seafood",
+			"vineyard",
+		}},
+		{"chemicals", []string{
+			"chemical", "plastics", "polymer", "resin", "dupont", "compounds",
+			"solvent", "ethylene", "ammonia", "chlorine", "synthetic",
+			"catalyst", "reagent", "toxic", "emissions", "epa", "pesticide",
+			"herbicide", "refining", "laboratory", "formula", "industrial",
+			"monomer", "additive",
+		}},
+		{"shipping", []string{
+			"freighter", "freight", "port", "vessel", "container", "shipping",
+			"dock", "tanker", "maritime", "harbor", "longshoremen", "tonnage",
+			"hull", "barge", "canal", "customs", "export", "imports",
+			"logistics", "warehouse", "stevedore", "manifest", "berth",
+			"drydock",
+		}},
+		{"insurance", []string{
+			"insurance", "insurer", "premiums", "claims", "policyholders",
+			"underwriter", "actuary", "casualty", "lloyds", "reinsurance",
+			"annuity", "coverage", "deductible", "aetna", "prudential",
+			"indemnity", "payout", "risk", "catastrophe", "policies", "brokerage",
+			"solvency", "adjuster", "hazard",
+		}},
+		{"labor", []string{
+			"union", "workers", "strike", "wages", "contract", "employees",
+			"negotiations", "layoffs", "pension", "benefits", "bargaining",
+			"grievance", "picket", "overtime", "seniority", "apprentice",
+			"payroll", "staffing", "walkout", "arbitration", "lockout",
+			"organizer", "steward", "workforce",
+		}},
+		{"science", []string{
+			"research", "scientists", "physics", "physicist", "experiment",
+			"particle", "telescope", "genome", "molecular", "quantum",
+			"astronomy", "geology", "biology", "spacecraft", "nasa", "orbit",
+			"specimen", "hypothesis", "journal", "discovery", "fossil",
+			"climate", "neutrino", "reactor",
+		}},
+		{"fashion", []string{
+			"fashion", "designer", "chic", "catwalk", "couture", "fabric",
+			"textile", "garment", "atelier", "cosmetics", "fragrance",
+			"jewelry", "accessories", "milan", "paris", "collection", "vogue",
+			"tailoring", "denim", "silk", "leather", "footwear", "lingerie",
+			"knitwear",
+		}},
+	}
+}
+
+// genericWords are corpus-wide high-frequency words that belong to no
+// particular theme. They model the "generic" LDA topics the paper shows
+// in Table II (Topic 46) and Table IV, and give every document a shared
+// background so that topic inference is non-trivial.
+var genericWords = []string{
+	"said", "year", "new", "company", "million", "people", "time", "way",
+	"week", "month", "report", "group", "part", "number", "state", "world",
+	"day", "work", "plan", "change", "business", "officials", "program",
+	"system", "government", "city", "country", "service", "issue", "area",
+	"made", "make", "take", "come", "know", "say", "see", "want", "use",
+	"find", "give", "tell", "ask", "seem", "feel", "try", "leave", "call",
+	"good", "high", "small", "large", "next", "early", "young", "important",
+	"recent", "bad", "same", "able",
+}

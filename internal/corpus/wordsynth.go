@@ -1,0 +1,69 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// wordSynth generates pronounceable pseudo-words to fill out topic
+// vocabularies beyond the curated seed words. Each synthesized word is
+// deterministic for a given RNG stream and guaranteed unique within a
+// synthesis session. Pseudo-words stand in for the long tail of the WSJ
+// vocabulary (the real corpus has ~182k terms; the seeds cover only the
+// heads of the topic distributions).
+type wordSynth struct {
+	rng  *rand.Rand
+	seen map[string]struct{}
+}
+
+var (
+	synthOnsets = []string{
+		"b", "br", "c", "cr", "d", "dr", "f", "fl", "g", "gl", "gr", "h",
+		"j", "k", "kl", "l", "m", "n", "p", "pl", "pr", "qu", "r", "s",
+		"sc", "sh", "sk", "sl", "sm", "sn", "sp", "st", "str", "t", "th",
+		"tr", "v", "w", "z",
+	}
+	synthNuclei = []string{"a", "e", "i", "o", "u", "ae", "ai", "ea", "ee", "io", "ou", "oa"}
+	synthCodas  = []string{"", "b", "ck", "d", "g", "l", "ll", "m", "n", "nd", "ng", "nt", "p", "r", "rd", "rm", "rn", "s", "st", "t", "x"}
+)
+
+func newWordSynth(rng *rand.Rand) *wordSynth {
+	return &wordSynth{rng: rng, seen: make(map[string]struct{})}
+}
+
+// next returns a fresh pseudo-word of 2–4 syllables that has not been
+// produced before in this session and is not in the avoid set.
+func (ws *wordSynth) next(avoid map[string]struct{}) string {
+	for {
+		var b strings.Builder
+		syllables := 2 + ws.rng.Intn(3)
+		for i := 0; i < syllables; i++ {
+			b.WriteString(synthOnsets[ws.rng.Intn(len(synthOnsets))])
+			b.WriteString(synthNuclei[ws.rng.Intn(len(synthNuclei))])
+			// Only the final syllable takes a coda, keeping words readable.
+			if i == syllables-1 {
+				b.WriteString(synthCodas[ws.rng.Intn(len(synthCodas))])
+			}
+		}
+		w := b.String()
+		if _, dup := ws.seen[w]; dup {
+			continue
+		}
+		if avoid != nil {
+			if _, bad := avoid[w]; bad {
+				continue
+			}
+		}
+		ws.seen[w] = struct{}{}
+		return w
+	}
+}
+
+// batch returns n fresh pseudo-words.
+func (ws *wordSynth) batch(n int, avoid map[string]struct{}) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = ws.next(avoid)
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+
+	"toppriv/internal/textproc"
+)
+
+func testGroundTruth(t *testing.T) *GroundTruth {
+	t.Helper()
+	_, gt, err := Synthesize(smallSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gt
+}
+
+func TestWorkloadShape(t *testing.T) {
+	gt := testGroundTruth(t)
+	qs, err := Workload(gt, WorkloadSpec{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 150 {
+		t.Fatalf("got %d queries, want 150", len(qs))
+	}
+	for _, q := range qs {
+		if len(q.Terms) < 2 || len(q.Terms) > 20 {
+			t.Errorf("query %d has %d terms, want 2..20", q.ID, len(q.Terms))
+		}
+		if len(q.TargetTopics) < 1 || len(q.TargetTopics) > 2 {
+			t.Errorf("query %d targets %d topics", q.ID, len(q.TargetTopics))
+		}
+		for _, topic := range q.TargetTopics {
+			if topic < 0 || topic >= len(gt.TopicWords) {
+				t.Errorf("query %d targets out-of-range topic %d", q.ID, topic)
+			}
+		}
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	gt := testGroundTruth(t)
+	q1, _ := Workload(gt, WorkloadSpec{Seed: 7})
+	q2, _ := Workload(gt, WorkloadSpec{Seed: 7})
+	for i := range q1 {
+		if q1[i].Text() != q2[i].Text() {
+			t.Fatalf("query %d differs across identical seeds", i)
+		}
+	}
+	q3, _ := Workload(gt, WorkloadSpec{Seed: 8})
+	same := 0
+	for i := range q1 {
+		if q1[i].Text() == q3[i].Text() {
+			same++
+		}
+	}
+	if same == len(q1) {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestWorkloadTermsComeFromTargets(t *testing.T) {
+	gt := testGroundTruth(t)
+	qs, err := Workload(gt, WorkloadSpec{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		allowed := map[string]struct{}{}
+		for _, topic := range q.TargetTopics {
+			for _, w := range gt.TopicWords[topic] {
+				allowed[w] = struct{}{}
+			}
+		}
+		for _, term := range q.Terms {
+			if _, ok := allowed[term]; !ok {
+				t.Errorf("query %d term %q not in target topics %v", q.ID, term, q.TargetTopics)
+			}
+		}
+	}
+}
+
+func TestWorkloadNoDuplicateTerms(t *testing.T) {
+	gt := testGroundTruth(t)
+	qs, _ := Workload(gt, WorkloadSpec{Seed: 7})
+	for _, q := range qs {
+		seen := map[string]struct{}{}
+		for _, term := range q.Terms {
+			if _, dup := seen[term]; dup {
+				t.Errorf("query %d has duplicate term %q", q.ID, term)
+			}
+			seen[term] = struct{}{}
+		}
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	if _, err := Workload(nil, WorkloadSpec{}); err == nil {
+		t.Error("nil ground truth should error")
+	}
+	gt := testGroundTruth(t)
+	if _, err := Workload(gt, WorkloadSpec{MinTerms: 10, MaxTerms: 5}); err == nil {
+		t.Error("inverted term bounds should error")
+	}
+}
+
+func TestWorkloadStats(t *testing.T) {
+	gt := testGroundTruth(t)
+	qs, _ := Workload(gt, WorkloadSpec{Seed: 7})
+	s := Stats(qs)
+	if s.NumQueries != 150 {
+		t.Errorf("NumQueries = %d", s.NumQueries)
+	}
+	if s.MinLen < 2 || s.MaxLen > 20 || s.MeanLen < float64(s.MinLen) || s.MeanLen > float64(s.MaxLen) {
+		t.Errorf("implausible stats %+v", s)
+	}
+	if s.TopicSpread < 2 {
+		t.Errorf("workload covers only %d topics", s.TopicSpread)
+	}
+	if s.TwoTopicPart == 0 {
+		t.Error("expected some two-topic queries at default TwoTopicFrac")
+	}
+	if empty := Stats(nil); empty.NumQueries != 0 {
+		t.Error("Stats(nil) should be zero-valued")
+	}
+}
+
+func TestCorpusJSONRoundTrip(t *testing.T) {
+	spec := smallSpec()
+	spec.NumDocs = 20
+	c, _, err := Synthesize(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	an := textproc.NewAnalyzer()
+	c2, err := ReadJSON(&buf, an, textproc.PruneSpec{MinDocFreq: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumDocs() != c.NumDocs() {
+		t.Errorf("round trip lost documents: %d vs %d", c2.NumDocs(), c.NumDocs())
+	}
+	if c2.GroundTruthTopics != c.GroundTruthTopics {
+		t.Error("round trip lost GroundTruthTopics")
+	}
+	if c2.VocabSize() != c.VocabSize() {
+		t.Errorf("round trip vocab mismatch: %d vs %d", c2.VocabSize(), c.VocabSize())
+	}
+}
+
+func TestBuildNilAnalyzer(t *testing.T) {
+	if _, err := Build(nil, nil, textproc.PruneSpec{}); err == nil {
+		t.Error("Build with nil analyzer should error")
+	}
+}

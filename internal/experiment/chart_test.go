@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	c := &Chart{
+		Title:  "test chart",
+		XLabel: "x", YLabel: "y",
+		Width: 40, Height: 8,
+		Series: []Series{
+			{Label: "up", Points: [][2]float64{{0, 0}, {1, 1}, {2, 2}, {3, 3}}},
+			{Label: "down", Points: [][2]float64{{0, 3}, {1, 2}, {2, 1}, {3, 0}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "test chart") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "o=down") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 8 grid rows + axis + x labels + legend
+	if len(lines) != 12 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("marks missing")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err == nil {
+		t.Error("empty chart must error")
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	// Single point: x and y ranges collapse; render must not divide by 0.
+	c := &Chart{Series: []Series{{Label: "pt", Points: [][2]float64{{1, 1}}}}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExposureChartFromPoints(t *testing.T) {
+	points := []Point{
+		{K: 8, Eps2: 0.01, Exposure: 0.008},
+		{K: 8, Eps2: 0.05, Exposure: 0.04},
+		{K: 16, Eps2: 0.01, Exposure: 0.006},
+		{K: 16, Eps2: 0.05, Exposure: 0.039},
+	}
+	c := ExposureChart("fig", points)
+	if len(c.Series) != 2 {
+		t.Fatalf("got %d series", len(c.Series))
+	}
+	if c.Series[0].Label != "LDA008" || c.Series[1].Label != "LDA016" {
+		t.Errorf("series order wrong: %v %v", c.Series[0].Label, c.Series[1].Label)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatioChartSkipsEmpty(t *testing.T) {
+	points := []RatioPoint{
+		{K: 8, Upsilon: 2, Ratio: 0.6, PDX: 0.1, Queries: 10},
+		{K: 8, Upsilon: 4, Ratio: 0.4, PDX: 0.1, Queries: 10},
+		{K: 16, Upsilon: 2, Queries: 0}, // must be skipped
+	}
+	c := RatioChart(points)
+	if len(c.Series) != 1 {
+		t.Fatalf("got %d series, want 1", len(c.Series))
+	}
+}

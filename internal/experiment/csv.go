@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+)
+
+// CSV emitters for the non-sweep artifacts, so every figure's data can
+// be re-plotted externally (WritePointsCSV in print.go covers the
+// Figure 2/3 sweeps).
+
+// WritePDXCSV emits Figure 4 data.
+func WritePDXCSV(w io.Writer, points []PDXPoint) error {
+	if _, err := fmt.Fprintln(w, "model,k,expansion,eps,exposure,queries"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%s,%d,%g,%g,%g,%d\n",
+			ModelName(p.K), p.K, p.Expansion, p.Eps, p.Exposure, p.Queries); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteRatioCSV emits Figure 5 data.
+func WriteRatioCSV(w io.Writer, points []RatioPoint) error {
+	if _, err := fmt.Fprintln(w, "model,k,upsilon,toppriv,pdx,ratio,queries"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%g,%g,%g,%d\n",
+			ModelName(p.K), p.K, p.Upsilon, p.TopPriv, p.PDX, p.Ratio, p.Queries); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteScaleCSV emits Figure 6 data.
+func WriteScaleCSV(w io.Writer, points []ScalePoint) error {
+	if _, err := fmt.Fprintln(w, "docs,vocab,index_bytes,model_bytes,saving"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%g\n",
+			p.NumDocs, p.VocabSize, p.IndexBytes, p.ModelBytes, p.Saving); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteAttackCSV emits the resilience table.
+func WriteAttackCSV(w io.Writer, rows []AttackRow) error {
+	if _, err := fmt.Fprintln(w, "attack,scheme,metric,value,baseline"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%g,%g\n",
+			r.Attack, r.Scheme, r.Metric, r.Value, r.Baseline); err != nil {
+			return err
+		}
+	}
+	return nil
+}

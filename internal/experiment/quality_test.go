@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRetrievalQuality(t *testing.T) {
+	env := getEnv(t)
+	rows, err := RetrievalQuality(env, 10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byScheme := map[string]QualityRow{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+	}
+	// TopPriv and PDX must preserve the genuine results exactly.
+	if tp := byScheme["toppriv"]; tp.Overlap < 0.999 {
+		t.Errorf("TopPriv fidelity %v, want 1.0 (exact results)", tp.Overlap)
+	}
+	if pdx := byScheme["pdx"]; pdx.Overlap < 0.999 {
+		t.Errorf("PDX fidelity %v, want 1.0 under its protocol", pdx.Overlap)
+	}
+	// Canonical substitution must visibly degrade retrieval — the
+	// paper's §II criticism of the approach.
+	canon := byScheme["canonical-substitution"]
+	if canon.Overlap > 0.9 {
+		t.Errorf("canonical substitution fidelity %v — expected visible degradation", canon.Overlap)
+	}
+	if canon.Queries == 0 {
+		t.Error("no queries measured")
+	}
+}
+
+func TestPrintQuality(t *testing.T) {
+	var buf bytes.Buffer
+	PrintQuality(&buf, []QualityRow{{Scheme: "toppriv", Overlap: 1, Queries: 5}}, 10)
+	if !strings.Contains(buf.String(), "toppriv") {
+		t.Error("missing scheme in output")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	env := getEnv(t)
+	rows, err := Ablations(env, 0.04, 0.015, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		if r.Upsilon < 1 {
+			t.Errorf("%s: upsilon %v < 1", r.Variant, r.Upsilon)
+		}
+		byName[r.Variant] = r
+	}
+	// Uniform (incoherent) ghost words should need at least as many
+	// ghost queries as the topical default.
+	if byName["uniform-words"].Upsilon < byName["toppriv"].Upsilon {
+		t.Errorf("uniform words used fewer ghosts (%v) than topical (%v)",
+			byName["uniform-words"].Upsilon, byName["toppriv"].Upsilon)
+	}
+	var buf bytes.Buffer
+	PrintAblations(&buf, rows)
+	if !strings.Contains(buf.String(), "no-backtrack") {
+		t.Error("ablation printer missing variant")
+	}
+}
+
+func TestEffectiveness(t *testing.T) {
+	env := getEnv(t)
+	rows, err := Effectiveness(env, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byScheme := map[string]EffectivenessRow{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+	}
+	plain := byScheme["plain"].Metrics
+	topp := byScheme["toppriv"].Metrics
+	sub := byScheme["canonical-substitution"].Metrics
+	if plain.Queries == 0 {
+		t.Fatal("no queries evaluated")
+	}
+	if plain.MAP <= 0 || plain.NDCGAt10 <= 0 {
+		t.Fatalf("engine ineffective on its own corpus: %+v", plain)
+	}
+	// TopPriv submits the genuine query verbatim: identical effectiveness.
+	if topp.MAP != plain.MAP || topp.NDCGAt10 != plain.NDCGAt10 {
+		t.Errorf("TopPriv effectiveness differs from plain: %+v vs %+v", topp, plain)
+	}
+	// Canonical substitution must lose measurable effectiveness.
+	if sub.MAP >= plain.MAP {
+		t.Errorf("canonical substitution MAP %v not below plain %v", sub.MAP, plain.MAP)
+	}
+	var buf bytes.Buffer
+	PrintEffectiveness(&buf, rows)
+	if !strings.Contains(buf.String(), "MAP") {
+		t.Error("printer missing header")
+	}
+}

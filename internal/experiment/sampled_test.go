@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"math/rand"
+	"testing"
+
+	"toppriv/internal/belief"
+	"toppriv/internal/core"
+	"toppriv/internal/corpus"
+	"toppriv/internal/lda"
+)
+
+// TestSampledTrainingStillProtects implements the paper's §V-A future
+// work: train the LDA model on a representative subset (half the
+// documents, the impactful 70% of the vocabulary) and verify TopPriv
+// still suppresses the intention on the full workload.
+func TestSampledTrainingStillProtects(t *testing.T) {
+	env := getEnv(t)
+
+	sampled, err := corpus.Sample(env.Corpus, corpus.SampleSpec{
+		DocFraction:     0.5,
+		TopWordFraction: 0.7,
+		Seed:            3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := env.SortedKs()[len(env.SortedKs())/2]
+	m, _, err := lda.Train(sampled, lda.TrainSpec{NumTopics: k, Iterations: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, err := lda.NewInferencer(m, lda.InferSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := belief.NewEngine(inf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obf, err := core.NewObfuscator(eng, core.Params{Eps1: 0.04, Eps2: 0.015})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(4))
+	satisfied, contributing := 0, 0
+	for _, q := range env.AnalyzedQueries() {
+		cyc, err := obf.Obfuscate(q, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cyc.Intention) == 0 {
+			continue
+		}
+		contributing++
+		if cyc.Satisfied {
+			satisfied++
+		}
+	}
+	if contributing == 0 {
+		t.Fatal("sampled model detected no intentions — too degraded to be useful")
+	}
+	if satisfied*2 < contributing {
+		t.Errorf("sampled model satisfied (ε1,ε2) on only %d/%d queries", satisfied, contributing)
+	}
+	t.Logf("sampled training: %d/%d queries protected; model vocab %d (full %d)",
+		satisfied, contributing, m.V, env.Corpus.VocabSize())
+}

@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"toppriv/internal/belief"
+	"toppriv/internal/core"
+)
+
+// Point is one aggregated measurement: a model grid point at one
+// threshold setting, averaged over the workload. It carries every panel
+// of Figures 2 and 3.
+type Point struct {
+	K        int     // LDA model size
+	Eps1     float64 // relevance threshold ε1
+	Eps2     float64 // exposure threshold ε2
+	Exposure float64 // mean max{B(t|C): t∈U}   (Fig 2a/3a)
+	Mask     float64 // mean max{B(t|C): t∉U}   (Fig 2b/3b)
+	Upsilon  float64 // mean cycle length υ      (Fig 2c/3c)
+	GenTime  float64 // mean generation seconds  (Fig 2d/3d)
+	USize    float64 // mean |U|                 (Fig 3e)
+	MaxRank  float64 // mean best rank of U      (Fig 3f)
+	// Queries is how many workload queries registered a non-empty U and
+	// therefore contributed to Exposure/MaxRank.
+	Queries int
+	// Satisfied is the fraction of contributing queries whose final
+	// exposure met ε2.
+	Satisfied float64
+}
+
+// ThresholdSweep runs TopPriv over the workload for every (model,
+// threshold) combination. When eps1Fixed > 0, ε1 is pinned there and
+// the grid varies ε2 (Figure 2); when eps1Fixed == 0, ε1 = ε2 at each
+// grid value (Figure 3).
+func ThresholdSweep(env *Env, eps1Fixed float64, grid []float64, seed int64) ([]Point, error) {
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("experiment: empty threshold grid")
+	}
+	queries := env.AnalyzedQueries()
+	var out []Point
+	for _, k := range env.SortedKs() {
+		eng := env.Engines[k]
+		for _, eps := range grid {
+			eps1, eps2 := eps1Fixed, eps
+			if eps1Fixed == 0 {
+				eps1 = eps
+			}
+			if eps2 > eps1 {
+				// The model requires ε2 ≤ ε1; skip infeasible points.
+				continue
+			}
+			p, err := runPoint(eng, k, eps1, eps2, queries, seed)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// runPoint measures one (model, ε1, ε2) cell over the workload.
+func runPoint(eng *belief.Engine, k int, eps1, eps2 float64, queries [][]string, seed int64) (Point, error) {
+	obf, err := core.NewObfuscator(eng, core.Params{Eps1: eps1, Eps2: eps2})
+	if err != nil {
+		return Point{}, fmt.Errorf("experiment: K=%d eps=(%v,%v): %w", k, eps1, eps2, err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pt := Point{K: k, Eps1: eps1, Eps2: eps2}
+	var expSum, maskSum, upsSum, genSum, uSum, rankSum float64
+	satisfied := 0
+	contributing := 0
+	for _, q := range queries {
+		start := time.Now()
+		cyc, err := obf.Obfuscate(q, rng)
+		if err != nil {
+			return Point{}, err
+		}
+		genSum += time.Since(start).Seconds()
+		upsSum += float64(cyc.Len())
+		uSum += float64(len(cyc.Intention))
+		maskSum += cyc.Mask
+		if len(cyc.Intention) == 0 {
+			continue
+		}
+		contributing++
+		expSum += cyc.Exposure
+		rankSum += float64(belief.MaxRank(cyc.Boost, cyc.Intention))
+		if cyc.Satisfied {
+			satisfied++
+		}
+	}
+	n := float64(len(queries))
+	pt.Upsilon = upsSum / n
+	pt.GenTime = genSum / n
+	pt.USize = uSum / n
+	pt.Mask = maskSum / n
+	pt.Queries = contributing
+	if contributing > 0 {
+		pt.Exposure = expSum / float64(contributing)
+		pt.MaxRank = rankSum / float64(contributing)
+		pt.Satisfied = float64(satisfied) / float64(contributing)
+	}
+	return pt, nil
+}
+
+// DefaultThresholdGrid is the paper's 0.5%–5% sweep.
+func DefaultThresholdGrid() []float64 {
+	return []float64{0.005, 0.01, 0.02, 0.03, 0.04, 0.05}
+}
+
+// Fig2 reproduces Figure 2: ε1 fixed at 5%, ε2 varying over the grid.
+func Fig2(env *Env, seed int64) ([]Point, error) {
+	return ThresholdSweep(env, 0.05, DefaultThresholdGrid(), seed)
+}
+
+// Fig3 reproduces Figure 3: ε1 = ε2 over the grid (adds the |U| and
+// max-rank panels, which Points always carry).
+func Fig3(env *Env, seed int64) ([]Point, error) {
+	return ThresholdSweep(env, 0, DefaultThresholdGrid(), seed)
+}

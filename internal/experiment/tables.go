@@ -1,0 +1,322 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"toppriv/internal/adversary"
+	"toppriv/internal/baseline"
+	"toppriv/internal/core"
+	"toppriv/internal/lda"
+)
+
+// TopicColumn is one displayed topic: a header plus its top words.
+type TopicColumn struct {
+	Header string
+	Words  []string
+}
+
+// matchTopic returns the model topic whose top-n words overlap the
+// analyzed seed set of ground-truth theme g the most.
+func (e *Env) matchTopic(m *lda.Model, g, topN int) (best, hits int) {
+	seeds := make(map[string]bool)
+	for _, w := range e.GT.TopicWords[g] {
+		if term, ok := e.An.AnalyzeTerm(w); ok {
+			seeds[term] = true
+		}
+	}
+	best = 0
+	for t := 0; t < m.K; t++ {
+		h := 0
+		for _, tw := range m.TopWords(t, topN) {
+			if seeds[tw.Term] {
+				h++
+			}
+		}
+		if h > hits {
+			hits = h
+			best = t
+		}
+	}
+	return best, hits
+}
+
+// genericTopic returns the model topic with the largest overlap with the
+// background (generic) vocabulary — the analogue of the paper's
+// Table II "Topic 46" column of generic words.
+func (e *Env) genericTopic(m *lda.Model, topN int) int {
+	bg := make(map[string]bool)
+	for _, w := range e.GT.BackgroundWords {
+		if term, ok := e.An.AnalyzeTerm(w); ok {
+			bg[term] = true
+		}
+	}
+	best, hits := 0, -1
+	for t := 0; t < m.K; t++ {
+		h := 0
+		for _, tw := range m.TopWords(t, topN) {
+			if bg[tw.Term] {
+				h++
+			}
+		}
+		if h > hits {
+			hits = h
+			best = t
+		}
+	}
+	return best
+}
+
+// Table2 reproduces Table II: top-20 words of sample topics in the
+// default (mid-grid) model — four coherent theme-aligned topics plus
+// one generic topic.
+func Table2(env *Env, themes []string, topN int) ([]TopicColumn, error) {
+	if topN == 0 {
+		topN = 20
+	}
+	if len(themes) == 0 {
+		themes = []string{"medicine", "technology", "finance", "education"}
+	}
+	k := env.Spec.Ks[len(env.Spec.Ks)/2]
+	m, ok := env.Models[k]
+	if !ok {
+		return nil, fmt.Errorf("experiment: no model K=%d", k)
+	}
+	var cols []TopicColumn
+	for _, theme := range themes {
+		g := env.GT.TopicByName(theme)
+		if g < 0 {
+			return nil, fmt.Errorf("experiment: unknown theme %q", theme)
+		}
+		t, _ := env.matchTopic(m, g, topN)
+		cols = append(cols, TopicColumn{
+			Header: fmt.Sprintf("Topic %d (%s)", t, theme),
+			Words:  topWordStrings(m, t, topN),
+		})
+	}
+	gt := env.genericTopic(m, topN)
+	cols = append(cols, TopicColumn{
+		Header: fmt.Sprintf("Topic %d (generic)", gt),
+		Words:  topWordStrings(m, gt, topN),
+	})
+	return cols, nil
+}
+
+// Table3 reproduces Table III: the same conceptual topic traced across
+// every model in the grid (the paper uses the medicine/AIDS topic).
+func Table3(env *Env, theme string, topN int) ([]TopicColumn, error) {
+	if topN == 0 {
+		topN = 20
+	}
+	if theme == "" {
+		theme = "medicine"
+	}
+	g := env.GT.TopicByName(theme)
+	if g < 0 {
+		return nil, fmt.Errorf("experiment: unknown theme %q", theme)
+	}
+	var cols []TopicColumn
+	for _, k := range env.SortedKs() {
+		m := env.Models[k]
+		t, hits := env.matchTopic(m, g, topN)
+		cols = append(cols, TopicColumn{
+			Header: fmt.Sprintf("%s t%d (%d seed hits)", ModelName(k), t, hits),
+			Words:  topWordStrings(m, t, topN),
+		})
+	}
+	return cols, nil
+}
+
+// Table4 reproduces Table IV: a model with far too few topics produces
+// indistinct mixtures of generic words. The paper trains LDA005 against
+// a ~125-topic corpus; we train K = max(2, G/12) against our G.
+func Table4(env *Env, topN int) ([]TopicColumn, error) {
+	if topN == 0 {
+		topN = 20
+	}
+	k := env.Spec.NumTopics / 12
+	if k < 2 {
+		k = 2
+	}
+	m, _, err := lda.Train(env.Corpus, lda.TrainSpec{
+		NumTopics:  k,
+		Iterations: env.Spec.TrainIters,
+		Seed:       env.Spec.Seed + 999,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cols []TopicColumn
+	for t := 0; t < m.K; t++ {
+		cols = append(cols, TopicColumn{
+			Header: fmt.Sprintf("Topic %d", t),
+			Words:  topWordStrings(m, t, topN),
+		})
+	}
+	return cols, nil
+}
+
+func topWordStrings(m *lda.Model, t, n int) []string {
+	tws := m.TopWords(t, n)
+	out := make([]string, len(tws))
+	for i, tw := range tws {
+		out[i] = tw.Term
+	}
+	return out
+}
+
+// PIRReport carries the §II PIR-impracticality numbers for our corpus:
+// mean vs max postings length and the padded-database blowup.
+type PIRReport struct {
+	MeanListLen    float64
+	MaxListLen     int
+	IndexBytes     int64
+	PaddedPIRBytes int64
+	Blowup         float64
+}
+
+// PIRTable computes the report from the environment's index.
+func PIRTable(env *Env) PIRReport {
+	s := env.Index.ComputeStats()
+	return PIRReport{
+		MeanListLen:    s.MeanListLen,
+		MaxListLen:     s.MaxListLen,
+		IndexBytes:     s.SizeBytes,
+		PaddedPIRBytes: s.PaddedPIRBytes,
+		Blowup:         s.BlowupFactor(),
+	}
+}
+
+// AttackRow is one line of the §IV-D resilience table.
+type AttackRow struct {
+	Attack string
+	Scheme string // "toppriv" or "trackmenot"
+	Metric string // "identify-user-query" or "intention-recall"
+	Value  float64
+	// Baseline is the random-guess reference where applicable (query
+	// identification); 0 for recall metrics.
+	Baseline float64
+}
+
+// AttackTable runs the four §IV-D attacks over workload cycles and
+// reports their success, with a TrackMeNot contrast for the coherence
+// attack.
+func AttackTable(env *Env, eps1, eps2 float64, seed int64) ([]AttackRow, error) {
+	k := env.Spec.Ks[len(env.Spec.Ks)/2]
+	eng := env.Engines[k]
+	obf, err := core.NewObfuscator(eng, core.Params{Eps1: eps1, Eps2: eps2})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var tpTrials []adversary.Trial
+	for _, q := range env.AnalyzedQueries() {
+		cyc, err := obf.Obfuscate(q, rng)
+		if err != nil {
+			return nil, err
+		}
+		if cyc.Len() < 2 || len(cyc.Intention) == 0 {
+			continue
+		}
+		tpTrials = append(tpTrials, adversary.Trial{
+			Cycle:         cyc.Queries,
+			UserIndex:     cyc.UserIndex,
+			TrueIntention: cyc.Intention,
+		})
+	}
+	if len(tpTrials) == 0 {
+		return nil, fmt.Errorf("experiment: no attackable cycles generated")
+	}
+
+	tmn, err := baseline.NewTrackMeNot(eng, 4, 6, 14)
+	if err != nil {
+		return nil, err
+	}
+	var tmnTrials []adversary.Trial
+	for _, q := range env.AnalyzedQueries() {
+		cycle, userIdx, err := tmn.Cycle(q, rng)
+		if err != nil {
+			return nil, err
+		}
+		tmnTrials = append(tmnTrials, adversary.Trial{Cycle: cycle, UserIndex: userIdx})
+	}
+
+	// Cycles generated with the mimic-profile countermeasure, for the
+	// learned-distinguisher comparison.
+	mimicObf, err := core.NewObfuscator(eng, core.Params{Eps1: eps1, Eps2: eps2, MimicProfile: true})
+	if err != nil {
+		return nil, err
+	}
+	var mimicTrials []adversary.Trial
+	for _, q := range env.AnalyzedQueries() {
+		cyc, err := mimicObf.Obfuscate(q, rng)
+		if err != nil {
+			return nil, err
+		}
+		if cyc.Len() < 2 || len(cyc.Intention) == 0 {
+			continue
+		}
+		mimicTrials = append(mimicTrials, adversary.Trial{
+			Cycle:     cyc.Queries,
+			UserIndex: cyc.UserIndex,
+		})
+	}
+
+	coh := &adversary.CoherenceAttack{Eng: eng}
+	disc := &adversary.DiscountAttack{Eng: eng}
+	elim := &adversary.EliminationAttack{Eng: eng}
+	probe := &adversary.ProbeAttack{Obf: obf}
+	evalRng := rand.New(rand.NewSource(seed + 1))
+
+	// The learned distinguisher trains on ghosts it generates itself
+	// with the public implementation, one per variant.
+	probes := env.AnalyzedQueries()
+	if len(probes) > 40 {
+		probes = probes[:40]
+	}
+	distPlain := &adversary.Distinguisher{Eng: eng}
+	if err := distPlain.TrainFromObfuscator(obf, probes, rng); err != nil {
+		return nil, err
+	}
+	distMimic := &adversary.Distinguisher{Eng: eng}
+	if err := distMimic.TrainFromObfuscator(mimicObf, probes, rng); err != nil {
+		return nil, err
+	}
+
+	rows := []AttackRow{
+		{
+			Attack: coh.Name(), Scheme: "trackmenot", Metric: "identify-user-query",
+			Value:    adversary.EvalQueryGuess(coh, tmnTrials, evalRng),
+			Baseline: adversary.RandomGuessBaseline(tmnTrials),
+		},
+		{
+			Attack: coh.Name(), Scheme: "toppriv", Metric: "identify-user-query",
+			Value:    adversary.EvalQueryGuess(coh, tpTrials, evalRng),
+			Baseline: adversary.RandomGuessBaseline(tpTrials),
+		},
+		{
+			Attack: disc.Name(), Scheme: "toppriv", Metric: "intention-recall",
+			Value: adversary.EvalIntentionRecall(disc, tpTrials, evalRng),
+		},
+		{
+			Attack: elim.Name(), Scheme: "toppriv", Metric: "intention-recall",
+			Value: adversary.EvalIntentionRecall(elim, tpTrials, evalRng),
+		},
+		{
+			Attack: probe.Name(), Scheme: "toppriv", Metric: "identify-user-query",
+			Value:    adversary.EvalQueryGuess(probe, tpTrials, evalRng),
+			Baseline: adversary.RandomGuessBaseline(tpTrials),
+		},
+		{
+			Attack: distPlain.Name(), Scheme: "toppriv", Metric: "identify-user-query",
+			Value:    adversary.EvalQueryGuess(distPlain, tpTrials, evalRng),
+			Baseline: adversary.RandomGuessBaseline(tpTrials),
+		},
+		{
+			Attack: distMimic.Name(), Scheme: "toppriv+mimic", Metric: "identify-user-query",
+			Value:    adversary.EvalQueryGuess(distMimic, mimicTrials, evalRng),
+			Baseline: adversary.RandomGuessBaseline(mimicTrials),
+		},
+	}
+	return rows, nil
+}

@@ -1,0 +1,180 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/textproc"
+)
+
+// The on-disk format is deliberately simple and compact:
+//
+//	magic "TPIX" | uint32 version
+//	uvarint numDocs
+//	uvarint numTerms
+//	per term: uvarint(len(term)) term-bytes
+//	          uvarint(listLen)
+//	          postings as (uvarint docID-delta, uvarint tf)
+//	per doc:  uvarint docLen
+//
+// Doc IDs are delta-encoded within each list, mirroring production
+// inverted-index layouts, so SizeBytes reflects a realistic index
+// footprint for the Figure 6 comparison against the LDA model size.
+
+const codecMagic = "TPIX"
+const codecVersion = 1
+
+// WriteTo serializes the index. It returns the number of bytes written.
+func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	buf := make([]byte, binary.MaxVarintLen64)
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf, v)
+		_, err := cw.Write(buf[:n])
+		return err
+	}
+	if _, err := cw.Write([]byte(codecMagic)); err != nil {
+		return cw.n, err
+	}
+	var ver [4]byte
+	binary.LittleEndian.PutUint32(ver[:], codecVersion)
+	if _, err := cw.Write(ver[:]); err != nil {
+		return cw.n, err
+	}
+	if err := writeUvarint(uint64(x.numDocs)); err != nil {
+		return cw.n, err
+	}
+	if err := writeUvarint(uint64(len(x.postings))); err != nil {
+		return cw.n, err
+	}
+	for id := range x.postings {
+		term := x.vocab.Term(textproc.TermID(id))
+		if err := writeUvarint(uint64(len(term))); err != nil {
+			return cw.n, err
+		}
+		if _, err := cw.Write([]byte(term)); err != nil {
+			return cw.n, err
+		}
+		pl := x.postings[id]
+		if err := writeUvarint(uint64(len(pl))); err != nil {
+			return cw.n, err
+		}
+		prev := corpus.DocID(0)
+		for _, p := range pl {
+			if err := writeUvarint(uint64(p.Doc - prev)); err != nil {
+				return cw.n, err
+			}
+			prev = p.Doc
+			if err := writeUvarint(uint64(p.TF)); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	for _, dl := range x.docLen {
+		if err := writeUvarint(uint64(dl)); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+// Read deserializes an index written by WriteTo.
+func Read(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("index: read magic: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("index: bad magic %q", magic)
+	}
+	var ver [4]byte
+	if _, err := io.ReadFull(br, ver[:]); err != nil {
+		return nil, fmt.Errorf("index: read version: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(ver[:]); v != codecVersion {
+		return nil, fmt.Errorf("index: unsupported version %d", v)
+	}
+	numDocs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("index: read numDocs: %w", err)
+	}
+	numTerms, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("index: read numTerms: %w", err)
+	}
+	x := &Index{
+		vocab:    textproc.NewVocab(),
+		postings: make([]PostingList, 0, numTerms),
+		numDocs:  int(numDocs),
+	}
+	termBuf := make([]byte, 0, 64)
+	for t := uint64(0); t < numTerms; t++ {
+		tl, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: term %d length: %w", t, err)
+		}
+		if cap(termBuf) < int(tl) {
+			termBuf = make([]byte, tl)
+		}
+		termBuf = termBuf[:tl]
+		if _, err := io.ReadFull(br, termBuf); err != nil {
+			return nil, fmt.Errorf("index: term %d bytes: %w", t, err)
+		}
+		x.vocab.Add(string(termBuf))
+		ll, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: term %d list length: %w", t, err)
+		}
+		pl := make(PostingList, ll)
+		prev := uint64(0)
+		for i := range pl {
+			delta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("index: term %d posting %d: %w", t, i, err)
+			}
+			prev += delta
+			tf, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("index: term %d tf %d: %w", t, i, err)
+			}
+			pl[i] = Posting{Doc: corpus.DocID(prev), TF: int32(tf)}
+		}
+		x.postings = append(x.postings, pl)
+	}
+	x.docLen = make([]int, numDocs)
+	for d := range x.docLen {
+		dl, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: doc %d length: %w", d, err)
+		}
+		x.docLen[d] = int(dl)
+		x.totalLen += int(dl)
+	}
+	return x, nil
+}
+
+// SizeBytes returns the serialized size of the index without writing it
+// anywhere (used by Figure 6 and the PIR table).
+func (x *Index) SizeBytes() int64 {
+	n, err := x.WriteTo(io.Discard)
+	if err != nil {
+		// io.Discard cannot fail; keep the invariant visible.
+		panic(fmt.Sprintf("index: SizeBytes: %v", err))
+	}
+	return n
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,119 @@
+// Package index implements the inverted-index substrate of the search
+// engine: per-term postings lists of ⟨doc, tf⟩ pairs (the ⟨p_ij, d_j⟩
+// pairs of the paper's §II), tf-idf statistics, a compact on-disk codec,
+// and the size accounting the paper uses in its PIR cost argument and
+// in Figure 6.
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/textproc"
+)
+
+// Posting records one document's occurrence count for a term.
+type Posting struct {
+	Doc corpus.DocID
+	TF  int32
+}
+
+// PostingList is a term's postings, sorted by ascending DocID.
+type PostingList []Posting
+
+// Index is an immutable inverted index over a corpus. Build it with
+// Build; it is then safe for concurrent readers.
+type Index struct {
+	vocab    *textproc.Vocab
+	postings []PostingList // indexed by TermID
+	docLen   []int         // analyzed length of each document
+	numDocs  int
+	totalLen int
+}
+
+// Build constructs the index from an analyzed corpus.
+func Build(c *corpus.Corpus) (*Index, error) {
+	if c == nil || c.Vocab == nil {
+		return nil, fmt.Errorf("index: nil corpus")
+	}
+	idx := &Index{
+		vocab:    c.Vocab,
+		postings: make([]PostingList, c.Vocab.Size()),
+		docLen:   make([]int, c.NumDocs()),
+		numDocs:  c.NumDocs(),
+	}
+	for d, bag := range c.Bags {
+		idx.docLen[d] = len(bag)
+		idx.totalLen += len(bag)
+		counts := make(map[textproc.TermID]int32, len(bag))
+		for _, id := range bag {
+			counts[id]++
+		}
+		for id, tf := range counts {
+			idx.postings[id] = append(idx.postings[id], Posting{Doc: corpus.DocID(d), TF: tf})
+		}
+	}
+	// Document order within each list follows map iteration above; sort
+	// for deterministic layout and delta-encodable doc IDs.
+	for id := range idx.postings {
+		pl := idx.postings[id]
+		sort.Slice(pl, func(i, j int) bool { return pl[i].Doc < pl[j].Doc })
+	}
+	return idx, nil
+}
+
+// Vocab returns the shared vocabulary.
+func (x *Index) Vocab() *textproc.Vocab { return x.vocab }
+
+// NumDocs returns the number of indexed documents.
+func (x *Index) NumDocs() int { return x.numDocs }
+
+// NumTerms returns the dictionary size.
+func (x *Index) NumTerms() int { return len(x.postings) }
+
+// Postings returns the postings list for a term ID. The returned slice
+// is shared; callers must not modify it.
+func (x *Index) Postings(id textproc.TermID) PostingList {
+	if id < 0 || int(id) >= len(x.postings) {
+		return nil
+	}
+	return x.postings[id]
+}
+
+// PostingsByTerm resolves a surface term and returns its postings.
+func (x *Index) PostingsByTerm(term string) PostingList {
+	return x.Postings(x.vocab.ID(term))
+}
+
+// DocFreq returns the document frequency of a term.
+func (x *Index) DocFreq(id textproc.TermID) int {
+	return len(x.Postings(id))
+}
+
+// IDF returns the smoothed inverse document frequency
+// ln(1 + N/df). Terms absent from the dictionary get 0.
+func (x *Index) IDF(id textproc.TermID) float64 {
+	df := x.DocFreq(id)
+	if df == 0 {
+		return 0
+	}
+	return math.Log(1 + float64(x.numDocs)/float64(df))
+}
+
+// DocLen returns the analyzed token count of document d.
+func (x *Index) DocLen(d corpus.DocID) int {
+	if d < 0 || int(d) >= len(x.docLen) {
+		return 0
+	}
+	return x.docLen[int(d)]
+}
+
+// AvgDocLen returns the mean analyzed document length.
+func (x *Index) AvgDocLen() float64 {
+	if x.numDocs == 0 {
+		return 0
+	}
+	return float64(x.totalLen) / float64(x.numDocs)
+}

@@ -1,0 +1,333 @@
+package index
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/textproc"
+)
+
+func buildTestCorpus(t *testing.T) *corpus.Corpus {
+	t.Helper()
+	docs := []corpus.Document{
+		{Text: "apache helicopter army helicopter"},
+		{Text: "stock market stock stock"},
+		{Text: "apache stock"},
+		{Text: "empty-doc-filler filler"},
+	}
+	an := textproc.NewAnalyzer(textproc.WithStemming(false))
+	c, err := corpus.Build(docs, an, textproc.PruneSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildPostings(t *testing.T) {
+	c := buildTestCorpus(t)
+	x, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NumDocs() != 4 {
+		t.Errorf("NumDocs = %d", x.NumDocs())
+	}
+	pl := x.PostingsByTerm("apache")
+	if len(pl) != 2 {
+		t.Fatalf("apache postings = %v", pl)
+	}
+	if pl[0].Doc != 0 || pl[0].TF != 1 {
+		t.Errorf("apache doc0 posting = %+v", pl[0])
+	}
+	if pl[1].Doc != 2 || pl[1].TF != 1 {
+		t.Errorf("apache doc2 posting = %+v", pl[1])
+	}
+	plStock := x.PostingsByTerm("stock")
+	if len(plStock) != 2 || plStock[0].TF != 3 {
+		t.Errorf("stock postings = %v", plStock)
+	}
+	plHeli := x.PostingsByTerm("helicopter")
+	if len(plHeli) != 1 || plHeli[0].TF != 2 {
+		t.Errorf("helicopter postings = %v", plHeli)
+	}
+}
+
+func TestPostingsSorted(t *testing.T) {
+	c := buildTestCorpus(t)
+	x, _ := Build(c)
+	for id := 0; id < x.NumTerms(); id++ {
+		pl := x.Postings(textproc.TermID(id))
+		for i := 1; i < len(pl); i++ {
+			if pl[i-1].Doc >= pl[i].Doc {
+				t.Fatalf("term %d postings not strictly sorted: %v", id, pl)
+			}
+		}
+	}
+}
+
+func TestIDF(t *testing.T) {
+	c := buildTestCorpus(t)
+	x, _ := Build(c)
+	apache := x.Vocab().ID("apache")
+	heli := x.Vocab().ID("helicopter")
+	if x.IDF(apache) >= x.IDF(heli) {
+		t.Error("rarer term must have higher IDF")
+	}
+	want := math.Log(1 + 4.0/2.0)
+	if got := x.IDF(apache); math.Abs(got-want) > 1e-12 {
+		t.Errorf("IDF = %v, want %v", got, want)
+	}
+	if x.IDF(textproc.InvalidTerm) != 0 {
+		t.Error("unknown term must have IDF 0")
+	}
+}
+
+func TestDocLen(t *testing.T) {
+	c := buildTestCorpus(t)
+	x, _ := Build(c)
+	if x.DocLen(0) != 4 {
+		t.Errorf("DocLen(0) = %d, want 4", x.DocLen(0))
+	}
+	if x.DocLen(-1) != 0 || x.DocLen(1000) != 0 {
+		t.Error("out-of-range DocLen should be 0")
+	}
+	if avg := x.AvgDocLen(); avg <= 0 {
+		t.Errorf("AvgDocLen = %v", avg)
+	}
+}
+
+func TestBuildNil(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("Build(nil) should error")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	spec := corpus.GenSpec{Seed: 11, NumDocs: 120, NumTopics: 6, DocLenMin: 30, DocLenMax: 60}
+	c, _, err := corpus.Synthesize(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := x.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	y, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.NumDocs() != x.NumDocs() || y.NumTerms() != x.NumTerms() {
+		t.Fatalf("shape mismatch after round trip")
+	}
+	for id := 0; id < x.NumTerms(); id++ {
+		tid := textproc.TermID(id)
+		if x.Vocab().Term(tid) != y.Vocab().Term(tid) {
+			t.Fatalf("term %d mismatch", id)
+		}
+		a, b := x.Postings(tid), y.Postings(tid)
+		if len(a) != len(b) {
+			t.Fatalf("term %d list length mismatch", id)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("term %d posting %d mismatch: %+v vs %+v", id, i, a[i], b[i])
+			}
+		}
+	}
+	for d := 0; d < x.NumDocs(); d++ {
+		if x.DocLen(corpus.DocID(d)) != y.DocLen(corpus.DocID(d)) {
+			t.Fatalf("doc %d length mismatch", d)
+		}
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE1234"))); err == nil {
+		t.Error("bad magic must be rejected")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input must be rejected")
+	}
+	// Valid magic, wrong version.
+	bad := append([]byte(codecMagic), 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version must be rejected")
+	}
+	// Truncated stream after header.
+	var buf bytes.Buffer
+	c := buildCorpusForCodec(t)
+	x, _ := Build(c)
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream must be rejected")
+	}
+}
+
+func buildCorpusForCodec(t *testing.T) *corpus.Corpus {
+	t.Helper()
+	docs := []corpus.Document{
+		{Text: "alpha beta gamma delta"},
+		{Text: "alpha alpha beta"},
+	}
+	an := textproc.NewAnalyzer(textproc.WithStemming(false))
+	c, err := corpus.Build(docs, an, textproc.PruneSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestStats(t *testing.T) {
+	c := buildTestCorpus(t)
+	x, _ := Build(c)
+	s := x.ComputeStats()
+	if s.NumDocs != 4 || s.NumTerms != x.NumTerms() {
+		t.Errorf("stats shape: %+v", s)
+	}
+	if s.MaxListLen < 1 || s.MeanListLen <= 0 {
+		t.Errorf("degenerate list stats: %+v", s)
+	}
+	if s.SizeBytes <= 0 {
+		t.Errorf("SizeBytes = %d", s.SizeBytes)
+	}
+	if s.PaddedPIRBytes < s.SizeBytes {
+		t.Errorf("PIR padding should not shrink the index: %+v", s)
+	}
+	if s.BlowupFactor() < 1 {
+		t.Errorf("BlowupFactor = %v, want >= 1", s.BlowupFactor())
+	}
+}
+
+func TestStatsPIRBlowupGrowsWithSkew(t *testing.T) {
+	// A skewed corpus (one ubiquitous term) must show a much larger PIR
+	// blowup than a uniform one — this is the paper's §II argument.
+	uniformDocs := make([]corpus.Document, 50)
+	skewDocs := make([]corpus.Document, 50)
+	for i := range uniformDocs {
+		uniformDocs[i] = corpus.Document{Text: wordFor(i)}
+		skewDocs[i] = corpus.Document{Text: "common " + wordFor(i)}
+	}
+	an := textproc.NewAnalyzer(textproc.WithStemming(false))
+	uc, _ := corpus.Build(uniformDocs, an, textproc.PruneSpec{})
+	sc, _ := corpus.Build(skewDocs, an, textproc.PruneSpec{})
+	ux, _ := Build(uc)
+	sx, _ := Build(sc)
+	if sx.ComputeStats().BlowupFactor() <= ux.ComputeStats().BlowupFactor() {
+		t.Error("skewed corpus should have larger PIR blowup")
+	}
+}
+
+func wordFor(i int) string {
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	return "w" + string(letters[i%26]) + string(letters[(i/26)%26])
+}
+
+// Property: postings TF sums equal document lengths.
+func TestPostingsMassConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		spec := corpus.GenSpec{Seed: seed, NumDocs: 30, NumTopics: 4, DocLenMin: 10, DocLenMax: 30}
+		c, _, err := corpus.Synthesize(spec, nil)
+		if err != nil {
+			return false
+		}
+		x, err := Build(c)
+		if err != nil {
+			return false
+		}
+		perDoc := make([]int32, x.NumDocs())
+		for id := 0; id < x.NumTerms(); id++ {
+			for _, p := range x.Postings(textproc.TermID(id)) {
+				perDoc[p.Doc] += p.TF
+			}
+		}
+		for d, sum := range perDoc {
+			if int(sum) != x.DocLen(corpus.DocID(d)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPostingsByTermMissing(t *testing.T) {
+	c := buildTestCorpus(t)
+	x, _ := Build(c)
+	if pl := x.PostingsByTerm("not-in-vocab"); pl != nil {
+		t.Errorf("missing term should yield nil postings, got %v", pl)
+	}
+	if pl := x.Postings(textproc.TermID(1 << 20)); pl != nil {
+		t.Error("out-of-range id should yield nil postings")
+	}
+}
+
+// Property: the codec round-trips arbitrary synthesized corpora.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		spec := corpus.GenSpec{Seed: seed, NumDocs: 25, NumTopics: 3, DocLenMin: 10, DocLenMax: 25}
+		c, _, err := corpus.Synthesize(spec, nil)
+		if err != nil {
+			return false
+		}
+		x, err := Build(c)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := x.WriteTo(&buf); err != nil {
+			return false
+		}
+		y, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if y.NumDocs() != x.NumDocs() || y.NumTerms() != x.NumTerms() {
+			return false
+		}
+		for id := 0; id < x.NumTerms(); id++ {
+			a, b := x.Postings(textproc.TermID(id)), y.Postings(textproc.TermID(id))
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadTruncatedDocLens(t *testing.T) {
+	// Truncate specifically inside the trailing doc-length section.
+	c := buildTestCorpus(t)
+	x, _ := Build(c)
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-2]
+	if _, err := Read(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated doc lengths must be rejected")
+	}
+}

@@ -1,0 +1,51 @@
+package index
+
+// Stats summarizes the index shape. The paper uses exactly these
+// numbers in its PIR impracticality argument (§II): the WSJ index
+// averages 186.7 postings per list but the longest list holds 127,848,
+// so PIR padding blows the database up from 259 MB to 178 GB.
+type Stats struct {
+	NumDocs     int
+	NumTerms    int
+	NumPostings int
+	// MeanListLen is the average postings-list length.
+	MeanListLen float64
+	// MaxListLen is the longest postings list.
+	MaxListLen int
+	// SizeBytes is the serialized index size.
+	SizeBytes int64
+	// PaddedPIRBytes estimates the index size if every list were padded
+	// to MaxListLen, as PIR requires (every retrieval unit equal-sized).
+	PaddedPIRBytes int64
+}
+
+// ComputeStats scans the index once and serializes it once.
+func (x *Index) ComputeStats() Stats {
+	s := Stats{NumDocs: x.numDocs, NumTerms: len(x.postings)}
+	for _, pl := range x.postings {
+		s.NumPostings += len(pl)
+		if len(pl) > s.MaxListLen {
+			s.MaxListLen = len(pl)
+		}
+	}
+	if s.NumTerms > 0 {
+		s.MeanListLen = float64(s.NumPostings) / float64(s.NumTerms)
+	}
+	s.SizeBytes = x.SizeBytes()
+	// A posting is one ⟨doc,tf⟩ pair; estimate the padded size using the
+	// actual mean bytes per stored posting, scaled to MaxListLen lists.
+	if s.NumPostings > 0 {
+		bytesPerPosting := float64(s.SizeBytes) / float64(s.NumPostings)
+		s.PaddedPIRBytes = int64(bytesPerPosting * float64(s.MaxListLen) * float64(s.NumTerms))
+	}
+	return s
+}
+
+// BlowupFactor returns PaddedPIRBytes / SizeBytes, the cost multiplier
+// PIR padding imposes.
+func (s Stats) BlowupFactor() float64 {
+	if s.SizeBytes == 0 {
+		return 0
+	}
+	return float64(s.PaddedPIRBytes) / float64(s.SizeBytes)
+}

@@ -1,0 +1,145 @@
+package lda
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// InferSpec configures query-time topic inference.
+type InferSpec struct {
+	// Iterations is the number of fold-in Gibbs sweeps over the query
+	// tokens. Zero means 40.
+	Iterations int
+	// Samples is how many trailing sweeps are averaged to estimate
+	// Pr(t|q); zero means 10. Averaging reduces sampling noise, which
+	// matters because TopPriv compares boosts against small thresholds.
+	Samples int
+}
+
+func (s InferSpec) withDefaults() InferSpec {
+	if s.Iterations == 0 {
+		s.Iterations = 40
+	}
+	if s.Samples == 0 {
+		s.Samples = 10
+	}
+	return s
+}
+
+// Inferencer estimates Pr(t|q) for unseen word bags by folding them in
+// against the trained Φ (topic-word distributions held fixed). This is
+// the LDA "inference mode" the paper invokes on queries: the user passes
+// q alone to the model and reads back the topic posterior.
+//
+// An Inferencer is safe for concurrent use; each call gets its own
+// sampling state, and randomness comes from the caller's *rand.Rand.
+type Inferencer struct {
+	m    *Model
+	spec InferSpec
+}
+
+// NewInferencer creates an inferencer over a trained model.
+func NewInferencer(m *Model, spec InferSpec) (*Inferencer, error) {
+	if m == nil {
+		return nil, fmt.Errorf("lda: nil model")
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return &Inferencer{m: m, spec: spec.withDefaults()}, nil
+}
+
+// Model returns the underlying model.
+func (inf *Inferencer) Model() *Model { return inf.m }
+
+// Posterior estimates Pr(t|·) for a bag of model word IDs. An empty bag
+// (e.g. a query whose terms are all out of vocabulary) returns the
+// model prior, which is the correct Bayesian answer absent evidence.
+// The caller provides the RNG so experiments stay deterministic.
+func (inf *Inferencer) Posterior(bag []int, rng *rand.Rand) []float64 {
+	m := inf.m
+	if len(bag) == 0 {
+		out := make([]float64, m.K)
+		copy(out, m.Prior)
+		return out
+	}
+	k := m.K
+	alpha := m.Alpha
+	kalpha := float64(k) * alpha
+
+	assign := make([]int, len(bag))
+	counts := make([]float64, k)
+	for i, w := range bag {
+		// Initialize each token at its most compatible topic mixture by
+		// sampling from Φ(·|w) ∝ Phi[t][w]; faster mixing than uniform.
+		t := sampleTopicForWord(m, w, rng)
+		assign[i] = t
+		counts[t]++
+	}
+
+	probs := make([]float64, k)
+	accum := make([]float64, k)
+	sampleStart := inf.spec.Iterations - inf.spec.Samples
+	if sampleStart < 0 {
+		sampleStart = 0
+	}
+	samplesTaken := 0
+	for sweep := 0; sweep < inf.spec.Iterations; sweep++ {
+		for i, w := range bag {
+			old := assign[i]
+			counts[old]--
+			total := 0.0
+			for t := 0; t < k; t++ {
+				p := m.Phi[t][w] * (counts[t] + alpha)
+				probs[t] = p
+				total += p
+			}
+			nu := k - 1
+			u := rng.Float64() * total
+			acc := 0.0
+			for t := 0; t < k; t++ {
+				acc += probs[t]
+				if u < acc {
+					nu = t
+					break
+				}
+			}
+			assign[i] = nu
+			counts[nu]++
+		}
+		if sweep >= sampleStart {
+			denom := float64(len(bag)) + kalpha
+			for t := 0; t < k; t++ {
+				accum[t] += (counts[t] + alpha) / denom
+			}
+			samplesTaken++
+		}
+	}
+	out := make([]float64, k)
+	for t := 0; t < k; t++ {
+		out[t] = accum[t] / float64(samplesTaken)
+	}
+	return out
+}
+
+// PosteriorTerms is Posterior over raw surface terms.
+func (inf *Inferencer) PosteriorTerms(terms []string, rng *rand.Rand) []float64 {
+	return inf.Posterior(inf.m.BagFromTerms(terms), rng)
+}
+
+// sampleTopicForWord draws a topic proportional to Phi[t][w].
+func sampleTopicForWord(m *Model, w int, rng *rand.Rand) int {
+	total := 0.0
+	for t := 0; t < m.K; t++ {
+		total += m.Phi[t][w]
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for t := 0; t < m.K; t++ {
+		acc += m.Phi[t][w]
+		if u < acc {
+			return t
+		}
+	}
+	return m.K - 1
+}

@@ -1,0 +1,180 @@
+// Package lda implements Latent Dirichlet Allocation with collapsed
+// Gibbs sampling — the topic-model substrate of TopPriv (§IV-B of the
+// paper). It substitutes for the GibbsLDA++ 0.2 library the authors
+// used, keeping the same hyperparameter defaults (α = 50/K, β = 0.1)
+// and the same two outputs:
+//
+//   - Pr(w|t) for every word w and topic t (which words describe a topic);
+//   - Pr(t|d) for every topic t and document d (which topics dominate a
+//     document), from which the prior Pr(t) = (1/|D|) Σ_d Pr(t|d) follows
+//     (Eq. 1).
+//
+// A trained Model also supports inference mode: estimating Pr(t|q) for a
+// query q that was not part of the training corpus, which is how both
+// the TopPriv client and the adversary form topical beliefs.
+package lda
+
+import (
+	"fmt"
+	"sort"
+
+	"toppriv/internal/textproc"
+)
+
+// Model is a trained LDA model. It is immutable after training and safe
+// for concurrent readers.
+type Model struct {
+	// K is the number of topics; V the vocabulary size.
+	K, V int
+	// Alpha and Beta are the Dirichlet hyperparameters used in training.
+	Alpha, Beta float64
+	// Phi[t][w] = Pr(w|t), each row summing to 1.
+	Phi [][]float64
+	// Theta[d][t] = Pr(t|d) for the training documents.
+	Theta [][]float64
+	// Prior[t] = Pr(t), the corpus-wide topic prior of Eq. 1.
+	Prior []float64
+	// Terms[w] is the surface form of word ID w, aligned with the
+	// corpus vocabulary the model was trained on.
+	Terms []string
+
+	// termID rebuilds the term -> ID map lazily on load.
+	termID map[string]int
+}
+
+// TermID returns the model's word ID for a term, or -1 when the term is
+// out of vocabulary.
+func (m *Model) TermID(term string) int {
+	if m.termID == nil {
+		m.termID = make(map[string]int, len(m.Terms))
+		for i, t := range m.Terms {
+			m.termID[t] = i
+		}
+	}
+	if id, ok := m.termID[term]; ok {
+		return id
+	}
+	return -1
+}
+
+// BagFromTerms maps surface terms to model word IDs, dropping unknown
+// terms. It is how raw query text enters inference.
+func (m *Model) BagFromTerms(terms []string) []int {
+	bag := make([]int, 0, len(terms))
+	for _, t := range terms {
+		if id := m.TermID(t); id >= 0 {
+			bag = append(bag, id)
+		}
+	}
+	return bag
+}
+
+// BagFromIDs converts corpus vocabulary IDs (which equal model word IDs
+// when the model was trained on that corpus) into an inference bag.
+func (m *Model) BagFromIDs(ids []textproc.TermID) []int {
+	bag := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if int(id) < m.V {
+			bag = append(bag, int(id))
+		}
+	}
+	return bag
+}
+
+// TermWeight is a word with its probability under some topic.
+type TermWeight struct {
+	Term   string
+	Weight float64
+}
+
+// TopWords returns topic t's n most probable words in descending
+// probability — the rows of the paper's Tables II–IV.
+func (m *Model) TopWords(t, n int) []TermWeight {
+	if t < 0 || t >= m.K {
+		return nil
+	}
+	idx := make([]int, m.V)
+	for i := range idx {
+		idx[i] = i
+	}
+	row := m.Phi[t]
+	sort.Slice(idx, func(a, b int) bool {
+		if row[idx[a]] != row[idx[b]] {
+			return row[idx[a]] > row[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if n > len(idx) {
+		n = len(idx)
+	}
+	out := make([]TermWeight, n)
+	for i := 0; i < n; i++ {
+		out[i] = TermWeight{Term: m.Terms[idx[i]], Weight: row[idx[i]]}
+	}
+	return out
+}
+
+// WordDistribution returns Pr(w) under a pure topic vector with
+// Pr(t_m) = 1 — the distribution TopPriv's Step 3(b) samples ghost-query
+// words from: Pr(w) = Σ_t Pr(w|t)·Pr(t) collapses to Phi[tm].
+func (m *Model) WordDistribution(tm int) []float64 {
+	if tm < 0 || tm >= m.K {
+		return nil
+	}
+	return m.Phi[tm]
+}
+
+// SizeBytes reports the in-memory footprint of the model's numeric
+// structures (Φ, Θ, prior) plus the dictionary — the quantity Figure 6
+// plots against the inverted-index size. The Φ matrix (K × V float64)
+// dominates, and its V dimension plateaus as the corpus grows, which is
+// the paper's scaling argument.
+func (m *Model) SizeBytes() int64 {
+	var n int64
+	n += int64(m.K) * int64(m.V) * 8 // Phi
+	for _, row := range m.Theta {
+		n += int64(len(row)) * 8
+	}
+	n += int64(len(m.Prior)) * 8
+	for _, t := range m.Terms {
+		n += int64(len(t)) + 8 // string bytes + map/slice overhead estimate
+	}
+	return n
+}
+
+// ClientSizeBytes reports the footprint of the structures the TopPriv
+// client actually ships and holds: Φ (K × V), the prior Pr(t), and the
+// dictionary. Θ stays server-side (it is only needed to derive the
+// prior once), so the client cost plateaus with the vocabulary even as
+// the corpus grows — the sublinear curve of Figure 6.
+func (m *Model) ClientSizeBytes() int64 {
+	var n int64
+	n += int64(m.K) * int64(m.V) * 8 // Phi
+	n += int64(m.K) * 8              // Prior
+	for _, t := range m.Terms {
+		n += int64(len(t)) + 8
+	}
+	return n
+}
+
+// validate checks internal consistency; used by Load and tests.
+func (m *Model) validate() error {
+	if m.K <= 0 || m.V <= 0 {
+		return fmt.Errorf("lda: bad shape K=%d V=%d", m.K, m.V)
+	}
+	if len(m.Phi) != m.K {
+		return fmt.Errorf("lda: Phi has %d rows, want %d", len(m.Phi), m.K)
+	}
+	for t, row := range m.Phi {
+		if len(row) != m.V {
+			return fmt.Errorf("lda: Phi[%d] has %d cols, want %d", t, len(row), m.V)
+		}
+	}
+	if len(m.Prior) != m.K {
+		return fmt.Errorf("lda: Prior has %d entries, want %d", len(m.Prior), m.K)
+	}
+	if len(m.Terms) != m.V {
+		return fmt.Errorf("lda: Terms has %d entries, want %d", len(m.Terms), m.V)
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package lda
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"toppriv/internal/corpus"
+)
+
+// TrainParallel fits an LDA model with approximate distributed Gibbs
+// sampling (AD-LDA, Newman et al.): documents are partitioned across
+// workers; within a sweep each worker samples its shard against a
+// frozen snapshot of the global word-topic counts plus its local
+// deltas, and the deltas merge at the sweep barrier.
+//
+// The paper notes (§V-A) that training time and memory are the only
+// obstacle to scaling the topic model to the full corpus; this is the
+// standard engineering answer. The result is statistically equivalent
+// to sequential Gibbs but not bit-identical; pass workers = 1 for the
+// exact sequential algorithm (it then delegates to Train).
+func TrainParallel(c *corpus.Corpus, spec TrainSpec, workers int) (*Model, error) {
+	if workers <= 1 {
+		m, _, err := Train(c, spec)
+		return m, err
+	}
+	if c == nil || c.Vocab == nil {
+		return nil, fmt.Errorf("lda: nil corpus")
+	}
+	if spec.NumTopics < 2 {
+		return nil, fmt.Errorf("lda: NumTopics = %d, need >= 2", spec.NumTopics)
+	}
+	spec = spec.withDefaults()
+	if workers > runtime.NumCPU()*2 {
+		workers = runtime.NumCPU() * 2
+	}
+	k := spec.NumTopics
+	v := c.Vocab.Size()
+	d := c.NumDocs()
+	if v == 0 || d == 0 {
+		return nil, fmt.Errorf("lda: empty corpus (docs=%d vocab=%d)", d, v)
+	}
+	if workers > d {
+		workers = d
+	}
+
+	// Global state.
+	nwt := make([]int32, k*v)
+	ndt := make([]int32, d*k)
+	nt := make([]int32, k)
+	assign := make([][]int32, d)
+	initRng := rand.New(rand.NewSource(spec.Seed))
+	for di, bag := range c.Bags {
+		assign[di] = make([]int32, len(bag))
+		for i, w := range bag {
+			t := int32(initRng.Intn(k))
+			assign[di][i] = t
+			nwt[int(t)*v+int(w)]++
+			ndt[di*k+int(t)]++
+			nt[t]++
+		}
+	}
+
+	// Shard documents contiguously.
+	type shard struct {
+		lo, hi int
+		rng    *rand.Rand
+		// local deltas, reallocated per sweep
+		dnwt []int32
+		dnt  []int32
+	}
+	shards := make([]*shard, workers)
+	per := (d + workers - 1) / workers
+	for s := range shards {
+		lo := s * per
+		hi := lo + per
+		if hi > d {
+			hi = d
+		}
+		shards[s] = &shard{
+			lo:   lo,
+			hi:   hi,
+			rng:  rand.New(rand.NewSource(spec.Seed + int64(s) + 1)),
+			dnwt: make([]int32, k*v),
+			dnt:  make([]int32, k),
+		}
+	}
+
+	alpha, beta := spec.Alpha, spec.Beta
+	vbeta := float64(v) * beta
+	var wg sync.WaitGroup
+	for sweep := 0; sweep < spec.Iterations; sweep++ {
+		for _, sh := range shards {
+			wg.Add(1)
+			go func(sh *shard) {
+				defer wg.Done()
+				probs := make([]float64, k)
+				for di := sh.lo; di < sh.hi; di++ {
+					docBase := di * k
+					bag := c.Bags[di]
+					for i, w := range bag {
+						old := assign[di][i]
+						wi := int(w)
+						// Remove from local view (global snapshot + delta).
+						sh.dnwt[int(old)*v+wi]--
+						sh.dnt[old]--
+						ndt[docBase+int(old)]-- // doc-local: owned by this shard
+
+						total := 0.0
+						for t := 0; t < k; t++ {
+							nw := float64(nwt[t*v+wi] + sh.dnwt[t*v+wi])
+							ntt := float64(nt[t] + sh.dnt[t])
+							p := (nw + beta) / (ntt + vbeta) *
+								(float64(ndt[docBase+t]) + alpha)
+							probs[t] = p
+							total += p
+						}
+						u := sh.rng.Float64() * total
+						acc := 0.0
+						nu := int32(k - 1)
+						for t := 0; t < k; t++ {
+							acc += probs[t]
+							if u < acc {
+								nu = int32(t)
+								break
+							}
+						}
+						assign[di][i] = nu
+						sh.dnwt[int(nu)*v+wi]++
+						sh.dnt[nu]++
+						ndt[docBase+int(nu)]++
+					}
+				}
+			}(sh)
+		}
+		wg.Wait()
+		// Merge deltas into the global counts at the sweep barrier.
+		for _, sh := range shards {
+			for i, delta := range sh.dnwt {
+				if delta != 0 {
+					nwt[i] += delta
+					sh.dnwt[i] = 0
+				}
+			}
+			for t, delta := range sh.dnt {
+				if delta != 0 {
+					nt[t] += delta
+					sh.dnt[t] = 0
+				}
+			}
+		}
+	}
+
+	m := &Model{
+		K:     k,
+		V:     v,
+		Alpha: alpha,
+		Beta:  beta,
+		Phi:   make([][]float64, k),
+		Theta: make([][]float64, d),
+		Prior: make([]float64, k),
+		Terms: c.Vocab.Terms(),
+	}
+	for t := 0; t < k; t++ {
+		row := make([]float64, v)
+		denom := float64(nt[t]) + vbeta
+		for w := 0; w < v; w++ {
+			row[w] = (float64(nwt[t*v+w]) + beta) / denom
+		}
+		m.Phi[t] = row
+	}
+	kalpha := float64(k) * alpha
+	for di := 0; di < d; di++ {
+		row := make([]float64, k)
+		denom := float64(len(c.Bags[di])) + kalpha
+		for t := 0; t < k; t++ {
+			row[t] = (float64(ndt[di*k+t]) + alpha) / denom
+			m.Prior[t] += row[t]
+		}
+		m.Theta[di] = row
+	}
+	for t := 0; t < k; t++ {
+		m.Prior[t] /= float64(d)
+	}
+	return m, nil
+}

@@ -1,0 +1,193 @@
+package lda
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"toppriv/internal/corpus"
+)
+
+// TrainSpec configures collapsed Gibbs training.
+type TrainSpec struct {
+	// NumTopics is K, the number of latent topics (required).
+	NumTopics int
+	// Alpha is the document-topic Dirichlet hyperparameter. Zero means
+	// the paper's default, 50/K.
+	Alpha float64
+	// Beta is the topic-word Dirichlet hyperparameter. Zero means the
+	// paper's default, 0.1.
+	Beta float64
+	// Iterations is the number of full Gibbs sweeps. Zero means 150.
+	Iterations int
+	// Seed makes training deterministic.
+	Seed int64
+	// LogEvery, when > 0, records the corpus log-likelihood every that
+	// many sweeps into the returned TrainTrace.
+	LogEvery int
+}
+
+func (s TrainSpec) withDefaults() TrainSpec {
+	if s.Alpha == 0 {
+		s.Alpha = 50 / float64(s.NumTopics)
+	}
+	if s.Beta == 0 {
+		s.Beta = 0.1
+	}
+	if s.Iterations == 0 {
+		s.Iterations = 150
+	}
+	return s
+}
+
+// TrainTrace records training diagnostics.
+type TrainTrace struct {
+	// LogLikelihood holds the per-token log-likelihood at each logged
+	// sweep (ascending is healthy).
+	LogLikelihood []float64
+}
+
+// Train fits an LDA model to the corpus with collapsed Gibbs sampling.
+// Φ and Θ are estimated from the final sample's counts, matching the
+// GibbsLDA++ behaviour the paper relies on.
+func Train(c *corpus.Corpus, spec TrainSpec) (*Model, *TrainTrace, error) {
+	if c == nil || c.Vocab == nil {
+		return nil, nil, fmt.Errorf("lda: nil corpus")
+	}
+	if spec.NumTopics < 2 {
+		return nil, nil, fmt.Errorf("lda: NumTopics = %d, need >= 2", spec.NumTopics)
+	}
+	spec = spec.withDefaults()
+	k := spec.NumTopics
+	v := c.Vocab.Size()
+	d := c.NumDocs()
+	if v == 0 || d == 0 {
+		return nil, nil, fmt.Errorf("lda: empty corpus (docs=%d vocab=%d)", d, v)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	// Gibbs state: topic assignment per token, plus count matrices.
+	// nwt[t*v+w]: tokens of word w assigned topic t.
+	// ndt[d*k+t]: tokens of doc d assigned topic t.
+	// nt[t]: tokens assigned topic t.
+	nwt := make([]int32, k*v)
+	ndt := make([]int32, d*k)
+	nt := make([]int32, k)
+
+	assign := make([][]int32, d)
+	for di, bag := range c.Bags {
+		assign[di] = make([]int32, len(bag))
+		for i, w := range bag {
+			t := int32(rng.Intn(k))
+			assign[di][i] = t
+			nwt[int(t)*v+int(w)]++
+			ndt[di*k+int(t)]++
+			nt[t]++
+		}
+	}
+
+	alpha, beta := spec.Alpha, spec.Beta
+	vbeta := float64(v) * beta
+	probs := make([]float64, k)
+	trace := &TrainTrace{}
+
+	for sweep := 0; sweep < spec.Iterations; sweep++ {
+		for di, bag := range c.Bags {
+			docBase := di * k
+			for i, w := range bag {
+				old := assign[di][i]
+				wi := int(w)
+				nwt[int(old)*v+wi]--
+				ndt[docBase+int(old)]--
+				nt[old]--
+
+				total := 0.0
+				for t := 0; t < k; t++ {
+					p := (float64(nwt[t*v+wi]) + beta) / (float64(nt[t]) + vbeta) *
+						(float64(ndt[docBase+t]) + alpha)
+					probs[t] = p
+					total += p
+				}
+				u := rng.Float64() * total
+				acc := 0.0
+				nu := int32(k - 1)
+				for t := 0; t < k; t++ {
+					acc += probs[t]
+					if u < acc {
+						nu = int32(t)
+						break
+					}
+				}
+				assign[di][i] = nu
+				nwt[int(nu)*v+wi]++
+				ndt[docBase+int(nu)]++
+				nt[nu]++
+			}
+		}
+		if spec.LogEvery > 0 && (sweep+1)%spec.LogEvery == 0 {
+			trace.LogLikelihood = append(trace.LogLikelihood,
+				logLikelihood(c, nwt, ndt, nt, k, v, alpha, beta))
+		}
+	}
+
+	m := &Model{
+		K:     k,
+		V:     v,
+		Alpha: alpha,
+		Beta:  beta,
+		Phi:   make([][]float64, k),
+		Theta: make([][]float64, d),
+		Prior: make([]float64, k),
+		Terms: c.Vocab.Terms(),
+	}
+	for t := 0; t < k; t++ {
+		row := make([]float64, v)
+		denom := float64(nt[t]) + vbeta
+		for w := 0; w < v; w++ {
+			row[w] = (float64(nwt[t*v+w]) + beta) / denom
+		}
+		m.Phi[t] = row
+	}
+	kalpha := float64(k) * alpha
+	for di := 0; di < d; di++ {
+		row := make([]float64, k)
+		denom := float64(len(c.Bags[di])) + kalpha
+		for t := 0; t < k; t++ {
+			row[t] = (float64(ndt[di*k+t]) + alpha) / denom
+			m.Prior[t] += row[t]
+		}
+		m.Theta[di] = row
+	}
+	for t := 0; t < k; t++ {
+		m.Prior[t] /= float64(d)
+	}
+	return m, trace, nil
+}
+
+// logLikelihood estimates the per-token log-likelihood of the corpus
+// under the current Gibbs state.
+func logLikelihood(c *corpus.Corpus, nwt, ndt []int32, nt []int32, k, v int, alpha, beta float64) float64 {
+	vbeta := float64(v) * beta
+	kalpha := float64(k) * alpha
+	ll := 0.0
+	tokens := 0
+	for di, bag := range c.Bags {
+		docBase := di * k
+		docDenom := float64(len(bag)) + kalpha
+		for _, w := range bag {
+			wi := int(w)
+			p := 0.0
+			for t := 0; t < k; t++ {
+				phi := (float64(nwt[t*v+wi]) + beta) / (float64(nt[t]) + vbeta)
+				theta := (float64(ndt[docBase+t]) + alpha) / docDenom
+				p += phi * theta
+			}
+			ll += math.Log(p)
+			tokens++
+		}
+	}
+	if tokens == 0 {
+		return 0
+	}
+	return ll / float64(tokens)
+}

@@ -1,0 +1,228 @@
+// Package linkrank implements the Web link-analysis substrate the
+// paper's system model names (§III-A: the engine "may employ any
+// existing text retrieval mechanisms, like the classical vector space
+// model, in conjunction with Web link analysis techniques" — citing
+// PageRank and HITS). Enterprise document collections carry link
+// structure too (cross-references, citations, intranet links), and the
+// search engine may fold a static document prior into its ranking.
+// TopPriv is agnostic to all of this — which these types help
+// demonstrate: the engine's ranking function can change freely without
+// touching the privacy layer.
+package linkrank
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Graph is a directed document graph: Out[d] lists the documents d
+// links to. Nodes are dense indices 0..N-1.
+type Graph struct {
+	Out [][]int32
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.Out) }
+
+// NumEdges returns the total edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, out := range g.Out {
+		n += len(out)
+	}
+	return n
+}
+
+// Validate checks all edges stay in range and self-loops are absent.
+func (g *Graph) Validate() error {
+	n := int32(len(g.Out))
+	for d, out := range g.Out {
+		for _, to := range out {
+			if to < 0 || to >= n {
+				return fmt.Errorf("linkrank: edge %d -> %d out of range", d, to)
+			}
+			if int(to) == d {
+				return fmt.Errorf("linkrank: self-loop at %d", d)
+			}
+		}
+	}
+	return nil
+}
+
+// PageRank computes the stationary PageRank vector with damping factor
+// d (typically 0.85) by power iteration, treating dangling nodes as
+// linking to everything. It stops after maxIters sweeps or when the L1
+// change drops below tol. The result sums to 1.
+func PageRank(g *Graph, damping float64, maxIters int, tol float64) ([]float64, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("linkrank: empty graph")
+	}
+	if damping <= 0 || damping >= 1 {
+		return nil, fmt.Errorf("linkrank: damping = %v, need (0,1)", damping)
+	}
+	if maxIters <= 0 {
+		maxIters = 100
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	base := (1 - damping) / float64(n)
+	for iter := 0; iter < maxIters; iter++ {
+		dangling := 0.0
+		for i := range next {
+			next[i] = 0
+		}
+		for d, out := range g.Out {
+			if len(out) == 0 {
+				dangling += rank[d]
+				continue
+			}
+			share := rank[d] / float64(len(out))
+			for _, to := range out {
+				next[to] += share
+			}
+		}
+		danglingShare := dangling / float64(n)
+		delta := 0.0
+		for i := range next {
+			v := base + damping*(next[i]+danglingShare)
+			delta += math.Abs(v - rank[i])
+			rank[i], next[i] = v, rank[i]
+		}
+		if delta < tol {
+			break
+		}
+	}
+	return rank, nil
+}
+
+// HITS computes hub and authority scores by mutual reinforcement with
+// L2 normalization per iteration (Kleinberg). Both vectors are
+// normalized to unit L2 norm.
+func HITS(g *Graph, iters int) (hubs, auths []float64, err error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, nil, fmt.Errorf("linkrank: empty graph")
+	}
+	if iters <= 0 {
+		iters = 50
+	}
+	hubs = make([]float64, n)
+	auths = make([]float64, n)
+	for i := range hubs {
+		hubs[i] = 1
+		auths[i] = 1
+	}
+	for iter := 0; iter < iters; iter++ {
+		// auth(v) = Σ_{u -> v} hub(u)
+		for i := range auths {
+			auths[i] = 0
+		}
+		for u, out := range g.Out {
+			for _, v := range out {
+				auths[v] += hubs[u]
+			}
+		}
+		normalize(auths)
+		// hub(u) = Σ_{u -> v} auth(v)
+		for u, out := range g.Out {
+			h := 0.0
+			for _, v := range out {
+				h += auths[v]
+			}
+			hubs[u] = h
+		}
+		normalize(hubs)
+	}
+	return hubs, auths, nil
+}
+
+func normalize(v []float64) {
+	sum := 0.0
+	for _, x := range v {
+		sum += x * x
+	}
+	if sum == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(sum)
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// SyntheticGraph builds a citation-style link graph over documents with
+// known topic mixtures: links attach preferentially (rich get richer)
+// and mostly within topic (a document cites documents about its own
+// subject). trueTopics[d] is document d's topic mixture; avgOut is the
+// mean out-degree.
+func SyntheticGraph(trueTopics [][]float64, avgOut int, seed int64) (*Graph, error) {
+	n := len(trueTopics)
+	if n == 0 {
+		return nil, fmt.Errorf("linkrank: no documents")
+	}
+	if avgOut < 1 {
+		avgOut = 3
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dominant := make([]int, n)
+	for d, theta := range trueTopics {
+		best := 0
+		for t := range theta {
+			if theta[t] > theta[best] {
+				best = t
+			}
+		}
+		dominant[d] = best
+	}
+	// Per-topic candidate pools.
+	pools := map[int][]int32{}
+	for d, t := range dominant {
+		pools[t] = append(pools[t], int32(d))
+	}
+	inDegree := make([]int, n)
+	g := &Graph{Out: make([][]int32, n)}
+	for d := 0; d < n; d++ {
+		outDeg := 1 + rng.Intn(2*avgOut-1)
+		seen := map[int32]bool{}
+		for e := 0; e < outDeg; e++ {
+			var candidates []int32
+			if rng.Float64() < 0.8 {
+				candidates = pools[dominant[d]]
+			}
+			var to int32
+			picked := false
+			for attempt := 0; attempt < 10; attempt++ {
+				if len(candidates) > 1 {
+					to = candidates[rng.Intn(len(candidates))]
+				} else {
+					to = int32(rng.Intn(n))
+				}
+				// Preferential attachment: accept with probability
+				// growing in the target's in-degree.
+				if int(to) == d || seen[to] {
+					continue
+				}
+				accept := (1.0 + float64(inDegree[to])) / (1.0 + float64(inDegree[to]) + 3.0)
+				if rng.Float64() < accept || attempt == 9 {
+					picked = true
+					break
+				}
+			}
+			if !picked || int(to) == d || seen[to] {
+				continue
+			}
+			seen[to] = true
+			g.Out[d] = append(g.Out[d], to)
+			inDegree[to]++
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,149 @@
+package linkrank
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPageRankCycleIsUniform(t *testing.T) {
+	// A directed cycle: every node must have equal rank.
+	n := 5
+	g := &Graph{Out: make([][]int32, n)}
+	for i := 0; i < n; i++ {
+		g.Out[i] = []int32{int32((i + 1) % n)}
+	}
+	rank, err := PageRank(g, 0.85, 200, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rank {
+		if math.Abs(r-0.2) > 1e-6 {
+			t.Errorf("rank[%d] = %v, want 0.2", i, r)
+		}
+	}
+}
+
+func TestPageRankStarCenterWins(t *testing.T) {
+	// Nodes 1..4 all link to node 0.
+	g := &Graph{Out: [][]int32{{}, {0}, {0}, {0}, {0}}}
+	rank, err := PageRank(g, 0.85, 200, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 5; i++ {
+		if rank[0] <= rank[i] {
+			t.Errorf("center rank %v not above leaf %v", rank[0], rank[i])
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := &Graph{Out: [][]int32{{1, 2}, {2}, {}, {0, 1, 2}}}
+	rank, err := PageRank(g, 0.85, 200, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, r := range rank {
+		if r <= 0 {
+			t.Errorf("non-positive rank %v", r)
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ranks sum to %v", sum)
+	}
+}
+
+func TestPageRankValidation(t *testing.T) {
+	if _, err := PageRank(&Graph{}, 0.85, 10, 1e-9); err == nil {
+		t.Error("empty graph must error")
+	}
+	g := &Graph{Out: [][]int32{{}}}
+	if _, err := PageRank(g, 0, 10, 1e-9); err == nil {
+		t.Error("damping 0 must error")
+	}
+	if _, err := PageRank(g, 1, 10, 1e-9); err == nil {
+		t.Error("damping 1 must error")
+	}
+}
+
+func TestHITSBipartite(t *testing.T) {
+	// Hubs 0,1 link to authorities 2,3; node 4 is isolated.
+	g := &Graph{Out: [][]int32{{2, 3}, {2, 3}, {}, {}, {}}}
+	hubs, auths, err := HITS(g, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hubs[0] <= hubs[2] || hubs[1] <= hubs[3] {
+		t.Errorf("hub scores wrong: %v", hubs)
+	}
+	if auths[2] <= auths[0] || auths[3] <= auths[1] {
+		t.Errorf("authority scores wrong: %v", auths)
+	}
+	if auths[4] != 0 || hubs[4] != 0 {
+		t.Errorf("isolated node should score 0: hub %v auth %v", hubs[4], auths[4])
+	}
+}
+
+func TestHITSEmpty(t *testing.T) {
+	if _, _, err := HITS(&Graph{}, 10); err == nil {
+		t.Error("empty graph must error")
+	}
+}
+
+func TestSyntheticGraph(t *testing.T) {
+	// Three clear topics, 60 docs.
+	topics := make([][]float64, 60)
+	for d := range topics {
+		theta := make([]float64, 3)
+		theta[d%3] = 0.9
+		theta[(d+1)%3] = 0.1
+		topics[d] = theta
+	}
+	g, err := SyntheticGraph(topics, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 60 {
+		t.Fatalf("nodes %d", g.NumNodes())
+	}
+	if g.NumEdges() < 60 {
+		t.Errorf("suspiciously few edges: %d", g.NumEdges())
+	}
+	// Topical affinity: most edges stay within the dominant topic.
+	within, total := 0, 0
+	for d, out := range g.Out {
+		for _, to := range out {
+			total++
+			if d%3 == int(to)%3 {
+				within++
+			}
+		}
+	}
+	if total > 0 && float64(within)/float64(total) < 0.5 {
+		t.Errorf("only %d/%d edges within topic", within, total)
+	}
+	// Determinism.
+	g2, _ := SyntheticGraph(topics, 4, 7)
+	if g2.NumEdges() != g.NumEdges() {
+		t.Error("graph generation not deterministic")
+	}
+	if _, err := SyntheticGraph(nil, 4, 7); err == nil {
+		t.Error("empty input must error")
+	}
+}
+
+func TestGraphValidate(t *testing.T) {
+	bad := &Graph{Out: [][]int32{{5}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range edge must fail validation")
+	}
+	loop := &Graph{Out: [][]int32{{0}}}
+	if err := loop.Validate(); err == nil {
+		t.Error("self-loop must fail validation")
+	}
+}

@@ -1,0 +1,161 @@
+// Package search provides the enterprise deployment surface of Fig. 1:
+// an HTTP search server hosting the unmodified similarity engine, and
+// the trusted client module that mixes ghost queries into each user
+// query, submits the cycle, and filters the ghost results.
+//
+// The server also keeps the query log — the exact artifact the paper's
+// curious adversary analyzes after the fact — so experiments and tests
+// can attack precisely what a real search engine would retain.
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/vsm"
+)
+
+// SearchRequest is the POST /search payload.
+type SearchRequest struct {
+	// Query is the raw query text (a bag of words; order is ignored).
+	Query string `json:"query"`
+	// K is the number of results wanted; the server clamps it to
+	// [1, 1000]. Zero means 10.
+	K int `json:"k,omitempty"`
+}
+
+// SearchHit is one result row.
+type SearchHit struct {
+	Doc   corpus.DocID `json:"doc"`
+	Score float64      `json:"score"`
+	Title string       `json:"title,omitempty"`
+}
+
+// SearchResponse is the POST /search reply.
+type SearchResponse struct {
+	Hits []SearchHit `json:"hits"`
+}
+
+// LoggedQuery is one query-log entry — what the adversary sees.
+type LoggedQuery struct {
+	Seq   int    `json:"seq"`
+	Query string `json:"query"`
+}
+
+// Server hosts the search engine over HTTP. It requires no knowledge of
+// TopPriv: ghost queries are indistinguishable requests.
+type Server struct {
+	engine *vsm.Engine
+	docs   []corpus.Document
+	mux    *http.ServeMux
+
+	mu  sync.Mutex
+	log []LoggedQuery
+}
+
+// NewServer builds the handler. docs may be nil when titles/content are
+// not needed.
+func NewServer(engine *vsm.Engine, docs []corpus.Document) (*Server, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("search: nil engine")
+	}
+	s := &Server{engine: engine, docs: docs, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/doc/", s.handleDoc)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		http.Error(w, "empty query", http.StatusBadRequest)
+		return
+	}
+	k := req.K
+	if k <= 0 {
+		k = 10
+	}
+	if k > 1000 {
+		k = 1000
+	}
+
+	s.mu.Lock()
+	s.log = append(s.log, LoggedQuery{Seq: len(s.log), Query: req.Query})
+	s.mu.Unlock()
+
+	results := s.engine.Search(req.Query, k)
+	resp := SearchResponse{Hits: make([]SearchHit, len(results))}
+	for i, res := range results {
+		hit := SearchHit{Doc: res.Doc, Score: res.Score}
+		if int(res.Doc) < len(s.docs) {
+			hit.Title = s.docs[res.Doc].Title
+		}
+		resp.Hits[i] = hit
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/doc/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil || id < 0 || id >= len(s.docs) {
+		http.Error(w, "no such document", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.docs[id])
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.engine.Index().ComputeStats())
+}
+
+// QueryLog returns a copy of the server-side query log — the artifact
+// the threat model assumes the adversary can analyze.
+func (s *Server) QueryLog() []LoggedQuery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]LoggedQuery, len(s.log))
+	copy(out, s.log)
+	return out
+}
+
+// ResetLog clears the query log (test convenience).
+func (s *Server) ResetLog() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = nil
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,88 @@
+package textproc
+
+// Analyzer is the full preprocessing pipeline: tokenize, drop stopwords,
+// and optionally stem. It is the single entry point the index, the topic
+// model and the query path all share, so that a query term and a
+// document term always normalize identically.
+type Analyzer struct {
+	tokenizer *Tokenizer
+	stops     StopSet
+	stem      bool
+}
+
+// AnalyzerOption configures an Analyzer.
+type AnalyzerOption func(*Analyzer)
+
+// WithStemming enables or disables Porter stemming (default: enabled).
+func WithStemming(on bool) AnalyzerOption {
+	return func(a *Analyzer) { a.stem = on }
+}
+
+// WithStopSet replaces the default English stopword set.
+func WithStopSet(s StopSet) AnalyzerOption {
+	return func(a *Analyzer) { a.stops = s }
+}
+
+// WithTokenizer replaces the default tokenizer.
+func WithTokenizer(t *Tokenizer) AnalyzerOption {
+	return func(a *Analyzer) { a.tokenizer = t }
+}
+
+// NewAnalyzer returns an analyzer with the repository defaults:
+// the standard tokenizer, the built-in English stop set, and stemming
+// enabled.
+func NewAnalyzer(opts ...AnalyzerOption) *Analyzer {
+	a := &Analyzer{
+		tokenizer: NewTokenizer(),
+		stops:     DefaultStopSet(),
+		stem:      true,
+	}
+	for _, opt := range opts {
+		opt(a)
+	}
+	return a
+}
+
+// Analyze normalizes text into index terms.
+func (a *Analyzer) Analyze(text string) []string {
+	toks := a.tokenizer.Tokenize(text)
+	out := make([]string, 0, len(toks))
+	for _, tok := range toks {
+		if a.stops.Contains(tok.Term) {
+			continue
+		}
+		term := tok.Term
+		if a.stem {
+			term = Stem(term)
+		}
+		if term == "" || a.stops.Contains(term) {
+			continue
+		}
+		out = append(out, term)
+	}
+	return out
+}
+
+// AnalyzeTerm normalizes a single already-tokenized term (used when the
+// synthetic corpus emits vocabulary words directly). It returns the
+// normalized term and whether it survived the pipeline.
+func (a *Analyzer) AnalyzeTerm(term string) (string, bool) {
+	toks := a.tokenizer.Tokenize(term)
+	if len(toks) != 1 {
+		return "", false
+	}
+	t := toks[0].Term
+	if a.stops.Contains(t) {
+		return "", false
+	}
+	if a.stem {
+		t = Stem(t)
+	}
+	if t == "" || a.stops.Contains(t) {
+		return "", false
+	}
+	return t, true
+}
+
+// Stemming reports whether the analyzer stems terms.
+func (a *Analyzer) Stemming() bool { return a.stem }

@@ -1,0 +1,255 @@
+package textproc
+
+// Porter stemmer — a faithful implementation of M.F. Porter's 1980
+// suffix-stripping algorithm ("An algorithm for suffix stripping",
+// Program 14(3)). It operates on lowercase ASCII words; tokens that
+// contain non-letters (digits, hyphens, periods — e.g. "ah-64") are
+// returned unchanged, which is the behaviour the paper's
+// high-specificity query terms require.
+
+// Stem returns the Porter stem of word. Words of length <= 2 and words
+// containing non-letter bytes are returned unchanged.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c < 'a' || c > 'z' {
+			return word
+		}
+	}
+	s := stemmer{b: []byte(word)}
+	s.step1a()
+	s.step1b()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5a()
+	s.step5b()
+	return string(s.b)
+}
+
+type stemmer struct {
+	b []byte
+}
+
+// isCons reports whether the byte at index i acts as a consonant.
+func (s *stemmer) isCons(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.isCons(i - 1)
+	default:
+		return true
+	}
+}
+
+// measure computes m, the number of VC sequences in b[:end].
+func (s *stemmer) measure(end int) int {
+	m := 0
+	i := 0
+	// Skip initial consonants.
+	for i < end && s.isCons(i) {
+		i++
+	}
+	for i < end {
+		// In a vowel run.
+		for i < end && !s.isCons(i) {
+			i++
+		}
+		if i >= end {
+			break
+		}
+		m++
+		for i < end && s.isCons(i) {
+			i++
+		}
+	}
+	return m
+}
+
+// hasVowel reports whether b[:end] contains a vowel.
+func (s *stemmer) hasVowel(end int) bool {
+	for i := 0; i < end; i++ {
+		if !s.isCons(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleCons reports whether b[:end] ends with a double consonant.
+func (s *stemmer) doubleCons(end int) bool {
+	if end < 2 {
+		return false
+	}
+	return s.b[end-1] == s.b[end-2] && s.isCons(end-1)
+}
+
+// cvc reports whether b[:end] ends consonant-vowel-consonant where the
+// final consonant is not w, x or y.
+func (s *stemmer) cvc(end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !s.isCons(end-1) || s.isCons(end-2) || !s.isCons(end-3) {
+		return false
+	}
+	switch s.b[end-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// hasSuffix reports whether the current word ends with suf.
+func (s *stemmer) hasSuffix(suf string) bool {
+	n := len(s.b)
+	if len(suf) > n {
+		return false
+	}
+	return string(s.b[n-len(suf):]) == suf
+}
+
+// replaceSuffix replaces suf (assumed present) with rep if the measure
+// of the stem preceding suf is > m. Returns true when a replacement
+// happened.
+func (s *stemmer) replaceSuffix(suf, rep string, m int) bool {
+	stemLen := len(s.b) - len(suf)
+	if s.measure(stemLen) > m {
+		s.b = append(s.b[:stemLen], rep...)
+		return true
+	}
+	return false
+}
+
+func (s *stemmer) step1a() {
+	switch {
+	case s.hasSuffix("sses"):
+		s.b = s.b[:len(s.b)-2]
+	case s.hasSuffix("ies"):
+		s.b = s.b[:len(s.b)-2]
+	case s.hasSuffix("ss"):
+		// no change
+	case s.hasSuffix("s"):
+		s.b = s.b[:len(s.b)-1]
+	}
+}
+
+func (s *stemmer) step1b() {
+	if s.hasSuffix("eed") {
+		if s.measure(len(s.b)-3) > 0 {
+			s.b = s.b[:len(s.b)-1]
+		}
+		return
+	}
+	cleanup := false
+	if s.hasSuffix("ed") && s.hasVowel(len(s.b)-2) {
+		s.b = s.b[:len(s.b)-2]
+		cleanup = true
+	} else if s.hasSuffix("ing") && s.hasVowel(len(s.b)-3) {
+		s.b = s.b[:len(s.b)-3]
+		cleanup = true
+	}
+	if !cleanup {
+		return
+	}
+	switch {
+	case s.hasSuffix("at"), s.hasSuffix("bl"), s.hasSuffix("iz"):
+		s.b = append(s.b, 'e')
+	case s.doubleCons(len(s.b)):
+		last := s.b[len(s.b)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			s.b = s.b[:len(s.b)-1]
+		}
+	case s.measure(len(s.b)) == 1 && s.cvc(len(s.b)):
+		s.b = append(s.b, 'e')
+	}
+}
+
+func (s *stemmer) step1c() {
+	if s.hasSuffix("y") && s.hasVowel(len(s.b)-1) {
+		s.b[len(s.b)-1] = 'i'
+	}
+}
+
+// step2 maps double suffixes to single ones when m(stem) > 0.
+func (s *stemmer) step2() {
+	pairs := []struct{ suf, rep string }{
+		{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+		{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+		{"alli", "al"}, {"entli", "ent"}, {"eli", "e"}, {"ousli", "ous"},
+		{"ization", "ize"}, {"ation", "ate"}, {"ator", "ate"},
+		{"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+		{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"},
+		{"biliti", "ble"},
+	}
+	for _, p := range pairs {
+		if s.hasSuffix(p.suf) {
+			s.replaceSuffix(p.suf, p.rep, 0)
+			return
+		}
+	}
+}
+
+func (s *stemmer) step3() {
+	pairs := []struct{ suf, rep string }{
+		{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+		{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+	}
+	for _, p := range pairs {
+		if s.hasSuffix(p.suf) {
+			s.replaceSuffix(p.suf, p.rep, 0)
+			return
+		}
+	}
+}
+
+func (s *stemmer) step4() {
+	sufs := []string{
+		"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+		"ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+	}
+	for _, suf := range sufs {
+		if !s.hasSuffix(suf) {
+			continue
+		}
+		stemLen := len(s.b) - len(suf)
+		if s.measure(stemLen) > 1 {
+			s.b = s.b[:stemLen]
+		}
+		return
+	}
+	// "ion" requires the stem to end in s or t.
+	if s.hasSuffix("ion") {
+		stemLen := len(s.b) - 3
+		if stemLen > 0 && (s.b[stemLen-1] == 's' || s.b[stemLen-1] == 't') &&
+			s.measure(stemLen) > 1 {
+			s.b = s.b[:stemLen]
+		}
+	}
+}
+
+func (s *stemmer) step5a() {
+	if !s.hasSuffix("e") {
+		return
+	}
+	stemLen := len(s.b) - 1
+	m := s.measure(stemLen)
+	if m > 1 || (m == 1 && !s.cvc(stemLen)) {
+		s.b = s.b[:stemLen]
+	}
+}
+
+func (s *stemmer) step5b() {
+	n := len(s.b)
+	if n > 1 && s.b[n-1] == 'l' && s.doubleCons(n) && s.measure(n) > 1 {
+		s.b = s.b[:n-1]
+	}
+}

@@ -1,0 +1,146 @@
+package textproc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Canonical examples from Porter's paper and the reference vocabulary.
+func TestStemKnown(t *testing.T) {
+	cases := map[string]string{
+		"caresses":       "caress",
+		"ponies":         "poni",
+		"ties":           "ti",
+		"caress":         "caress",
+		"cats":           "cat",
+		"feed":           "feed",
+		"agreed":         "agre",
+		"plastered":      "plaster",
+		"bled":           "bled",
+		"motoring":       "motor",
+		"sing":           "sing",
+		"conflated":      "conflat",
+		"troubled":       "troubl",
+		"sized":          "size",
+		"hopping":        "hop",
+		"tanned":         "tan",
+		"falling":        "fall",
+		"hissing":        "hiss",
+		"fizzed":         "fizz",
+		"failing":        "fail",
+		"filing":         "file",
+		"happy":          "happi",
+		"sky":            "sky",
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		"triplicate":     "triplic",
+		"formative":      "form",
+		"formalize":      "formal",
+		"electriciti":    "electr",
+		"electrical":     "electr",
+		"hopeful":        "hope",
+		"goodness":       "good",
+		"revival":        "reviv",
+		"allowance":      "allow",
+		"inference":      "infer",
+		"airliner":       "airlin",
+		"gyroscopic":     "gyroscop",
+		"adjustable":     "adjust",
+		"defensible":     "defens",
+		"irritant":       "irrit",
+		"replacement":    "replac",
+		"adjustment":     "adjust",
+		"dependent":      "depend",
+		"adoption":       "adopt",
+		"homologou":      "homolog",
+		"communism":      "commun",
+		"activate":       "activ",
+		"angulariti":     "angular",
+		"homologous":     "homolog",
+		"effective":      "effect",
+		"bowdlerize":     "bowdler",
+		"probate":        "probat",
+		"rate":           "rate",
+		"cease":          "ceas",
+		"controll":       "control",
+		"roll":           "roll",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortAndNonAlpha(t *testing.T) {
+	for _, w := range []string{"a", "is", "ah-64", "m-1", "u.s", "x9", ""} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+// Query/document consistency: the same topical word family collapses.
+func TestStemFamiliesCollapse(t *testing.T) {
+	families := [][]string{
+		{"connect", "connected", "connecting", "connection", "connections"},
+		{"helicopter", "helicopters"},
+		{"compress", "compressed", "compressing"},
+	}
+	for _, fam := range families {
+		base := Stem(fam[0])
+		for _, w := range fam[1:] {
+			if got := Stem(w); got != base {
+				t.Errorf("Stem(%q) = %q, want %q (family %v)", w, got, base, fam)
+			}
+		}
+	}
+}
+
+// Property: stemming never grows a word and is idempotent on its output
+// for plain lowercase words.
+func TestStemProperties(t *testing.T) {
+	f := func(raw string) bool {
+		// Build a plain lowercase ASCII word from the fuzz input.
+		var b []byte
+		for _, r := range raw {
+			c := byte('a' + (int(r) % 26))
+			b = append(b, c)
+			if len(b) >= 20 {
+				break
+			}
+		}
+		w := string(b)
+		s1 := Stem(w)
+		if len(s1) > len(w) {
+			return false
+		}
+		// Idempotence on stems is a property of Porter's algorithm for
+		// the overwhelming majority of words; check double application
+		// does not grow.
+		s2 := Stem(s1)
+		return len(s2) <= len(s1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

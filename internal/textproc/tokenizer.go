@@ -1,0 +1,98 @@
+// Package textproc provides the text-processing substrate used by the
+// search engine and the topic model: tokenization, stopword removal,
+// Porter stemming, and vocabulary management.
+//
+// The pipeline mirrors the standard document-retrieval preprocessing the
+// paper applies to the WSJ corpus (§V-A): lowercase, strip stopwords,
+// and drop hapax terms before indexing or topic modeling.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single normalized term extracted from text.
+type Token struct {
+	// Term is the normalized (lowercased, possibly stemmed) surface form.
+	Term string
+	// Position is the 0-based token offset within the source text.
+	Position int
+}
+
+// Tokenizer splits raw text into lowercase word tokens. A token is a
+// maximal run of letters and digits; single hyphens and periods are kept
+// when they join alphanumeric runs, so designators such as "ah-64",
+// "m-1" and "u.s." survive as one token each (the paper's TREC queries
+// depend on such high-specificity terms).
+type Tokenizer struct {
+	// MinLen drops tokens shorter than this many runes (after
+	// normalization). Zero means keep everything.
+	MinLen int
+	// MaxLen drops tokens longer than this many runes. Zero means no
+	// upper bound.
+	MaxLen int
+	// KeepJoined controls whether inner '-' and '.' join runs into one
+	// token. Enabled by default via NewTokenizer.
+	KeepJoined bool
+}
+
+// NewTokenizer returns a tokenizer with the defaults used throughout the
+// repository: tokens of 2..40 runes, joined designators kept.
+func NewTokenizer() *Tokenizer {
+	return &Tokenizer{MinLen: 2, MaxLen: 40, KeepJoined: true}
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Tokenize splits text into tokens. The returned slice is freshly
+// allocated on each call; the tokenizer itself is stateless and safe for
+// concurrent use.
+func (t *Tokenizer) Tokenize(text string) []Token {
+	var out []Token
+	var b strings.Builder
+	pos := 0
+	runes := []rune(text)
+	flush := func() {
+		if b.Len() == 0 {
+			return
+		}
+		term := b.String()
+		b.Reset()
+		// Trim trailing joiners left by inputs like "u.s." at
+		// end-of-sentence.
+		term = strings.TrimRight(term, "-.")
+		n := len([]rune(term))
+		if n == 0 || (t.MinLen > 0 && n < t.MinLen) || (t.MaxLen > 0 && n > t.MaxLen) {
+			return
+		}
+		out = append(out, Token{Term: term, Position: pos})
+		pos++
+	}
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		switch {
+		case isWordRune(r):
+			b.WriteRune(unicode.ToLower(r))
+		case t.KeepJoined && (r == '-' || r == '.') && b.Len() > 0 &&
+			i+1 < len(runes) && isWordRune(runes[i+1]):
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// Terms is a convenience wrapper returning only the term strings.
+func (t *Tokenizer) Terms(text string) []string {
+	toks := t.Tokenize(text)
+	terms := make([]string, len(toks))
+	for i, tok := range toks {
+		terms[i] = tok.Term
+	}
+	return terms
+}

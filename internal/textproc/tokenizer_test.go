@@ -1,0 +1,123 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	tok := NewTokenizer()
+	got := tok.Terms("The Quick, brown FOX!")
+	want := []string{"the", "quick", "brown", "fox"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeKeepsDesignators(t *testing.T) {
+	tok := NewTokenizer()
+	cases := map[string][]string{
+		"AH-64 Apache helicopter": {"ah-64", "apache", "helicopter"},
+		"abrams tank m-1":         {"abrams", "tank", "m-1"},
+		"u.s. army":               {"u.s", "army"},
+		"SQ-333 Changi airport":   {"sq-333", "changi", "airport"},
+	}
+	for in, want := range cases {
+		if got := tok.Terms(in); !reflect.DeepEqual(got, want) {
+			t.Errorf("Terms(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestTokenizeMinMaxLen(t *testing.T) {
+	tok := &Tokenizer{MinLen: 3, MaxLen: 5}
+	got := tok.Terms("a ab abc abcd abcde abcdef")
+	want := []string{"abc", "abcd", "abcde"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeNoJoin(t *testing.T) {
+	tok := &Tokenizer{MinLen: 1, KeepJoined: false}
+	got := tok.Terms("ah-64")
+	want := []string{"ah", "64"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	tok := NewTokenizer()
+	toks := tok.Tokenize("alpha beta gamma")
+	for i, tk := range toks {
+		if tk.Position != i {
+			t.Errorf("token %d has position %d", i, tk.Position)
+		}
+	}
+}
+
+func TestTokenizeEmptyAndPunct(t *testing.T) {
+	tok := NewTokenizer()
+	for _, in := range []string{"", "   ", "!!! --- ...", "-", "."} {
+		if got := tok.Terms(in); len(got) != 0 {
+			t.Errorf("Terms(%q) = %v, want empty", in, got)
+		}
+	}
+}
+
+func TestTokenizeTrailingJoiner(t *testing.T) {
+	tok := NewTokenizer()
+	// "u.s." at end of sentence: trailing period must not survive.
+	got := tok.Terms("made in the u.s. today")
+	for _, term := range got {
+		if strings.HasSuffix(term, ".") || strings.HasSuffix(term, "-") {
+			t.Errorf("term %q has trailing joiner", term)
+		}
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	tok := NewTokenizer()
+	got := tok.Terms("café RÉSUMÉ 日本語")
+	want := []string{"café", "résumé", "日本語"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Terms = %v, want %v", got, want)
+	}
+}
+
+// Property: every emitted term is lowercase and within length bounds.
+func TestTokenizeProperty(t *testing.T) {
+	tok := NewTokenizer()
+	f := func(s string) bool {
+		for _, term := range tok.Terms(s) {
+			if term != strings.ToLower(term) {
+				return false
+			}
+			n := len([]rune(term))
+			if n < tok.MinLen || n > tok.MaxLen {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tokenization is idempotent — re-tokenizing the emitted terms
+// yields the same terms.
+func TestTokenizeIdempotent(t *testing.T) {
+	tok := NewTokenizer()
+	f := func(s string) bool {
+		first := tok.Terms(s)
+		again := tok.Terms(strings.Join(first, " "))
+		return reflect.DeepEqual(first, again)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package trec parses the TREC data formats the paper's evaluation is
+// built on: the SGML-style document markup used by the Wall Street
+// Journal collection (TREC disks 1–2) and the TREC ad-hoc topic format
+// (topics 51–200 are the paper's 150 queries).
+//
+// The repository's experiments run on a synthetic substitute corpus,
+// but a user holding the licensed WSJ data can ingest it with this
+// package and reproduce the paper on the original collection:
+//
+//	docs, err := trec.ParseDocuments(f)       // WSJ SGML
+//	topics, err := trec.ParseTopics(tf)       // TREC topics
+//	svc, err := toppriv.NewService(toppriv.ServiceSpec{Documents: docs})
+package trec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"toppriv/internal/corpus"
+)
+
+// ParseDocuments reads a TREC SGML document stream:
+//
+//	<DOC>
+//	<DOCNO> WSJ870324-0001 </DOCNO>
+//	<HL> headline </HL>
+//	<TEXT>
+//	body...
+//	</TEXT>
+//	</DOC>
+//
+// Only DOCNO, HL (headline) and TEXT are interpreted; all other tags
+// inside a document are ignored. Multiple TEXT sections concatenate.
+func ParseDocuments(r io.Reader) ([]corpus.Document, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	var docs []corpus.Document
+	var cur *corpus.Document
+	var inText, inHL bool
+	var text, hl strings.Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Text()
+		trimmed := strings.TrimSpace(raw)
+		switch {
+		case trimmed == "<DOC>":
+			if cur != nil {
+				return nil, fmt.Errorf("trec: line %d: nested <DOC>", line)
+			}
+			cur = &corpus.Document{}
+			text.Reset()
+			hl.Reset()
+		case trimmed == "</DOC>":
+			if cur == nil {
+				return nil, fmt.Errorf("trec: line %d: </DOC> without <DOC>", line)
+			}
+			cur.Text = strings.TrimSpace(text.String())
+			if cur.Title == "" {
+				cur.Title = strings.TrimSpace(hl.String())
+			}
+			cur.ID = corpus.DocID(len(docs))
+			docs = append(docs, *cur)
+			cur = nil
+			inText, inHL = false, false
+		case cur == nil:
+			continue // junk between documents
+		case strings.HasPrefix(trimmed, "<DOCNO>"):
+			val := strings.TrimPrefix(trimmed, "<DOCNO>")
+			val = strings.TrimSuffix(val, "</DOCNO>")
+			if cur.Title == "" {
+				cur.Title = strings.TrimSpace(val)
+			}
+		case trimmed == "<TEXT>":
+			inText = true
+		case trimmed == "</TEXT>":
+			inText = false
+		case trimmed == "<HL>":
+			inHL = true
+		case trimmed == "</HL>":
+			inHL = false
+		case strings.HasPrefix(trimmed, "<HL>"):
+			// single-line <HL> headline </HL>
+			val := strings.TrimPrefix(trimmed, "<HL>")
+			val = strings.TrimSuffix(val, "</HL>")
+			hl.WriteString(val)
+			hl.WriteByte(' ')
+		case inHL:
+			hl.WriteString(trimmed)
+			hl.WriteByte(' ')
+		case inText:
+			text.WriteString(raw)
+			text.WriteByte('\n')
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trec: scan: %w", err)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("trec: unterminated <DOC>")
+	}
+	return docs, nil
+}
+
+// Topic is one TREC ad-hoc topic. The paper uses the Title field as the
+// query (its demonstration query is topic 91's title).
+type Topic struct {
+	Number      int
+	Title       string
+	Description string
+	Narrative   string
+}
+
+// Query returns the topic's title as a search query string.
+func (t Topic) Query() string { return t.Title }
+
+// ParseTopics reads the classic TREC topic format:
+//
+//	<top>
+//	<num> Number: 091
+//	<title> Topic: U.S. Army Acquisition of Advanced Weapons Systems
+//	<desc> Description:
+//	...free text...
+//	<narr> Narrative:
+//	...free text...
+//	</top>
+func ParseTopics(r io.Reader) ([]Topic, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var topics []Topic
+	var cur *Topic
+	section := ""
+	var desc, narr strings.Builder
+	flushSection := func() {
+		if cur == nil {
+			return
+		}
+		cur.Description = strings.TrimSpace(desc.String())
+		cur.Narrative = strings.TrimSpace(narr.String())
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		trimmed := strings.TrimSpace(sc.Text())
+		switch {
+		case trimmed == "<top>":
+			if cur != nil {
+				return nil, fmt.Errorf("trec: line %d: nested <top>", line)
+			}
+			cur = &Topic{}
+			section = ""
+			desc.Reset()
+			narr.Reset()
+		case trimmed == "</top>":
+			if cur == nil {
+				return nil, fmt.Errorf("trec: line %d: </top> without <top>", line)
+			}
+			flushSection()
+			topics = append(topics, *cur)
+			cur = nil
+		case cur == nil:
+			continue
+		case strings.HasPrefix(trimmed, "<num>"):
+			rest := strings.TrimPrefix(trimmed, "<num>")
+			rest = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), "Number:"))
+			n, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil {
+				return nil, fmt.Errorf("trec: line %d: bad topic number %q", line, rest)
+			}
+			cur.Number = n
+			section = ""
+		case strings.HasPrefix(trimmed, "<title>"):
+			rest := strings.TrimPrefix(trimmed, "<title>")
+			rest = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), "Topic:"))
+			cur.Title = rest
+			section = "title"
+		case strings.HasPrefix(trimmed, "<desc>"):
+			section = "desc"
+		case strings.HasPrefix(trimmed, "<narr>"):
+			section = "narr"
+		default:
+			switch section {
+			case "title":
+				if trimmed != "" {
+					if cur.Title != "" {
+						cur.Title += " "
+					}
+					cur.Title += trimmed
+				}
+			case "desc":
+				desc.WriteString(trimmed)
+				desc.WriteByte(' ')
+			case "narr":
+				narr.WriteString(trimmed)
+				narr.WriteByte(' ')
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trec: scan: %w", err)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("trec: unterminated <top>")
+	}
+	return topics, nil
+}

@@ -1,0 +1,161 @@
+package trec
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleDocs = `
+<DOC>
+<DOCNO> WSJ870324-0001 </DOCNO>
+<HL> Stocks Rally as Dow Gains 30 Points </HL>
+<DD> 03/24/87 </DD>
+<TEXT>
+The Dow Jones industrial average rose 30 points in heavy trading.
+Investors cheered the composite index.
+</TEXT>
+</DOC>
+<DOC>
+<DOCNO> WSJ870325-0002 </DOCNO>
+<HL>
+Army Orders More
+Apache Helicopters
+</HL>
+<TEXT>
+The Army said it will buy more AH-64 Apache helicopters.
+</TEXT>
+<TEXT>
+Deliveries begin next year.
+</TEXT>
+</DOC>
+`
+
+func TestParseDocuments(t *testing.T) {
+	docs, err := ParseDocuments(strings.NewReader(sampleDocs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("got %d docs", len(docs))
+	}
+	if docs[0].ID != 0 || docs[1].ID != 1 {
+		t.Error("doc IDs not dense")
+	}
+	if docs[0].Title != "WSJ870324-0001" {
+		t.Errorf("doc 0 title %q (DOCNO should win when set first)", docs[0].Title)
+	}
+	if !strings.Contains(docs[0].Text, "Dow Jones industrial average") {
+		t.Errorf("doc 0 text lost: %q", docs[0].Text)
+	}
+	if strings.Contains(docs[0].Text, "03/24/87") {
+		t.Error("non-TEXT content leaked into the body")
+	}
+	// Multiple TEXT sections concatenate.
+	if !strings.Contains(docs[1].Text, "AH-64") || !strings.Contains(docs[1].Text, "Deliveries begin") {
+		t.Errorf("doc 1 text sections not concatenated: %q", docs[1].Text)
+	}
+}
+
+func TestParseDocumentsErrors(t *testing.T) {
+	cases := map[string]string{
+		"nested":       "<DOC>\n<DOC>\n</DOC>\n</DOC>\n",
+		"orphan close": "</DOC>\n<DOC>\n</DOC>\n",
+		"unterminated": "<DOC>\n<TEXT>\nabc\n</TEXT>\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseDocuments(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// "orphan close" first line actually errors; also verify empty input is fine.
+	docs, err := ParseDocuments(strings.NewReader(""))
+	if err != nil || len(docs) != 0 {
+		t.Errorf("empty input: %v, %d docs", err, len(docs))
+	}
+}
+
+const sampleTopics = `
+<top>
+<num> Number: 091
+<title> Topic:  U.S. Army Acquisition of Advanced Weapons Systems
+<desc> Description:
+Document will identify the U.S. Army's acquisition of advanced
+weapons systems.
+<narr> Narrative:
+To be relevant, a document must identify one of the advanced
+weapons systems.
+</top>
+<top>
+<num> Number: 092
+<title> Topic:  International Military Equipment Sales
+<desc> Description:
+Document will discuss a sale.
+<narr> Narrative:
+Relevant documents discuss sales.
+</top>
+`
+
+func TestParseTopics(t *testing.T) {
+	topics, err := ParseTopics(strings.NewReader(sampleTopics))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topics) != 2 {
+		t.Fatalf("got %d topics", len(topics))
+	}
+	t91 := topics[0]
+	if t91.Number != 91 {
+		t.Errorf("number = %d", t91.Number)
+	}
+	if t91.Title != "U.S. Army Acquisition of Advanced Weapons Systems" {
+		t.Errorf("title = %q", t91.Title)
+	}
+	if !strings.Contains(t91.Description, "advanced weapons systems") {
+		t.Errorf("description = %q", t91.Description)
+	}
+	if !strings.Contains(t91.Narrative, "To be relevant") {
+		t.Errorf("narrative = %q", t91.Narrative)
+	}
+	if t91.Query() != t91.Title {
+		t.Error("Query should return the title")
+	}
+	if topics[1].Number != 92 {
+		t.Errorf("second topic number %d", topics[1].Number)
+	}
+}
+
+func TestParseTopicsErrors(t *testing.T) {
+	cases := map[string]string{
+		"nested":       "<top>\n<top>\n</top>\n",
+		"orphan close": "</top>\n",
+		"bad number":   "<top>\n<num> Number: abc\n</top>\n",
+		"unterminated": "<top>\n<num> Number: 51\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseTopics(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseTopicsMultilineTitle(t *testing.T) {
+	in := "<top>\n<num> Number: 101\n<title> Topic: First Part\nSecond Part\n<desc> Description:\nx\n</top>\n"
+	topics, err := ParseTopics(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topics[0].Title != "First Part Second Part" {
+		t.Errorf("title = %q", topics[0].Title)
+	}
+}
+
+// End-to-end: parsed documents flow into the standard corpus path.
+func TestParsedDocsBuildCorpus(t *testing.T) {
+	docs, err := ParseDocuments(strings.NewReader(sampleDocs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if docs[0].Text == "" || docs[1].Text == "" {
+		t.Fatal("empty bodies")
+	}
+}

@@ -1,0 +1,282 @@
+// Package vsm implements the similarity search engine of the paper's
+// system model (§III-A): vector-space-model retrieval over the inverted
+// index, returning the documents most similar to a bag-of-words query.
+// Two scoring functions are provided — tf-idf cosine (the classical VSM
+// of Baeza-Yates & Ribeiro-Neto, the paper's reference [7]) and Okapi
+// BM25 — selected per Engine.
+//
+// TopPriv deliberately requires no changes to this engine; the privacy
+// machinery lives entirely client-side.
+package vsm
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/index"
+	"toppriv/internal/textproc"
+)
+
+// Scoring selects the document-scoring function.
+type Scoring int
+
+const (
+	// Cosine is lnc.ltc tf-idf cosine similarity (default).
+	Cosine Scoring = iota
+	// BM25 is Okapi BM25 with k1 = 1.2, b = 0.75.
+	BM25
+)
+
+// String implements fmt.Stringer.
+func (s Scoring) String() string {
+	switch s {
+	case Cosine:
+		return "cosine"
+	case BM25:
+		return "bm25"
+	default:
+		return fmt.Sprintf("Scoring(%d)", int(s))
+	}
+}
+
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// Result is one retrieved document with its similarity score.
+type Result struct {
+	Doc   corpus.DocID
+	Score float64
+}
+
+// Engine executes similarity queries against an index. It is immutable
+// after construction and safe for concurrent use.
+type Engine struct {
+	idx      *index.Index
+	an       *textproc.Analyzer
+	scoring  Scoring
+	docNorm  []float64 // cosine: per-document vector norms (lnc weights)
+	avgLen   float64
+	numTerms int
+	// prior, when non-nil, is a static per-document score multiplier in
+	// (0, 1], derived from link analysis (see NewEngineWithPrior).
+	prior       []float64
+	priorWeight float64
+}
+
+// NewEngine builds a search engine over idx. The analyzer must be the
+// one the corpus was built with so query terms normalize identically.
+func NewEngine(idx *index.Index, an *textproc.Analyzer, scoring Scoring) (*Engine, error) {
+	if idx == nil {
+		return nil, fmt.Errorf("vsm: nil index")
+	}
+	if an == nil {
+		an = textproc.NewAnalyzer()
+	}
+	e := &Engine{idx: idx, an: an, scoring: scoring, avgLen: idx.AvgDocLen(), numTerms: idx.NumTerms()}
+	if scoring == Cosine {
+		e.docNorm = computeDocNorms(idx)
+	}
+	return e, nil
+}
+
+// NewEngineWithPrior builds an engine that folds a static document
+// prior (e.g. PageRank or HITS authority from internal/linkrank) into
+// its ranking, the way the paper's system model allows (§III-A: the
+// engine may combine the VSM "in conjunction with Web link analysis
+// techniques"). Each similarity score is multiplied by
+//
+//	(1 − weight) + weight · prior[d]/max(prior)
+//
+// so weight = 0 is pure similarity and weight = 1 ranks by
+// prior-modulated similarity. TopPriv's privacy layer is independent of
+// this choice — it never sees document scores.
+func NewEngineWithPrior(idx *index.Index, an *textproc.Analyzer, scoring Scoring, prior []float64, weight float64) (*Engine, error) {
+	e, err := NewEngine(idx, an, scoring)
+	if err != nil {
+		return nil, err
+	}
+	if len(prior) != idx.NumDocs() {
+		return nil, fmt.Errorf("vsm: prior has %d entries for %d docs", len(prior), idx.NumDocs())
+	}
+	if weight < 0 || weight > 1 {
+		return nil, fmt.Errorf("vsm: prior weight = %v, need [0,1]", weight)
+	}
+	mx := 0.0
+	for _, p := range prior {
+		if p < 0 {
+			return nil, fmt.Errorf("vsm: negative prior %v", p)
+		}
+		if p > mx {
+			mx = p
+		}
+	}
+	if mx == 0 {
+		return nil, fmt.Errorf("vsm: all-zero prior")
+	}
+	scaled := make([]float64, len(prior))
+	for d, p := range prior {
+		scaled[d] = (1 - weight) + weight*p/mx
+	}
+	e.prior = scaled
+	e.priorWeight = weight
+	return e, nil
+}
+
+// computeDocNorms accumulates, per document, the L2 norm of its lnc
+// weight vector: weight = 1 + ln(tf).
+func computeDocNorms(idx *index.Index) []float64 {
+	norms := make([]float64, idx.NumDocs())
+	for id := 0; id < idx.NumTerms(); id++ {
+		for _, p := range idx.Postings(textproc.TermID(id)) {
+			w := 1 + math.Log(float64(p.TF))
+			norms[p.Doc] += w * w
+		}
+	}
+	for d := range norms {
+		norms[d] = math.Sqrt(norms[d])
+	}
+	return norms
+}
+
+// Index exposes the underlying index (read-only use).
+func (e *Engine) Index() *index.Index { return e.idx }
+
+// Analyzer exposes the engine's analyzer.
+func (e *Engine) Analyzer() *textproc.Analyzer { return e.an }
+
+// Search analyzes the raw query text and returns the top-k documents by
+// descending score. Ties break by ascending DocID for determinism.
+// An empty or fully-stopworded query returns no results.
+func (e *Engine) Search(query string, k int) []Result {
+	return e.SearchTerms(e.an.Analyze(query), k)
+}
+
+// SearchTerms runs a query that is already analyzed into terms.
+func (e *Engine) SearchTerms(terms []string, k int) []Result {
+	if k <= 0 || len(terms) == 0 {
+		return nil
+	}
+	// Bag the query: term -> tf.
+	qtf := make(map[textproc.TermID]int, len(terms))
+	for _, term := range terms {
+		id := e.idx.Vocab().ID(term)
+		if id == textproc.InvalidTerm {
+			continue
+		}
+		qtf[id]++
+	}
+	if len(qtf) == 0 {
+		return nil
+	}
+	scores := make(map[corpus.DocID]float64, 256)
+	switch e.scoring {
+	case Cosine:
+		e.scoreCosine(qtf, scores)
+	case BM25:
+		e.scoreBM25(qtf, scores)
+	default:
+		e.scoreCosine(qtf, scores)
+	}
+	if e.prior != nil {
+		for d := range scores {
+			scores[d] *= e.prior[d]
+		}
+	}
+	return topK(scores, k)
+}
+
+// scoreCosine implements lnc.ltc: query weights (1+ln tf)·idf, document
+// weights 1+ln tf, both L2-normalized.
+func (e *Engine) scoreCosine(qtf map[textproc.TermID]int, scores map[corpus.DocID]float64) {
+	qnorm := 0.0
+	qw := make(map[textproc.TermID]float64, len(qtf))
+	for id, tf := range qtf {
+		w := (1 + math.Log(float64(tf))) * e.idx.IDF(id)
+		qw[id] = w
+		qnorm += w * w
+	}
+	qnorm = math.Sqrt(qnorm)
+	if qnorm == 0 {
+		return
+	}
+	for id, w := range qw {
+		for _, p := range e.idx.Postings(id) {
+			dw := 1 + math.Log(float64(p.TF))
+			scores[p.Doc] += w * dw
+		}
+	}
+	for d := range scores {
+		if n := e.docNorm[d]; n > 0 {
+			scores[d] /= n * qnorm
+		}
+	}
+}
+
+// scoreBM25 implements Okapi BM25 with standard parameters.
+func (e *Engine) scoreBM25(qtf map[textproc.TermID]int, scores map[corpus.DocID]float64) {
+	n := float64(e.idx.NumDocs())
+	for id := range qtf {
+		df := float64(e.idx.DocFreq(id))
+		if df == 0 {
+			continue
+		}
+		idf := math.Log(1 + (n-df+0.5)/(df+0.5))
+		for _, p := range e.idx.Postings(id) {
+			tf := float64(p.TF)
+			dl := float64(e.idx.DocLen(p.Doc))
+			denom := tf + bm25K1*(1-bm25B+bm25B*dl/e.avgLen)
+			scores[p.Doc] += idf * tf * (bm25K1 + 1) / denom
+		}
+	}
+}
+
+// resultHeap is a min-heap over scores (ties: larger DocID is "smaller"
+// so that smaller DocIDs win final ranking).
+type resultHeap []Result
+
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].Doc > h[j].Doc
+}
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// topK selects the k best results from the accumulator.
+func topK(scores map[corpus.DocID]float64, k int) []Result {
+	h := make(resultHeap, 0, k+1)
+	heap.Init(&h)
+	for d, s := range scores {
+		if len(h) < k {
+			heap.Push(&h, Result{Doc: d, Score: s})
+			continue
+		}
+		if top := h[0]; s > top.Score || (s == top.Score && d < top.Doc) {
+			heap.Pop(&h)
+			heap.Push(&h, Result{Doc: d, Score: s})
+		}
+	}
+	out := make([]Result, len(h))
+	copy(out, h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	return out
+}

@@ -1,0 +1,297 @@
+// Package toppriv is a from-scratch reproduction of "Obfuscating the
+// Topical Intention in Enterprise Text Search" (Pang, Xiao, Shen —
+// ICDE 2012): a client-side privacy layer that hides the topics behind
+// similarity text-search queries by mixing each genuine query among
+// automatically generated, semantically coherent ghost queries, with a
+// formal (ε1, ε2)-privacy guarantee over an LDA topic model.
+//
+// The package is a facade over the substrates in internal/: text
+// processing, a synthetic enterprise corpus, an inverted index, a
+// vector-space search engine, collapsed-Gibbs LDA, the topical belief
+// model, the TopPriv obfuscator, baselines (PDX, TrackMeNot), adversary
+// simulations and the evaluation harness. A typical embedding:
+//
+//	svc, err := toppriv.NewService(toppriv.ServiceSpec{Seed: 1})
+//	obf, err := svc.NewObfuscator(toppriv.DefaultPrivacyParams())
+//	cycle, err := obf.Obfuscate(svc.AnalyzeQuery("apache helicopter army"), rng)
+//	// submit every query in cycle.Queries; keep results of cycle.UserIndex
+//
+// or, end to end over HTTP:
+//
+//	handler, _ := svc.Handler()
+//	ts := httptest.NewServer(handler)
+//	client, _ := svc.NewClient(ts.URL, obf, 42)
+//	hits, _ := client.Search("apache helicopter army")
+package toppriv
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+
+	"toppriv/internal/baseline"
+	"toppriv/internal/belief"
+	"toppriv/internal/core"
+	"toppriv/internal/corpus"
+	"toppriv/internal/index"
+	"toppriv/internal/lda"
+	"toppriv/internal/linkrank"
+	"toppriv/internal/search"
+	"toppriv/internal/textproc"
+	"toppriv/internal/vsm"
+)
+
+// Re-exported core types. The aliases keep one set of types across the
+// facade and the internal packages, so values flow freely between them.
+type (
+	// Document is one corpus document.
+	Document = corpus.Document
+	// CorpusSpec configures synthetic corpus generation.
+	CorpusSpec = corpus.GenSpec
+	// GroundTruth describes the generative topics behind a synthetic corpus.
+	GroundTruth = corpus.GroundTruth
+	// QuerySpec is one workload query with its target topics.
+	QuerySpec = corpus.QuerySpec
+	// WorkloadSpec configures workload generation.
+	WorkloadSpec = corpus.WorkloadSpec
+	// PrivacyParams are the user's (ε1, ε2) settings and knobs.
+	PrivacyParams = core.Params
+	// Cycle is an obfuscated query cycle.
+	Cycle = core.Cycle
+	// Obfuscator generates (ε1, ε2)-private cycles.
+	Obfuscator = core.Obfuscator
+	// Session obfuscates a user's query sequence with a sticky decoy
+	// profile, resisting cross-cycle intersection analysis.
+	Session = core.Session
+	// Model is a trained LDA topic model.
+	Model = lda.Model
+	// TrainSpec configures LDA training.
+	TrainSpec = lda.TrainSpec
+	// SearchHit is one search result row.
+	SearchHit = search.SearchHit
+	// Client is the trusted client module (Fig. 1 of the paper).
+	Client = search.Client
+	// Server is the HTTP search server.
+	Server = search.Server
+	// PDX is the query-embellishment baseline.
+	PDX = baseline.PDX
+	// TrackMeNot is the random-ghost baseline.
+	TrackMeNot = baseline.TrackMeNot
+	// BeliefEngine computes topical beliefs (priors, posteriors, boosts).
+	BeliefEngine = belief.Engine
+	// Analyzer is the shared text-normalization pipeline.
+	Analyzer = textproc.Analyzer
+	// IndexStats summarizes the inverted index.
+	IndexStats = index.Stats
+)
+
+// DefaultPrivacyParams returns the paper's defaults: ε1 = 5%, ε2 = 1%.
+func DefaultPrivacyParams() PrivacyParams { return core.DefaultParams() }
+
+// ServiceSpec configures NewService.
+type ServiceSpec struct {
+	// Seed drives corpus synthesis, workload generation and LDA training.
+	Seed int64
+	// Corpus configures the synthetic corpus. Zero-valued fields take
+	// the documented defaults (2,000 docs, 32 topics, …). Ignored when
+	// Documents is non-nil.
+	Corpus CorpusSpec
+	// Documents, when non-nil, ingests these documents instead of
+	// synthesizing a corpus (no ground truth will be available).
+	Documents []Document
+	// NumTopics is K for the topic model. Zero means the corpus
+	// ground-truth topic count, or 24 for ingested corpora.
+	NumTopics int
+	// TrainIters is the Gibbs sweep budget. Zero means 120.
+	TrainIters int
+	// BM25 selects Okapi BM25 scoring instead of tf-idf cosine.
+	BM25 bool
+	// LinkPriorWeight, when > 0, synthesizes a citation graph over the
+	// corpus (topical preferential attachment), computes PageRank, and
+	// folds it into the ranking with this weight in (0, 1] — the
+	// §III-A "in conjunction with Web link analysis techniques" engine
+	// variant. TopPriv is unaffected either way.
+	LinkPriorWeight float64
+}
+
+// Service wires the full system: corpus, index, search engine, topic
+// model and belief engine, all sharing one analyzer. Build it once;
+// it is then safe for concurrent readers.
+type Service struct {
+	Corpus      *corpus.Corpus
+	GroundTruth *GroundTruth // nil for ingested corpora
+	Index       *index.Index
+	Model       *Model
+	Beliefs     *BeliefEngine
+
+	analyzer *Analyzer
+	searcher *vsm.Engine
+}
+
+// NewService builds everything from the spec: synthesize or ingest the
+// corpus, build the inverted index and search engine, train the LDA
+// model, and stand up the belief engine.
+func NewService(spec ServiceSpec) (*Service, error) {
+	an := textproc.NewAnalyzer()
+	var (
+		c   *corpus.Corpus
+		gt  *GroundTruth
+		err error
+	)
+	if spec.Documents != nil {
+		c, err = corpus.Build(spec.Documents, an, textproc.PruneSpec{MinDocFreq: 2})
+	} else {
+		cs := spec.Corpus
+		if cs.Seed == 0 {
+			cs.Seed = spec.Seed
+		}
+		c, gt, err = corpus.Synthesize(cs, an)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("toppriv: corpus: %w", err)
+	}
+
+	idx, err := index.Build(c)
+	if err != nil {
+		return nil, fmt.Errorf("toppriv: index: %w", err)
+	}
+	scoring := vsm.Cosine
+	if spec.BM25 {
+		scoring = vsm.BM25
+	}
+	var searcher *vsm.Engine
+	if spec.LinkPriorWeight > 0 {
+		topics := make([][]float64, c.NumDocs())
+		for d := range topics {
+			theta := c.Docs[d].TrueTopics
+			if len(theta) == 0 {
+				theta = []float64{1} // ingested corpora: single pseudo-topic
+			}
+			topics[d] = theta
+		}
+		g, err := linkrank.SyntheticGraph(topics, 4, spec.Seed+13)
+		if err != nil {
+			return nil, fmt.Errorf("toppriv: link graph: %w", err)
+		}
+		pr, err := linkrank.PageRank(g, 0.85, 100, 1e-10)
+		if err != nil {
+			return nil, fmt.Errorf("toppriv: pagerank: %w", err)
+		}
+		searcher, err = vsm.NewEngineWithPrior(idx, an, scoring, pr, spec.LinkPriorWeight)
+		if err != nil {
+			return nil, fmt.Errorf("toppriv: engine: %w", err)
+		}
+	} else {
+		searcher, err = vsm.NewEngine(idx, an, scoring)
+		if err != nil {
+			return nil, fmt.Errorf("toppriv: engine: %w", err)
+		}
+	}
+
+	k := spec.NumTopics
+	if k == 0 {
+		if c.GroundTruthTopics > 0 {
+			k = c.GroundTruthTopics
+		} else {
+			k = 24
+		}
+	}
+	iters := spec.TrainIters
+	if iters == 0 {
+		iters = 120
+	}
+	m, _, err := lda.Train(c, lda.TrainSpec{NumTopics: k, Iterations: iters, Seed: spec.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("toppriv: train: %w", err)
+	}
+	inf, err := lda.NewInferencer(m, lda.InferSpec{})
+	if err != nil {
+		return nil, fmt.Errorf("toppriv: inferencer: %w", err)
+	}
+	beliefs, err := belief.NewEngine(inf)
+	if err != nil {
+		return nil, fmt.Errorf("toppriv: beliefs: %w", err)
+	}
+
+	return &Service{
+		Corpus:      c,
+		GroundTruth: gt,
+		Index:       idx,
+		Model:       m,
+		Beliefs:     beliefs,
+		analyzer:    an,
+		searcher:    searcher,
+	}, nil
+}
+
+// Analyzer returns the shared text pipeline.
+func (s *Service) Analyzer() *Analyzer { return s.analyzer }
+
+// AnalyzeQuery normalizes raw query text into index/model terms.
+func (s *Service) AnalyzeQuery(raw string) []string { return s.analyzer.Analyze(raw) }
+
+// Search runs an (unprotected) similarity query directly against the
+// local engine, returning up to k results.
+func (s *Service) Search(raw string, k int) []SearchHit {
+	results := s.searcher.Search(raw, k)
+	hits := make([]SearchHit, len(results))
+	for i, r := range results {
+		hit := SearchHit{Doc: r.Doc, Score: r.Score}
+		if int(r.Doc) < len(s.Corpus.Docs) {
+			hit.Title = s.Corpus.Docs[r.Doc].Title
+		}
+		hits[i] = hit
+	}
+	return hits
+}
+
+// NewObfuscator builds a TopPriv obfuscator with the given privacy
+// parameters over this service's topic model.
+func (s *Service) NewObfuscator(p PrivacyParams) (*Obfuscator, error) {
+	return core.NewObfuscator(s.Beliefs, p)
+}
+
+// NewSession starts a session-level obfuscation stream for one user:
+// masking topics adopted early are preferred later, so a user who keeps
+// querying the same interest does not leak it to cross-cycle frequency
+// analysis.
+func (s *Service) NewSession(p PrivacyParams) (*Session, error) {
+	obf, err := s.NewObfuscator(p)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSession(obf)
+}
+
+// NewPDX builds the query-embellishment baseline.
+func (s *Service) NewPDX(expansion, eps1 float64) (*PDX, error) {
+	return baseline.NewPDX(s.Beliefs, expansion, eps1)
+}
+
+// NewTrackMeNot builds the random-ghost baseline.
+func (s *Service) NewTrackMeNot(numGhosts, minLen, maxLen int) (*TrackMeNot, error) {
+	return baseline.NewTrackMeNot(s.Beliefs, numGhosts, minLen, maxLen)
+}
+
+// Handler returns the HTTP search server for this corpus: the
+// unmodified engine of the paper's system model.
+func (s *Service) Handler() (*Server, error) {
+	return search.NewServer(s.searcher, s.Corpus.Docs)
+}
+
+// NewClient builds the trusted client module against a running server.
+func (s *Service) NewClient(baseURL string, obf *Obfuscator, seed int64) (*Client, error) {
+	return search.NewClient(baseURL, http.DefaultClient, obf, s.analyzer, rand.New(rand.NewSource(seed)))
+}
+
+// Workload generates benchmark queries from the service's ground truth
+// (synthetic corpora only).
+func (s *Service) Workload(spec WorkloadSpec) ([]QuerySpec, error) {
+	if s.GroundTruth == nil {
+		return nil, fmt.Errorf("toppriv: workload needs a synthetic corpus with ground truth")
+	}
+	return corpus.Workload(s.GroundTruth, spec)
+}
+
+// Stats summarizes the inverted index (postings skew, PIR padding cost).
+func (s *Service) Stats() IndexStats { return s.Index.ComputeStats() }
