@@ -4,22 +4,41 @@
 // log, which is exactly what the curious adversary of the threat model
 // gets to analyze.
 //
+// By default the index is immutable, built once from the corpus. With
+// -live the engine runs on the segmented live index instead: POST
+// /index and DELETE /doc/{id} mutate the corpus while /search keeps
+// serving, the memtable seals into segments as it fills, a background
+// compactor merges them, and -data persists the segments (TPIX codec
+// per segment plus a manifest) so a restart recovers without
+// re-analyzing a single document.
+//
+// On SIGINT/SIGTERM the server drains in-flight requests, and in -live
+// mode flushes the memtable into a sealed segment and saves to -data
+// before exiting.
+//
 // Usage:
 //
 //	searchd -corpus corpus.json -addr :8080 [-bm25]
+//	searchd -live -data ./idx -corpus corpus.json -addr :8080
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"toppriv/internal/corpus"
 	"toppriv/internal/index"
 	"toppriv/internal/search"
+	"toppriv/internal/segment"
 	"toppriv/internal/textproc"
 	"toppriv/internal/vsm"
 )
@@ -29,51 +48,168 @@ func main() {
 	log.SetPrefix("searchd: ")
 
 	var (
-		corpusPath = flag.String("corpus", "corpus.json", "corpus JSON from corpusgen")
-		addr       = flag.String("addr", ":8080", "listen address")
-		bm25       = flag.Bool("bm25", false, "score with BM25 instead of tf-idf cosine")
+		corpusPath  = flag.String("corpus", "corpus.json", "corpus JSON from corpusgen")
+		addr        = flag.String("addr", ":8080", "listen address")
+		bm25        = flag.Bool("bm25", false, "score with BM25 instead of tf-idf cosine")
+		live        = flag.Bool("live", false, "serve the segmented live index (POST /index, DELETE /doc/{id})")
+		dataDir     = flag.String("data", "", "live mode: segment persistence directory (empty = in-memory only)")
+		seal        = flag.Int("seal", 0, "live mode: memtable seal threshold in documents (0 = default)")
+		querylogCap = flag.Int("querylog-cap", 0, "retain at most this many query-log entries (0 = default 100k)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		adminToken  = flag.String("admin-token", "", "live mode: require this bearer token on POST /index and DELETE /doc/{id}")
 	)
 	flag.Parse()
 
-	f, err := os.Open(*corpusPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	an := textproc.NewAnalyzer()
-	c, err := corpus.ReadJSON(f, an, textproc.PruneSpec{MinDocFreq: 2})
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	idx, err := index.Build(c)
-	if err != nil {
-		log.Fatal(err)
-	}
 	scoring := vsm.Cosine
 	if *bm25 {
 		scoring = vsm.BM25
 	}
-	engine, err := vsm.NewEngine(idx, an, scoring)
+	an := textproc.NewAnalyzer()
+
+	var (
+		searcher vsm.Searcher
+		docs     []corpus.Document
+		store    *segment.Store
+	)
+	if *live {
+		store = openLiveStore(an, scoring, *corpusPath, *dataDir, *seal)
+		searcher = store
+		// A recovered manifest's scoring overrides the flag; report what
+		// is actually served.
+		if store.Scoring() != scoring {
+			log.Printf("note: -data manifest pins %s scoring, overriding the flag", store.Scoring())
+			scoring = store.Scoring()
+		}
+	} else {
+		c := loadCorpus(*corpusPath, an)
+		idx, err := index.Build(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine, err := vsm.NewEngine(idx, an, scoring)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats := idx.ComputeStats()
+		log.Printf("immutable index: %d docs / %d terms", stats.NumDocs, stats.NumTerms)
+		searcher = engine
+		docs = c.Docs
+	}
+
+	srv, err := search.NewServer(searcher, docs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := search.NewServer(engine, c.Docs)
-	if err != nil {
-		log.Fatal(err)
-	}
+	srv.SetQueryLogCap(*querylogCap)
+	srv.SetAdminToken(*adminToken)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	stats := idx.ComputeStats()
-	log.Printf("serving %d docs / %d terms (%s scoring) on %s",
-		stats.NumDocs, stats.NumTerms, scoring, ln.Addr())
+	mode := "immutable"
+	if *live {
+		mode = "live"
+	}
+	log.Printf("serving (%s, %s scoring) on %s", mode, scoring, ln.Addr())
 
 	httpSrv := &http.Server{
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Fatal(httpSrv.Serve(ln))
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case sig := <-sigCh:
+		log.Printf("caught %v, draining (max %v)", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		log.Printf("serve: %v", serveErr)
+	}
+	if store != nil {
+		// Close first: any straggler that outlived the drain now gets
+		// ErrClosed instead of an acknowledgment its document would lose
+		// on exit. Save (which seals the memtable itself) then writes
+		// everything that was ever acknowledged.
+		store.Close()
+		if *dataDir != "" {
+			if err := store.Save(*dataDir); err != nil {
+				log.Printf("save: %v", err)
+			} else {
+				log.Printf("saved %d segments to %s", store.NumSegments(), *dataDir)
+			}
+		}
+	}
+	log.Print("bye")
+}
+
+// openLiveStore recovers a saved store from dataDir when a manifest
+// exists; otherwise it opens a fresh store and, when the corpus file is
+// readable, bulk-loads it.
+func openLiveStore(an *textproc.Analyzer, scoring vsm.Scoring, corpusPath, dataDir string, seal int) *segment.Store {
+	cfg := segment.Config{Scoring: scoring, Analyzer: an, SealThreshold: seal, Logf: log.Printf}
+	if dataDir != "" {
+		if _, err := os.Stat(filepath.Join(dataDir, "MANIFEST.json")); err == nil {
+			store, err := segment.Load(dataDir, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s := store.Stats()
+			log.Printf("recovered %d segments / %d live docs from %s (no reindex)",
+				s.Segments, s.LiveDocs, dataDir)
+			return store
+		}
+	}
+	store, err := segment.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(corpusPath)
+	if err != nil {
+		// Only a genuinely absent corpus means "start empty"; anything
+		// else (permissions, a directory, ...) must not silently serve
+		// zero documents.
+		if !os.IsNotExist(err) {
+			log.Fatal(err)
+		}
+		log.Printf("live store starting empty (no %s)", corpusPath)
+		return store
+	}
+	// Decode the raw documents only — Add analyzes them exactly once
+	// on the way into the memtable.
+	docs, err := corpus.DecodeDocs(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := store.Add(docs...); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("live store seeded with %d docs from %s", store.NumDocs(), corpusPath)
+	return store
+}
+
+// loadCorpus reads and analyzes the corpus for the immutable path.
+func loadCorpus(path string, an *textproc.Analyzer) *corpus.Corpus {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	c, err := corpus.ReadJSON(f, an, textproc.PruneSpec{MinDocFreq: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
 }

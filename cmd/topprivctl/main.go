@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -25,6 +26,7 @@ import (
 
 	"toppriv/internal/belief"
 	"toppriv/internal/core"
+	"toppriv/internal/corpus"
 	"toppriv/internal/lda"
 	"toppriv/internal/search"
 	"toppriv/internal/textproc"
@@ -44,8 +46,17 @@ func main() {
 		showGhosts = flag.Bool("show-ghosts", false, "print the ghost queries the server saw")
 		plain      = flag.Bool("plain", false, "skip obfuscation (for comparison)")
 		session    = flag.Bool("session", false, "keep a sticky decoy profile across the queries of this invocation (resists cross-cycle intersection analysis)")
+		addDocs    = flag.String("add-docs", "", "admin: ingest documents from this JSON file into a -live searchd (POST /index), then exit")
+		deleteDoc  = flag.Int64("delete-doc", -1, "admin: tombstone this document ID on a -live searchd (DELETE /doc/{id}), then exit")
+		adminToken = flag.String("admin-token", "", "bearer token for the admin verbs (when searchd runs with -admin-token)")
 	)
 	flag.Parse()
+
+	// Admin verbs talk straight to the live index and need no model.
+	if *addDocs != "" || *deleteDoc >= 0 {
+		runAdmin(*server, *adminToken, *addDocs, *deleteDoc)
+		return
+	}
 
 	f, err := os.Open(*modelPath)
 	if err != nil {
@@ -164,5 +175,42 @@ func main() {
 	}
 	if err := sc.Err(); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// runAdmin performs one mutation against a -live searchd. The docs file
+// may be either a plain JSON array of documents or a corpusgen file
+// ({"docs": [...]}).
+func runAdmin(server, token, addDocs string, deleteDoc int64) {
+	client := search.NewAdminClient(server, nil)
+	client.AdminToken = token
+	if addDocs != "" {
+		f, err := os.Open(addDocs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		docs, err := corpus.DecodeDocs(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", addDocs, err)
+		}
+		ids, err := client.AddDocuments(docs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("indexed %d documents", len(ids))
+		if len(ids) > 0 {
+			fmt.Printf(" (ids %d..%d)", ids[0], ids[len(ids)-1])
+		}
+		fmt.Println()
+	}
+	if deleteDoc >= 0 {
+		if deleteDoc > math.MaxInt32 {
+			log.Fatalf("document ID %d out of range", deleteDoc)
+		}
+		if err := client.DeleteDocument(corpus.DocID(deleteDoc)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("deleted document %d\n", deleteDoc)
 	}
 }

@@ -8,6 +8,7 @@ package toppriv
 import (
 	"bufio"
 	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -177,4 +178,155 @@ func topDoc(t *testing.T, out string) string {
 		t.Fatalf("no results in output:\n%s", out)
 	}
 	return m[1]
+}
+
+// TestCLILivePipeline exercises the live-index deployment: searchd
+// -live with persistence, admin mutations through topprivctl, graceful
+// SIGTERM shutdown (drain + memtable flush + save), and restart
+// recovery from the manifest without reindexing.
+func TestCLILivePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+	corpusPath := filepath.Join(work, "corpus.json")
+	dataDir := filepath.Join(work, "idx")
+
+	out, err := exec.Command(filepath.Join(bin, "corpusgen"),
+		"-out", corpusPath, "-docs", "150", "-topics", "6", "-seed", "7").CombinedOutput()
+	if err != nil {
+		t.Fatalf("corpusgen: %v\n%s", err, out)
+	}
+
+	// First run: seed from the corpus, mutate, shut down gracefully.
+	srv := exec.Command(filepath.Join(bin, "searchd"),
+		"-live", "-data", dataDir, "-corpus", corpusPath, "-addr", "127.0.0.1:0", "-seal", "64")
+	stderr, err := srv.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			srv.Process.Kill()
+			srv.Wait()
+		}
+	}()
+	addr := waitForAddr(t, stderr)
+	drained := make(chan string, 1)
+	go func() {
+		rest, _ := io.ReadAll(stderr)
+		drained <- string(rest)
+	}()
+
+	docsPath := filepath.Join(work, "new.json")
+	if err := os.WriteFile(docsPath, []byte(
+		`[{"title":"fresh","text":"zebra migration patterns across the savanna plains"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command(filepath.Join(bin, "topprivctl"),
+		"-server", "http://"+addr, "-add-docs", docsPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("topprivctl -add-docs: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "indexed 1 documents (ids 150..150)") {
+		t.Fatalf("unexpected add output:\n%s", out)
+	}
+	out, err = exec.Command(filepath.Join(bin, "topprivctl"),
+		"-server", "http://"+addr, "-delete-doc", "3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("topprivctl -delete-doc: %v\n%s", err, out)
+	}
+
+	// Graceful shutdown must flush the memtable (doc 150 lives there)
+	// and save the segments.
+	if err := srv.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Wait(); err != nil {
+		t.Fatalf("searchd exit: %v", err)
+	}
+	killed = true
+	tail := <-drained
+	if !strings.Contains(tail, "saved") {
+		t.Fatalf("no save on shutdown:\n%s", tail)
+	}
+	if _, err := os.Stat(filepath.Join(dataDir, "MANIFEST.json")); err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+
+	// Second run: recover from the manifest — no corpus flag at all —
+	// and the flushed document plus the delete must have survived.
+	srv2 := exec.Command(filepath.Join(bin, "searchd"),
+		"-live", "-data", dataDir, "-corpus", filepath.Join(work, "absent.json"), "-addr", "127.0.0.1:0")
+	stderr2, err := srv2.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv2.Process.Kill()
+		srv2.Wait()
+	}()
+	logged := make(chan string, 1)
+	addr2 := waitForAddrTee(t, stderr2, logged)
+	if !strings.Contains(<-logged, "recovered") {
+		t.Fatal("second run did not recover from the manifest")
+	}
+
+	resp, err := http.Post("http://"+addr2+"/search", "application/json",
+		strings.NewReader(`{"query":"zebra migration savanna","k":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"doc":150`) {
+		t.Fatalf("flushed document lost across restart:\n%s", body)
+	}
+	resp, err = http.Get("http://" + addr2 + "/doc/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted doc resurrected: status %d", resp.StatusCode)
+	}
+}
+
+// waitForAddrTee is waitForAddr but also hands back the matched log
+// line so callers can assert on startup mode.
+func waitForAddrTee(t *testing.T, r io.Reader, logged chan<- string) string {
+	t.Helper()
+	lines := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(r)
+		var seen strings.Builder
+		for sc.Scan() {
+			seen.WriteString(sc.Text())
+			seen.WriteString("\n")
+			if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+				logged <- seen.String()
+				lines <- m[1]
+				return
+			}
+		}
+		close(lines)
+	}()
+	select {
+	case addr, ok := <-lines:
+		if !ok {
+			t.Fatal("searchd exited before logging its address")
+		}
+		return addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("timeout waiting for searchd to start")
+		return ""
+	}
 }

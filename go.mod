@@ -1,0 +1,3 @@
+module toppriv
+
+go 1.24

@@ -1,0 +1,90 @@
+package index
+
+import (
+	"fmt"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/textproc"
+)
+
+// DroppedDoc marks a document eliminated by a Merge (a tombstoned doc
+// that did not survive into the merged index).
+const DroppedDoc corpus.DocID = -1
+
+// Merge combines several indexes into one over their surviving
+// documents, working entirely at the postings level — no text is
+// re-analyzed. keep[i], when non-nil, reports whether local document d
+// of parts[i] survives; a nil predicate (or a nil keep slice) keeps
+// every document of that part.
+//
+// Surviving documents are renumbered densely in part order, then
+// ascending local ID within each part. The returned remap has one slice
+// per part mapping local ID → merged ID, with DroppedDoc for eliminated
+// documents. Vocabularies are unioned in part order; when every part
+// shares prefix-compatible vocabularies (the segment store's shared
+// dictionary), term IDs are preserved verbatim.
+func Merge(parts []*Index, keep []func(corpus.DocID) bool) (*Index, [][]corpus.DocID, error) {
+	if len(parts) == 0 {
+		return nil, nil, fmt.Errorf("index: merge of zero parts")
+	}
+	if keep != nil && len(keep) != len(parts) {
+		return nil, nil, fmt.Errorf("index: merge: %d parts but %d keep predicates", len(parts), len(keep))
+	}
+
+	// Union the vocabularies and record, per part, local → merged term
+	// IDs. Identical vocab objects short-circuit to an identity map.
+	vocab := textproc.NewVocab()
+	termMap := make([][]textproc.TermID, len(parts))
+	for i, part := range parts {
+		tm := make([]textproc.TermID, part.NumTerms())
+		for t := 0; t < part.NumTerms(); t++ {
+			tm[t] = vocab.Add(part.vocab.Term(textproc.TermID(t)))
+		}
+		termMap[i] = tm
+	}
+
+	// Renumber surviving documents densely.
+	remap := make([][]corpus.DocID, len(parts))
+	merged := &Index{vocab: vocab, postings: make([]PostingList, vocab.Size())}
+	for i, part := range parts {
+		pred := func(corpus.DocID) bool { return true }
+		if keep != nil && keep[i] != nil {
+			pred = keep[i]
+		}
+		dm := make([]corpus.DocID, part.NumDocs())
+		for d := 0; d < part.NumDocs(); d++ {
+			if !pred(corpus.DocID(d)) {
+				dm[d] = DroppedDoc
+				continue
+			}
+			dm[d] = corpus.DocID(merged.numDocs)
+			merged.numDocs++
+			dl := part.DocLen(corpus.DocID(d))
+			merged.docLen = append(merged.docLen, dl)
+			merged.totalLen += dl
+		}
+		remap[i] = dm
+	}
+
+	// Concatenate remapped postings. Processing parts in order keeps
+	// every list sorted: merged IDs of part i all precede part i+1's,
+	// and each source list is already ascending.
+	for i, part := range parts {
+		dm := remap[i]
+		for t := 0; t < part.NumTerms(); t++ {
+			src := part.postings[t]
+			if len(src) == 0 {
+				continue
+			}
+			mt := termMap[i][t]
+			dst := merged.postings[mt]
+			for _, p := range src {
+				if nd := dm[p.Doc]; nd != DroppedDoc {
+					dst = append(dst, Posting{Doc: nd, TF: p.TF})
+				}
+			}
+			merged.postings[mt] = dst
+		}
+	}
+	return merged, remap, nil
+}

@@ -1,0 +1,143 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/textproc"
+)
+
+// buildCorpus analyzes docs with a fresh default analyzer, no pruning.
+func buildCorpus(t *testing.T, texts []string) *corpus.Corpus {
+	t.Helper()
+	docs := make([]corpus.Document, len(texts))
+	for i, txt := range texts {
+		docs[i] = corpus.Document{Title: fmt.Sprintf("d%d", i), Text: txt}
+	}
+	c, err := corpus.Build(docs, textproc.NewAnalyzer(), textproc.PruneSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMergeMatchesSinglePassBuild(t *testing.T) {
+	left := []string{
+		"submarine propulsion reactor cooling systems",
+		"reactor fuel rods and cooling towers",
+		"helicopter rotor blade maintenance",
+	}
+	right := []string{
+		"cooling pumps for reactor loops",
+		"sonar arrays aboard the submarine fleet",
+	}
+	cl := buildCorpus(t, left)
+	cr := buildCorpus(t, right)
+	il, err := Build(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, err := Build(cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merged, remap, err := Merge([]*Index{il, ir}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := buildCorpus(t, append(append([]string{}, left...), right...))
+	want, err := Build(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if merged.NumDocs() != want.NumDocs() {
+		t.Fatalf("merged NumDocs = %d, want %d", merged.NumDocs(), want.NumDocs())
+	}
+	if merged.AvgDocLen() != want.AvgDocLen() {
+		t.Fatalf("merged AvgDocLen = %v, want %v", merged.AvgDocLen(), want.AvgDocLen())
+	}
+	// Renumbering is sequential: part order then local order.
+	next := corpus.DocID(0)
+	for _, dm := range remap {
+		for _, nd := range dm {
+			if nd != next {
+				t.Fatalf("remap out of sequence: got %d, want %d", nd, next)
+			}
+			next++
+		}
+	}
+	// Every term of the single-pass build must have identical postings
+	// (doc frequency, tfs, and doc IDs) in the merged index.
+	for id := 0; id < want.NumTerms(); id++ {
+		term := want.Vocab().Term(textproc.TermID(id))
+		mid := merged.Vocab().ID(term)
+		if mid == textproc.InvalidTerm {
+			t.Fatalf("term %q missing from merged vocab", term)
+		}
+		wp, mp := want.Postings(textproc.TermID(id)), merged.Postings(mid)
+		if len(wp) != len(mp) {
+			t.Fatalf("term %q: %d postings merged, want %d", term, len(mp), len(wp))
+		}
+		for i := range wp {
+			if wp[i] != mp[i] {
+				t.Fatalf("term %q posting %d: merged %+v, want %+v", term, i, mp[i], wp[i])
+			}
+		}
+		if math.Abs(want.IDF(textproc.TermID(id))-merged.IDF(mid)) > 1e-12 {
+			t.Fatalf("term %q IDF mismatch", term)
+		}
+	}
+}
+
+func TestMergeDropsTombstonedDocs(t *testing.T) {
+	c := buildCorpus(t, []string{
+		"alpha bravo charlie",
+		"bravo delta echo",
+		"charlie echo foxtrot",
+	})
+	idx, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := []func(corpus.DocID) bool{func(d corpus.DocID) bool { return d != 1 }}
+	merged, remap, err := Merge([]*Index{idx}, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumDocs() != 2 {
+		t.Fatalf("NumDocs = %d, want 2", merged.NumDocs())
+	}
+	if remap[0][1] != DroppedDoc {
+		t.Fatalf("doc 1 not dropped: %d", remap[0][1])
+	}
+	if remap[0][0] != 0 || remap[0][2] != 1 {
+		t.Fatalf("unexpected remap %v", remap[0])
+	}
+	// Terms unique to the dropped doc keep their vocab slot but have no
+	// postings left.
+	an := textproc.NewAnalyzer()
+	delta := an.Analyze("delta")[0]
+	if id := merged.Vocab().ID(delta); id == textproc.InvalidTerm {
+		t.Fatalf("term %q should stay interned", delta)
+	} else if got := merged.DocFreq(id); got != 0 {
+		t.Fatalf("dropped-doc term df = %d, want 0", got)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	if _, _, err := Merge(nil, nil); err == nil {
+		t.Fatal("want error for zero parts")
+	}
+	c := buildCorpus(t, []string{"one two"})
+	idx, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Merge([]*Index{idx}, make([]func(corpus.DocID) bool, 2)); err == nil {
+		t.Fatal("want error for keep length mismatch")
+	}
+}

@@ -6,9 +6,15 @@
 // The server also keeps the query log — the exact artifact the paper's
 // curious adversary analyzes after the fact — so experiments and tests
 // can attack precisely what a real search engine would retain.
+//
+// The server is backend-agnostic: it serves any vsm.Searcher, whether
+// the immutable single-index engine or the live segment.Store. When the
+// backend implements LiveIndex, the mutation endpoints (POST /index,
+// DELETE /doc/{id}) come alive too.
 package search
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -17,8 +23,30 @@ import (
 	"sync"
 
 	"toppriv/internal/corpus"
+	"toppriv/internal/index"
 	"toppriv/internal/vsm"
 )
+
+// DefaultQueryLogCap bounds the in-memory query log. A long-running
+// server keeps only the most recent entries; 100k entries is far more
+// than any adversary experiment consumes while keeping a steady-state
+// searchd's footprint flat.
+const DefaultQueryLogCap = 100_000
+
+// LiveIndex is the mutation surface a live backend (segment.Store)
+// offers; the static engine does not implement it, and the server
+// rejects mutations accordingly.
+type LiveIndex interface {
+	Add(docs ...corpus.Document) ([]corpus.DocID, error)
+	Delete(id corpus.DocID) error
+	Doc(id corpus.DocID) (corpus.Document, bool)
+}
+
+// statsProvider is the optional stats surface behind GET /stats; both
+// *vsm.Engine and *segment.Store implement it.
+type statsProvider interface {
+	ComputeStats() index.Stats
+}
 
 // SearchRequest is the POST /search payload.
 type SearchRequest struct {
@@ -41,6 +69,16 @@ type SearchResponse struct {
 	Hits []SearchHit `json:"hits"`
 }
 
+// IndexRequest is the POST /index payload: documents to ingest.
+type IndexRequest struct {
+	Docs []corpus.Document `json:"docs"`
+}
+
+// IndexResponse is the POST /index reply: the assigned document IDs.
+type IndexResponse struct {
+	IDs []corpus.DocID `json:"ids"`
+}
+
 // LoggedQuery is one query-log entry — what the adversary sees.
 type LoggedQuery struct {
 	Seq   int    `json:"seq"`
@@ -50,25 +88,90 @@ type LoggedQuery struct {
 // Server hosts the search engine over HTTP. It requires no knowledge of
 // TopPriv: ghost queries are indistinguishable requests.
 type Server struct {
-	engine *vsm.Engine
+	engine vsm.Searcher
+	live   LiveIndex // non-nil when engine supports mutation
 	docs   []corpus.Document
 	mux    *http.ServeMux
 
-	mu  sync.Mutex
-	log []LoggedQuery
+	// adminToken, when non-empty, gates the mutation endpoints behind
+	// an Authorization: Bearer header. Set before serving.
+	adminToken string
+
+	mu sync.Mutex
+	// The query log is a ring: seq numbers are absolute and monotonic,
+	// but only the most recent logCap entries are retained.
+	log      []LoggedQuery
+	logStart int // index of the oldest retained entry
+	seq      int
+	logCap   int
 }
 
-// NewServer builds the handler. docs may be nil when titles/content are
-// not needed.
-func NewServer(engine *vsm.Engine, docs []corpus.Document) (*Server, error) {
+// Request body ceilings: queries are a handful of words; index batches
+// may carry whole documents but must not be able to exhaust memory.
+const (
+	maxSearchBody = 1 << 20  // 1 MiB
+	maxIndexBody  = 32 << 20 // 32 MiB
+)
+
+// NewServer builds the handler over any Searcher backend. docs may be
+// nil when titles/content are not needed (a live backend resolves
+// documents through its own LiveIndex.Doc instead).
+func NewServer(engine vsm.Searcher, docs []corpus.Document) (*Server, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("search: nil engine")
 	}
-	s := &Server{engine: engine, docs: docs, mux: http.NewServeMux()}
+	s := &Server{engine: engine, docs: docs, mux: http.NewServeMux(), logCap: DefaultQueryLogCap}
+	if live, ok := engine.(LiveIndex); ok {
+		s.live = live
+	}
 	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/index", s.handleIndex)
 	s.mux.HandleFunc("/doc/", s.handleDoc)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s, nil
+}
+
+// SetQueryLogCap bounds the query log to the most recent n entries
+// (n <= 0 restores the default). Existing entries beyond the new cap
+// are discarded oldest-first.
+func (s *Server) SetQueryLogCap(n int) {
+	if n <= 0 {
+		n = DefaultQueryLogCap
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.snapshotLogLocked()
+	if len(cur) > n {
+		cur = cur[len(cur)-n:]
+	}
+	s.logCap = n
+	s.log = cur
+	s.logStart = 0
+}
+
+// SetAdminToken requires `Authorization: Bearer token` on the mutation
+// endpoints (POST /index, DELETE /doc/{id}). Empty leaves them open —
+// fine for experiments, not for a deployment whose search users are
+// not all index administrators. Set before serving.
+func (s *Server) SetAdminToken(token string) { s.adminToken = token }
+
+// Live reports whether the backend accepts mutations.
+func (s *Server) Live() bool { return s.live != nil }
+
+// authorizeAdmin enforces the admin token, writing the error response
+// itself when the request is rejected. Comparison is constant-time so
+// the token cannot be recovered through a timing side-channel.
+func (s *Server) authorizeAdmin(w http.ResponseWriter, r *http.Request) bool {
+	if s.adminToken == "" {
+		return true
+	}
+	got := r.Header.Get("Authorization")
+	want := "Bearer " + s.adminToken
+	if subtle.ConstantTimeCompare([]byte(got), []byte(want)) != 1 {
+		http.Error(w, "admin token required", http.StatusUnauthorized)
+		return false
+	}
+	return true
 }
 
 // ServeHTTP implements http.Handler.
@@ -82,7 +185,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req SearchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSearchBody)).Decode(&req); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -98,34 +201,104 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		k = 1000
 	}
 
-	s.mu.Lock()
-	s.log = append(s.log, LoggedQuery{Seq: len(s.log), Query: req.Query})
-	s.mu.Unlock()
+	s.logQuery(req.Query)
 
 	results := s.engine.Search(req.Query, k)
 	resp := SearchResponse{Hits: make([]SearchHit, len(results))}
 	for i, res := range results {
 		hit := SearchHit{Doc: res.Doc, Score: res.Score}
-		if int(res.Doc) < len(s.docs) {
-			hit.Title = s.docs[res.Doc].Title
+		if title, ok := s.title(res.Doc); ok {
+			hit.Title = title
 		}
 		resp.Hits[i] = hit
 	}
 	writeJSON(w, resp)
 }
 
-func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+func (s *Server) title(id corpus.DocID) (string, bool) {
+	if s.live != nil {
+		if doc, ok := s.live.Doc(id); ok {
+			return doc.Title, true
+		}
+		return "", false
+	}
+	if int(id) < len(s.docs) {
+		return s.docs[id].Title, true
+	}
+	return "", false
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	if s.live == nil {
+		http.Error(w, "immutable index: rebuild to change the corpus", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.authorizeAdmin(w, r) {
+		return
+	}
+	var req IndexRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIndexBody)).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Docs) == 0 {
+		http.Error(w, "no documents", http.StatusBadRequest)
+		return
+	}
+	ids, err := s.live.Add(req.Docs...)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, IndexResponse{IDs: ids})
+}
+
+func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 	idStr := strings.TrimPrefix(r.URL.Path, "/doc/")
-	id, err := strconv.Atoi(idStr)
-	if err != nil || id < 0 || id >= len(s.docs) {
+	// Parse into the DocID's own width so oversized IDs 404 instead of
+	// truncating onto a low document ID.
+	id64, err := strconv.ParseInt(idStr, 10, 32)
+	if err != nil || id64 < 0 {
 		http.Error(w, "no such document", http.StatusNotFound)
 		return
 	}
-	writeJSON(w, s.docs[id])
+	id := int(id64)
+	switch r.Method {
+	case http.MethodGet:
+		if s.live != nil {
+			doc, ok := s.live.Doc(corpus.DocID(id))
+			if !ok {
+				http.Error(w, "no such document", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, doc)
+			return
+		}
+		if id >= len(s.docs) {
+			http.Error(w, "no such document", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, s.docs[id])
+	case http.MethodDelete:
+		if s.live == nil {
+			http.Error(w, "immutable index: rebuild to change the corpus", http.StatusMethodNotAllowed)
+			return
+		}
+		if !s.authorizeAdmin(w, r) {
+			return
+		}
+		if err := s.live.Delete(corpus.DocID(id)); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "GET or DELETE required", http.StatusMethodNotAllowed)
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -133,24 +306,54 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, s.engine.Index().ComputeStats())
+	sp, ok := s.engine.(statsProvider)
+	if !ok {
+		http.Error(w, "stats unavailable for this backend", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, sp.ComputeStats())
 }
 
-// QueryLog returns a copy of the server-side query log — the artifact
-// the threat model assumes the adversary can analyze.
+// logQuery appends to the ring, evicting the oldest entry at capacity.
+func (s *Server) logQuery(q string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry := LoggedQuery{Seq: s.seq, Query: q}
+	s.seq++
+	if len(s.log) < s.logCap {
+		s.log = append(s.log, entry)
+		return
+	}
+	s.log[s.logStart] = entry
+	s.logStart = (s.logStart + 1) % len(s.log)
+}
+
+// QueryLog returns a copy of the retained query log, oldest first — the
+// artifact the threat model assumes the adversary can analyze. Entries
+// beyond the configured capacity have been evicted oldest-first; Seq
+// stays absolute, so gaps at the front reveal how much history rolled
+// off.
 func (s *Server) QueryLog() []LoggedQuery {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]LoggedQuery, len(s.log))
-	copy(out, s.log)
+	return s.snapshotLogLocked()
+}
+
+func (s *Server) snapshotLogLocked() []LoggedQuery {
+	out := make([]LoggedQuery, 0, len(s.log))
+	out = append(out, s.log[s.logStart:]...)
+	out = append(out, s.log[:s.logStart]...)
 	return out
 }
 
-// ResetLog clears the query log (test convenience).
+// ResetLog clears the query log (test convenience). Seq restarts at 0,
+// matching the historical semantics of a fresh server.
 func (s *Server) ResetLog() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.log = nil
+	s.logStart = 0
+	s.seq = 0
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

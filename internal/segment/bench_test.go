@@ -1,0 +1,134 @@
+package segment
+
+import (
+	"testing"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/index"
+	"toppriv/internal/textproc"
+	"toppriv/internal/vsm"
+)
+
+// BenchmarkLiveIndex compares query latency over one immutable index
+// against a 4-segment live store at equal corpus size. The acceptance
+// bar for the subsystem is segmented ≤ 2× single: the fan-out costs a
+// goroutine per shard and a final heap merge, but shard scoring runs
+// concurrently, so the gap stays small.
+//
+//	go test ./internal/segment -bench BenchmarkLiveIndex -benchtime 2s
+func BenchmarkLiveIndex(b *testing.B) {
+	const numDocs = 2000
+	an := textproc.NewAnalyzer()
+	c, _, err := corpus.Synthesize(corpus.GenSpec{Seed: 42, NumDocs: numDocs}, an)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]string, 64)
+	for i := range queries {
+		queries[i] = queryFrom(c.Docs[(i*31)%numDocs], i%40, 4)
+	}
+
+	b.Run("single", func(b *testing.B) {
+		// The static path: one index, one engine.
+		refCorpus, err := corpus.Build(cloneDocs(c.Docs), an, textproc.PruneSpec{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx, err := index.Build(refCorpus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := vsm.NewEngine(idx, an, vsm.Cosine)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res := eng.Search(queries[i%len(queries)], 10); len(res) == 0 {
+				b.Fatal("no results")
+			}
+		}
+	})
+
+	b.Run("segmented4", func(b *testing.B) {
+		st, err := Open(Config{
+			Analyzer:          an,
+			SealThreshold:     numDocs / 4,
+			DisableCompaction: true, // hold the 4-segment layout fixed
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		if _, err := st.Add(cloneDocs(c.Docs)...); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if got := st.NumSegments(); got != 4 {
+			b.Fatalf("layout has %d segments, want 4", got)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res := st.Search(queries[i%len(queries)], 10); len(res) == 0 {
+				b.Fatal("no results")
+			}
+		}
+	})
+
+	b.Run("segmented4-parallel", func(b *testing.B) {
+		// Concurrent searchers against the live store — the serving shape
+		// searchd actually runs.
+		st, err := Open(Config{
+			Analyzer:          an,
+			SealThreshold:     numDocs / 4,
+			DisableCompaction: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		if _, err := st.Add(cloneDocs(c.Docs)...); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				st.Search(queries[i%len(queries)], 10)
+				i++
+			}
+		})
+	})
+}
+
+// BenchmarkLiveIndexIngest measures steady-state ingestion with sealing
+// enabled (compaction off, so the cost measured is analyze+index only).
+func BenchmarkLiveIndexIngest(b *testing.B) {
+	an := textproc.NewAnalyzer()
+	c, _, err := corpus.Synthesize(corpus.GenSpec{Seed: 43, NumDocs: 512}, an)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := Open(Config{Analyzer: an, SealThreshold: 256, DisableCompaction: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Add(c.Docs[i%len(c.Docs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func cloneDocs(docs []corpus.Document) []corpus.Document {
+	out := make([]corpus.Document, len(docs))
+	copy(out, docs)
+	return out
+}

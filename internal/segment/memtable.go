@@ -1,0 +1,128 @@
+package segment
+
+import (
+	"fmt"
+	"math"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/index"
+	"toppriv/internal/textproc"
+	"toppriv/internal/vsm"
+)
+
+// memtable is the mutable head of the store: an incremental in-memory
+// inverted index over the most recently added documents. It keeps the
+// analyzed bags so sealing can build a real index.Index without
+// re-analyzing, and maintains per-document lnc norms incrementally so
+// its engine never needs a construction-time scan. All mutation happens
+// under the store's write lock; reads under the read lock.
+type memtable struct {
+	st     *Store
+	ids    []corpus.DocID
+	docs   []corpus.Document
+	bags   [][]textproc.TermID
+	docLen []int
+	norm   []float64
+	dead   []bool
+	live   int
+	post   map[textproc.TermID][]index.Posting
+	eng    *vsm.Engine
+}
+
+func newMemtable(st *Store) (*memtable, error) {
+	mt := &memtable{st: st, post: make(map[textproc.TermID][]index.Posting)}
+	eng, err := vsm.NewEngineOver(&liveSource{st: st, local: mt}, st.an, st.cfg.Scoring)
+	if err != nil {
+		return nil, fmt.Errorf("segment: memtable engine: %w", err)
+	}
+	mt.eng = eng
+	return mt, nil
+}
+
+// add analyzes one document into the shared vocabulary and indexes it
+// at the next local ID. Returns the analyzed bag for the store's
+// statistics bookkeeping.
+func (mt *memtable) add(doc corpus.Document, gid corpus.DocID) []textproc.TermID {
+	bag := corpus.AnalyzeInto(doc, mt.st.an, mt.st.vocab)
+	local := corpus.DocID(len(mt.docs))
+	doc.ID = gid
+	mt.ids = append(mt.ids, gid)
+	mt.docs = append(mt.docs, doc)
+	mt.bags = append(mt.bags, bag)
+	mt.docLen = append(mt.docLen, len(bag))
+	mt.dead = append(mt.dead, false)
+	mt.live++
+
+	counts := make(map[textproc.TermID]int32, len(bag))
+	for _, id := range bag {
+		counts[id]++
+	}
+	normSq := 0.0
+	for id, tf := range counts {
+		// Appending per document keeps each list ascending by local ID.
+		mt.post[id] = append(mt.post[id], index.Posting{Doc: local, TF: tf})
+		w := 1 + math.Log(float64(tf))
+		normSq += w * w
+	}
+	mt.norm = append(mt.norm, math.Sqrt(normSq))
+	return bag
+}
+
+// localSource implementation.
+
+func (mt *memtable) NumTerms() int { return mt.st.vocab.Size() }
+
+func (mt *memtable) Postings(id textproc.TermID) index.PostingList {
+	return mt.post[id]
+}
+
+func (mt *memtable) DocLen(d corpus.DocID) int {
+	if d < 0 || int(d) >= len(mt.docLen) {
+		return 0
+	}
+	return mt.docLen[d]
+}
+
+// DocNorm implements localNorms.
+func (mt *memtable) DocNorm(d corpus.DocID) float64 {
+	if d < 0 || int(d) >= len(mt.norm) {
+		return 0
+	}
+	return mt.norm[d]
+}
+
+// locate binary-searches for a global ID (ids are ascending).
+func (mt *memtable) locate(gid corpus.DocID) (corpus.DocID, bool) {
+	return locateID(mt.ids, gid)
+}
+
+// seal freezes the memtable into a level-0 segment, building a real
+// index over the buffered bags (no re-analysis). Returns nil when
+// empty. Caller holds the store's write lock.
+func (mt *memtable) seal() (*seg, error) {
+	if len(mt.docs) == 0 {
+		return nil, nil
+	}
+	// Seal against a clone of the dictionary: the sealed index must be
+	// readable by the background compactor without locks, while the
+	// shared dictionary keeps growing under the store's write lock.
+	c := &corpus.Corpus{Docs: mt.docs, Vocab: mt.st.vocab.Clone(), Bags: mt.bags}
+	idx, err := index.Build(c)
+	if err != nil {
+		return nil, fmt.Errorf("segment: seal: %w", err)
+	}
+	norms := vsm.DocNorms(idx)
+	eng, err := vsm.NewEngineOver(&liveSource{st: mt.st, local: idx, norms: norms}, mt.st.an, mt.st.cfg.Scoring)
+	if err != nil {
+		return nil, fmt.Errorf("segment: seal engine: %w", err)
+	}
+	return &seg{
+		level: 0,
+		ids:   mt.ids,
+		docs:  mt.docs,
+		idx:   idx,
+		eng:   eng,
+		dead:  mt.dead,
+		live:  mt.live,
+	}, nil
+}

@@ -1,0 +1,505 @@
+package segment
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/index"
+	"toppriv/internal/textproc"
+	"toppriv/internal/vsm"
+)
+
+// ErrNotFound reports a delete or lookup of a document that does not
+// exist or was already deleted.
+var ErrNotFound = errors.New("segment: no such live document")
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("segment: store is closed")
+
+// Config configures a Store. The zero value is usable: cosine scoring,
+// default analyzer, 256-document memtable, fanout-4 compaction.
+type Config struct {
+	// Scoring selects the ranking function, as in vsm.
+	Scoring vsm.Scoring
+	// Analyzer is the shared text pipeline; nil means the default.
+	Analyzer *textproc.Analyzer
+	// SealThreshold is the memtable document count that triggers an
+	// automatic seal into a level-0 segment. Zero means 256.
+	SealThreshold int
+	// CompactFanout is the length of a same-level run of segments that
+	// triggers a background merge into the next level. Zero means 4.
+	CompactFanout int
+	// CompactInterval is the background compactor's poll interval, a
+	// safety net behind the explicit post-seal triggers. Zero means 2s.
+	CompactInterval time.Duration
+	// DisableCompaction turns the background compactor off (tests and
+	// benchmarks that need a deterministic segment layout). Explicit
+	// Compact calls still work.
+	DisableCompaction bool
+	// Logf, when non-nil, receives diagnostics from the background
+	// compactor — without it a persistently failing compaction would
+	// retry invisibly forever. searchd passes log.Printf.
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) withDefaults() Config {
+	if c.Analyzer == nil {
+		c.Analyzer = textproc.NewAnalyzer()
+	}
+	if c.SealThreshold == 0 {
+		c.SealThreshold = 256
+	}
+	if c.CompactFanout == 0 {
+		c.CompactFanout = 4
+	}
+	if c.CompactInterval == 0 {
+		c.CompactInterval = 2 * time.Second
+	}
+	return c
+}
+
+// Store is a live, segmented search index: Add and Delete mutate it
+// while Search serves concurrently. It implements vsm.Searcher, so
+// anything that can query a vsm.Engine can query a Store.
+type Store struct {
+	cfg Config
+	an  *textproc.Analyzer
+
+	mu    sync.RWMutex
+	vocab *textproc.Vocab // shared, append-only dictionary
+	mem   *memtable
+	segs  []*seg // stack order: ascending global-ID ranges
+
+	nextID   corpus.DocID
+	gen      int64 // persistence generation of the last Save/Load
+	liveDocs int
+	liveLen  int
+	// df[id] counts live documents containing term id — the global
+	// document frequency every shard scores with.
+	df []int32
+
+	// compactMu serializes stack restructuring between the background
+	// compactor and explicit Compact calls. Always acquired before mu.
+	compactMu sync.Mutex
+	// saveMu serializes Save calls so concurrent saves cannot interleave
+	// generations. Always acquired before mu.
+	saveMu    sync.Mutex
+	compactCh chan struct{}
+	closeCh   chan struct{}
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+// Open creates an empty store and starts its background compactor.
+func Open(cfg Config) (*Store, error) {
+	st, err := newStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	st.start()
+	return st, nil
+}
+
+func newStore(cfg Config) (*Store, error) {
+	if cfg.SealThreshold < 0 || cfg.CompactFanout < 0 {
+		return nil, fmt.Errorf("segment: negative config")
+	}
+	cfg = cfg.withDefaults()
+	st := &Store{
+		cfg:       cfg,
+		an:        cfg.Analyzer,
+		vocab:     textproc.NewVocab(),
+		compactCh: make(chan struct{}, 1),
+		closeCh:   make(chan struct{}),
+	}
+	mt, err := newMemtable(st)
+	if err != nil {
+		return nil, err
+	}
+	st.mem = mt
+	return st, nil
+}
+
+func (st *Store) start() {
+	if st.cfg.DisableCompaction {
+		return
+	}
+	st.wg.Add(1)
+	go st.compactLoop()
+}
+
+// Close rejects further mutations and stops the background compactor.
+// It does not persist anything itself; Save still works afterwards, and
+// Close-then-Save is the graceful-shutdown order — once Close returns,
+// no new document can be acknowledged and then miss the final save.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil
+	}
+	st.closed = true
+	close(st.closeCh)
+	st.mu.Unlock()
+	st.wg.Wait()
+	return nil
+}
+
+// Add ingests documents, assigning each a fresh global ID. The memtable
+// seals automatically at the configured threshold. Safe to call
+// concurrently with Search.
+func (st *Store) Add(docs ...corpus.Document) ([]corpus.DocID, error) {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil, ErrClosed
+	}
+	ids := make([]corpus.DocID, len(docs))
+	var sealErr error
+	for i, doc := range docs {
+		gid := st.nextID
+		st.nextID++
+		bag := st.mem.add(doc, gid)
+		st.growDF()
+		seen := make(map[textproc.TermID]struct{}, len(bag))
+		for _, id := range bag {
+			if _, ok := seen[id]; !ok {
+				seen[id] = struct{}{}
+				st.df[id]++
+			}
+		}
+		st.liveDocs++
+		st.liveLen += len(bag)
+		ids[i] = gid
+		if len(st.mem.docs) >= st.cfg.SealThreshold {
+			if err := st.sealLocked(); err != nil {
+				sealErr = err
+				break
+			}
+		}
+	}
+	st.mu.Unlock()
+	if sealErr != nil {
+		return nil, sealErr
+	}
+	st.kickCompactor()
+	return ids, nil
+}
+
+// Delete tombstones a live document by global ID. Postings stay in
+// place until compaction drops them; global statistics are adjusted
+// immediately so scoring reflects the deletion at once.
+func (st *Store) Delete(gid corpus.DocID) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	doc, ok := st.tombstoneLocked(gid)
+	if !ok {
+		return ErrNotFound
+	}
+	terms := st.an.Analyze(doc.Text)
+	seen := make(map[textproc.TermID]struct{}, len(terms))
+	for _, term := range terms {
+		id := st.vocab.ID(term)
+		if id == textproc.InvalidTerm {
+			continue // cannot happen for a doc this store analyzed
+		}
+		if _, dup := seen[id]; !dup {
+			seen[id] = struct{}{}
+			st.df[id]--
+		}
+	}
+	st.liveDocs--
+	st.liveLen -= len(terms)
+	return nil
+}
+
+// tombstoneLocked marks gid dead in whichever shard owns it, returning
+// the document for stats maintenance.
+func (st *Store) tombstoneLocked(gid corpus.DocID) (corpus.Document, bool) {
+	if local, ok := st.mem.locate(gid); ok {
+		if st.mem.dead[local] {
+			return corpus.Document{}, false
+		}
+		st.mem.dead[local] = true
+		st.mem.live--
+		return st.mem.docs[local], true
+	}
+	for _, sg := range st.segs {
+		if local, ok := sg.locate(gid); ok {
+			if sg.dead[local] {
+				return corpus.Document{}, false
+			}
+			sg.dead[local] = true
+			sg.live--
+			return sg.docs[local], true
+		}
+	}
+	return corpus.Document{}, false
+}
+
+// Doc returns a live document by global ID.
+func (st *Store) Doc(gid corpus.DocID) (corpus.Document, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if local, ok := st.mem.locate(gid); ok && !st.mem.dead[local] {
+		return st.mem.docs[local], true
+	}
+	for _, sg := range st.segs {
+		if local, ok := sg.locate(gid); ok && !sg.dead[local] {
+			return sg.docs[local], true
+		}
+	}
+	return corpus.Document{}, false
+}
+
+// growDF extends the df array to the current vocabulary size.
+func (st *Store) growDF() {
+	for len(st.df) < st.vocab.Size() {
+		st.df = append(st.df, 0)
+	}
+}
+
+// docFreqLocked reads a term's live document frequency. Caller holds
+// st.mu (either mode).
+func (st *Store) docFreqLocked(id textproc.TermID) int {
+	if id < 0 || int(id) >= len(st.df) {
+		return 0
+	}
+	return int(st.df[id])
+}
+
+// sealLocked freezes the memtable into a level-0 segment and starts a
+// fresh one. Caller holds the write lock.
+func (st *Store) sealLocked() error {
+	sg, err := st.mem.seal()
+	if err != nil {
+		return err
+	}
+	if sg != nil {
+		st.segs = append(st.segs, sg)
+	}
+	mt, err := newMemtable(st)
+	if err != nil {
+		return err
+	}
+	st.mem = mt
+	return nil
+}
+
+// Flush seals the current memtable (if non-empty) into a segment and
+// nudges the compactor — searchd calls this on graceful shutdown so no
+// buffered document is lost by Save.
+func (st *Store) Flush() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return ErrClosed
+	}
+	err := st.sealLocked()
+	st.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	st.kickCompactor()
+	return nil
+}
+
+// Search analyzes the raw query and returns the global top-k across all
+// shards. Implements vsm.Searcher.
+func (st *Store) Search(query string, k int) []vsm.Result {
+	return st.SearchTerms(st.an.Analyze(query), k)
+}
+
+// SearchTerms fans the analyzed query out to every shard concurrently —
+// one goroutine per sealed segment plus the memtable — then merges the
+// per-shard top-k lists with a bounded min-heap. Tombstoned documents
+// are filtered inside each shard before its heap fills, and every shard
+// scores with the store's global statistics, so the merged ranking
+// equals a single-index search over the surviving documents.
+func (st *Store) SearchTerms(terms []string, k int) []vsm.Result {
+	if k <= 0 || len(terms) == 0 {
+		return nil
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+
+	type shard struct {
+		eng  *vsm.Engine
+		ids  []corpus.DocID
+		dead []bool
+	}
+	shards := make([]shard, 0, len(st.segs)+1)
+	for _, sg := range st.segs {
+		if sg.live > 0 {
+			shards = append(shards, shard{eng: sg.eng, ids: sg.ids, dead: sg.dead})
+		}
+	}
+	if st.mem.live > 0 {
+		shards = append(shards, shard{eng: st.mem.eng, ids: st.mem.ids, dead: st.mem.dead})
+	}
+	if len(shards) == 0 {
+		return nil
+	}
+
+	results := make([][]vsm.Result, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int, sh shard) {
+			defer wg.Done()
+			dead := sh.dead
+			local := sh.eng.SearchTermsFiltered(terms, k, func(d corpus.DocID) bool {
+				return !dead[d]
+			})
+			for j := range local {
+				local[j].Doc = sh.ids[local[j].Doc]
+			}
+			results[i] = local
+		}(i, shards[i])
+	}
+	wg.Wait()
+	return mergeTopK(results, k)
+}
+
+// mergeTopK merges per-shard top-k lists into the global top-k with a
+// size-bounded min-heap. Ties break by ascending global doc ID, the
+// same rule vsm uses, so segmented and single-index rankings agree.
+func mergeTopK(lists [][]vsm.Result, k int) []vsm.Result {
+	h := make(minHeap, 0, k+1)
+	heap.Init(&h)
+	for _, list := range lists {
+		for _, r := range list {
+			if len(h) < k {
+				heap.Push(&h, r)
+				continue
+			}
+			if top := h[0]; r.Score > top.Score || (r.Score == top.Score && r.Doc < top.Doc) {
+				heap.Pop(&h)
+				heap.Push(&h, r)
+			}
+		}
+	}
+	out := make([]vsm.Result, len(h))
+	copy(out, h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	return out
+}
+
+// minHeap orders results worst-first (ties: larger doc ID is worse).
+type minHeap []vsm.Result
+
+func (h minHeap) Len() int { return len(h) }
+func (h minHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].Doc > h[j].Doc
+}
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(vsm.Result)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// Scoring returns the store's effective scoring function. After Load
+// this is the manifest's saved scoring, which overrides the config —
+// callers should report this value, not the one they asked for.
+func (st *Store) Scoring() vsm.Scoring { return st.cfg.Scoring }
+
+// NumDocs returns the number of live documents.
+func (st *Store) NumDocs() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.liveDocs
+}
+
+// NumSegments returns the number of sealed segments.
+func (st *Store) NumSegments() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.segs)
+}
+
+// Stats summarizes the store's shape.
+type Stats struct {
+	LiveDocs     int   `json:"live_docs"`
+	MemtableDocs int   `json:"memtable_docs"`
+	Segments     int   `json:"segments"`
+	Tombstones   int   `json:"tombstones"`
+	Levels       []int `json:"levels"` // segment count per level
+	VocabSize    int   `json:"vocab_size"`
+	NextID       int64 `json:"next_id"`
+}
+
+// Stats returns a snapshot of the store's shape.
+func (st *Store) Stats() Stats {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s := Stats{
+		LiveDocs:     st.liveDocs,
+		MemtableDocs: len(st.mem.docs),
+		Segments:     len(st.segs),
+		VocabSize:    st.vocab.Size(),
+		NextID:       int64(st.nextID),
+	}
+	s.Tombstones = len(st.mem.docs) - st.mem.live
+	for _, sg := range st.segs {
+		s.Tombstones += len(sg.ids) - sg.live
+		for len(s.Levels) <= sg.level {
+			s.Levels = append(s.Levels, 0)
+		}
+		s.Levels[sg.level]++
+	}
+	return s
+}
+
+// ComputeStats aggregates index-shape statistics across all sealed
+// segments and the memtable, for the /stats endpoint. SizeBytes is the
+// sum of the segments' serialized sizes (the memtable, unserialized, is
+// excluded).
+func (st *Store) ComputeStats() index.Stats {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s := index.Stats{NumDocs: st.liveDocs, NumTerms: st.vocab.Size()}
+	for _, sg := range st.segs {
+		part := sg.idx.ComputeStats()
+		s.NumPostings += part.NumPostings
+		if part.MaxListLen > s.MaxListLen {
+			s.MaxListLen = part.MaxListLen
+		}
+		s.SizeBytes += part.SizeBytes
+	}
+	for _, pl := range st.mem.post {
+		s.NumPostings += len(pl)
+		if len(pl) > s.MaxListLen {
+			s.MaxListLen = len(pl)
+		}
+	}
+	if s.NumTerms > 0 {
+		s.MeanListLen = float64(s.NumPostings) / float64(s.NumTerms)
+	}
+	if s.NumPostings > 0 && s.SizeBytes > 0 {
+		bytesPerPosting := float64(s.SizeBytes) / float64(s.NumPostings)
+		s.PaddedPIRBytes = int64(bytesPerPosting * float64(s.MaxListLen) * float64(s.NumTerms))
+	}
+	return s
+}
+
+var _ vsm.Searcher = (*Store)(nil)

@@ -48,6 +48,24 @@ func (v *Vocab) Add(term string) TermID {
 	return id
 }
 
+// Clone returns an independent deep copy: same term → ID mapping and
+// frequencies, sharing no mutable state with the original. A live
+// index seals segments against a clone so later growth of the shared
+// dictionary (which is append-only, so IDs never change meaning) can
+// never race with background readers of the sealed segment.
+func (v *Vocab) Clone() *Vocab {
+	nv := &Vocab{
+		terms:    append([]string(nil), v.terms...),
+		ids:      make(map[string]TermID, len(v.ids)),
+		docFreq:  append([]int(nil), v.docFreq...),
+		collFreq: append([]int(nil), v.collFreq...),
+	}
+	for term, id := range v.ids {
+		nv.ids[term] = id
+	}
+	return nv
+}
+
 // ID returns the term's ID, or InvalidTerm when absent.
 func (v *Vocab) ID(term string) TermID {
 	if id, ok := v.ids[term]; ok {

@@ -53,15 +53,49 @@ type Result struct {
 	Score float64
 }
 
-// Engine executes similarity queries against an index. It is immutable
-// after construction and safe for concurrent use.
+// Searcher is the query surface shared by the static Engine and live
+// index stores (segment.Store): analyze-and-rank, returning the top-k
+// documents. Server and facade code should depend on this interface so
+// either backend can serve it.
+type Searcher interface {
+	Search(query string, k int) []Result
+	SearchTerms(terms []string, k int) []Result
+}
+
+// Source is the postings-and-statistics surface the engine scores over.
+// *index.Index satisfies it directly; a live segmented store wraps each
+// of its shards in a Source whose collection statistics (NumDocs,
+// DocFreq, IDF, AvgDocLen) are global across shards while postings stay
+// shard-local, so distributed scoring matches a single-index build.
+type Source interface {
+	Vocab() *textproc.Vocab
+	NumDocs() int
+	NumTerms() int
+	Postings(id textproc.TermID) index.PostingList
+	DocFreq(id textproc.TermID) int
+	IDF(id textproc.TermID) float64
+	DocLen(d corpus.DocID) int
+	AvgDocLen() float64
+}
+
+// NormSource is an optional Source extension supplying per-document lnc
+// vector norms. Sources whose document set can grow after engine
+// construction (a memtable) must implement it; for static sources the
+// engine precomputes norms once with DocNorms.
+type NormSource interface {
+	DocNorm(d corpus.DocID) float64
+}
+
+// Engine executes similarity queries against a Source. Built over a
+// static index it is immutable and safe for concurrent use; built over
+// a live source its safety follows the source's locking discipline.
 type Engine struct {
-	idx      *index.Index
-	an       *textproc.Analyzer
-	scoring  Scoring
-	docNorm  []float64 // cosine: per-document vector norms (lnc weights)
-	avgLen   float64
-	numTerms int
+	src     Source
+	idx     *index.Index // non-nil when built over a concrete index
+	an      *textproc.Analyzer
+	scoring Scoring
+	docNorm []float64  // cosine: precomputed norms (static sources)
+	normSrc NormSource // cosine: dynamic norms (live sources)
 	// prior, when non-nil, is a static per-document score multiplier in
 	// (0, 1], derived from link analysis (see NewEngineWithPrior).
 	prior       []float64
@@ -74,12 +108,31 @@ func NewEngine(idx *index.Index, an *textproc.Analyzer, scoring Scoring) (*Engin
 	if idx == nil {
 		return nil, fmt.Errorf("vsm: nil index")
 	}
+	e, err := NewEngineOver(idx, an, scoring)
+	if err != nil {
+		return nil, err
+	}
+	e.idx = idx
+	return e, nil
+}
+
+// NewEngineOver builds an engine over any Source. When the source does
+// not implement NormSource, cosine norms are precomputed here, so the
+// source's document set must already be final.
+func NewEngineOver(src Source, an *textproc.Analyzer, scoring Scoring) (*Engine, error) {
+	if src == nil {
+		return nil, fmt.Errorf("vsm: nil source")
+	}
 	if an == nil {
 		an = textproc.NewAnalyzer()
 	}
-	e := &Engine{idx: idx, an: an, scoring: scoring, avgLen: idx.AvgDocLen(), numTerms: idx.NumTerms()}
+	e := &Engine{src: src, an: an, scoring: scoring}
 	if scoring == Cosine {
-		e.docNorm = computeDocNorms(idx)
+		if ns, ok := src.(NormSource); ok {
+			e.normSrc = ns
+		} else {
+			e.docNorm = DocNorms(src)
+		}
 	}
 	return e, nil
 }
@@ -127,12 +180,13 @@ func NewEngineWithPrior(idx *index.Index, an *textproc.Analyzer, scoring Scoring
 	return e, nil
 }
 
-// computeDocNorms accumulates, per document, the L2 norm of its lnc
-// weight vector: weight = 1 + ln(tf).
-func computeDocNorms(idx *index.Index) []float64 {
-	norms := make([]float64, idx.NumDocs())
-	for id := 0; id < idx.NumTerms(); id++ {
-		for _, p := range idx.Postings(textproc.TermID(id)) {
+// DocNorms accumulates, per document, the L2 norm of its lnc weight
+// vector: weight = 1 + ln(tf). Exported so live stores can precompute
+// norms for a sealed shard once instead of per engine construction.
+func DocNorms(src Source) []float64 {
+	norms := make([]float64, maxPostingDoc(src)+1)
+	for id := 0; id < src.NumTerms(); id++ {
+		for _, p := range src.Postings(textproc.TermID(id)) {
 			w := 1 + math.Log(float64(p.TF))
 			norms[p.Doc] += w * w
 		}
@@ -143,8 +197,33 @@ func computeDocNorms(idx *index.Index) []float64 {
 	return norms
 }
 
-// Index exposes the underlying index (read-only use).
+// maxPostingDoc returns the largest document ID appearing in any
+// postings list (-1 when empty). For a plain index this equals
+// NumDocs()-1; for a shard source NumDocs() reports the global
+// collection size, which may differ from the local document range.
+func maxPostingDoc(src Source) corpus.DocID {
+	mx := corpus.DocID(-1)
+	for id := 0; id < src.NumTerms(); id++ {
+		pl := src.Postings(textproc.TermID(id))
+		if n := len(pl); n > 0 && pl[n-1].Doc > mx {
+			mx = pl[n-1].Doc
+		}
+	}
+	return mx
+}
+
+// Index exposes the underlying index when the engine was built over a
+// concrete *index.Index (nil for engines over other sources).
 func (e *Engine) Index() *index.Index { return e.idx }
+
+// ComputeStats summarizes the underlying index. Engines built over
+// non-index sources return zero stats.
+func (e *Engine) ComputeStats() index.Stats {
+	if e.idx == nil {
+		return index.Stats{}
+	}
+	return e.idx.ComputeStats()
+}
 
 // Analyzer exposes the engine's analyzer.
 func (e *Engine) Analyzer() *textproc.Analyzer { return e.an }
@@ -158,13 +237,21 @@ func (e *Engine) Search(query string, k int) []Result {
 
 // SearchTerms runs a query that is already analyzed into terms.
 func (e *Engine) SearchTerms(terms []string, k int) []Result {
+	return e.SearchTermsFiltered(terms, k, nil)
+}
+
+// SearchTermsFiltered runs an analyzed query and returns the top-k
+// among documents for which keep returns true (nil keeps everything).
+// Live stores use the filter to hide tombstoned documents without
+// rebuilding the shard.
+func (e *Engine) SearchTermsFiltered(terms []string, k int, keep func(corpus.DocID) bool) []Result {
 	if k <= 0 || len(terms) == 0 {
 		return nil
 	}
 	// Bag the query: term -> tf.
 	qtf := make(map[textproc.TermID]int, len(terms))
 	for _, term := range terms {
-		id := e.idx.Vocab().ID(term)
+		id := e.src.Vocab().ID(term)
 		if id == textproc.InvalidTerm {
 			continue
 		}
@@ -187,6 +274,13 @@ func (e *Engine) SearchTerms(terms []string, k int) []Result {
 			scores[d] *= e.prior[d]
 		}
 	}
+	if keep != nil {
+		for d := range scores {
+			if !keep(d) {
+				delete(scores, d)
+			}
+		}
+	}
 	return topK(scores, k)
 }
 
@@ -196,7 +290,7 @@ func (e *Engine) scoreCosine(qtf map[textproc.TermID]int, scores map[corpus.DocI
 	qnorm := 0.0
 	qw := make(map[textproc.TermID]float64, len(qtf))
 	for id, tf := range qtf {
-		w := (1 + math.Log(float64(tf))) * e.idx.IDF(id)
+		w := (1 + math.Log(float64(tf))) * e.src.IDF(id)
 		qw[id] = w
 		qnorm += w * w
 	}
@@ -205,31 +299,46 @@ func (e *Engine) scoreCosine(qtf map[textproc.TermID]int, scores map[corpus.DocI
 		return
 	}
 	for id, w := range qw {
-		for _, p := range e.idx.Postings(id) {
+		for _, p := range e.src.Postings(id) {
 			dw := 1 + math.Log(float64(p.TF))
 			scores[p.Doc] += w * dw
 		}
 	}
 	for d := range scores {
-		if n := e.docNorm[d]; n > 0 {
+		if n := e.norm(d); n > 0 {
 			scores[d] /= n * qnorm
 		}
 	}
 }
 
-// scoreBM25 implements Okapi BM25 with standard parameters.
+// norm returns document d's lnc vector norm from whichever norm source
+// the engine was constructed with.
+func (e *Engine) norm(d corpus.DocID) float64 {
+	if e.normSrc != nil {
+		return e.normSrc.DocNorm(d)
+	}
+	if int(d) < len(e.docNorm) {
+		return e.docNorm[d]
+	}
+	return 0
+}
+
+// scoreBM25 implements Okapi BM25 with standard parameters. Collection
+// statistics (N, df, avgdl) are read from the source per query so live
+// sources can keep them current.
 func (e *Engine) scoreBM25(qtf map[textproc.TermID]int, scores map[corpus.DocID]float64) {
-	n := float64(e.idx.NumDocs())
+	n := float64(e.src.NumDocs())
+	avgLen := e.src.AvgDocLen()
 	for id := range qtf {
-		df := float64(e.idx.DocFreq(id))
+		df := float64(e.src.DocFreq(id))
 		if df == 0 {
 			continue
 		}
 		idf := math.Log(1 + (n-df+0.5)/(df+0.5))
-		for _, p := range e.idx.Postings(id) {
+		for _, p := range e.src.Postings(id) {
 			tf := float64(p.TF)
-			dl := float64(e.idx.DocLen(p.Doc))
-			denom := tf + bm25K1*(1-bm25B+bm25B*dl/e.avgLen)
+			dl := float64(e.src.DocLen(p.Doc))
+			denom := tf + bm25K1*(1-bm25B+bm25B*dl/avgLen)
 			scores[p.Doc] += idf * tf * (bm25K1 + 1) / denom
 		}
 	}

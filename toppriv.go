@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"sync"
 
 	"toppriv/internal/baseline"
 	"toppriv/internal/belief"
@@ -37,6 +38,7 @@ import (
 	"toppriv/internal/lda"
 	"toppriv/internal/linkrank"
 	"toppriv/internal/search"
+	"toppriv/internal/segment"
 	"toppriv/internal/textproc"
 	"toppriv/internal/vsm"
 )
@@ -112,11 +114,23 @@ type ServiceSpec struct {
 	// §III-A "in conjunction with Web link analysis techniques" engine
 	// variant. TopPriv is unaffected either way.
 	LinkPriorWeight float64
+	// Live serves searches from the segmented live index instead of the
+	// immutable engine: AddDocuments and DeleteDocument become
+	// available, and the HTTP handler accepts POST /index and
+	// DELETE /doc/{id}. Incompatible with LinkPriorWeight (a static
+	// prior cannot follow a changing corpus).
+	Live bool
+	// SealThreshold is the live memtable's seal size in documents
+	// (0 = segment package default). Ignored unless Live.
+	SealThreshold int
 }
 
 // Service wires the full system: corpus, index, search engine, topic
-// model and belief engine, all sharing one analyzer. Build it once;
-// it is then safe for concurrent readers.
+// model and belief engine, all sharing one analyzer. Build it once; it
+// is then safe for concurrent readers. In live mode the document set
+// may also change concurrently through AddDocuments/DeleteDocument —
+// the belief engine keeps working against the trained model, and the
+// service tracks how far the corpus has drifted from it (Staleness).
 type Service struct {
 	Corpus      *corpus.Corpus
 	GroundTruth *GroundTruth // nil for ingested corpora
@@ -125,7 +139,21 @@ type Service struct {
 	Beliefs     *BeliefEngine
 
 	analyzer *Analyzer
-	searcher *vsm.Engine
+	searcher vsm.Searcher
+	store    *segment.Store // non-nil in live mode
+	inf      *lda.Inferencer
+
+	mu sync.Mutex
+	// foldRNG drives fold-in inference for documents added after
+	// training; guarded by mu.
+	foldRNG *rand.Rand
+	// foldedTopics caches the fold-in topic posterior of each
+	// post-training document, keyed by its live-store ID.
+	foldedTopics map[corpus.DocID][]float64
+	// staleOps counts adds and deletes since the model was trained.
+	staleOps int
+	// trainedDocs is the corpus size the model was trained on.
+	trainedDocs int
 }
 
 // NewService builds everything from the spec: synthesize or ingest the
@@ -159,8 +187,28 @@ func NewService(spec ServiceSpec) (*Service, error) {
 	if spec.BM25 {
 		scoring = vsm.BM25
 	}
-	var searcher *vsm.Engine
-	if spec.LinkPriorWeight > 0 {
+	var (
+		searcher vsm.Searcher
+		store    *segment.Store
+	)
+	switch {
+	case spec.Live && spec.LinkPriorWeight > 0:
+		return nil, fmt.Errorf("toppriv: Live is incompatible with LinkPriorWeight (static prior over a changing corpus)")
+	case spec.Live:
+		store, err = segment.Open(segment.Config{
+			Scoring:       scoring,
+			Analyzer:      an,
+			SealThreshold: spec.SealThreshold,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("toppriv: live store: %w", err)
+		}
+		if _, err := store.Add(c.Docs...); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("toppriv: live store seed: %w", err)
+		}
+		searcher = store
+	case spec.LinkPriorWeight > 0:
 		topics := make([][]float64, c.NumDocs())
 		for d := range topics {
 			theta := c.Docs[d].TrueTopics
@@ -181,13 +229,19 @@ func NewService(spec ServiceSpec) (*Service, error) {
 		if err != nil {
 			return nil, fmt.Errorf("toppriv: engine: %w", err)
 		}
-	} else {
+	default:
 		searcher, err = vsm.NewEngine(idx, an, scoring)
 		if err != nil {
 			return nil, fmt.Errorf("toppriv: engine: %w", err)
 		}
 	}
 
+	fail := func(err error) (*Service, error) {
+		if store != nil {
+			store.Close()
+		}
+		return nil, err
+	}
 	k := spec.NumTopics
 	if k == 0 {
 		if c.GroundTruthTopics > 0 {
@@ -202,25 +256,30 @@ func NewService(spec ServiceSpec) (*Service, error) {
 	}
 	m, _, err := lda.Train(c, lda.TrainSpec{NumTopics: k, Iterations: iters, Seed: spec.Seed})
 	if err != nil {
-		return nil, fmt.Errorf("toppriv: train: %w", err)
+		return fail(fmt.Errorf("toppriv: train: %w", err))
 	}
 	inf, err := lda.NewInferencer(m, lda.InferSpec{})
 	if err != nil {
-		return nil, fmt.Errorf("toppriv: inferencer: %w", err)
+		return fail(fmt.Errorf("toppriv: inferencer: %w", err))
 	}
 	beliefs, err := belief.NewEngine(inf)
 	if err != nil {
-		return nil, fmt.Errorf("toppriv: beliefs: %w", err)
+		return fail(fmt.Errorf("toppriv: beliefs: %w", err))
 	}
 
 	return &Service{
-		Corpus:      c,
-		GroundTruth: gt,
-		Index:       idx,
-		Model:       m,
-		Beliefs:     beliefs,
-		analyzer:    an,
-		searcher:    searcher,
+		Corpus:       c,
+		GroundTruth:  gt,
+		Index:        idx,
+		Model:        m,
+		Beliefs:      beliefs,
+		analyzer:     an,
+		searcher:     searcher,
+		store:        store,
+		inf:          inf,
+		foldRNG:      rand.New(rand.NewSource(spec.Seed + 7919)),
+		foldedTopics: make(map[corpus.DocID][]float64),
+		trainedDocs:  c.NumDocs(),
 	}, nil
 }
 
@@ -237,12 +296,99 @@ func (s *Service) Search(raw string, k int) []SearchHit {
 	hits := make([]SearchHit, len(results))
 	for i, r := range results {
 		hit := SearchHit{Doc: r.Doc, Score: r.Score}
-		if int(r.Doc) < len(s.Corpus.Docs) {
+		if s.store != nil {
+			if doc, ok := s.store.Doc(r.Doc); ok {
+				hit.Title = doc.Title
+			}
+		} else if int(r.Doc) < len(s.Corpus.Docs) {
 			hit.Title = s.Corpus.Docs[r.Doc].Title
 		}
 		hits[i] = hit
 	}
 	return hits
+}
+
+// Live reports whether the service runs on the segmented live index.
+func (s *Service) Live() bool { return s.store != nil }
+
+// Store exposes the live segment store (nil unless ServiceSpec.Live).
+func (s *Service) Store() *segment.Store { return s.store }
+
+// Close releases live-mode resources (the background compactor). It is
+// a no-op for immutable services.
+func (s *Service) Close() error {
+	if s.store != nil {
+		return s.store.Close()
+	}
+	return nil
+}
+
+// AddDocuments ingests documents into the live index, immediately
+// searchable. The LDA model is not retrained; instead each new document
+// is folded in through the existing inferencer — its topic posterior
+// under the trained Φ — so the belief engine's view of the corpus stays
+// consistent, and the service's staleness counter records the drift.
+// Callers watching Staleness decide when a full retrain is due.
+func (s *Service) AddDocuments(docs ...Document) ([]corpus.DocID, error) {
+	if s.store == nil {
+		return nil, fmt.Errorf("toppriv: AddDocuments requires ServiceSpec.Live")
+	}
+	ids, err := s.store.Add(docs...)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, doc := range docs {
+		terms := s.analyzer.Analyze(doc.Text)
+		s.foldedTopics[ids[i]] = s.inf.PosteriorTerms(terms, s.foldRNG)
+		s.staleOps++
+	}
+	return ids, nil
+}
+
+// DeleteDocument tombstones a live document. Like adds, deletes drift
+// the corpus away from the trained model and count toward Staleness.
+func (s *Service) DeleteDocument(id corpus.DocID) error {
+	if s.store == nil {
+		return fmt.Errorf("toppriv: DeleteDocument requires ServiceSpec.Live")
+	}
+	if err := s.store.Delete(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.foldedTopics, id)
+	s.staleOps++
+	return nil
+}
+
+// FoldedTopics returns the fold-in topic posterior of a document added
+// after training (and true), or nil and false for training-corpus
+// documents.
+func (s *Service) FoldedTopics(id corpus.DocID) ([]float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	theta, ok := s.foldedTopics[id]
+	if !ok {
+		return nil, false
+	}
+	out := make([]float64, len(theta))
+	copy(out, theta)
+	return out, true
+}
+
+// Staleness reports how far the live corpus has drifted from the
+// trained model: mutations since training divided by the training
+// corpus size. 0 means the model is fresh; callers typically retrain
+// past some threshold (say 0.2).
+func (s *Service) Staleness() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.trainedDocs == 0 {
+		return 0
+	}
+	return float64(s.staleOps) / float64(s.trainedDocs)
 }
 
 // NewObfuscator builds a TopPriv obfuscator with the given privacy
@@ -274,8 +420,13 @@ func (s *Service) NewTrackMeNot(numGhosts, minLen, maxLen int) (*TrackMeNot, err
 }
 
 // Handler returns the HTTP search server for this corpus: the
-// unmodified engine of the paper's system model.
+// unmodified engine of the paper's system model. Live services get the
+// mutation endpoints (POST /index, DELETE /doc/{id}) as well; document
+// lookups then resolve through the live store.
 func (s *Service) Handler() (*Server, error) {
+	if s.store != nil {
+		return search.NewServer(s.store, nil)
+	}
 	return search.NewServer(s.searcher, s.Corpus.Docs)
 }
 
@@ -293,5 +444,13 @@ func (s *Service) Workload(spec WorkloadSpec) ([]QuerySpec, error) {
 	return corpus.Workload(s.GroundTruth, spec)
 }
 
-// Stats summarizes the inverted index (postings skew, PIR padding cost).
-func (s *Service) Stats() IndexStats { return s.Index.ComputeStats() }
+// Stats summarizes the inverted index (postings skew, PIR padding
+// cost). In live mode the statistics come from the live store and
+// track adds and deletes; the exported Index field remains the
+// training-corpus snapshot the LDA model was fit to.
+func (s *Service) Stats() IndexStats {
+	if s.store != nil {
+		return s.store.ComputeStats()
+	}
+	return s.Index.ComputeStats()
+}
