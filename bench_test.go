@@ -389,21 +389,30 @@ func BenchmarkInferenceIters(b *testing.B) {
 	}
 }
 
-// BenchmarkSearch measures engine throughput for both scorers.
+// BenchmarkSearch measures top-10 engine throughput for both scorers
+// under both execution strategies. The per-op docs_scored metric is
+// the pruning evidence: MaxScore fully scores a fraction of the
+// documents the exhaustive oracle touches, at identical results.
 func BenchmarkSearch(b *testing.B) {
 	env := getBenchEnv(b)
 	queries := env.AnalyzedQueries()
 	for _, scoring := range []vsm.Scoring{vsm.Cosine, vsm.BM25} {
-		b.Run(scoring.String(), func(b *testing.B) {
-			engine, err := vsm.NewEngine(env.Index, env.An, scoring)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				engine.SearchTerms(queries[i%len(queries)], 10)
-			}
-		})
+		engine, err := vsm.NewEngine(env.Index, env.An, scoring)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []vsm.ExecMode{vsm.ExecMaxScore, vsm.ExecExhaustive} {
+			b.Run(scoring.String()+"/"+mode.String(), func(b *testing.B) {
+				var stats vsm.ExecStats
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					engine.SearchTermsExec(queries[i%len(queries)], 10, nil, mode, &stats)
+				}
+				b.ReportMetric(float64(stats.DocsScored)/float64(b.N), "docs_scored/op")
+				b.ReportMetric(float64(stats.DocsPruned)/float64(b.N), "docs_pruned/op")
+			})
+		}
 	}
 }
 

@@ -1,0 +1,104 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// artifact, so CI can upload a machine-readable performance record
+// (ns/op, allocs/op, and custom metrics like docs_scored/op) and the
+// perf trajectory of the query engine can be tracked across commits.
+//
+// Usage:
+//
+//	go test -run xxx -bench BenchmarkSearch -benchmem . | benchjson -o BENCH_search.json
+//
+// Non-benchmark lines (ok/PASS/log output) pass through unparsed; a
+// run that produced no benchmark lines is an error, so a silently
+// skipped bench step fails the pipeline instead of uploading an empty
+// artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// the -cpu suffix, e.g. "BenchmarkSearch/cosine/maxscore-8".
+	Name string `json:"name"`
+	// N is the iteration count the harness settled on.
+	N int64 `json:"n"`
+	// Metrics maps unit → per-op value, e.g. "ns/op", "allocs/op",
+	// "docs_scored/op".
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var benches []Benchmark
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			benches = append(benches, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(benches) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(benches); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(benches))
+}
+
+// parseLine parses one `Benchmark<Name>-P  N  v1 u1  v2 u2 ...` line.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], N: n, Metrics: map[string]float64{}}
+	// The remainder alternates value/unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}

@@ -51,6 +51,8 @@ func main() {
 		corpusPath  = flag.String("corpus", "corpus.json", "corpus JSON from corpusgen")
 		addr        = flag.String("addr", ":8080", "listen address")
 		bm25        = flag.Bool("bm25", false, "score with BM25 instead of tf-idf cosine")
+		execFlag    = flag.String("exec", "auto", "query execution: auto, maxscore (DAAT top-k pruning), or exhaustive")
+		maxK        = flag.Int("max-k", 0, "cap per-request result count (0 = default 1000)")
 		live        = flag.Bool("live", false, "serve the segmented live index (POST /index, DELETE /doc/{id})")
 		dataDir     = flag.String("data", "", "live mode: segment persistence directory (empty = in-memory only)")
 		seal        = flag.Int("seal", 0, "live mode: memtable seal threshold in documents (0 = default)")
@@ -64,6 +66,10 @@ func main() {
 	if *bm25 {
 		scoring = vsm.BM25
 	}
+	execMode, err := vsm.ParseExecMode(*execFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 	an := textproc.NewAnalyzer()
 
 	var (
@@ -72,7 +78,7 @@ func main() {
 		store    *segment.Store
 	)
 	if *live {
-		store = openLiveStore(an, scoring, *corpusPath, *dataDir, *seal)
+		store = openLiveStore(an, scoring, execMode, *corpusPath, *dataDir, *seal)
 		searcher = store
 		// A recovered manifest's scoring overrides the flag; report what
 		// is actually served.
@@ -90,6 +96,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		engine.SetExecMode(execMode)
 		stats := idx.ComputeStats()
 		log.Printf("immutable index: %d docs / %d terms", stats.NumDocs, stats.NumTerms)
 		searcher = engine
@@ -102,6 +109,7 @@ func main() {
 	}
 	srv.SetQueryLogCap(*querylogCap)
 	srv.SetAdminToken(*adminToken)
+	srv.SetMaxK(*maxK)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -111,7 +119,7 @@ func main() {
 	if *live {
 		mode = "live"
 	}
-	log.Printf("serving (%s, %s scoring) on %s", mode, scoring, ln.Addr())
+	log.Printf("serving (%s, %s scoring, %s exec) on %s", mode, scoring, execMode, ln.Addr())
 
 	httpSrv := &http.Server{
 		Handler:           srv,
@@ -157,8 +165,8 @@ func main() {
 // openLiveStore recovers a saved store from dataDir when a manifest
 // exists; otherwise it opens a fresh store and, when the corpus file is
 // readable, bulk-loads it.
-func openLiveStore(an *textproc.Analyzer, scoring vsm.Scoring, corpusPath, dataDir string, seal int) *segment.Store {
-	cfg := segment.Config{Scoring: scoring, Analyzer: an, SealThreshold: seal, Logf: log.Printf}
+func openLiveStore(an *textproc.Analyzer, scoring vsm.Scoring, execMode vsm.ExecMode, corpusPath, dataDir string, seal int) *segment.Store {
+	cfg := segment.Config{Scoring: scoring, ExecMode: execMode, Analyzer: an, SealThreshold: seal, Logf: log.Printf}
 	if dataDir != "" {
 		if _, err := os.Stat(filepath.Join(dataDir, "MANIFEST.json")); err == nil {
 			store, err := segment.Load(dataDir, cfg)

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 
 	"toppriv/internal/corpus"
 	"toppriv/internal/textproc"
@@ -18,14 +19,24 @@ import (
 //	per term: uvarint(len(term)) term-bytes
 //	          uvarint(listLen)
 //	          postings as (uvarint docID-delta, uvarint tf)
+//	          v2 only: uvarint maxTF
+//	                   float64 maxCosImpact | float64 maxBM25Impact
 //	per doc:  uvarint docLen
 //
 // Doc IDs are delta-encoded within each list, mirroring production
 // inverted-index layouts, so SizeBytes reflects a realistic index
 // footprint for the Figure 6 comparison against the LDA model size.
+//
+// Version 2 appends the per-term max-impact metadata that fuels
+// MaxScore top-k pruning, so a loaded index skips documents without a
+// postings rescan. Version 1 files still load: their metadata is
+// recomputed from the postings after reading.
 
 const codecMagic = "TPIX"
-const codecVersion = 1
+const (
+	codecVersion   = 2
+	codecVersionV1 = 1
+)
 
 // WriteTo serializes the index. It returns the number of bytes written.
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
@@ -34,6 +45,12 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	writeUvarint := func(v uint64) error {
 		n := binary.PutUvarint(buf, v)
 		_, err := cw.Write(buf[:n])
+		return err
+	}
+	writeFloat := func(v float64) error {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		_, err := cw.Write(b[:])
 		return err
 	}
 	if _, err := cw.Write([]byte(codecMagic)); err != nil {
@@ -72,6 +89,15 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 				return cw.n, err
 			}
 		}
+		if err := writeUvarint(uint64(x.maxTF[id])); err != nil {
+			return cw.n, err
+		}
+		if err := writeFloat(x.maxCos[id]); err != nil {
+			return cw.n, err
+		}
+		if err := writeFloat(x.maxBM[id]); err != nil {
+			return cw.n, err
+		}
 	}
 	for _, dl := range x.docLen {
 		if err := writeUvarint(uint64(dl)); err != nil {
@@ -95,8 +121,9 @@ func Read(r io.Reader) (*Index, error) {
 	if _, err := io.ReadFull(br, ver[:]); err != nil {
 		return nil, fmt.Errorf("index: read version: %w", err)
 	}
-	if v := binary.LittleEndian.Uint32(ver[:]); v != codecVersion {
-		return nil, fmt.Errorf("index: unsupported version %d", v)
+	version := binary.LittleEndian.Uint32(ver[:])
+	if version != codecVersion && version != codecVersionV1 {
+		return nil, fmt.Errorf("index: unsupported version %d", version)
 	}
 	numDocs, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -144,6 +171,23 @@ func Read(r io.Reader) (*Index, error) {
 			pl[i] = Posting{Doc: corpus.DocID(prev), TF: int32(tf)}
 		}
 		x.postings = append(x.postings, pl)
+		if version >= 2 {
+			mtf, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("index: term %d maxTF: %w", t, err)
+			}
+			mcos, err := readFloat(br)
+			if err != nil {
+				return nil, fmt.Errorf("index: term %d maxCos: %w", t, err)
+			}
+			mbm, err := readFloat(br)
+			if err != nil {
+				return nil, fmt.Errorf("index: term %d maxBM25: %w", t, err)
+			}
+			x.maxTF = append(x.maxTF, int32(mtf))
+			x.maxCos = append(x.maxCos, mcos)
+			x.maxBM = append(x.maxBM, mbm)
+		}
 	}
 	x.docLen = make([]int, numDocs)
 	for d := range x.docLen {
@@ -154,7 +198,21 @@ func Read(r io.Reader) (*Index, error) {
 		x.docLen[d] = int(dl)
 		x.totalLen += int(dl)
 	}
+	if version < 2 {
+		// v1 files carry no impact metadata; derive it from the
+		// postings so loaded indexes prune identically to built ones.
+		x.computeImpacts()
+	}
 	return x, nil
+}
+
+// readFloat reads one little-endian IEEE-754 float64.
+func readFloat(r io.Reader) (float64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
 }
 
 // SizeBytes returns the serialized size of the index without writing it

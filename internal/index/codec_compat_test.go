@@ -1,0 +1,119 @@
+package index
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"testing"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/textproc"
+)
+
+// TestReadV1Fixture loads the checked-in v1-format TPIX file (written
+// by the pre-impact codec) and checks both the round-tripped postings
+// and that the impact metadata was recomputed on load. The fixture
+// pins the historical byte layout: if this test breaks, v1 files in
+// the field stopped loading.
+func TestReadV1Fixture(t *testing.T) {
+	f, err := os.Open("testdata/v1.tpix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	x, err := Read(f)
+	if err != nil {
+		t.Fatalf("v1 fixture must load: %v", err)
+	}
+	if x.NumDocs() != 4 {
+		t.Fatalf("fixture NumDocs = %d, want 4", x.NumDocs())
+	}
+	// The fixture was built from doc 0 = "apache helicopter army
+	// weapons apache helicopter" (stemming off).
+	pl := x.PostingsByTerm("apache")
+	if len(pl) != 2 || pl[0].Doc != 0 || pl[0].TF != 2 {
+		t.Fatalf("apache postings = %v", pl)
+	}
+	if got := x.MaxTF(x.Vocab().ID("apache")); got != 2 {
+		t.Errorf("MaxTF(apache) = %d, want 2 (recomputed from v1 postings)", got)
+	}
+	for tid := 0; tid < x.NumTerms(); tid++ {
+		id := textproc.TermID(tid)
+		if x.DocFreq(id) > 0 && (x.MaxTF(id) <= 0 || x.MaxCosImpact(id) <= 0 || x.MaxBM25Impact(id) <= 0) {
+			t.Errorf("term %q: v1 load left impact metadata empty", x.Vocab().Term(id))
+		}
+	}
+}
+
+// TestV2RoundTripPreservesImpacts writes a v2 file and reads it back:
+// postings, lengths, and every per-term impact must survive exactly.
+func TestV2RoundTripPreservesImpacts(t *testing.T) {
+	x := buildTestIndex(t,
+		"apache helicopter army weapons apache helicopter apache",
+		"stock market investors trading volume stock",
+		"apache webserver software configuration",
+	)
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	y, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.NumDocs() != x.NumDocs() || y.NumTerms() != x.NumTerms() {
+		t.Fatalf("shape changed: %d/%d docs, %d/%d terms",
+			y.NumDocs(), x.NumDocs(), y.NumTerms(), x.NumTerms())
+	}
+	for tid := 0; tid < x.NumTerms(); tid++ {
+		id := textproc.TermID(tid)
+		if got, want := y.MaxTF(id), x.MaxTF(id); got != want {
+			t.Errorf("term %d: MaxTF %d != %d", tid, got, want)
+		}
+		// Bit-exact: the floats are persisted, not recomputed.
+		if got, want := y.MaxCosImpact(id), x.MaxCosImpact(id); math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("term %d: MaxCosImpact %v != %v", tid, got, want)
+		}
+		if got, want := y.MaxBM25Impact(id), x.MaxBM25Impact(id); math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("term %d: MaxBM25Impact %v != %v", tid, got, want)
+		}
+	}
+}
+
+// TestMergeCarriesImpacts checks that a Merge with tombstones leaves
+// metadata consistent with a fresh computation over the merged
+// postings — in particular that dropping a list's argmax document
+// lowers the recorded maxima.
+func TestMergeCarriesImpacts(t *testing.T) {
+	a := buildTestIndex(t,
+		"apache apache apache apache army", // doc 0: the apache maxTF holder
+		"apache army army",
+	)
+	b := buildTestIndex(t,
+		"apache navy",
+	)
+	// Drop part a's doc 0; the merged apache maxTF must fall to 1.
+	merged, _, err := Merge([]*Index{a, b}, []func(corpus.DocID) bool{
+		func(d corpus.DocID) bool { return d != 0 },
+		nil,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := merged.Vocab().ID("apache")
+	if got := merged.MaxTF(id); got != 1 {
+		t.Fatalf("merged MaxTF(apache) = %d, want 1 after dropping the tf=4 doc", got)
+	}
+	// Full consistency: metadata equals a recomputation.
+	wantTF := append([]int32(nil), merged.maxTF...)
+	wantCos := append([]float64(nil), merged.maxCos...)
+	wantBM := append([]float64(nil), merged.maxBM...)
+	merged.computeImpacts()
+	for tid := range wantTF {
+		if merged.maxTF[tid] != wantTF[tid] ||
+			math.Float64bits(merged.maxCos[tid]) != math.Float64bits(wantCos[tid]) ||
+			math.Float64bits(merged.maxBM[tid]) != math.Float64bits(wantBM[tid]) {
+			t.Fatalf("term %d: merge metadata differs from recomputation", tid)
+		}
+	}
+}

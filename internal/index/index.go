@@ -23,6 +23,25 @@ type Posting struct {
 // PostingList is a term's postings, sorted by ascending DocID.
 type PostingList []Posting
 
+// Okapi BM25 parameters, shared with the scoring engine so the
+// precomputed per-term impact bounds and the query-time scores use the
+// same constants.
+const (
+	BM25K1 = 1.2
+	BM25B  = 0.75
+)
+
+// BM25TFBound returns an upper bound on the Okapi tf-saturation factor
+// tf·(k1+1)/(tf + k1·(1−b+b·dl/avgdl)) that holds for every document
+// length and every collection average: the denominator is minimized at
+// dl = 0. Being length-free makes the bound safe even when a segment's
+// postings are scored against global collection statistics that differ
+// from the segment's own.
+func BM25TFBound(tf int32) float64 {
+	t := float64(tf)
+	return t * (BM25K1 + 1) / (t + BM25K1*(1-BM25B))
+}
+
 // Index is an immutable inverted index over a corpus. Build it with
 // Build; it is then safe for concurrent readers.
 type Index struct {
@@ -31,6 +50,15 @@ type Index struct {
 	docLen   []int         // analyzed length of each document
 	numDocs  int
 	totalLen int
+
+	// Per-term max-impact metadata (indexed by TermID), the skipping
+	// fuel of MaxScore-style top-k pruning: the largest term frequency
+	// in the list, the largest lnc cosine partial (1+ln tf)/‖d‖ any
+	// posting contributes, and the largest length-free BM25 saturation
+	// factor. Computed by Build/Merge, persisted by the v2 codec.
+	maxTF  []int32
+	maxCos []float64
+	maxBM  []float64
 }
 
 // Build constructs the index from an analyzed corpus.
@@ -61,7 +89,44 @@ func Build(c *corpus.Corpus) (*Index, error) {
 		pl := idx.postings[id]
 		sort.Slice(pl, func(i, j int) bool { return pl[i].Doc < pl[j].Doc })
 	}
+	idx.computeImpacts()
 	return idx, nil
+}
+
+// computeImpacts derives the per-term max-impact metadata from the
+// postings in one pass: lnc document norms first (they need the whole
+// index), then each list's maxima.
+func (x *Index) computeImpacts() {
+	norms := make([]float64, x.numDocs)
+	for _, pl := range x.postings {
+		for _, p := range pl {
+			w := 1 + math.Log(float64(p.TF))
+			norms[p.Doc] += w * w
+		}
+	}
+	for d := range norms {
+		norms[d] = math.Sqrt(norms[d])
+	}
+	x.maxTF = make([]int32, len(x.postings))
+	x.maxCos = make([]float64, len(x.postings))
+	x.maxBM = make([]float64, len(x.postings))
+	for t, pl := range x.postings {
+		var mtf int32
+		mcos := 0.0
+		for _, p := range pl {
+			if p.TF > mtf {
+				mtf = p.TF
+			}
+			if c := (1 + math.Log(float64(p.TF))) / norms[p.Doc]; c > mcos {
+				mcos = c
+			}
+		}
+		x.maxTF[t] = mtf
+		x.maxCos[t] = mcos
+		if mtf > 0 {
+			x.maxBM[t] = BM25TFBound(mtf)
+		}
+	}
 }
 
 // Vocab returns the shared vocabulary.
@@ -90,6 +155,35 @@ func (x *Index) PostingsByTerm(term string) PostingList {
 // DocFreq returns the document frequency of a term.
 func (x *Index) DocFreq(id textproc.TermID) int {
 	return len(x.Postings(id))
+}
+
+// MaxTF returns the largest term frequency in id's postings list
+// (0 for absent terms).
+func (x *Index) MaxTF(id textproc.TermID) int32 {
+	if id < 0 || int(id) >= len(x.maxTF) {
+		return 0
+	}
+	return x.maxTF[id]
+}
+
+// MaxCosImpact returns the largest lnc cosine partial
+// (1+ln tf)/‖d‖ any posting of id contributes — an upper bound on the
+// term's per-document share of a normalized cosine score.
+func (x *Index) MaxCosImpact(id textproc.TermID) float64 {
+	if id < 0 || int(id) >= len(x.maxCos) {
+		return 0
+	}
+	return x.maxCos[id]
+}
+
+// MaxBM25Impact returns an upper bound on the BM25 tf-saturation
+// factor over id's postings, valid for any document length and any
+// collection average (see BM25TFBound).
+func (x *Index) MaxBM25Impact(id textproc.TermID) float64 {
+	if id < 0 || int(id) >= len(x.maxBM) {
+		return 0
+	}
+	return x.maxBM[id]
 }
 
 // IDF returns the smoothed inverse document frequency

@@ -1,0 +1,69 @@
+package index
+
+import "toppriv/internal/corpus"
+
+// Iterator is a cursor over one term's postings list — the traversal
+// primitive of document-at-a-time (DAAT) query evaluation. A fresh
+// iterator is positioned on the first posting; Valid reports whether
+// the cursor is on a posting, and Next/SeekGE advance it. The zero
+// value is an exhausted iterator over an empty list.
+//
+// Iterators are plain values over the shared (immutable) postings
+// slice: cheap to create per query, safe for concurrent queries.
+type Iterator struct {
+	pl  PostingList
+	pos int
+}
+
+// Iter returns an iterator positioned on the list's first posting.
+func (pl PostingList) Iter() Iterator { return Iterator{pl: pl} }
+
+// Valid reports whether the iterator is positioned on a posting.
+func (it *Iterator) Valid() bool { return it.pos < len(it.pl) }
+
+// Doc returns the current posting's document ID. Valid must be true.
+func (it *Iterator) Doc() corpus.DocID { return it.pl[it.pos].Doc }
+
+// TF returns the current posting's term frequency. Valid must be true.
+func (it *Iterator) TF() int32 { return it.pl[it.pos].TF }
+
+// Next advances to the following posting, reporting whether the
+// iterator is still valid.
+func (it *Iterator) Next() bool {
+	it.pos++
+	return it.pos < len(it.pl)
+}
+
+// SeekGE advances to the first posting with Doc >= d, reporting whether
+// one exists. It never moves backwards; seeking to a document at or
+// before the current position is a no-op. Galloping search keeps a full
+// DAAT merge linear in the shortest list rather than the longest.
+func (it *Iterator) SeekGE(d corpus.DocID) bool {
+	n := len(it.pl)
+	if it.pos >= n || it.pl[it.pos].Doc >= d {
+		return it.pos < n
+	}
+	// Gallop: double the step from the current position until we
+	// overshoot, then binary-search the bracketed window.
+	lo, step := it.pos+1, 1
+	hi := lo
+	for hi < n && it.pl[hi].Doc < d {
+		lo = hi + 1
+		hi += step
+		step <<= 1
+	}
+	if hi > n {
+		hi = n
+	}
+	// Invariant: postings in [0, lo) have Doc < d; [hi, n) have Doc >= d.
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if it.pl[mid].Doc < d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	it.pos = lo
+	return lo < n
+}

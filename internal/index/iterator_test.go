@@ -1,0 +1,166 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/textproc"
+)
+
+func buildTestIndex(t *testing.T, texts ...string) *Index {
+	t.Helper()
+	docs := make([]corpus.Document, len(texts))
+	for i, text := range texts {
+		docs[i] = corpus.Document{Text: text}
+	}
+	an := textproc.NewAnalyzer(textproc.WithStemming(false))
+	c, err := corpus.Build(docs, an, textproc.PruneSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func randomList(rng *rand.Rand, n int) PostingList {
+	pl := make(PostingList, 0, n)
+	doc := corpus.DocID(0)
+	for i := 0; i < n; i++ {
+		doc += corpus.DocID(1 + rng.Intn(7))
+		pl = append(pl, Posting{Doc: doc, TF: int32(1 + rng.Intn(5))})
+	}
+	return pl
+}
+
+func TestIteratorNextWalksWholeList(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pl := randomList(rng, 40)
+	it := pl.Iter()
+	for i, p := range pl {
+		if !it.Valid() {
+			t.Fatalf("iterator exhausted at %d/%d", i, len(pl))
+		}
+		if it.Doc() != p.Doc || it.TF() != p.TF {
+			t.Fatalf("posting %d: got (%d,%d), want (%d,%d)", i, it.Doc(), it.TF(), p.Doc, p.TF)
+		}
+		it.Next()
+	}
+	if it.Valid() {
+		t.Fatal("iterator valid past the end")
+	}
+}
+
+func TestIteratorEmptyList(t *testing.T) {
+	it := PostingList(nil).Iter()
+	if it.Valid() {
+		t.Fatal("empty list iterator should be invalid")
+	}
+	if it.SeekGE(0) {
+		t.Fatal("SeekGE on empty list should report false")
+	}
+	if it.Next() {
+		t.Fatal("Next on empty list should report false")
+	}
+}
+
+// TestIteratorSeekGEMatchesLinearScan cross-checks SeekGE (gallop +
+// binary search) against a straightforward linear scan, including
+// seeks backwards (no-ops), to present docs, to gaps, and past the end.
+func TestIteratorSeekGEMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		pl := randomList(rng, 1+rng.Intn(60))
+		it := pl.Iter()
+		pos := 0
+		for step := 0; step < 30; step++ {
+			target := corpus.DocID(rng.Intn(int(pl[len(pl)-1].Doc) + 3))
+			ok := it.SeekGE(target)
+			// Reference: advance pos, never backwards.
+			for pos < len(pl) && pl[pos].Doc < target {
+				pos++
+			}
+			if ok != (pos < len(pl)) {
+				t.Fatalf("trial %d: SeekGE(%d) = %v, scan says %v", trial, target, ok, pos < len(pl))
+			}
+			if ok && it.Doc() != pl[pos].Doc {
+				t.Fatalf("trial %d: SeekGE(%d) landed on %d, scan on %d", trial, target, it.Doc(), pl[pos].Doc)
+			}
+			if !ok {
+				break
+			}
+			// Occasionally interleave Next with seeks.
+			if rng.Intn(3) == 0 {
+				it.Next()
+				pos++
+			}
+		}
+	}
+}
+
+// TestImpactMetadata verifies Build's per-term maxima against a brute
+// recomputation from postings and document norms.
+func TestImpactMetadata(t *testing.T) {
+	idx := buildTestIndex(t,
+		"apache helicopter army weapons apache helicopter apache",
+		"stock market investors trading volume stock",
+		"apache webserver software configuration",
+		"cooking recipes kitchen dinner helicopter",
+	)
+	norms := make([]float64, idx.NumDocs())
+	for tid := 0; tid < idx.NumTerms(); tid++ {
+		for _, p := range idx.postings[tid] {
+			w := 1 + math.Log(float64(p.TF))
+			norms[p.Doc] += w * w
+		}
+	}
+	for d := range norms {
+		norms[d] = math.Sqrt(norms[d])
+	}
+	for tid := 0; tid < idx.NumTerms(); tid++ {
+		var wantTF int32
+		wantCos := 0.0
+		for _, p := range idx.postings[tid] {
+			if p.TF > wantTF {
+				wantTF = p.TF
+			}
+			if c := (1 + math.Log(float64(p.TF))) / norms[p.Doc]; c > wantCos {
+				wantCos = c
+			}
+		}
+		id := textproc.TermID(tid)
+		if got := idx.MaxTF(id); got != wantTF {
+			t.Errorf("term %d: MaxTF = %d, want %d", tid, got, wantTF)
+		}
+		if got := idx.MaxCosImpact(id); math.Abs(got-wantCos) > 1e-15 {
+			t.Errorf("term %d: MaxCosImpact = %v, want %v", tid, got, wantCos)
+		}
+		if got, want := idx.MaxBM25Impact(id), BM25TFBound(wantTF); math.Abs(got-want) > 1e-15 {
+			t.Errorf("term %d: MaxBM25Impact = %v, want %v", tid, got, want)
+		}
+	}
+	// Out-of-range IDs answer zero, like Postings.
+	if idx.MaxTF(-1) != 0 || idx.MaxCosImpact(-1) != 0 || idx.MaxBM25Impact(9999) != 0 {
+		t.Error("out-of-range term IDs must report zero impact")
+	}
+}
+
+// TestBM25TFBoundDominates checks the length-free bound against the
+// true saturation factor across tf, dl, and avgdl combinations.
+func TestBM25TFBoundDominates(t *testing.T) {
+	for tf := int32(1); tf <= 40; tf += 3 {
+		bound := BM25TFBound(tf)
+		for _, dl := range []float64{1, 10, 100, 1000} {
+			for _, avg := range []float64{5, 50, 500} {
+				sat := float64(tf) * (BM25K1 + 1) / (float64(tf) + BM25K1*(1-BM25B+BM25B*dl/avg))
+				if sat > bound+1e-12 {
+					t.Fatalf("tf=%d dl=%v avg=%v: sat %v exceeds bound %v", tf, dl, avg, sat, bound)
+				}
+			}
+		}
+	}
+}

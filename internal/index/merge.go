@@ -86,5 +86,9 @@ func Merge(parts []*Index, keep []func(corpus.DocID) bool) (*Index, [][]corpus.D
 			merged.postings[mt] = dst
 		}
 	}
+	// Max-impact metadata does not merge by taking maxima: dropped
+	// documents may have carried a list's maximum, and norms change
+	// with the surviving postings. Recompute from the merged lists.
+	merged.computeImpacts()
 	return merged, remap, nil
 }

@@ -1,0 +1,81 @@
+package search
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+func postSearch(t *testing.T, url string, req SearchRequest) (*http.Response, SearchResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SearchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp, sr
+}
+
+// TestServerRejectsNegativeK pins the k-validation contract: negative
+// is a 400, zero defaults to 10, and oversized asks are capped at the
+// configured maximum instead of building a full-collection heap.
+func TestServerKValidation(t *testing.T) {
+	f := getFixture(t)
+	q := f.topicQueryText(1, 4)
+
+	resp, _ := postSearch(t, f.ts.URL, SearchRequest{Query: q, K: -3})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("k=-3 status %d, want 400", resp.StatusCode)
+	}
+	resp, sr := postSearch(t, f.ts.URL, SearchRequest{Query: q})
+	if resp.StatusCode != http.StatusOK || len(sr.Hits) > 10 {
+		t.Errorf("k=0: status %d, %d hits (default must be 10)", resp.StatusCode, len(sr.Hits))
+	}
+
+	f.server.SetMaxK(3)
+	defer f.server.SetMaxK(0)
+	resp, sr = postSearch(t, f.ts.URL, SearchRequest{Query: q, K: 500000})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("oversized k status %d", resp.StatusCode)
+	}
+	if len(sr.Hits) > 3 {
+		t.Errorf("oversized k returned %d hits, cap is 3", len(sr.Hits))
+	}
+}
+
+// TestServerExecOverride exercises the per-request execution-mode
+// knob: maxscore and exhaustive must return identical hit lists, and
+// an unknown mode is a 400.
+func TestServerExecOverride(t *testing.T) {
+	f := getFixture(t)
+	q := f.topicQueryText(2, 5)
+
+	respMS, ms := postSearch(t, f.ts.URL, SearchRequest{Query: q, K: 10, Exec: "maxscore"})
+	respEX, ex := postSearch(t, f.ts.URL, SearchRequest{Query: q, K: 10, Exec: "exhaustive"})
+	if respMS.StatusCode != http.StatusOK || respEX.StatusCode != http.StatusOK {
+		t.Fatalf("exec override statuses %d / %d", respMS.StatusCode, respEX.StatusCode)
+	}
+	if len(ms.Hits) == 0 {
+		t.Fatal("no hits under maxscore")
+	}
+	if !reflect.DeepEqual(ms.Hits, ex.Hits) {
+		t.Errorf("exec modes disagree:\nmaxscore:   %v\nexhaustive: %v", ms.Hits, ex.Hits)
+	}
+
+	resp, _ := postSearch(t, f.ts.URL, SearchRequest{Query: q, Exec: "turbo"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown exec mode status %d, want 400", resp.StatusCode)
+	}
+}

@@ -42,19 +42,37 @@ type LiveIndex interface {
 	Doc(id corpus.DocID) (corpus.Document, bool)
 }
 
+// ModeSearcher is the optional per-request execution-mode surface;
+// both *vsm.Engine and *segment.Store implement it. Backends without
+// it reject requests that name an explicit exec mode.
+type ModeSearcher interface {
+	SearchMode(query string, k int, mode vsm.ExecMode) []vsm.Result
+}
+
 // statsProvider is the optional stats surface behind GET /stats; both
 // *vsm.Engine and *segment.Store implement it.
 type statsProvider interface {
 	ComputeStats() index.Stats
 }
 
+// DefaultMaxK caps the per-query result count. A client asking for
+// more than the cap gets the cap — a full-collection heap per request
+// is a denial-of-service lever, not a search.
+const DefaultMaxK = 1000
+
 // SearchRequest is the POST /search payload.
 type SearchRequest struct {
 	// Query is the raw query text (a bag of words; order is ignored).
 	Query string `json:"query"`
-	// K is the number of results wanted; the server clamps it to
-	// [1, 1000]. Zero means 10.
+	// K is the number of results wanted; the server caps it at its
+	// configured maximum (default 1000). Zero means 10; negative is
+	// rejected.
 	K int `json:"k,omitempty"`
+	// Exec optionally overrides the backend's query-execution strategy
+	// for this request: "auto", "maxscore", or "exhaustive" (empty
+	// means the backend default). Results are identical either way;
+	// the knob exists for benchmarking and regression triage.
+	Exec string `json:"exec,omitempty"`
 }
 
 // SearchHit is one result row.
@@ -89,13 +107,16 @@ type LoggedQuery struct {
 // TopPriv: ghost queries are indistinguishable requests.
 type Server struct {
 	engine vsm.Searcher
-	live   LiveIndex // non-nil when engine supports mutation
+	modal  ModeSearcher // non-nil when engine supports per-request exec modes
+	live   LiveIndex    // non-nil when engine supports mutation
 	docs   []corpus.Document
 	mux    *http.ServeMux
 
 	// adminToken, when non-empty, gates the mutation endpoints behind
 	// an Authorization: Bearer header. Set before serving.
 	adminToken string
+	// maxK caps the per-request result count. Set before serving.
+	maxK int
 
 	mu sync.Mutex
 	// The query log is a ring: seq numbers are absolute and monotonic,
@@ -120,9 +141,12 @@ func NewServer(engine vsm.Searcher, docs []corpus.Document) (*Server, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("search: nil engine")
 	}
-	s := &Server{engine: engine, docs: docs, mux: http.NewServeMux(), logCap: DefaultQueryLogCap}
+	s := &Server{engine: engine, docs: docs, mux: http.NewServeMux(), logCap: DefaultQueryLogCap, maxK: DefaultMaxK}
 	if live, ok := engine.(LiveIndex); ok {
 		s.live = live
+	}
+	if modal, ok := engine.(ModeSearcher); ok {
+		s.modal = modal
 	}
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/index", s.handleIndex)
@@ -147,6 +171,17 @@ func (s *Server) SetQueryLogCap(n int) {
 	s.logCap = n
 	s.log = cur
 	s.logStart = 0
+}
+
+// SetMaxK caps the per-request result count (n <= 0 restores the
+// default). Requests asking for more get the cap, not an error —
+// mirroring the long-standing clamp — but a negative K in the request
+// body is rejected outright. Set before serving.
+func (s *Server) SetMaxK(n int) {
+	if n <= 0 {
+		n = DefaultMaxK
+	}
+	s.maxK = n
 }
 
 // SetAdminToken requires `Authorization: Bearer token` on the mutation
@@ -193,17 +228,35 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty query", http.StatusBadRequest)
 		return
 	}
+	if req.K < 0 {
+		http.Error(w, fmt.Sprintf("k = %d: must be positive", req.K), http.StatusBadRequest)
+		return
+	}
 	k := req.K
-	if k <= 0 {
+	if k == 0 {
 		k = 10
 	}
-	if k > 1000 {
-		k = 1000
+	if k > s.maxK {
+		k = s.maxK
+	}
+	mode, err := vsm.ParseExecMode(req.Exec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Exec != "" && s.modal == nil {
+		http.Error(w, "backend does not support exec mode overrides", http.StatusBadRequest)
+		return
 	}
 
 	s.logQuery(req.Query)
 
-	results := s.engine.Search(req.Query, k)
+	var results []vsm.Result
+	if req.Exec != "" {
+		results = s.modal.SearchMode(req.Query, k, mode)
+	} else {
+		results = s.engine.Search(req.Query, k)
+	}
 	resp := SearchResponse{Hits: make([]SearchHit, len(results))}
 	for i, res := range results {
 		hit := SearchHit{Doc: res.Doc, Score: res.Score}

@@ -69,12 +69,45 @@ func BenchmarkLiveIndex(b *testing.B) {
 		if got := st.NumSegments(); got != 4 {
 			b.Fatalf("layout has %d segments, want 4", got)
 		}
+		var stats vsm.ExecStats
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if res := st.Search(queries[i%len(queries)], 10); len(res) == 0 {
+			terms := an.Analyze(queries[i%len(queries)])
+			if res := st.SearchTermsExec(terms, 10, vsm.ExecMaxScore, &stats); len(res) == 0 {
 				b.Fatal("no results")
 			}
 		}
+		b.ReportMetric(float64(stats.DocsScored)/float64(b.N), "docs_scored/op")
+	})
+
+	b.Run("segmented4-exhaustive", func(b *testing.B) {
+		// The same 4-segment layout forced onto the exhaustive scorer:
+		// the gap against "segmented4" (MaxScore by default) is the live
+		// store's pruning win.
+		st, err := Open(Config{
+			Analyzer:          an,
+			SealThreshold:     numDocs / 4,
+			DisableCompaction: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		if _, err := st.Add(cloneDocs(c.Docs)...); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		var stats vsm.ExecStats
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			terms := an.Analyze(queries[i%len(queries)])
+			if res := st.SearchTermsExec(terms, 10, vsm.ExecExhaustive, &stats); len(res) == 0 {
+				b.Fatal("no results")
+			}
+		}
+		b.ReportMetric(float64(stats.DocsScored)/float64(b.N), "docs_scored/op")
 	})
 
 	b.Run("segmented4-parallel", func(b *testing.B) {

@@ -26,15 +26,27 @@ type memtable struct {
 	dead   []bool
 	live   int
 	post   map[textproc.TermID][]index.Posting
+	// Incremental per-term max-impact bounds for MaxScore pruning.
+	// They only grow as documents arrive (never shrink on tombstone),
+	// which keeps them valid upper bounds; sealing rebuilds the shard
+	// through index.Build, which recomputes them exactly.
+	maxTF  map[textproc.TermID]int32
+	maxCos map[textproc.TermID]float64
 	eng    *vsm.Engine
 }
 
 func newMemtable(st *Store) (*memtable, error) {
-	mt := &memtable{st: st, post: make(map[textproc.TermID][]index.Posting)}
+	mt := &memtable{
+		st:     st,
+		post:   make(map[textproc.TermID][]index.Posting),
+		maxTF:  make(map[textproc.TermID]int32),
+		maxCos: make(map[textproc.TermID]float64),
+	}
 	eng, err := vsm.NewEngineOver(&liveSource{st: st, local: mt}, st.an, st.cfg.Scoring)
 	if err != nil {
 		return nil, fmt.Errorf("segment: memtable engine: %w", err)
 	}
+	eng.SetExecMode(st.cfg.ExecMode)
 	mt.eng = eng
 	return mt, nil
 }
@@ -64,7 +76,16 @@ func (mt *memtable) add(doc corpus.Document, gid corpus.DocID) []textproc.TermID
 		w := 1 + math.Log(float64(tf))
 		normSq += w * w
 	}
-	mt.norm = append(mt.norm, math.Sqrt(normSq))
+	norm := math.Sqrt(normSq)
+	mt.norm = append(mt.norm, norm)
+	for id, tf := range counts {
+		if tf > mt.maxTF[id] {
+			mt.maxTF[id] = tf
+		}
+		if c := (1 + math.Log(float64(tf))) / norm; c > mt.maxCos[id] {
+			mt.maxCos[id] = c
+		}
+	}
 	return bag
 }
 
@@ -89,6 +110,18 @@ func (mt *memtable) DocNorm(d corpus.DocID) float64 {
 		return 0
 	}
 	return mt.norm[d]
+}
+
+// Max-impact bounds (localSource). Unknown terms report zero, which
+// makes their query terms contribute nothing to pruning thresholds.
+
+func (mt *memtable) MaxTF(id textproc.TermID) int32          { return mt.maxTF[id] }
+func (mt *memtable) MaxCosImpact(id textproc.TermID) float64 { return mt.maxCos[id] }
+func (mt *memtable) MaxBM25Impact(id textproc.TermID) float64 {
+	if tf := mt.maxTF[id]; tf > 0 {
+		return index.BM25TFBound(tf)
+	}
+	return 0
 }
 
 // locate binary-searches for a global ID (ids are ascending).
@@ -116,6 +149,7 @@ func (mt *memtable) seal() (*seg, error) {
 	if err != nil {
 		return nil, fmt.Errorf("segment: seal engine: %w", err)
 	}
+	eng.SetExecMode(mt.st.cfg.ExecMode)
 	return &seg{
 		level: 0,
 		ids:   mt.ids,

@@ -10,6 +10,13 @@
 // (N, df, avgdl) so results are identical — to floating-point noise —
 // to a from-scratch index.Build over the surviving documents.
 //
+// Shard queries execute document-at-a-time with MaxScore pruning by
+// default: sealed segments carry exact per-term impact bounds from
+// index.Build, the memtable maintains incremental (never-shrinking)
+// bounds as documents arrive, and tombstones are filtered before a
+// document is scored. Config.ExecMode pins a strategy store-wide;
+// SearchTermsExec overrides it per query.
+//
 // The store persists as one TPIX file per sealed segment plus a JSON
 // manifest, so a restart recovers without re-analyzing any text.
 package segment
@@ -66,13 +73,18 @@ func locateID(ids []corpus.DocID, gid corpus.DocID) (corpus.DocID, bool) {
 	return 0, false
 }
 
-// localSource is the shard-local half of a liveSource: postings and
-// per-document facts. Both *index.Index (sealed segments) and
-// *memtable satisfy it.
+// localSource is the shard-local half of a liveSource: postings,
+// per-document facts, and the per-term max-impact bounds that fuel
+// MaxScore pruning. Both *index.Index (sealed segments, exact bounds
+// computed at Build) and *memtable (incrementally maintained bounds,
+// recomputed exactly on seal) satisfy it.
 type localSource interface {
 	NumTerms() int
 	Postings(id textproc.TermID) index.PostingList
 	DocLen(d corpus.DocID) int
+	MaxTF(id textproc.TermID) int32
+	MaxCosImpact(id textproc.TermID) float64
+	MaxBM25Impact(id textproc.TermID) float64
 }
 
 // liveSource adapts one shard to the vsm.Source contract by delegating
@@ -119,6 +131,16 @@ func (s *liveSource) IDF(id textproc.TermID) float64 {
 }
 
 func (s *liveSource) DocLen(d corpus.DocID) int { return s.local.DocLen(d) }
+
+// Max-impact delegation: bounds are shard-local facts (a term's best
+// posting in this shard), so per-shard pruning against the global
+// top-k threshold stays sound. Implements vsm.ImpactSource.
+
+func (s *liveSource) MaxTF(id textproc.TermID) int32          { return s.local.MaxTF(id) }
+func (s *liveSource) MaxCosImpact(id textproc.TermID) float64 { return s.local.MaxCosImpact(id) }
+func (s *liveSource) MaxBM25Impact(id textproc.TermID) float64 {
+	return s.local.MaxBM25Impact(id)
+}
 
 func (s *liveSource) AvgDocLen() float64 {
 	if s.st.liveDocs == 0 {

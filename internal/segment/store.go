@@ -26,6 +26,10 @@ var ErrClosed = errors.New("segment: store is closed")
 type Config struct {
 	// Scoring selects the ranking function, as in vsm.
 	Scoring vsm.Scoring
+	// ExecMode is the default query-execution strategy for every shard
+	// engine (vsm.ExecAuto runs MaxScore pruning; per-query overrides
+	// go through SearchTermsExec/SearchMode).
+	ExecMode vsm.ExecMode
 	// Analyzer is the shared text pipeline; nil means the default.
 	Analyzer *textproc.Analyzer
 	// SealThreshold is the memtable document count that triggers an
@@ -321,10 +325,27 @@ func (st *Store) Search(query string, k int) []vsm.Result {
 // SearchTerms fans the analyzed query out to every shard concurrently —
 // one goroutine per sealed segment plus the memtable — then merges the
 // per-shard top-k lists with a bounded min-heap. Tombstoned documents
-// are filtered inside each shard before its heap fills, and every shard
-// scores with the store's global statistics, so the merged ranking
-// equals a single-index search over the surviving documents.
+// are filtered inside each shard before they are scored, and every
+// shard scores with the store's global statistics, so the merged
+// ranking equals a single-index search over the surviving documents.
 func (st *Store) SearchTerms(terms []string, k int) []vsm.Result {
+	return st.SearchTermsExec(terms, k, vsm.ExecAuto, nil)
+}
+
+// SearchMode analyzes and runs a query under an explicit execution
+// mode, overriding the store's configured default — the per-request
+// surface the HTTP server exposes.
+func (st *Store) SearchMode(query string, k int, mode vsm.ExecMode) []vsm.Result {
+	return st.SearchTermsExec(st.an.Analyze(query), k, mode, nil)
+}
+
+// SearchTermsExec is the full-control query entry point: analyzed
+// terms, an explicit execution mode (vsm.ExecAuto defers to the
+// configured default), and an optional work-counter sink that
+// accumulates across shards. Every shard prunes against its own local
+// top-k threshold, so the merged result is identical to exhaustive
+// execution.
+func (st *Store) SearchTermsExec(terms []string, k int, mode vsm.ExecMode, stats *vsm.ExecStats) []vsm.Result {
 	if k <= 0 || len(terms) == 0 {
 		return nil
 	}
@@ -350,15 +371,20 @@ func (st *Store) SearchTerms(terms []string, k int) []vsm.Result {
 	}
 
 	results := make([][]vsm.Result, len(shards))
+	shardStats := make([]vsm.ExecStats, len(shards))
 	var wg sync.WaitGroup
 	for i := range shards {
 		wg.Add(1)
 		go func(i int, sh shard) {
 			defer wg.Done()
 			dead := sh.dead
-			local := sh.eng.SearchTermsFiltered(terms, k, func(d corpus.DocID) bool {
+			var sp *vsm.ExecStats
+			if stats != nil {
+				sp = &shardStats[i]
+			}
+			local := sh.eng.SearchTermsExec(terms, k, func(d corpus.DocID) bool {
 				return !dead[d]
-			})
+			}, mode, sp)
 			for j := range local {
 				local[j].Doc = sh.ids[local[j].Doc]
 			}
@@ -366,6 +392,11 @@ func (st *Store) SearchTerms(terms []string, k int) []vsm.Result {
 		}(i, shards[i])
 	}
 	wg.Wait()
+	if stats != nil {
+		for i := range shardStats {
+			stats.Add(shardStats[i])
+		}
+	}
 	return mergeTopK(results, k)
 }
 

@@ -1,0 +1,51 @@
+package vsm
+
+import (
+	"testing"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/index"
+	"toppriv/internal/textproc"
+)
+
+// TestSearchAllocations pins the per-query allocation budget: with the
+// pooled query state, a steady-state search should allocate only the
+// returned result slice and the small constant overhead of sorting it
+// — no term bags, no accumulators, no heaps.
+func TestSearchAllocations(t *testing.T) {
+	c, gt, err := corpus.Synthesize(corpus.GenSpec{
+		Seed: 8, NumDocs: 400, NumTopics: 6, DocLenMin: 20, DocLenMax: 50,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := textproc.NewAnalyzer()
+	terms := analyzeTerms(an, []string{gt.TopicWords[0][0], gt.TopicWords[0][1], gt.TopicWords[1][0]})
+	for _, scoring := range []Scoring{Cosine, BM25} {
+		eng, err := NewEngine(idx, an, scoring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []ExecMode{ExecMaxScore, ExecExhaustive} {
+			// Warm the pool (and the accumulator growth) first.
+			for i := 0; i < 8; i++ {
+				eng.SearchTermsExec(terms, 10, nil, mode, nil)
+			}
+			avg := testing.AllocsPerRun(200, func() {
+				if res := eng.SearchTermsExec(terms, 10, nil, mode, nil); len(res) == 0 {
+					t.Fatal("no results")
+				}
+			})
+			// Result slice + sort.Slice internals; anything near the old
+			// map-accumulator behavior (hundreds) fails loudly.
+			const budget = 8
+			if avg > budget {
+				t.Errorf("%v/%v: %.1f allocs per search, budget %d", scoring, mode, avg, budget)
+			}
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package vsm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/index"
+	"toppriv/internal/linkrank"
+	"toppriv/internal/textproc"
+)
+
+// TestMaxScoreMatchesExhaustive is the pruned path's correctness
+// anchor: over random synthetic corpora, for both scoring functions,
+// with and without tombstone filters and priors, and for k spanning
+// "selective" to "nearly everything", DAAT/MaxScore must return
+// exactly the documents and order of the exhaustive oracle, with
+// scores within 1e-9 (in fact the two paths share their accumulation
+// order, so scores are expected bit-identical).
+func TestMaxScoreMatchesExhaustive(t *testing.T) {
+	for _, scoring := range []Scoring{Cosine, BM25} {
+		scoring := scoring
+		t.Run(scoring.String(), func(t *testing.T) {
+			for trial := int64(0); trial < 6; trial++ {
+				runMaxScoreTrial(t, scoring, trial)
+			}
+		})
+	}
+}
+
+func runMaxScoreTrial(t *testing.T, scoring Scoring, trial int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4200 + trial))
+	spec := corpus.GenSpec{
+		Seed:      900 + trial,
+		NumDocs:   120 + int(trial)*40,
+		NumTopics: 4 + int(trial%3),
+		DocLenMin: 15, DocLenMax: 60,
+	}
+	c, gt, err := corpus.Synthesize(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := textproc.NewAnalyzer()
+
+	// Engine variants: plain, and (cosine/bm25 alike) prior-modulated.
+	engines := map[string]*Engine{}
+	plain, err := NewEngine(idx, an, scoring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines["plain"] = plain
+	topics := make([][]float64, c.NumDocs())
+	for d := range topics {
+		topics[d] = c.Docs[d].TrueTopics
+	}
+	g, err := linkrank.SyntheticGraph(topics, 3, 77+trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := linkrank.PageRank(g, 0.85, 50, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPrior, err := NewEngineWithPrior(idx, an, scoring, pr, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines["prior"] = withPrior
+
+	// Random tombstone sets: none, sparse, heavy.
+	keeps := map[string]func(corpus.DocID) bool{
+		"nokeep": nil,
+	}
+	for name, frac := range map[string]float64{"sparse": 0.1, "heavy": 0.6} {
+		dead := make([]bool, c.NumDocs())
+		for d := range dead {
+			if rng.Float64() < frac {
+				dead[d] = true
+			}
+		}
+		keeps[name] = func(d corpus.DocID) bool { return !dead[d] }
+	}
+
+	queries := make([][]string, 0, 24)
+	for i := 0; i < 10; i++ {
+		topic := gt.TopicWords[rng.Intn(len(gt.TopicWords))]
+		q := make([]string, 0, 4)
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			q = append(q, topic[rng.Intn(len(topic))])
+		}
+		queries = append(queries, q)
+	}
+	// Multi-topic queries and repeated-term queries.
+	for i := 0; i < 8; i++ {
+		a := gt.TopicWords[rng.Intn(len(gt.TopicWords))]
+		b := gt.TopicWords[rng.Intn(len(gt.TopicWords))]
+		queries = append(queries, []string{
+			a[rng.Intn(len(a))], b[rng.Intn(len(b))],
+			a[rng.Intn(len(a))], a[rng.Intn(len(a))],
+		})
+	}
+
+	for engName, eng := range engines {
+		for keepName, keep := range keeps {
+			for _, k := range []int{1, 10, 100} {
+				for qi, q := range queries {
+					var ms, ex ExecStats
+					terms := analyzeTerms(an, q)
+					pruned := eng.SearchTermsExec(terms, k, keep, ExecMaxScore, &ms)
+					oracle := eng.SearchTermsExec(terms, k, keep, ExecExhaustive, &ex)
+					if len(pruned) != len(oracle) {
+						t.Fatalf("%s/%s/%s k=%d q%d %v: %d results vs oracle %d",
+							scoring, engName, keepName, k, qi, q, len(pruned), len(oracle))
+					}
+					for i := range pruned {
+						if pruned[i].Doc != oracle[i].Doc {
+							t.Fatalf("%s/%s/%s k=%d q%d %v rank %d: doc %d vs oracle %d\npruned: %v\noracle: %v",
+								scoring, engName, keepName, k, qi, q, i, pruned[i].Doc, oracle[i].Doc, pruned, oracle)
+						}
+						if math.Abs(pruned[i].Score-oracle[i].Score) > 1e-9 {
+							t.Fatalf("%s/%s/%s k=%d q%d %v rank %d: score %.15f vs oracle %.15f",
+								scoring, engName, keepName, k, qi, q, i, pruned[i].Score, oracle[i].Score)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// analyzeTerms runs each raw query word through the analyzer (the
+// synthesized topic words are already normalized, but stemming must
+// match the corpus pipeline).
+func analyzeTerms(an *textproc.Analyzer, words []string) []string {
+	out := make([]string, 0, len(words))
+	for _, w := range words {
+		out = append(out, an.Analyze(w)...)
+	}
+	return out
+}
+
+// TestMaxScorePrunesWork asserts the point of the whole exercise: for
+// selective top-k queries the pruned path fully scores far fewer
+// documents than the oracle.
+func TestMaxScorePrunesWork(t *testing.T) {
+	c, gt, err := corpus.Synthesize(corpus.GenSpec{
+		Seed: 5, NumDocs: 1500, NumTopics: 8, DocLenMin: 30, DocLenMax: 80,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := textproc.NewAnalyzer()
+	rng := rand.New(rand.NewSource(6))
+	for _, scoring := range []Scoring{Cosine, BM25} {
+		eng, err := NewEngine(idx, an, scoring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ms, ex ExecStats
+		for i := 0; i < 20; i++ {
+			topic := gt.TopicWords[rng.Intn(len(gt.TopicWords))]
+			q := analyzeTerms(an, []string{topic[0], topic[1], topic[2]})
+			eng.SearchTermsExec(q, 10, nil, ExecMaxScore, &ms)
+			eng.SearchTermsExec(q, 10, nil, ExecExhaustive, &ex)
+		}
+		if ms.DocsScored*2 > ex.DocsScored {
+			t.Errorf("%v: MaxScore fully scored %d docs, exhaustive %d — expected ≥2× reduction",
+				scoring, ms.DocsScored, ex.DocsScored)
+		}
+		t.Logf("%v: docs scored maxscore=%d exhaustive=%d pruned=%d",
+			scoring, ms.DocsScored, ex.DocsScored, ms.DocsPruned)
+	}
+}
+
+// TestExecModeParsing pins the flag/API surface.
+func TestExecModeParsing(t *testing.T) {
+	for s, want := range map[string]ExecMode{
+		"": ExecAuto, "auto": ExecAuto, "maxscore": ExecMaxScore, "exhaustive": ExecExhaustive,
+	} {
+		got, err := ParseExecMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseExecMode(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseExecMode("bogus"); err == nil {
+		t.Error("bogus mode must error")
+	}
+	if ExecMaxScore.String() != "maxscore" || ExecExhaustive.String() != "exhaustive" || ExecAuto.String() != "auto" {
+		t.Error("ExecMode.String broken")
+	}
+}

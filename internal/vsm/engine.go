@@ -5,15 +5,25 @@
 // of Baeza-Yates & Ribeiro-Neto, the paper's reference [7]) and Okapi
 // BM25 — selected per Engine.
 //
+// Query execution is document-at-a-time over postings iterators. The
+// default strategy (ExecMaxScore) prunes with per-term max-impact
+// bounds: once the running k-th best score exceeds what a term's best
+// posting could contribute, that term's list stops driving candidates
+// and is consulted only by skipping. An exhaustive scorer over flat
+// accumulators (ExecExhaustive) remains as the reference oracle; both
+// paths accumulate contributions in the same canonical term order, so
+// their results — documents, ranks, and floating-point scores — are
+// identical. See ExecMode.
+//
 // TopPriv deliberately requires no changes to this engine; the privacy
 // machinery lives entirely client-side.
 package vsm
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"toppriv/internal/corpus"
 	"toppriv/internal/index"
@@ -42,9 +52,11 @@ func (s Scoring) String() string {
 	}
 }
 
+// BM25 parameters are shared with the index package, whose persisted
+// max-impact bounds must use the same constants the scorer does.
 const (
-	bm25K1 = 1.2
-	bm25B  = 0.75
+	bm25K1 = index.BM25K1
+	bm25B  = index.BM25B
 )
 
 // Result is one retrieved document with its similarity score.
@@ -96,6 +108,14 @@ type Engine struct {
 	scoring Scoring
 	docNorm []float64  // cosine: precomputed norms (static sources)
 	normSrc NormSource // cosine: dynamic norms (live sources)
+	// impacts is the source's max-impact surface (nil when the source
+	// offers none); required for MaxScore execution.
+	impacts ImpactSource
+	// mode is the default execution strategy; set before serving.
+	mode ExecMode
+	// states pools per-query scratch (term bags, flat accumulators,
+	// heaps) across queries and goroutines.
+	states sync.Pool
 	// prior, when non-nil, is a static per-document score multiplier in
 	// (0, 1], derived from link analysis (see NewEngineWithPrior).
 	prior       []float64
@@ -127,6 +147,10 @@ func NewEngineOver(src Source, an *textproc.Analyzer, scoring Scoring) (*Engine,
 		an = textproc.NewAnalyzer()
 	}
 	e := &Engine{src: src, an: an, scoring: scoring}
+	e.states.New = func() interface{} { return &queryState{} }
+	if imp, ok := src.(ImpactSource); ok {
+		e.impacts = imp
+	}
 	if scoring == Cosine {
 		if ns, ok := src.(NormSource); ok {
 			e.normSrc = ns
@@ -136,6 +160,14 @@ func NewEngineOver(src Source, an *textproc.Analyzer, scoring Scoring) (*Engine,
 	}
 	return e, nil
 }
+
+// SetExecMode selects the engine's default execution strategy. Call
+// before serving queries; per-query overrides go through
+// SearchTermsExec or SearchMode.
+func (e *Engine) SetExecMode(mode ExecMode) { e.mode = mode }
+
+// ExecModeValue reports the configured default execution mode.
+func (e *Engine) ExecModeValue() ExecMode { return e.mode }
 
 // NewEngineWithPrior builds an engine that folds a static document
 // prior (e.g. PageRank or HITS authority from internal/linkrank) into
@@ -183,10 +215,28 @@ func NewEngineWithPrior(idx *index.Index, an *textproc.Analyzer, scoring Scoring
 // DocNorms accumulates, per document, the L2 norm of its lnc weight
 // vector: weight = 1 + ln(tf). Exported so live stores can precompute
 // norms for a sealed shard once instead of per engine construction.
+// One pass over the postings: the norm array grows to each list's last
+// (largest) document ID as it is encountered, so no separate
+// max-doc-ID scan is needed. For a plain index the resulting length is
+// NumDocs(); for a shard source it is the local document range, which
+// may differ from the global NumDocs().
 func DocNorms(src Source) []float64 {
-	norms := make([]float64, maxPostingDoc(src)+1)
+	var norms []float64
 	for id := 0; id < src.NumTerms(); id++ {
-		for _, p := range src.Postings(textproc.TermID(id)) {
+		pl := src.Postings(textproc.TermID(id))
+		if len(pl) == 0 {
+			continue
+		}
+		if need := int(pl[len(pl)-1].Doc) + 1; need > len(norms) {
+			if need <= cap(norms) {
+				norms = norms[:need]
+			} else {
+				grown := make([]float64, need, need+need/2)
+				copy(grown, norms)
+				norms = grown
+			}
+		}
+		for _, p := range pl {
 			w := 1 + math.Log(float64(p.TF))
 			norms[p.Doc] += w * w
 		}
@@ -195,21 +245,6 @@ func DocNorms(src Source) []float64 {
 		norms[d] = math.Sqrt(norms[d])
 	}
 	return norms
-}
-
-// maxPostingDoc returns the largest document ID appearing in any
-// postings list (-1 when empty). For a plain index this equals
-// NumDocs()-1; for a shard source NumDocs() reports the global
-// collection size, which may differ from the local document range.
-func maxPostingDoc(src Source) corpus.DocID {
-	mx := corpus.DocID(-1)
-	for id := 0; id < src.NumTerms(); id++ {
-		pl := src.Postings(textproc.TermID(id))
-		if n := len(pl); n > 0 && pl[n-1].Doc > mx {
-			mx = pl[n-1].Doc
-		}
-	}
-	return mx
 }
 
 // Index exposes the underlying index when the engine was built over a
@@ -243,71 +278,51 @@ func (e *Engine) SearchTerms(terms []string, k int) []Result {
 // SearchTermsFiltered runs an analyzed query and returns the top-k
 // among documents for which keep returns true (nil keeps everything).
 // Live stores use the filter to hide tombstoned documents without
-// rebuilding the shard.
+// rebuilding the shard; the filter is consulted before a document is
+// scored, so tombstoned postings cost no arithmetic.
 func (e *Engine) SearchTermsFiltered(terms []string, k int, keep func(corpus.DocID) bool) []Result {
+	return e.SearchTermsExec(terms, k, keep, e.mode, nil)
+}
+
+// SearchMode analyzes and runs a query under an explicit execution
+// mode, overriding the engine default — the per-request surface the
+// HTTP server exposes.
+func (e *Engine) SearchMode(query string, k int, mode ExecMode) []Result {
+	return e.SearchTermsExec(e.an.Analyze(query), k, nil, mode, nil)
+}
+
+// SearchTermsExec is the full-control entry point: analyzed terms, a
+// tombstone filter, an explicit execution mode (ExecAuto defers to the
+// engine default, then to metadata availability), and an optional
+// work-counter sink. MaxScore and exhaustive execution return
+// identical results; the property tests in this package assert it.
+func (e *Engine) SearchTermsExec(terms []string, k int, keep func(corpus.DocID) bool, mode ExecMode, stats *ExecStats) []Result {
 	if k <= 0 || len(terms) == 0 {
 		return nil
 	}
-	// Bag the query: term -> tf.
-	qtf := make(map[textproc.TermID]int, len(terms))
-	for _, term := range terms {
-		id := e.src.Vocab().ID(term)
-		if id == textproc.InvalidTerm {
-			continue
-		}
-		qtf[id]++
-	}
-	if len(qtf) == 0 {
+	qs := e.states.Get().(*queryState)
+	defer e.states.Put(qs)
+	qs.reset()
+	if !e.resolveTerms(qs, terms) {
 		return nil
 	}
-	scores := make(map[corpus.DocID]float64, 256)
-	switch e.scoring {
-	case Cosine:
-		e.scoreCosine(qtf, scores)
-	case BM25:
-		e.scoreBM25(qtf, scores)
-	default:
-		e.scoreCosine(qtf, scores)
-	}
-	if e.prior != nil {
-		for d := range scores {
-			scores[d] *= e.prior[d]
-		}
-	}
-	if keep != nil {
-		for d := range scores {
-			if !keep(d) {
-				delete(scores, d)
-			}
-		}
-	}
-	return topK(scores, k)
-}
-
-// scoreCosine implements lnc.ltc: query weights (1+ln tf)·idf, document
-// weights 1+ln tf, both L2-normalized.
-func (e *Engine) scoreCosine(qtf map[textproc.TermID]int, scores map[corpus.DocID]float64) {
-	qnorm := 0.0
-	qw := make(map[textproc.TermID]float64, len(qtf))
-	for id, tf := range qtf {
-		w := (1 + math.Log(float64(tf))) * e.src.IDF(id)
-		qw[id] = w
-		qnorm += w * w
-	}
-	qnorm = math.Sqrt(qnorm)
+	qnorm := e.weighTerms(qs)
 	if qnorm == 0 {
-		return
+		return nil
 	}
-	for id, w := range qw {
-		for _, p := range e.src.Postings(id) {
-			dw := 1 + math.Log(float64(p.TF))
-			scores[p.Doc] += w * dw
-		}
+	if mode == ExecAuto {
+		mode = e.mode
 	}
-	for d := range scores {
-		if n := e.norm(d); n > 0 {
-			scores[d] /= n * qnorm
-		}
+	switch {
+	case mode == ExecExhaustive || e.impacts == nil:
+		return e.searchExhaustive(qs, k, qnorm, keep, stats)
+	case mode == ExecAuto && 4*k >= e.src.NumDocs():
+		// Near-full retrieval: pruning cannot skip much, so the flat
+		// scan's lower per-posting cost wins. Explicit ExecMaxScore
+		// overrides this heuristic.
+		return e.searchExhaustive(qs, k, qnorm, keep, stats)
+	default:
+		return e.searchMaxScore(qs, k, qnorm, keep, stats)
 	}
 }
 
@@ -323,69 +338,85 @@ func (e *Engine) norm(d corpus.DocID) float64 {
 	return 0
 }
 
-// scoreBM25 implements Okapi BM25 with standard parameters. Collection
-// statistics (N, df, avgdl) are read from the source per query so live
-// sources can keep them current.
-func (e *Engine) scoreBM25(qtf map[textproc.TermID]int, scores map[corpus.DocID]float64) {
-	n := float64(e.src.NumDocs())
-	avgLen := e.src.AvgDocLen()
-	for id := range qtf {
-		df := float64(e.src.DocFreq(id))
-		if df == 0 {
-			continue
-		}
-		idf := math.Log(1 + (n-df+0.5)/(df+0.5))
-		for _, p := range e.src.Postings(id) {
-			tf := float64(p.TF)
-			dl := float64(e.src.DocLen(p.Doc))
-			denom := tf + bm25K1*(1-bm25B+bm25B*dl/avgLen)
-			scores[p.Doc] += idf * tf * (bm25K1 + 1) / denom
-		}
-	}
-}
-
-// resultHeap is a min-heap over scores (ties: larger DocID is "smaller"
-// so that smaller DocIDs win final ranking).
+// resultHeap is a min-heap over scores (ties: larger DocID is "worse"
+// so that smaller DocIDs win final ranking). The sift operations are
+// hand-rolled rather than container/heap so pushing a Result never
+// boxes it into an interface — the hot path stays allocation-free.
 type resultHeap []Result
 
-func (h resultHeap) Len() int { return len(h) }
-func (h resultHeap) Less(i, j int) bool {
-	if h[i].Score != h[j].Score {
-		return h[i].Score < h[j].Score
+// worseThan reports whether a ranks strictly below b in the final
+// ordering (lower score, or equal score with larger DocID).
+func worseThan(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
 	}
-	return h[i].Doc > h[j].Doc
-}
-func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *resultHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
+	return a.Doc > b.Doc
 }
 
-// topK selects the k best results from the accumulator.
-func topK(scores map[corpus.DocID]float64, k int) []Result {
-	h := make(resultHeap, 0, k+1)
-	heap.Init(&h)
-	for d, s := range scores {
-		if len(h) < k {
-			heap.Push(&h, Result{Doc: d, Score: s})
-			continue
+func siftUp(h []Result, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !worseThan(h[i], h[p]) {
+			break
 		}
-		if top := h[0]; s > top.Score || (s == top.Score && d < top.Doc) {
-			heap.Pop(&h)
-			heap.Push(&h, Result{Doc: d, Score: s})
-		}
+		h[i], h[p] = h[p], h[i]
+		i = p
 	}
-	out := make([]Result, len(h))
-	copy(out, h)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+}
+
+func siftDown(h []Result, i int) {
+	n := len(h)
+	for {
+		m := i
+		if l := 2*i + 1; l < n && worseThan(h[l], h[m]) {
+			m = l
 		}
-		return out[i].Doc < out[j].Doc
-	})
+		if r := 2*i + 2; r < n && worseThan(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// pushTopK offers one result to a size-k min-heap: below capacity it
+// always enters; at capacity it replaces the current worst only when
+// strictly better (ties prefer the smaller document ID).
+func pushTopK(h *resultHeap, k int, r Result) {
+	hs := *h
+	if len(hs) < k {
+		hs = append(hs, r)
+		siftUp(hs, len(hs)-1)
+		*h = hs
+		return
+	}
+	if worseThan(hs[0], r) {
+		hs[0] = r
+		siftDown(hs, 0)
+	}
+}
+
+// byRank orders results best-first: descending score, ascending DocID
+// on ties — the rule every ranked surface in the system shares.
+type byRank []Result
+
+func (s byRank) Len() int      { return len(s) }
+func (s byRank) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s byRank) Less(i, j int) bool {
+	if s[i].Score != s[j].Score {
+		return s[i].Score > s[j].Score
+	}
+	return s[i].Doc < s[j].Doc
+}
+
+// drainTopK copies the heap into a freshly allocated, rank-ordered
+// result slice (the heap itself is pooled scratch and must not escape).
+func drainTopK(h *resultHeap) []Result {
+	out := make([]Result, len(*h))
+	copy(out, *h)
+	sort.Sort(byRank(out))
 	return out
 }

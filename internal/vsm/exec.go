@@ -1,0 +1,484 @@
+package vsm
+
+import (
+	"fmt"
+	"math"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/index"
+	"toppriv/internal/textproc"
+)
+
+// ExecMode selects the query-execution strategy.
+type ExecMode int
+
+const (
+	// ExecAuto (the default) runs MaxScore when the source carries
+	// max-impact metadata and the query is selective (k well under the
+	// collection size), falling back to the exhaustive scorer
+	// otherwise. Both choices return identical results.
+	ExecAuto ExecMode = iota
+	// ExecMaxScore runs document-at-a-time traversal with MaxScore
+	// top-k pruning: postings lists whose maximum possible contribution
+	// cannot lift a document over the current k-th best score are
+	// consulted only via SeekGE, and candidates are abandoned as soon
+	// as their score bound falls under the threshold. Results are
+	// identical to ExecExhaustive. Requires an ImpactSource; engines
+	// over plain sources quietly fall back to the exhaustive path.
+	ExecMaxScore
+	// ExecExhaustive scores every matching document — the reference
+	// oracle the pruned path is property-tested against, and the right
+	// mode when k approaches the collection size.
+	ExecExhaustive
+)
+
+// String implements fmt.Stringer.
+func (m ExecMode) String() string {
+	switch m {
+	case ExecAuto:
+		return "auto"
+	case ExecMaxScore:
+		return "maxscore"
+	case ExecExhaustive:
+		return "exhaustive"
+	default:
+		return fmt.Sprintf("ExecMode(%d)", int(m))
+	}
+}
+
+// ParseExecMode parses the textual form used by flags and the HTTP
+// API. The empty string is ExecAuto.
+func ParseExecMode(s string) (ExecMode, error) {
+	switch s {
+	case "", "auto":
+		return ExecAuto, nil
+	case "maxscore":
+		return ExecMaxScore, nil
+	case "exhaustive":
+		return ExecExhaustive, nil
+	default:
+		return ExecAuto, fmt.Errorf("vsm: unknown exec mode %q (want auto, maxscore, or exhaustive)", s)
+	}
+}
+
+// ImpactSource is the optional Source extension that fuels MaxScore
+// pruning: per-term upper bounds on any single document's score
+// contribution. *index.Index implements it natively (computed by Build,
+// persisted by the v2 codec); live shards maintain it incrementally.
+type ImpactSource interface {
+	// MaxTF is the largest term frequency in the term's postings.
+	MaxTF(id textproc.TermID) int32
+	// MaxCosImpact bounds the lnc cosine partial (1+ln tf)/‖d‖.
+	MaxCosImpact(id textproc.TermID) float64
+	// MaxBM25Impact bounds the BM25 tf-saturation factor for any
+	// document length (see index.BM25TFBound).
+	MaxBM25Impact(id textproc.TermID) float64
+}
+
+// ExecStats counts the work one query performed; pass to
+// SearchTermsExec to measure pruning effectiveness. All counters are
+// per-call (the engine never retains them).
+type ExecStats struct {
+	// DocsScored is the number of documents whose full score was
+	// computed.
+	DocsScored int
+	// DocsPruned is the number of candidate documents MaxScore
+	// abandoned on a bound check before fully scoring them.
+	DocsPruned int
+	// DocsFiltered is the number of documents the keep predicate
+	// (tombstones) rejected before any scoring.
+	DocsFiltered int
+	// Postings is the number of postings visited by the exhaustive
+	// path (0 under MaxScore, which touches lists lazily).
+	Postings int
+}
+
+// add accumulates other into s (used by segmented fan-out).
+func (s *ExecStats) Add(other ExecStats) {
+	s.DocsScored += other.DocsScored
+	s.DocsPruned += other.DocsPruned
+	s.DocsFiltered += other.DocsFiltered
+	s.Postings += other.Postings
+}
+
+// lnTFTable caches the lnc document weight 1+ln(tf) for small term
+// frequencies — the overwhelmingly common case — so the per-posting
+// hot path avoids a math.Log call. Entries equal the direct
+// computation bit-for-bit (math.Log is deterministic), so cached and
+// uncached paths score identically.
+var lnTFTable = func() [64]float64 {
+	var t [64]float64
+	for i := 1; i < len(t); i++ {
+		t[i] = 1 + math.Log(float64(i))
+	}
+	return t
+}()
+
+// docWeight returns the lnc document weight 1+ln(tf).
+func docWeight(tf int32) float64 {
+	if tf > 0 && int(tf) < len(lnTFTable) {
+		return lnTFTable[tf]
+	}
+	return 1 + math.Log(float64(tf))
+}
+
+// qterm is one resolved query term. Terms are kept sorted by ascending
+// TermID — the canonical accumulation order both execution paths share
+// so their floating-point scores agree bit-for-bit.
+type qterm struct {
+	id  textproc.TermID
+	qtf int     // query-side term frequency
+	w   float64 // query weight: cosine (1+ln qtf)·idf, BM25 idf
+	ub  float64 // max contribution of this term to any final score
+	it  index.Iterator
+}
+
+// queryState is the pooled per-query scratch space: the resolved term
+// bag, flat score accumulators (replacing the old map accumulator),
+// the top-k heap, and the MaxScore ordering buffers. One queryState
+// serves one query at a time; engines keep them in a sync.Pool.
+type queryState struct {
+	terms   []qterm
+	score   []float64      // flat accumulator indexed by local doc ID
+	stamp   []uint32       // generation marks: gen = alive, gen+1 = dead
+	touched []corpus.DocID // alive docs hit this query
+	gen     uint32
+	heap    resultHeap
+	ord     []int     // term indexes sorted by ascending ub
+	prefix  []float64 // prefix sums of ub over ord
+	contrib []float64 // per-term raw contribution of the current candidate
+	avgLen  float64   // BM25: collection average length, read once per query
+}
+
+// reset prepares the state for a new query, bumping the stamp
+// generation instead of clearing the accumulator arrays.
+func (qs *queryState) reset() {
+	qs.terms = qs.terms[:0]
+	qs.touched = qs.touched[:0]
+	qs.heap = qs.heap[:0]
+	qs.ord = qs.ord[:0]
+	qs.prefix = qs.prefix[:0]
+	qs.gen += 2
+	if qs.gen == 0 { // wrapped: stale stamps could collide
+		for i := range qs.stamp {
+			qs.stamp[i] = 0
+		}
+		qs.gen = 2
+	}
+}
+
+// ensureDoc grows the flat accumulators to cover local doc ID d.
+func (qs *queryState) ensureDoc(d corpus.DocID) {
+	need := int(d) + 1
+	if need <= len(qs.score) {
+		return
+	}
+	if need <= cap(qs.score) {
+		qs.score = qs.score[:need]
+		qs.stamp = qs.stamp[:need]
+		return
+	}
+	ns := make([]float64, need, need+need/2)
+	copy(ns, qs.score)
+	qs.score = ns
+	nst := make([]uint32, need, need+need/2)
+	copy(nst, qs.stamp)
+	qs.stamp = nst
+}
+
+// resolveTerms builds the deduplicated, TermID-sorted term bag in
+// qs.terms. Returns false when no query term is in the dictionary.
+func (e *Engine) resolveTerms(qs *queryState, terms []string) bool {
+	vocab := e.src.Vocab()
+	for _, term := range terms {
+		id := vocab.ID(term)
+		if id == textproc.InvalidTerm {
+			continue
+		}
+		qs.terms = append(qs.terms, qterm{id: id, qtf: 1})
+	}
+	if len(qs.terms) == 0 {
+		return false
+	}
+	// Insertion sort by TermID: queries are a handful of terms, and
+	// avoiding sort.Slice keeps the pooled path allocation-free.
+	for i := 1; i < len(qs.terms); i++ {
+		for j := i; j > 0 && qs.terms[j].id < qs.terms[j-1].id; j-- {
+			qs.terms[j], qs.terms[j-1] = qs.terms[j-1], qs.terms[j]
+		}
+	}
+	// Merge duplicates in place, summing query tf.
+	out := qs.terms[:1]
+	for _, t := range qs.terms[1:] {
+		if last := &out[len(out)-1]; last.id == t.id {
+			last.qtf += t.qtf
+		} else {
+			out = append(out, t)
+		}
+	}
+	qs.terms = out
+	return true
+}
+
+// weighTerms fills per-term query weights and (when impacts are
+// available) contribution upper bounds. Returns the cosine query norm
+// (1 for BM25). A zero return means the query matches nothing.
+func (e *Engine) weighTerms(qs *queryState) float64 {
+	switch e.scoring {
+	case BM25:
+		n := float64(e.src.NumDocs())
+		qs.avgLen = e.src.AvgDocLen()
+		for i := range qs.terms {
+			t := &qs.terms[i]
+			df := float64(e.src.DocFreq(t.id))
+			if df == 0 {
+				t.w = 0
+				continue
+			}
+			t.w = math.Log(1 + (n-df+0.5)/(df+0.5))
+			if e.impacts != nil {
+				t.ub = t.w * e.impacts.MaxBM25Impact(t.id)
+			}
+		}
+		return 1
+	default: // Cosine
+		qnorm := 0.0
+		for i := range qs.terms {
+			t := &qs.terms[i]
+			t.w = (1 + math.Log(float64(t.qtf))) * e.src.IDF(t.id)
+			qnorm += t.w * t.w
+		}
+		qnorm = math.Sqrt(qnorm)
+		if qnorm == 0 {
+			return 0
+		}
+		if e.impacts != nil {
+			for i := range qs.terms {
+				t := &qs.terms[i]
+				t.ub = t.w * e.impacts.MaxCosImpact(t.id) / qnorm
+			}
+		}
+		return qnorm
+	}
+}
+
+// searchExhaustive scores every posting of every query term into the
+// flat accumulator — the reference semantics. The keep filter is
+// consulted once per document, before any contribution lands.
+func (e *Engine) searchExhaustive(qs *queryState, k int, qnorm float64, keep func(corpus.DocID) bool, stats *ExecStats) []Result {
+	genAlive, genDead := qs.gen, qs.gen+1
+	// Size the accumulator once, off the lists' final entries.
+	for i := range qs.terms {
+		if pl := e.src.Postings(qs.terms[i].id); len(pl) > 0 {
+			qs.ensureDoc(pl[len(pl)-1].Doc)
+		}
+	}
+	for i := range qs.terms {
+		t := &qs.terms[i]
+		if t.w == 0 {
+			continue
+		}
+		pl := e.src.Postings(t.id)
+		if stats != nil {
+			stats.Postings += len(pl)
+		}
+		for _, p := range pl {
+			d := p.Doc
+			st := qs.stamp[d]
+			if st == genDead {
+				continue
+			}
+			if st != genAlive {
+				if keep != nil && !keep(d) {
+					qs.stamp[d] = genDead
+					if stats != nil {
+						stats.DocsFiltered++
+					}
+					continue
+				}
+				qs.stamp[d] = genAlive
+				qs.score[d] = 0
+				qs.touched = append(qs.touched, d)
+			}
+			qs.score[d] += e.rawContribution(qs, t, p.TF, d)
+		}
+	}
+	if stats != nil {
+		stats.DocsScored += len(qs.touched)
+	}
+	for _, d := range qs.touched {
+		s := e.finalizeScore(qs.score[d], d, qnorm)
+		pushTopK(&qs.heap, k, Result{Doc: d, Score: s})
+	}
+	return drainTopK(&qs.heap)
+}
+
+// rawContribution is one term's unnormalized addition to a document's
+// score: cosine w·(1+ln tf) (the lnc dot-product part), BM25 the full
+// idf·saturation product. Both execution paths accumulate exactly this
+// expression in exactly TermID order, which is what makes their
+// floating-point results identical.
+func (e *Engine) rawContribution(qs *queryState, t *qterm, tf int32, d corpus.DocID) float64 {
+	if e.scoring == BM25 {
+		ftf := float64(tf)
+		dl := float64(e.src.DocLen(d))
+		denom := ftf + bm25K1*(1-bm25B+bm25B*dl/qs.avgLen)
+		return t.w * ftf * (bm25K1 + 1) / denom
+	}
+	return t.w * docWeight(tf)
+}
+
+// finalizeScore applies the per-document normalization (cosine) and
+// the static prior, in the same operation order for both paths.
+func (e *Engine) finalizeScore(raw float64, d corpus.DocID, qnorm float64) float64 {
+	s := raw
+	if e.scoring != BM25 {
+		if n := e.norm(d); n > 0 {
+			s /= n * qnorm
+		}
+	}
+	if e.prior != nil && int(d) < len(e.prior) {
+		s *= e.prior[d]
+	}
+	return s
+}
+
+// searchMaxScore is the document-at-a-time MaxScore loop. Terms are
+// ordered by ascending contribution bound; the lists whose prefix sum
+// of bounds cannot reach the current k-th best score become
+// non-essential and are consulted only by SeekGE for documents the
+// essential lists surface. Candidates are abandoned mid-evaluation
+// once their partial score plus the remaining bounds drops to or under
+// the threshold — safe on ties because traversal is in ascending doc
+// order and the ranking prefers smaller IDs at equal scores.
+func (e *Engine) searchMaxScore(qs *queryState, k int, qnorm float64, keep func(corpus.DocID) bool, stats *ExecStats) []Result {
+	n := len(qs.terms)
+	for i := range qs.terms {
+		qs.terms[i].it = e.src.Postings(qs.terms[i].id).Iter()
+		qs.ord = append(qs.ord, i)
+	}
+	if cap(qs.contrib) < n {
+		qs.contrib = make([]float64, n)
+	} else {
+		qs.contrib = qs.contrib[:n]
+	}
+	ord := qs.ord
+	// Insertion sort by ascending bound (ties by TermID): allocation-
+	// free, and n is the query's distinct term count.
+	ubLess := func(a, b int) bool {
+		ta, tb := &qs.terms[a], &qs.terms[b]
+		if ta.ub != tb.ub {
+			return ta.ub < tb.ub
+		}
+		return ta.id < tb.id
+	}
+	for i := 1; i < len(ord); i++ {
+		for j := i; j > 0 && ubLess(ord[j], ord[j-1]); j-- {
+			ord[j], ord[j-1] = ord[j-1], ord[j]
+		}
+	}
+	sum := 0.0
+	for _, i := range ord {
+		sum += qs.terms[i].ub
+		qs.prefix = append(qs.prefix, sum)
+	}
+
+	theta := math.Inf(-1)
+	first := 0 // ord[first:] are the essential lists
+	for first < n {
+		// Pick the next candidate: the smallest current doc among the
+		// essential iterators.
+		cand := corpus.DocID(math.MaxInt32)
+		found := false
+		for _, i := range ord[first:] {
+			it := &qs.terms[i].it
+			if it.Valid() && it.Doc() < cand {
+				cand = it.Doc()
+				found = true
+			}
+		}
+		if !found {
+			break
+		}
+		if keep != nil && !keep(cand) {
+			if stats != nil {
+				stats.DocsFiltered++
+			}
+			for _, i := range ord[first:] {
+				if it := &qs.terms[i].it; it.Valid() && it.Doc() == cand {
+					it.Next()
+				}
+			}
+			continue
+		}
+		// Score the essential lists at the candidate. Contributions are
+		// kept per term in raw units for the canonical final sum; bound
+		// checks stay in raw units too, scaling the threshold by the
+		// candidate's normalization denominator instead of dividing
+		// every partial — a multiplication per check, not a division
+		// per candidate.
+		for i := 0; i < n; i++ {
+			qs.contrib[i] = 0
+		}
+		den := 1.0
+		if e.scoring != BM25 {
+			if nd := e.norm(cand); nd > 0 {
+				den = nd * qnorm
+			}
+		}
+		partial := 0.0
+		for _, i := range ord[first:] {
+			t := &qs.terms[i]
+			if t.it.Valid() && t.it.Doc() == cand {
+				raw := e.rawContribution(qs, t, t.it.TF(), cand)
+				qs.contrib[i] = raw
+				partial += raw
+				t.it.Next()
+			}
+		}
+		// Non-essential lists, strongest bound first: stop as soon as
+		// the candidate can no longer reach the threshold. In raw
+		// units: partial/den + prefix[j] <= θ  ⟺  partial <= (θ −
+		// prefix[j])·den (den > 0).
+		pruned := false
+		for j := first - 1; j >= 0; j-- {
+			if partial <= (theta-qs.prefix[j])*den {
+				pruned = true
+				break
+			}
+			t := &qs.terms[ord[j]]
+			if t.it.SeekGE(cand) && t.it.Doc() == cand {
+				raw := e.rawContribution(qs, t, t.it.TF(), cand)
+				qs.contrib[ord[j]] = raw
+				partial += raw
+			}
+		}
+		if pruned {
+			if stats != nil {
+				stats.DocsPruned++
+			}
+			continue
+		}
+		if stats != nil {
+			stats.DocsScored++
+		}
+		// Canonical final score: sum the raw contributions in TermID
+		// order (absent terms add +0.0, which is exact), then normalize
+		// — bit-identical to the exhaustive accumulator.
+		raw := 0.0
+		for i := 0; i < n; i++ {
+			raw += qs.contrib[i]
+		}
+		s := e.finalizeScore(raw, cand, qnorm)
+		pushTopK(&qs.heap, k, Result{Doc: cand, Score: s})
+		if len(qs.heap) == k {
+			if nt := qs.heap[0].Score; nt > theta {
+				theta = nt
+				for first < n && qs.prefix[first] <= theta {
+					first++
+				}
+			}
+		}
+	}
+	return drainTopK(&qs.heap)
+}

@@ -85,6 +85,21 @@ type (
 	Analyzer = textproc.Analyzer
 	// IndexStats summarizes the inverted index.
 	IndexStats = index.Stats
+	// ExecMode selects the query-execution strategy: MaxScore pruning
+	// (the default) or the exhaustive reference scorer.
+	ExecMode = vsm.ExecMode
+	// ExecStats counts the work one query performed.
+	ExecStats = vsm.ExecStats
+)
+
+// Query-execution modes, re-exported from the engine.
+const (
+	// ExecAuto runs MaxScore wherever impact metadata exists.
+	ExecAuto = vsm.ExecAuto
+	// ExecMaxScore forces document-at-a-time MaxScore pruning.
+	ExecMaxScore = vsm.ExecMaxScore
+	// ExecExhaustive forces the exhaustive reference scorer.
+	ExecExhaustive = vsm.ExecExhaustive
 )
 
 // DefaultPrivacyParams returns the paper's defaults: ε1 = 5%, ε2 = 1%.
@@ -108,6 +123,11 @@ type ServiceSpec struct {
 	TrainIters int
 	// BM25 selects Okapi BM25 scoring instead of tf-idf cosine.
 	BM25 bool
+	// ExecMode pins the query-execution strategy for the service's
+	// engine or live store. The zero value (ExecAuto) runs MaxScore
+	// top-k pruning; ExecExhaustive restores the scan-everything
+	// reference behavior. Rankings are identical either way.
+	ExecMode ExecMode
 	// LinkPriorWeight, when > 0, synthesizes a citation graph over the
 	// corpus (topical preferential attachment), computes PageRank, and
 	// folds it into the ranking with this weight in (0, 1] — the
@@ -197,6 +217,7 @@ func NewService(spec ServiceSpec) (*Service, error) {
 	case spec.Live:
 		store, err = segment.Open(segment.Config{
 			Scoring:       scoring,
+			ExecMode:      spec.ExecMode,
 			Analyzer:      an,
 			SealThreshold: spec.SealThreshold,
 		})
@@ -225,15 +246,19 @@ func NewService(spec ServiceSpec) (*Service, error) {
 		if err != nil {
 			return nil, fmt.Errorf("toppriv: pagerank: %w", err)
 		}
-		searcher, err = vsm.NewEngineWithPrior(idx, an, scoring, pr, spec.LinkPriorWeight)
+		eng, err := vsm.NewEngineWithPrior(idx, an, scoring, pr, spec.LinkPriorWeight)
 		if err != nil {
 			return nil, fmt.Errorf("toppriv: engine: %w", err)
 		}
+		eng.SetExecMode(spec.ExecMode)
+		searcher = eng
 	default:
-		searcher, err = vsm.NewEngine(idx, an, scoring)
+		eng, err := vsm.NewEngine(idx, an, scoring)
 		if err != nil {
 			return nil, fmt.Errorf("toppriv: engine: %w", err)
 		}
+		eng.SetExecMode(spec.ExecMode)
+		searcher = eng
 	}
 
 	fail := func(err error) (*Service, error) {
@@ -292,7 +317,22 @@ func (s *Service) AnalyzeQuery(raw string) []string { return s.analyzer.Analyze(
 // Search runs an (unprotected) similarity query directly against the
 // local engine, returning up to k results.
 func (s *Service) Search(raw string, k int) []SearchHit {
-	results := s.searcher.Search(raw, k)
+	return s.toHits(s.searcher.Search(raw, k))
+}
+
+// SearchExec runs an unprotected query under an explicit execution
+// mode, overriding the spec default — results are identical across
+// modes; the knob exists for benchmarking and regression triage.
+func (s *Service) SearchExec(raw string, k int, mode ExecMode) []SearchHit {
+	if m, ok := s.searcher.(search.ModeSearcher); ok {
+		return s.toHits(m.SearchMode(raw, k, mode))
+	}
+	return s.Search(raw, k)
+}
+
+// toHits resolves result titles against whichever document source the
+// service runs on.
+func (s *Service) toHits(results []vsm.Result) []SearchHit {
 	hits := make([]SearchHit, len(results))
 	for i, r := range results {
 		hit := SearchHit{Doc: r.Doc, Score: r.Score}
