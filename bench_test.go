@@ -390,9 +390,11 @@ func BenchmarkInferenceIters(b *testing.B) {
 }
 
 // BenchmarkSearch measures top-10 engine throughput for both scorers
-// under both execution strategies. The per-op docs_scored metric is
-// the pruning evidence: MaxScore fully scores a fraction of the
-// documents the exhaustive oracle touches, at identical results.
+// under every execution strategy. The per-op docs_scored metric is
+// the pruning evidence: the pruned modes fully score a fraction of
+// the documents the exhaustive oracle touches, at identical results;
+// block-max WAND additionally reports how many candidates died on a
+// per-block bound alone.
 func BenchmarkSearch(b *testing.B) {
 	env := getBenchEnv(b)
 	queries := env.AnalyzedQueries()
@@ -401,7 +403,7 @@ func BenchmarkSearch(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, mode := range []vsm.ExecMode{vsm.ExecMaxScore, vsm.ExecExhaustive} {
+		for _, mode := range []vsm.ExecMode{vsm.ExecMaxScore, vsm.ExecBlockMax, vsm.ExecExhaustive} {
 			b.Run(scoring.String()+"/"+mode.String(), func(b *testing.B) {
 				var stats vsm.ExecStats
 				b.ReportAllocs()
@@ -411,6 +413,9 @@ func BenchmarkSearch(b *testing.B) {
 				}
 				b.ReportMetric(float64(stats.DocsScored)/float64(b.N), "docs_scored/op")
 				b.ReportMetric(float64(stats.DocsPruned)/float64(b.N), "docs_pruned/op")
+				if mode == vsm.ExecBlockMax {
+					b.ReportMetric(float64(stats.BlockSkips)/float64(b.N), "block_skips/op")
+				}
 			})
 		}
 	}

@@ -2,15 +2,30 @@
 // artifact, so CI can upload a machine-readable performance record
 // (ns/op, allocs/op, and custom metrics like docs_scored/op) and the
 // perf trajectory of the query engine can be tracked across commits.
+// It also compares two such artifacts and exits non-zero on
+// regression, which is what lets CI gate a PR on the committed
+// baseline.
 //
 // Usage:
 //
 //	go test -run xxx -bench BenchmarkSearch -benchmem . | benchjson -o BENCH_search.json
+//	benchjson -compare BENCH_search.json BENCH_new.json -tolerance 0.25
 //
-// Non-benchmark lines (ok/PASS/log output) pass through unparsed; a
-// run that produced no benchmark lines is an error, so a silently
-// skipped bench step fails the pipeline instead of uploading an empty
-// artifact.
+// Convert mode: non-benchmark lines (ok/PASS/log output) pass through
+// unparsed; a run that produced no benchmark lines is an error, so a
+// silently skipped bench step fails the pipeline instead of uploading
+// an empty artifact. Every `<value> <unit>` metric pair on a
+// benchmark line is captured generically — custom b.ReportMetric
+// units round-trip unchanged, and a stray token skips one field, not
+// the whole line.
+//
+// Compare mode: benchmarks are matched by name with the -cpu suffix
+// stripped (machines differ). Entries whose name starts with the
+// -gate prefix (default "BenchmarkSearch") fail the comparison when
+// their ns/op grew by more than -tolerance (fraction, default 0.25)
+// or when they disappeared from the new results; everything else —
+// other benchmarks, and work metrics like docs_scored/op — only
+// warns. Exit status 1 on any failure.
 package main
 
 import (
@@ -26,8 +41,9 @@ import (
 
 // Benchmark is one parsed result line.
 type Benchmark struct {
-	// Name is the full benchmark name including sub-benchmark path and
-	// the -cpu suffix, e.g. "BenchmarkSearch/cosine/maxscore-8".
+	// Name is the full benchmark name including the sub-benchmark
+	// path, with the -cpu suffix stripped so artifacts from machines
+	// with different core counts stay comparable.
 	Name string `json:"name"`
 	// N is the iteration count the harness settled on.
 	N int64 `json:"n"`
@@ -40,7 +56,29 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two benchmark JSON files (old new) and exit non-zero on regression")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth before a gated benchmark counts as regressed")
+	gate := flag.String("gate", "BenchmarkSearch", "benchmark-name prefix whose regressions fail the comparison (others only warn)")
 	flag.Parse()
+
+	if *compare {
+		files := flag.Args()
+		if len(files) > 2 {
+			// The flag package stops at the first positional argument;
+			// re-parse the remainder so the documented shape
+			// `benchjson -compare old.json new.json -tolerance 0.25`
+			// works with the flags trailing.
+			if err := flag.CommandLine.Parse(files[2:]); err != nil {
+				log.Fatal(err)
+			}
+			if flag.CommandLine.NArg() > 0 {
+				log.Fatalf("unexpected arguments after flags: %v", flag.CommandLine.Args())
+			}
+			files = files[:2]
+		}
+		runCompare(files, *tolerance, *gate)
+		return
+	}
 
 	var benches []Benchmark
 	sc := bufio.NewScanner(os.Stdin)
@@ -79,6 +117,9 @@ func main() {
 }
 
 // parseLine parses one `Benchmark<Name>-P  N  v1 u1  v2 u2 ...` line.
+// Metric pairs are collected generically; a token that is not a float
+// is skipped on its own instead of discarding the line, so custom
+// metrics and odd spacing cannot silently drop a benchmark.
 func parseLine(line string) (Benchmark, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -88,17 +129,123 @@ func parseLine(line string) (Benchmark, bool) {
 	if err != nil {
 		return Benchmark{}, false
 	}
-	b := Benchmark{Name: fields[0], N: n, Metrics: map[string]float64{}}
-	// The remainder alternates value/unit.
-	for i := 2; i+1 < len(fields); i += 2 {
+	b := Benchmark{Name: stripCPUSuffix(fields[0]), N: n, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return Benchmark{}, false
+			i++
+			continue
 		}
 		b.Metrics[fields[i+1]] = v
+		i += 2
 	}
 	if len(b.Metrics) == 0 {
 		return Benchmark{}, false
 	}
 	return b, true
+}
+
+// stripCPUSuffix removes the trailing "-<digits>" GOMAXPROCS marker
+// from a benchmark name, if present.
+func stripCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// runCompare loads two artifacts and exits non-zero when the new one
+// regresses a gated benchmark.
+func runCompare(args []string, tolerance float64, gate string) {
+	if len(args) != 2 {
+		log.Fatal("-compare needs exactly two arguments: old.json new.json")
+	}
+	oldB, err := loadBenchmarks(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	newB, err := loadBenchmarks(args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	failures, warnings := compareBenchmarks(oldB, newB, tolerance, gate)
+	for _, w := range warnings {
+		fmt.Fprintf(os.Stderr, "benchjson: warn: %s\n", w)
+	}
+	for _, f := range failures {
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL: %s\n", f)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d baseline benchmarks compared, no gated regressions (tolerance %.0f%%)\n",
+		len(oldB), tolerance*100)
+}
+
+func loadBenchmarks(path string) ([]Benchmark, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var benches []Benchmark
+	if err := json.Unmarshal(data, &benches); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(benches) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return benches, nil
+}
+
+// compareBenchmarks diffs new against the old baseline. ns/op growth
+// beyond the tolerance fails gated entries (name prefix match) and
+// warns for the rest; docs_scored/op growth always only warns —
+// scoring more documents is a pruning regression worth flagging, but
+// it is machine-independent work, not wall-clock, so it never blocks
+// by itself. Entries present only in the new run are additions and
+// pass silently. Names are matched as stored: parseLine already
+// normalized away the -cpu suffix, and stripping again here would
+// mangle sub-benchmark names that legitimately end in "-<digits>".
+func compareBenchmarks(oldB, newB []Benchmark, tolerance float64, gate string) (failures, warnings []string) {
+	latest := make(map[string]Benchmark, len(newB))
+	for _, b := range newB {
+		latest[b.Name] = b
+	}
+	flag := func(gated bool, format string, args ...interface{}) {
+		msg := fmt.Sprintf(format, args...)
+		if gated {
+			failures = append(failures, msg)
+		} else {
+			warnings = append(warnings, msg)
+		}
+	}
+	for _, ob := range oldB {
+		name := ob.Name
+		gated := strings.HasPrefix(name, gate)
+		nb, ok := latest[name]
+		if !ok {
+			flag(gated, "%s: missing from new results", name)
+			continue
+		}
+		if oldNS, ok := ob.Metrics["ns/op"]; ok && oldNS > 0 {
+			if newNS, ok := nb.Metrics["ns/op"]; ok && newNS > oldNS*(1+tolerance) {
+				flag(gated, "%s: ns/op %.0f → %.0f (+%.1f%%, tolerance %.0f%%)",
+					name, oldNS, newNS, (newNS/oldNS-1)*100, tolerance*100)
+			}
+		}
+		if oldDS, ok := ob.Metrics["docs_scored/op"]; ok && oldDS > 0 {
+			if newDS, ok := nb.Metrics["docs_scored/op"]; ok && newDS > oldDS*(1+tolerance) {
+				warnings = append(warnings, fmt.Sprintf(
+					"%s: docs_scored/op %.1f → %.1f (+%.1f%%) — pruning got weaker",
+					name, oldDS, newDS, (newDS/oldDS-1)*100))
+			}
+		}
+	}
+	return failures, warnings
 }

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLineStandard(t *testing.T) {
+	b, ok := parseLine("BenchmarkSearch/cosine/maxscore-8         \t   26794\t     47863 ns/op\t       175.7 docs_pruned/op\t        75.07 docs_scored/op\t     184 B/op\t       2 allocs/op")
+	if !ok {
+		t.Fatal("standard line must parse")
+	}
+	if b.Name != "BenchmarkSearch/cosine/maxscore" {
+		t.Errorf("Name = %q, want cpu suffix stripped", b.Name)
+	}
+	if b.N != 26794 {
+		t.Errorf("N = %d", b.N)
+	}
+	want := map[string]float64{
+		"ns/op": 47863, "docs_pruned/op": 175.7, "docs_scored/op": 75.07,
+		"B/op": 184, "allocs/op": 2,
+	}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Errorf("Metrics[%q] = %v, want %v", unit, b.Metrics[unit], v)
+		}
+	}
+}
+
+// TestParseLineCustomMetrics pins the fix for the silent-drop bug: a
+// line carrying custom b.ReportMetric units — including ones with odd
+// characters or a stray non-numeric token in the middle — must still
+// produce every parsable metric pair instead of being discarded.
+func TestParseLineCustomMetrics(t *testing.T) {
+	b, ok := parseLine("BenchmarkFig3-4  2  912345 ns/op  14.2 Usize@0.5%  3.00 maxrank@0.5%  5.1 exposure%")
+	if !ok {
+		t.Fatal("custom-metric line must parse")
+	}
+	for unit, v := range map[string]float64{
+		"ns/op": 912345, "Usize@0.5%": 14.2, "maxrank@0.5%": 3, "exposure%": 5.1,
+	} {
+		if b.Metrics[unit] != v {
+			t.Errorf("Metrics[%q] = %v, want %v", unit, b.Metrics[unit], v)
+		}
+	}
+
+	// A stray token skips one field, not the line.
+	b, ok = parseLine("BenchmarkOdd-2  10  100 ns/op  garbage  7 widgets/op")
+	if !ok {
+		t.Fatal("line with a stray token must still parse")
+	}
+	if b.Metrics["ns/op"] != 100 || b.Metrics["widgets/op"] != 7 {
+		t.Errorf("Metrics = %v, want ns/op and widgets/op captured", b.Metrics)
+	}
+}
+
+func TestParseLineRejectsNonBenchmarks(t *testing.T) {
+	for _, line := range []string{
+		"ok  \ttoppriv\t9.2s",
+		"PASS",
+		"goos: linux",
+		"BenchmarkBad notanumber 12 ns/op",
+		"BenchmarkShort 5",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line %q must not parse", line)
+		}
+	}
+}
+
+func TestStripCPUSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkSearch/cosine/maxscore-8": "BenchmarkSearch/cosine/maxscore",
+		"BenchmarkSearch/cosine/maxscore":   "BenchmarkSearch/cosine/maxscore",
+		"BenchmarkX-12":                     "BenchmarkX",
+		"BenchmarkX-a8":                     "BenchmarkX-a8",
+		"BenchmarkX-":                       "BenchmarkX-",
+	} {
+		if got := stripCPUSuffix(in); got != want {
+			t.Errorf("stripCPUSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func bench(name string, ns, docsScored float64) Benchmark {
+	m := map[string]float64{"ns/op": ns}
+	if docsScored > 0 {
+		m["docs_scored/op"] = docsScored
+	}
+	return Benchmark{Name: name, N: 1, Metrics: m}
+}
+
+func TestCompareGatesNsOpRegressions(t *testing.T) {
+	oldB := []Benchmark{
+		bench("BenchmarkSearch/cosine/blockmax", 40000, 60),
+		bench("BenchmarkSearch/bm25/maxscore", 30000, 55),
+		bench("BenchmarkLiveIndex/single", 36000, 0),
+	}
+	newB := []Benchmark{
+		bench("BenchmarkSearch/cosine/blockmax", 49000, 60),  // within 25%
+		bench("BenchmarkSearch/bm25/maxscore", 40000, 80),    // +33% ns: fail; docs_scored +45%: warn
+		bench("BenchmarkLiveIndex/single", 80000, 0),         // ungated: warn only
+		bench("BenchmarkSearch/cosine/exhaustive", 10000, 0), // addition: ignored
+	}
+	failures, warnings := compareBenchmarks(oldB, newB, 0.25, "BenchmarkSearch")
+	if len(failures) != 1 || !strings.Contains(failures[0], "bm25/maxscore") {
+		t.Errorf("failures = %v, want exactly the bm25/maxscore ns/op regression", failures)
+	}
+	foundLive, foundDS := false, false
+	for _, w := range warnings {
+		if strings.Contains(w, "BenchmarkLiveIndex/single") {
+			foundLive = true
+		}
+		if strings.Contains(w, "docs_scored") {
+			foundDS = true
+		}
+	}
+	if !foundLive || !foundDS {
+		t.Errorf("warnings = %v, want ungated ns/op and docs_scored entries", warnings)
+	}
+}
+
+func TestCompareMissingGatedEntryFails(t *testing.T) {
+	oldB := []Benchmark{bench("BenchmarkSearch/cosine/blockmax", 40000, 0)}
+	failures, _ := compareBenchmarks(oldB, []Benchmark{bench("BenchmarkOther", 1, 0)}, 0.25, "BenchmarkSearch")
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Errorf("failures = %v, want a missing-entry failure", failures)
+	}
+}
+
+func TestCompareCleanRun(t *testing.T) {
+	oldB := []Benchmark{
+		bench("BenchmarkSearch/cosine/blockmax", 40000, 60),
+		bench("BenchmarkLiveIndex/segmented4", 66000, 400),
+	}
+	newB := []Benchmark{
+		bench("BenchmarkSearch/cosine/blockmax", 41000, 58),
+		bench("BenchmarkLiveIndex/segmented4", 70000, 410),
+	}
+	failures, warnings := compareBenchmarks(oldB, newB, 0.25, "BenchmarkSearch")
+	if len(failures) != 0 || len(warnings) != 0 {
+		t.Errorf("clean run produced failures %v warnings %v", failures, warnings)
+	}
+}

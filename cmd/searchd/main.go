@@ -51,7 +51,7 @@ func main() {
 		corpusPath  = flag.String("corpus", "corpus.json", "corpus JSON from corpusgen")
 		addr        = flag.String("addr", ":8080", "listen address")
 		bm25        = flag.Bool("bm25", false, "score with BM25 instead of tf-idf cosine")
-		execFlag    = flag.String("exec", "auto", "query execution: auto, maxscore (DAAT top-k pruning), or exhaustive")
+		execFlag    = flag.String("exec", "auto", "query execution: auto, maxscore (DAAT top-k pruning), blockmax (block-max WAND), or exhaustive")
 		maxK        = flag.Int("max-k", 0, "cap per-request result count (0 = default 1000)")
 		live        = flag.Bool("live", false, "serve the segmented live index (POST /index, DELETE /doc/{id})")
 		dataDir     = flag.String("data", "", "live mode: segment persistence directory (empty = in-memory only)")

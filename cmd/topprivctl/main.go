@@ -43,7 +43,7 @@ func main() {
 		eps1       = flag.Float64("eps1", 0.05, "relevance threshold ε1")
 		eps2       = flag.Float64("eps2", 0.01, "exposure threshold ε2 (≤ ε1)")
 		k          = flag.Int("k", 10, "results per query")
-		execMode   = flag.String("exec", "", "ask the server for this query-execution mode (auto, maxscore, exhaustive; empty = server default)")
+		execMode   = flag.String("exec", "", "ask the server for this query-execution mode (auto, maxscore, blockmax, exhaustive; empty = server default)")
 		seed       = flag.Int64("seed", 0, "obfuscation seed (0 = nondeterministic)")
 		showGhosts = flag.Bool("show-ghosts", false, "print the ghost queries the server saw")
 		plain      = flag.Bool("plain", false, "skip obfuscation (for comparison)")

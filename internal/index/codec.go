@@ -21,20 +21,29 @@ import (
 //	          postings as (uvarint docID-delta, uvarint tf)
 //	          v2 only: uvarint maxTF
 //	                   float64 maxCosImpact | float64 maxBM25Impact
+//	          v3 only: per ceil(listLen/BlockSize) blocks:
+//	                   uvarint blockMaxTF
+//	                   float64 blockMaxCos | float64 blockMaxBM25
 //	per doc:  uvarint docLen
 //
 // Doc IDs are delta-encoded within each list, mirroring production
 // inverted-index layouts, so SizeBytes reflects a realistic index
 // footprint for the Figure 6 comparison against the LDA model size.
 //
-// Version 2 appends the per-term max-impact metadata that fuels
-// MaxScore top-k pruning, so a loaded index skips documents without a
-// postings rescan. Version 1 files still load: their metadata is
-// recomputed from the postings after reading.
+// Version 3 persists the per-block max-impact metadata that fuels
+// block-max WAND; the term-level maxima are derived on load as the
+// maxima over each list's blocks (bit-identical to what Build
+// computed, since both maximize over the same values). The block
+// count is derived from listLen, so it is never stored. Version 2
+// files (term-level metadata only) and version 1 files (no metadata)
+// still load: their impact metadata — block- and term-level — is
+// recomputed from the postings after reading, which yields exactly
+// the values Build would have produced.
 
 const codecMagic = "TPIX"
 const (
-	codecVersion   = 2
+	codecVersion   = 3
+	codecVersionV2 = 2
 	codecVersionV1 = 1
 )
 
@@ -89,14 +98,16 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 				return cw.n, err
 			}
 		}
-		if err := writeUvarint(uint64(x.maxTF[id])); err != nil {
-			return cw.n, err
-		}
-		if err := writeFloat(x.maxCos[id]); err != nil {
-			return cw.n, err
-		}
-		if err := writeFloat(x.maxBM[id]); err != nil {
-			return cw.n, err
+		for _, bm := range x.blocks[id] {
+			if err := writeUvarint(uint64(bm.MaxTF)); err != nil {
+				return cw.n, err
+			}
+			if err := writeFloat(bm.MaxCos); err != nil {
+				return cw.n, err
+			}
+			if err := writeFloat(bm.MaxBM); err != nil {
+				return cw.n, err
+			}
 		}
 	}
 	for _, dl := range x.docLen {
@@ -122,7 +133,7 @@ func Read(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("index: read version: %w", err)
 	}
 	version := binary.LittleEndian.Uint32(ver[:])
-	if version != codecVersion && version != codecVersionV1 {
+	if version != codecVersion && version != codecVersionV2 && version != codecVersionV1 {
 		return nil, fmt.Errorf("index: unsupported version %d", version)
 	}
 	numDocs, err := binary.ReadUvarint(br)
@@ -171,20 +182,55 @@ func Read(r io.Reader) (*Index, error) {
 			pl[i] = Posting{Doc: corpus.DocID(prev), TF: int32(tf)}
 		}
 		x.postings = append(x.postings, pl)
-		if version >= 2 {
-			mtf, err := binary.ReadUvarint(br)
-			if err != nil {
+		switch version {
+		case codecVersionV2:
+			// v2 carried term-level metadata but no blocks. The blocks
+			// must be recomputed from the postings anyway (below), and
+			// that recomputation reproduces the term-level values
+			// bit-for-bit, so the stored trio is only validated for
+			// presence, not retained.
+			if _, err := binary.ReadUvarint(br); err != nil {
 				return nil, fmt.Errorf("index: term %d maxTF: %w", t, err)
 			}
-			mcos, err := readFloat(br)
-			if err != nil {
+			if _, err := readFloat(br); err != nil {
 				return nil, fmt.Errorf("index: term %d maxCos: %w", t, err)
 			}
-			mbm, err := readFloat(br)
-			if err != nil {
+			if _, err := readFloat(br); err != nil {
 				return nil, fmt.Errorf("index: term %d maxBM25: %w", t, err)
 			}
-			x.maxTF = append(x.maxTF, int32(mtf))
+		case codecVersion:
+			var bs []BlockMax
+			if ll > 0 {
+				bs = make([]BlockMax, (ll+BlockSize-1)/BlockSize)
+			}
+			var mtf int32
+			mcos, mbm := 0.0, 0.0
+			for b := range bs {
+				btf, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("index: term %d block %d maxTF: %w", t, b, err)
+				}
+				bcos, err := readFloat(br)
+				if err != nil {
+					return nil, fmt.Errorf("index: term %d block %d maxCos: %w", t, b, err)
+				}
+				bbm, err := readFloat(br)
+				if err != nil {
+					return nil, fmt.Errorf("index: term %d block %d maxBM25: %w", t, b, err)
+				}
+				bs[b] = BlockMax{MaxTF: int32(btf), MaxCos: bcos, MaxBM: bbm}
+				if bs[b].MaxTF > mtf {
+					mtf = bs[b].MaxTF
+				}
+				if bcos > mcos {
+					mcos = bcos
+				}
+				if bbm > mbm {
+					mbm = bbm
+				}
+			}
+			x.blocks = append(x.blocks, bs)
+			x.maxTF = append(x.maxTF, mtf)
 			x.maxCos = append(x.maxCos, mcos)
 			x.maxBM = append(x.maxBM, mbm)
 		}
@@ -198,9 +244,10 @@ func Read(r io.Reader) (*Index, error) {
 		x.docLen[d] = int(dl)
 		x.totalLen += int(dl)
 	}
-	if version < 2 {
-		// v1 files carry no impact metadata; derive it from the
-		// postings so loaded indexes prune identically to built ones.
+	if version < codecVersion {
+		// v1 files carry no impact metadata and v2 files no per-block
+		// bounds; derive both from the postings so loaded indexes
+		// prune identically to built ones.
 		x.computeImpacts()
 	}
 	return x, nil

@@ -31,6 +31,25 @@ const (
 	BM25B  = 0.75
 )
 
+// BlockSize is the number of postings per max-impact block. Per-block
+// bounds are what let document-at-a-time execution skip whole runs of
+// postings (block-max WAND) instead of single documents: a block whose
+// best posting cannot beat the current top-k threshold is never
+// descended into. 128 is the standard choice — big enough that block
+// metadata is a rounding error next to the postings, small enough that
+// the bounds stay tight.
+const BlockSize = 128
+
+// BlockMax is the impact summary of one fixed-size block of postings:
+// the same three bounds the term-level metadata carries (largest term
+// frequency, largest lnc cosine partial, largest length-free BM25
+// saturation factor), restricted to the block's documents.
+type BlockMax struct {
+	MaxTF  int32
+	MaxCos float64
+	MaxBM  float64
+}
+
 // BM25TFBound returns an upper bound on the Okapi tf-saturation factor
 // tf·(k1+1)/(tf + k1·(1−b+b·dl/avgdl)) that holds for every document
 // length and every collection average: the denominator is minimized at
@@ -55,10 +74,16 @@ type Index struct {
 	// fuel of MaxScore-style top-k pruning: the largest term frequency
 	// in the list, the largest lnc cosine partial (1+ln tf)/‖d‖ any
 	// posting contributes, and the largest length-free BM25 saturation
-	// factor. Computed by Build/Merge, persisted by the v2 codec.
+	// factor. Computed by Build/Merge, persisted by the codec.
 	maxTF  []int32
 	maxCos []float64
 	maxBM  []float64
+	// blocks holds the same bounds per BlockSize-posting block of each
+	// list (ceil(len/BlockSize) entries; nil for empty lists) — the
+	// skipping fuel of block-max WAND. The term-level maxima above are
+	// exactly the maxima over a list's blocks. Persisted by the v3
+	// codec, recomputed on v1/v2 loads.
+	blocks [][]BlockMax
 }
 
 // Build constructs the index from an analyzed corpus.
@@ -93,9 +118,12 @@ func Build(c *corpus.Corpus) (*Index, error) {
 	return idx, nil
 }
 
-// computeImpacts derives the per-term max-impact metadata from the
-// postings in one pass: lnc document norms first (they need the whole
-// index), then each list's maxima.
+// computeImpacts derives the per-term and per-block max-impact
+// metadata from the postings in one pass: lnc document norms first
+// (they need the whole index), then each list's blocks, then the
+// term-level maxima as the maxima over blocks — which makes the two
+// levels consistent by construction (bit-for-bit: they maximize over
+// the same float values, and BM25TFBound is monotone in tf).
 func (x *Index) computeImpacts() {
 	norms := make([]float64, x.numDocs)
 	for _, pl := range x.postings {
@@ -110,22 +138,46 @@ func (x *Index) computeImpacts() {
 	x.maxTF = make([]int32, len(x.postings))
 	x.maxCos = make([]float64, len(x.postings))
 	x.maxBM = make([]float64, len(x.postings))
+	x.blocks = make([][]BlockMax, len(x.postings))
 	for t, pl := range x.postings {
-		var mtf int32
-		mcos := 0.0
-		for _, p := range pl {
-			if p.TF > mtf {
-				mtf = p.TF
+		if len(pl) == 0 {
+			continue
+		}
+		bs := make([]BlockMax, (len(pl)+BlockSize-1)/BlockSize)
+		for b := range bs {
+			start, end := b*BlockSize, (b+1)*BlockSize
+			if end > len(pl) {
+				end = len(pl)
 			}
-			if c := (1 + math.Log(float64(p.TF))) / norms[p.Doc]; c > mcos {
-				mcos = c
+			var bm BlockMax
+			for _, p := range pl[start:end] {
+				if p.TF > bm.MaxTF {
+					bm.MaxTF = p.TF
+				}
+				if c := (1 + math.Log(float64(p.TF))) / norms[p.Doc]; c > bm.MaxCos {
+					bm.MaxCos = c
+				}
+			}
+			bm.MaxBM = BM25TFBound(bm.MaxTF)
+			bs[b] = bm
+		}
+		x.blocks[t] = bs
+		var mtf int32
+		mcos, mbm := 0.0, 0.0
+		for _, bm := range bs {
+			if bm.MaxTF > mtf {
+				mtf = bm.MaxTF
+			}
+			if bm.MaxCos > mcos {
+				mcos = bm.MaxCos
+			}
+			if bm.MaxBM > mbm {
+				mbm = bm.MaxBM
 			}
 		}
 		x.maxTF[t] = mtf
 		x.maxCos[t] = mcos
-		if mtf > 0 {
-			x.maxBM[t] = BM25TFBound(mtf)
-		}
+		x.maxBM[t] = mbm
 	}
 }
 
@@ -184,6 +236,32 @@ func (x *Index) MaxBM25Impact(id textproc.TermID) float64 {
 		return 0
 	}
 	return x.maxBM[id]
+}
+
+// BlockMaxes returns the per-block impact bounds of id's postings:
+// ceil(len/BlockSize) entries, block b covering postings
+// [b·BlockSize, (b+1)·BlockSize). Nil for absent terms and empty
+// lists. The returned slice is shared; callers must not modify it.
+func (x *Index) BlockMaxes(id textproc.TermID) []BlockMax {
+	if id < 0 || int(id) >= len(x.blocks) {
+		return nil
+	}
+	return x.blocks[id]
+}
+
+// HasBlocks reports that this index hands out per-block bounds (it
+// always does: Build, Merge, and every codec version populate them) —
+// the vsm BlockSource capability probe.
+func (x *Index) HasBlocks() bool { return true }
+
+// BlockIter returns an iterator over id's postings that carries the
+// per-block impact bounds, enabling block-level skipping in the
+// query engine (the vsm BlockSource contract).
+func (x *Index) BlockIter(id textproc.TermID) Iterator {
+	if id < 0 || int(id) >= len(x.postings) {
+		return Iterator{}
+	}
+	return x.postings[id].IterBlocks(x.blocks[id])
 }
 
 // IDF returns the smoothed inverse document frequency

@@ -10,13 +10,76 @@ import "toppriv/internal/corpus"
 //
 // Iterators are plain values over the shared (immutable) postings
 // slice: cheap to create per query, safe for concurrent queries.
+//
+// An iterator may additionally carry per-block max-impact bounds
+// (IterBlocks, Index.BlockIter): BlockMax exposes the current block's
+// bounds and SkipBlock jumps past its remaining postings, which is
+// what lets block-max WAND discard BlockSize postings on one
+// comparison instead of walking them.
 type Iterator struct {
-	pl  PostingList
-	pos int
+	pl     PostingList
+	blocks []BlockMax
+	pos    int
 }
 
 // Iter returns an iterator positioned on the list's first posting.
 func (pl PostingList) Iter() Iterator { return Iterator{pl: pl} }
+
+// IterBlocks returns an iterator that also carries per-block impact
+// bounds; blocks must describe pl in BlockSize-posting blocks (as
+// computed by Build/Merge). A nil blocks slice degrades to a plain
+// iterator.
+func (pl PostingList) IterBlocks(blocks []BlockMax) Iterator {
+	return Iterator{pl: pl, blocks: blocks}
+}
+
+// HasBlocks reports whether the iterator carries per-block bounds.
+func (it *Iterator) HasBlocks() bool { return it.blocks != nil }
+
+// BlockMax returns the current block's impact bounds. Valid and
+// HasBlocks must be true.
+func (it *Iterator) BlockMax() BlockMax { return it.blocks[it.pos/BlockSize] }
+
+// BlockIndex returns the ordinal of the current block (always 0
+// without block metadata, where the whole list is one block) — a
+// cheap cache key for bound computations derived from BlockMax.
+func (it *Iterator) BlockIndex() int {
+	if it.blocks == nil {
+		return 0
+	}
+	return it.pos / BlockSize
+}
+
+// BlockLastDoc returns the last document of the current block — the
+// horizon up to which BlockMax bounds every posting. Without block
+// metadata the whole list is one block, so this is the list's final
+// document. Valid must be true.
+func (it *Iterator) BlockLastDoc() corpus.DocID {
+	if it.blocks == nil {
+		return it.pl[len(it.pl)-1].Doc
+	}
+	end := (it.pos/BlockSize + 1) * BlockSize
+	if end > len(it.pl) {
+		end = len(it.pl)
+	}
+	return it.pl[end-1].Doc
+}
+
+// SkipBlock advances past the remainder of the current block to the
+// first posting of the next one (the end of the list when the
+// iterator carries no block metadata), reporting whether the iterator
+// is still valid. Valid must be true on entry.
+func (it *Iterator) SkipBlock() bool {
+	if it.blocks == nil {
+		it.pos = len(it.pl)
+		return false
+	}
+	it.pos = (it.pos/BlockSize + 1) * BlockSize
+	if it.pos > len(it.pl) {
+		it.pos = len(it.pl)
+	}
+	return it.pos < len(it.pl)
+}
 
 // Valid reports whether the iterator is positioned on a posting.
 func (it *Iterator) Valid() bool { return it.pos < len(it.pl) }

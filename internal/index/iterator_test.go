@@ -102,6 +102,201 @@ func TestIteratorSeekGEMatchesLinearScan(t *testing.T) {
 	}
 }
 
+// blockedList builds a posting list of n postings with its per-block
+// maxima computed the brute way (uniform norms keep MaxCos simple to
+// cross-check; the engine-facing block math is covered by the vsm
+// property tests).
+func blockedList(rng *rand.Rand, n int) (PostingList, []BlockMax) {
+	pl := randomList(rng, n)
+	var blocks []BlockMax
+	for start := 0; start < len(pl); start += BlockSize {
+		end := start + BlockSize
+		if end > len(pl) {
+			end = len(pl)
+		}
+		var bm BlockMax
+		for _, p := range pl[start:end] {
+			if p.TF > bm.MaxTF {
+				bm.MaxTF = p.TF
+			}
+		}
+		bm.MaxBM = BM25TFBound(bm.MaxTF)
+		blocks = append(blocks, bm)
+	}
+	return pl, blocks
+}
+
+// TestIteratorSeekGEBlockBoundaries pins SeekGE behaviour at the exact
+// edges of the block structure: targets equal to the first and last
+// document of each block, a list whose length is an exact multiple of
+// BlockSize (no partial final block), a list with a one-posting final
+// partial block, and a single-block list.
+func TestIteratorSeekGEBlockBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, BlockSize - 1, BlockSize, BlockSize + 1, 2 * BlockSize, 2*BlockSize + 1, 3*BlockSize - 1} {
+		pl, blocks := blockedList(rng, n)
+		wantBlocks := (n + BlockSize - 1) / BlockSize
+		if len(blocks) != wantBlocks {
+			t.Fatalf("n=%d: %d blocks, want %d", n, len(blocks), wantBlocks)
+		}
+		for b := 0; b < wantBlocks; b++ {
+			first := pl[b*BlockSize].Doc
+			lastPos := (b+1)*BlockSize - 1
+			if lastPos >= n {
+				lastPos = n - 1
+			}
+			last := pl[lastPos].Doc
+			for _, target := range []corpus.DocID{first, last, first - 1, last + 1} {
+				it := pl.IterBlocks(blocks)
+				ok := it.SeekGE(target)
+				pos := 0
+				for pos < n && pl[pos].Doc < target {
+					pos++
+				}
+				if ok != (pos < n) {
+					t.Fatalf("n=%d block %d: SeekGE(%d) = %v, scan says %v", n, b, target, ok, pos < n)
+				}
+				if ok && it.Doc() != pl[pos].Doc {
+					t.Fatalf("n=%d block %d: SeekGE(%d) landed on %d, scan on %d", n, b, target, it.Doc(), pl[pos].Doc)
+				}
+				if ok && it.BlockMax() != blocks[pos/BlockSize] {
+					t.Fatalf("n=%d: BlockMax at pos %d wrong", n, pos)
+				}
+			}
+			// Seeking to exactly the last doc of a block then advancing
+			// must cross into the next block (or exhaust).
+			it := pl.IterBlocks(blocks)
+			it.SeekGE(last)
+			hadNext := it.Next()
+			if want := lastPos+1 < n; hadNext != want {
+				t.Fatalf("n=%d block %d: Next past block-last = %v, want %v", n, b, hadNext, want)
+			}
+		}
+	}
+}
+
+// TestIteratorSkipBlock checks SkipBlock against the block layout:
+// each skip lands on the next block's first posting, the final skip
+// exhausts, and a blockless iterator treats the whole list as one
+// block.
+func TestIteratorSkipBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pl, blocks := blockedList(rng, 2*BlockSize+17)
+	it := pl.IterBlocks(blocks)
+	if !it.HasBlocks() {
+		t.Fatal("IterBlocks iterator must report HasBlocks")
+	}
+	for b := 0; b < len(blocks); b++ {
+		if got, want := it.BlockMax(), blocks[b]; got != want {
+			t.Fatalf("block %d: BlockMax = %+v, want %+v", b, got, want)
+		}
+		lastPos := (b+1)*BlockSize - 1
+		if lastPos >= len(pl) {
+			lastPos = len(pl) - 1
+		}
+		if got, want := it.BlockLastDoc(), pl[lastPos].Doc; got != want {
+			t.Fatalf("block %d: BlockLastDoc = %d, want %d", b, got, want)
+		}
+		ok := it.SkipBlock()
+		if want := b+1 < len(blocks); ok != want {
+			t.Fatalf("block %d: SkipBlock = %v, want %v", b, ok, want)
+		}
+		if ok && it.Doc() != pl[(b+1)*BlockSize].Doc {
+			t.Fatalf("block %d: SkipBlock landed on doc %d, want %d", b, it.Doc(), pl[(b+1)*BlockSize].Doc)
+		}
+	}
+	// Mid-block skip: position inside block 0, skip must still land on
+	// block 1's first posting.
+	it = pl.IterBlocks(blocks)
+	it.SeekGE(pl[BlockSize/2].Doc)
+	if !it.SkipBlock() || it.Doc() != pl[BlockSize].Doc {
+		t.Fatalf("mid-block SkipBlock landed on %d, want %d", it.Doc(), pl[BlockSize].Doc)
+	}
+	// Blockless iterator: one implicit block spanning the list.
+	plain := pl.Iter()
+	if plain.HasBlocks() {
+		t.Fatal("plain iterator must not report blocks")
+	}
+	if got, want := plain.BlockLastDoc(), pl[len(pl)-1].Doc; got != want {
+		t.Fatalf("plain BlockLastDoc = %d, want %d", got, want)
+	}
+	if plain.SkipBlock() || plain.Valid() {
+		t.Fatal("plain SkipBlock must exhaust the iterator")
+	}
+}
+
+// TestBuildBlockMaxes cross-checks Build's per-block metadata against
+// a brute recomputation over each block's postings, and the term-level
+// maxima against the maxima over blocks.
+func TestBuildBlockMaxes(t *testing.T) {
+	idx := buildTestIndex(t,
+		"apache helicopter army weapons apache helicopter apache",
+		"stock market investors trading volume stock",
+		"apache webserver software configuration",
+		"cooking recipes kitchen dinner helicopter",
+	)
+	norms := make([]float64, idx.NumDocs())
+	for tid := 0; tid < idx.NumTerms(); tid++ {
+		for _, p := range idx.postings[tid] {
+			w := 1 + math.Log(float64(p.TF))
+			norms[p.Doc] += w * w
+		}
+	}
+	for d := range norms {
+		norms[d] = math.Sqrt(norms[d])
+	}
+	for tid := 0; tid < idx.NumTerms(); tid++ {
+		id := textproc.TermID(tid)
+		pl := idx.Postings(id)
+		blocks := idx.BlockMaxes(id)
+		if want := (len(pl) + BlockSize - 1) / BlockSize; len(blocks) != want {
+			t.Fatalf("term %d: %d blocks for %d postings", tid, len(blocks), len(pl))
+		}
+		var mtf int32
+		mcos := 0.0
+		for b, bm := range blocks {
+			start, end := b*BlockSize, (b+1)*BlockSize
+			if end > len(pl) {
+				end = len(pl)
+			}
+			var wantTF int32
+			wantCos := 0.0
+			for _, p := range pl[start:end] {
+				if p.TF > wantTF {
+					wantTF = p.TF
+				}
+				if c := (1 + math.Log(float64(p.TF))) / norms[p.Doc]; c > wantCos {
+					wantCos = c
+				}
+			}
+			if bm.MaxTF != wantTF {
+				t.Errorf("term %d block %d: MaxTF = %d, want %d", tid, b, bm.MaxTF, wantTF)
+			}
+			if math.Abs(bm.MaxCos-wantCos) > 1e-15 {
+				t.Errorf("term %d block %d: MaxCos = %v, want %v", tid, b, bm.MaxCos, wantCos)
+			}
+			if got, want := bm.MaxBM, BM25TFBound(wantTF); math.Abs(got-want) > 1e-15 {
+				t.Errorf("term %d block %d: MaxBM = %v, want %v", tid, b, got, want)
+			}
+			if bm.MaxTF > mtf {
+				mtf = bm.MaxTF
+			}
+			if bm.MaxCos > mcos {
+				mcos = bm.MaxCos
+			}
+		}
+		if idx.MaxTF(id) != mtf {
+			t.Errorf("term %d: term-level MaxTF %d != max over blocks %d", tid, idx.MaxTF(id), mtf)
+		}
+		if idx.MaxCosImpact(id) != mcos {
+			t.Errorf("term %d: term-level MaxCos != max over blocks", tid)
+		}
+	}
+	if idx.BlockMaxes(-1) != nil || idx.BlockMaxes(9999) != nil {
+		t.Error("out-of-range term IDs must report nil blocks")
+	}
+}
+
 // TestImpactMetadata verifies Build's per-term maxima against a brute
 // recomputation from postings and document norms.
 func TestImpactMetadata(t *testing.T) {

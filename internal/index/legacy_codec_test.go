@@ -1,0 +1,193 @@
+package index
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"math"
+	"os"
+	"testing"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/textproc"
+)
+
+// writeLegacy serializes x in a historical TPIX layout: version 1
+// (postings only) or version 2 (postings plus term-level impact
+// metadata, no blocks). It exists so the upgrade paths can be tested
+// against freshly produced legacy bytes, and so the checked-in
+// fixtures can be regenerated (TestRegenerateLegacyFixtures).
+func writeLegacy(t *testing.T, version uint32, x *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	vb := make([]byte, binary.MaxVarintLen64)
+	wu := func(v uint64) {
+		n := binary.PutUvarint(vb, v)
+		w.Write(vb[:n])
+	}
+	wf := func(v float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		w.Write(b[:])
+	}
+	w.WriteString(codecMagic)
+	var ver [4]byte
+	binary.LittleEndian.PutUint32(ver[:], version)
+	w.Write(ver[:])
+	wu(uint64(x.numDocs))
+	wu(uint64(len(x.postings)))
+	for id := range x.postings {
+		term := x.vocab.Term(textproc.TermID(id))
+		wu(uint64(len(term)))
+		w.WriteString(term)
+		pl := x.postings[id]
+		wu(uint64(len(pl)))
+		prev := corpus.DocID(0)
+		for _, p := range pl {
+			wu(uint64(p.Doc - prev))
+			prev = p.Doc
+			wu(uint64(p.TF))
+		}
+		if version >= codecVersionV2 {
+			wu(uint64(x.maxTF[id]))
+			wf(x.maxCos[id])
+			wf(x.maxBM[id])
+		}
+	}
+	for _, dl := range x.docLen {
+		wu(uint64(dl))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fixtureIndex is the corpus behind testdata/v2.tpix (stemming off,
+// matching buildTestIndex).
+func fixtureIndex(t *testing.T) *Index {
+	t.Helper()
+	return buildTestIndex(t,
+		"apache helicopter army weapons apache helicopter apache",
+		"stock market investors trading volume stock",
+		"apache webserver software configuration",
+		"cooking recipes kitchen dinner helicopter",
+	)
+}
+
+// TestRegenerateLegacyFixtures rewrites testdata/v2.tpix when
+// TPIX_WRITE_FIXTURES is set; normally it only checks the checked-in
+// bytes still match what writeLegacy produces for the fixture corpus.
+// (testdata/v1.tpix predates this helper and is left untouched — it
+// pins the historical writer's bytes, not this reconstruction.)
+func TestRegenerateLegacyFixtures(t *testing.T) {
+	want := writeLegacy(t, codecVersionV2, fixtureIndex(t))
+	const path = "testdata/v2.tpix"
+	if os.Getenv("TPIX_WRITE_FIXTURES") != "" {
+		if err := os.WriteFile(path, want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(want))
+		return
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with TPIX_WRITE_FIXTURES=1 to generate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from writeLegacy output (%d vs %d bytes)", path, len(got), len(want))
+	}
+}
+
+// TestReadV2Fixture loads the checked-in v2-format TPIX file and
+// checks the postings round-trip and that both term-level and
+// per-block impact metadata are available after load — the v2→v3
+// upgrade path. If this breaks, v2 files in the field stopped loading.
+func TestReadV2Fixture(t *testing.T) {
+	f, err := os.Open("testdata/v2.tpix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	x, err := Read(f)
+	if err != nil {
+		t.Fatalf("v2 fixture must load: %v", err)
+	}
+	if x.NumDocs() != 4 {
+		t.Fatalf("fixture NumDocs = %d, want 4", x.NumDocs())
+	}
+	pl := x.PostingsByTerm("apache")
+	if len(pl) != 2 || pl[0].Doc != 0 || pl[0].TF != 3 || pl[1].Doc != 2 || pl[1].TF != 1 {
+		t.Fatalf("apache postings = %v", pl)
+	}
+	assertImpactsMatchFresh(t, x, fixtureIndex(t))
+}
+
+// TestLegacyUpgradeRoundTrip writes v1 and v2 bytes for a fresh
+// index, reads them back, and requires the upgraded in-memory form —
+// postings, term-level impacts, and per-block bounds — to match the
+// original bit-for-bit; then a v3 round-trip of the upgraded index
+// must preserve everything again.
+func TestLegacyUpgradeRoundTrip(t *testing.T) {
+	x := fixtureIndex(t)
+	for _, version := range []uint32{codecVersionV1, codecVersionV2} {
+		y, err := Read(bytes.NewReader(writeLegacy(t, version, x)))
+		if err != nil {
+			t.Fatalf("v%d: %v", version, err)
+		}
+		assertImpactsMatchFresh(t, y, x)
+		var buf bytes.Buffer
+		if _, err := y.WriteTo(&buf); err != nil {
+			t.Fatalf("v%d→v3 write: %v", version, err)
+		}
+		z, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("v%d→v3 read: %v", version, err)
+		}
+		assertImpactsMatchFresh(t, z, x)
+	}
+}
+
+// assertImpactsMatchFresh compares got's postings and impact metadata
+// — term-level and per-block — against a freshly built reference.
+func assertImpactsMatchFresh(t *testing.T, got, want *Index) {
+	t.Helper()
+	if got.NumDocs() != want.NumDocs() || got.NumTerms() != want.NumTerms() {
+		t.Fatalf("shape: %d/%d docs, %d/%d terms",
+			got.NumDocs(), want.NumDocs(), got.NumTerms(), want.NumTerms())
+	}
+	for tid := 0; tid < want.NumTerms(); tid++ {
+		term := want.Vocab().Term(textproc.TermID(tid))
+		gid := got.Vocab().ID(term)
+		wpl, gpl := want.Postings(textproc.TermID(tid)), got.Postings(gid)
+		if len(wpl) != len(gpl) {
+			t.Fatalf("term %q: %d vs %d postings", term, len(gpl), len(wpl))
+		}
+		for i := range wpl {
+			if wpl[i] != gpl[i] {
+				t.Fatalf("term %q posting %d: %v vs %v", term, i, gpl[i], wpl[i])
+			}
+		}
+		if got.MaxTF(gid) != want.MaxTF(textproc.TermID(tid)) {
+			t.Errorf("term %q: MaxTF %d vs %d", term, got.MaxTF(gid), want.MaxTF(textproc.TermID(tid)))
+		}
+		if math.Float64bits(got.MaxCosImpact(gid)) != math.Float64bits(want.MaxCosImpact(textproc.TermID(tid))) {
+			t.Errorf("term %q: MaxCosImpact differs", term)
+		}
+		if math.Float64bits(got.MaxBM25Impact(gid)) != math.Float64bits(want.MaxBM25Impact(textproc.TermID(tid))) {
+			t.Errorf("term %q: MaxBM25Impact differs", term)
+		}
+		gb, wb := got.BlockMaxes(gid), want.BlockMaxes(textproc.TermID(tid))
+		if len(gb) != len(wb) {
+			t.Fatalf("term %q: %d vs %d blocks", term, len(gb), len(wb))
+		}
+		for b := range wb {
+			if gb[b].MaxTF != wb[b].MaxTF ||
+				math.Float64bits(gb[b].MaxCos) != math.Float64bits(wb[b].MaxCos) ||
+				math.Float64bits(gb[b].MaxBM) != math.Float64bits(wb[b].MaxBM) {
+				t.Errorf("term %q block %d: %+v vs %+v", term, b, gb[b], wb[b])
+			}
+		}
+	}
+}

@@ -56,22 +56,27 @@ func TestServerKValidation(t *testing.T) {
 }
 
 // TestServerExecOverride exercises the per-request execution-mode
-// knob: maxscore and exhaustive must return identical hit lists, and
-// an unknown mode is a 400.
+// knob: maxscore, blockmax, and exhaustive must return identical hit
+// lists, and an unknown mode is a 400.
 func TestServerExecOverride(t *testing.T) {
 	f := getFixture(t)
 	q := f.topicQueryText(2, 5)
 
-	respMS, ms := postSearch(t, f.ts.URL, SearchRequest{Query: q, K: 10, Exec: "maxscore"})
 	respEX, ex := postSearch(t, f.ts.URL, SearchRequest{Query: q, K: 10, Exec: "exhaustive"})
-	if respMS.StatusCode != http.StatusOK || respEX.StatusCode != http.StatusOK {
-		t.Fatalf("exec override statuses %d / %d", respMS.StatusCode, respEX.StatusCode)
+	if respEX.StatusCode != http.StatusOK {
+		t.Fatalf("exhaustive status %d", respEX.StatusCode)
 	}
-	if len(ms.Hits) == 0 {
-		t.Fatal("no hits under maxscore")
+	if len(ex.Hits) == 0 {
+		t.Fatal("no hits under exhaustive")
 	}
-	if !reflect.DeepEqual(ms.Hits, ex.Hits) {
-		t.Errorf("exec modes disagree:\nmaxscore:   %v\nexhaustive: %v", ms.Hits, ex.Hits)
+	for _, mode := range []string{"maxscore", "blockmax"} {
+		resp, got := postSearch(t, f.ts.URL, SearchRequest{Query: q, K: 10, Exec: mode})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", mode, resp.StatusCode)
+		}
+		if !reflect.DeepEqual(got.Hits, ex.Hits) {
+			t.Errorf("exec modes disagree:\n%s: %v\nexhaustive: %v", mode, got.Hits, ex.Hits)
+		}
 	}
 
 	resp, _ := postSearch(t, f.ts.URL, SearchRequest{Query: q, Exec: "turbo"})

@@ -69,9 +69,10 @@ type SearchRequest struct {
 	// rejected.
 	K int `json:"k,omitempty"`
 	// Exec optionally overrides the backend's query-execution strategy
-	// for this request: "auto", "maxscore", or "exhaustive" (empty
-	// means the backend default). Results are identical either way;
-	// the knob exists for benchmarking and regression triage.
+	// for this request: "auto", "maxscore", "blockmax", or
+	// "exhaustive" (empty means the backend default). Results are
+	// identical either way; the knob exists for benchmarking and
+	// regression triage.
 	Exec string `json:"exec,omitempty"`
 }
 

@@ -10,11 +10,13 @@ import (
 	"toppriv/internal/vsm"
 )
 
-// TestStoreMaxScoreMatchesExhaustive asserts that MaxScore execution
-// through the segmented store — memtable plus sealed segments, with
-// tombstones filtered before scoring in every shard — returns exactly
-// the documents and order of exhaustive execution, scores within 1e-9,
-// for both scoring functions and k from selective to full-collection.
+// TestStoreMaxScoreMatchesExhaustive asserts that pruned execution —
+// MaxScore and block-max WAND — through the segmented store: memtable
+// (term-level bounds only) plus sealed segments (exact block bounds
+// from seal), with tombstones filtered before scoring in every shard,
+// returns exactly the documents and order of exhaustive execution,
+// scores within 1e-9, for both scoring functions and k from selective
+// to full-collection.
 func TestStoreMaxScoreMatchesExhaustive(t *testing.T) {
 	for _, scoring := range []vsm.Scoring{vsm.Cosine, vsm.BM25} {
 		scoring := scoring
@@ -72,21 +74,24 @@ func runStoreDAATTrial(t *testing.T, scoring vsm.Scoring, trial int64) {
 		q := queryFrom(docs[rng.Intn(len(docs))], rng.Intn(25), 2+rng.Intn(4))
 		terms := an.Analyze(q)
 		for _, k := range []int{1, 10, 100} {
-			var ms, ex vsm.ExecStats
-			pruned := st.SearchTermsExec(terms, k, vsm.ExecMaxScore, &ms)
+			var ex vsm.ExecStats
 			oracle := st.SearchTermsExec(terms, k, vsm.ExecExhaustive, &ex)
-			if len(pruned) != len(oracle) {
-				t.Fatalf("trial %d q%d k=%d: %d results vs oracle %d",
-					trial, qi, k, len(pruned), len(oracle))
-			}
-			for i := range pruned {
-				if pruned[i].Doc != oracle[i].Doc {
-					t.Fatalf("trial %d q%d k=%d rank %d: doc %d vs oracle %d\npruned: %v\noracle: %v",
-						trial, qi, k, i, pruned[i].Doc, oracle[i].Doc, pruned, oracle)
+			for _, mode := range []vsm.ExecMode{vsm.ExecMaxScore, vsm.ExecBlockMax} {
+				var ms vsm.ExecStats
+				pruned := st.SearchTermsExec(terms, k, mode, &ms)
+				if len(pruned) != len(oracle) {
+					t.Fatalf("trial %d q%d k=%d %s: %d results vs oracle %d",
+						trial, qi, k, mode, len(pruned), len(oracle))
 				}
-				if math.Abs(pruned[i].Score-oracle[i].Score) > 1e-9 {
-					t.Fatalf("trial %d q%d k=%d rank %d: score %.15f vs oracle %.15f",
-						trial, qi, k, i, pruned[i].Score, oracle[i].Score)
+				for i := range pruned {
+					if pruned[i].Doc != oracle[i].Doc {
+						t.Fatalf("trial %d q%d k=%d %s rank %d: doc %d vs oracle %d\npruned: %v\noracle: %v",
+							trial, qi, k, mode, i, pruned[i].Doc, oracle[i].Doc, pruned, oracle)
+					}
+					if math.Abs(pruned[i].Score-oracle[i].Score) > 1e-9 {
+						t.Fatalf("trial %d q%d k=%d %s rank %d: score %.15f vs oracle %.15f",
+							trial, qi, k, mode, i, pruned[i].Score, oracle[i].Score)
+					}
 				}
 			}
 		}
@@ -94,7 +99,8 @@ func runStoreDAATTrial(t *testing.T, scoring vsm.Scoring, trial int64) {
 }
 
 // TestStoreExecModeSurvivesReload checks that a store saved and
-// reloaded (v2 TPIX segments) still prunes and still agrees with its
+// reloaded (v3 TPIX segments, block bounds persisted) still prunes —
+// under MaxScore and block-max WAND alike — and still agrees with its
 // own exhaustive oracle.
 func TestStoreExecModeSurvivesReload(t *testing.T) {
 	an := textproc.NewAnalyzer()
@@ -119,16 +125,18 @@ func TestStoreExecModeSurvivesReload(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for qi := 0; qi < 8; qi++ {
 		terms := an.Analyze(queryFrom(docs[rng.Intn(len(docs))], qi, 3))
-		var ms vsm.ExecStats
-		pruned := ld.SearchTermsExec(terms, 10, vsm.ExecMaxScore, &ms)
 		oracle := ld.SearchTermsExec(terms, 10, vsm.ExecExhaustive, nil)
-		if len(pruned) != len(oracle) {
-			t.Fatalf("q%d: %d vs %d results", qi, len(pruned), len(oracle))
-		}
-		for i := range pruned {
-			if pruned[i].Doc != oracle[i].Doc || math.Abs(pruned[i].Score-oracle[i].Score) > 1e-9 {
-				t.Fatalf("q%d rank %d: (%d, %.12f) vs (%d, %.12f)", qi, i,
-					pruned[i].Doc, pruned[i].Score, oracle[i].Doc, oracle[i].Score)
+		for _, mode := range []vsm.ExecMode{vsm.ExecMaxScore, vsm.ExecBlockMax} {
+			var ms vsm.ExecStats
+			pruned := ld.SearchTermsExec(terms, 10, mode, &ms)
+			if len(pruned) != len(oracle) {
+				t.Fatalf("q%d %s: %d vs %d results", qi, mode, len(pruned), len(oracle))
+			}
+			for i := range pruned {
+				if pruned[i].Doc != oracle[i].Doc || math.Abs(pruned[i].Score-oracle[i].Score) > 1e-9 {
+					t.Fatalf("q%d %s rank %d: (%d, %.12f) vs (%d, %.12f)", qi, mode, i,
+						pruned[i].Doc, pruned[i].Score, oracle[i].Doc, oracle[i].Score)
+				}
 			}
 		}
 	}

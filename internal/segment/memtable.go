@@ -26,10 +26,12 @@ type memtable struct {
 	dead   []bool
 	live   int
 	post   map[textproc.TermID][]index.Posting
-	// Incremental per-term max-impact bounds for MaxScore pruning.
+	// Incremental per-term max-impact bounds for top-k pruning.
 	// They only grow as documents arrive (never shrink on tombstone),
 	// which keeps them valid upper bounds; sealing rebuilds the shard
-	// through index.Build, which recomputes them exactly.
+	// through index.Build, which recomputes them exactly and adds the
+	// per-block bounds a growing list cannot maintain (block-max
+	// execution over the memtable treats each list as one block).
 	maxTF  map[textproc.TermID]int32
 	maxCos map[textproc.TermID]float64
 	eng    *vsm.Engine

@@ -10,12 +10,15 @@
 // (N, df, avgdl) so results are identical — to floating-point noise —
 // to a from-scratch index.Build over the surviving documents.
 //
-// Shard queries execute document-at-a-time with MaxScore pruning by
-// default: sealed segments carry exact per-term impact bounds from
+// Shard queries execute document-at-a-time with top-k pruning by
+// default (block-max WAND for cosine, MaxScore otherwise): sealed
+// segments carry exact per-term and per-block impact bounds from
 // index.Build, the memtable maintains incremental (never-shrinking)
-// bounds as documents arrive, and tombstones are filtered before a
-// document is scored. Config.ExecMode pins a strategy store-wide;
-// SearchTermsExec overrides it per query.
+// term-level bounds as documents arrive — its block bounds are
+// computed exactly on seal, when the lists stop growing — and
+// tombstones are filtered before a document is scored.
+// Config.ExecMode pins a strategy store-wide; SearchTermsExec
+// overrides it per query.
 //
 // The store persists as one TPIX file per sealed segment plus a JSON
 // manifest, so a restart recovers without re-analyzing any text.
@@ -140,6 +143,35 @@ func (s *liveSource) MaxTF(id textproc.TermID) int32          { return s.local.M
 func (s *liveSource) MaxCosImpact(id textproc.TermID) float64 { return s.local.MaxCosImpact(id) }
 func (s *liveSource) MaxBM25Impact(id textproc.TermID) float64 {
 	return s.local.MaxBM25Impact(id)
+}
+
+// localBlocks is implemented by shards whose postings carry per-block
+// impact bounds (*index.Index — i.e. every sealed segment, whose
+// blocks are computed exactly by index.Build on seal and by Merge on
+// compaction). The memtable does not: its lists grow in place, so its
+// iterators fall back to term-level bounds.
+type localBlocks interface {
+	BlockIter(id textproc.TermID) index.Iterator
+}
+
+// BlockIter implements vsm.BlockSource: sealed shards hand out
+// iterators with per-block bounds; the memtable degrades to a plain
+// iterator, which block-max WAND treats as a single block bounded by
+// the term-level maxima.
+func (s *liveSource) BlockIter(id textproc.TermID) index.Iterator {
+	if lb, ok := s.local.(localBlocks); ok {
+		return lb.BlockIter(id)
+	}
+	return s.local.Postings(id).Iter()
+}
+
+// HasBlocks reports whether this shard's iterators carry real block
+// bounds (sealed segments yes, memtable no), so ExecAuto routes the
+// memtable through MaxScore instead of degraded WAND while an
+// explicit ExecBlockMax still executes — correctly — either way.
+func (s *liveSource) HasBlocks() bool {
+	_, ok := s.local.(localBlocks)
+	return ok
 }
 
 func (s *liveSource) AvgDocLen() float64 {

@@ -27,8 +27,9 @@ type Config struct {
 	// Scoring selects the ranking function, as in vsm.
 	Scoring vsm.Scoring
 	// ExecMode is the default query-execution strategy for every shard
-	// engine (vsm.ExecAuto runs MaxScore pruning; per-query overrides
-	// go through SearchTermsExec/SearchMode).
+	// engine (vsm.ExecAuto runs pruned execution — block-max WAND or
+	// MaxScore; per-query overrides go through
+	// SearchTermsExec/SearchMode).
 	ExecMode vsm.ExecMode
 	// Analyzer is the shared text pipeline; nil means the default.
 	Analyzer *textproc.Analyzer

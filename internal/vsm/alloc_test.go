@@ -30,7 +30,7 @@ func TestSearchAllocations(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, mode := range []ExecMode{ExecMaxScore, ExecExhaustive} {
+		for _, mode := range []ExecMode{ExecMaxScore, ExecBlockMax, ExecExhaustive} {
 			// Warm the pool (and the accumulator growth) first.
 			for i := 0; i < 8; i++ {
 				eng.SearchTermsExec(terms, 10, nil, mode, nil)

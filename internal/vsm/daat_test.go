@@ -11,13 +11,13 @@ import (
 	"toppriv/internal/textproc"
 )
 
-// TestMaxScoreMatchesExhaustive is the pruned path's correctness
+// TestMaxScoreMatchesExhaustive is the pruned paths' correctness
 // anchor: over random synthetic corpora, for both scoring functions,
 // with and without tombstone filters and priors, and for k spanning
-// "selective" to "nearly everything", DAAT/MaxScore must return
-// exactly the documents and order of the exhaustive oracle, with
-// scores within 1e-9 (in fact the two paths share their accumulation
-// order, so scores are expected bit-identical).
+// "selective" to "nearly everything", DAAT/MaxScore and block-max
+// WAND must each return exactly the documents and order of the
+// exhaustive oracle, with scores within 1e-9 (in fact all paths share
+// their accumulation order, so scores are expected bit-identical).
 func TestMaxScoreMatchesExhaustive(t *testing.T) {
 	for _, scoring := range []Scoring{Cosine, BM25} {
 		scoring := scoring
@@ -110,22 +110,25 @@ func runMaxScoreTrial(t *testing.T, scoring Scoring, trial int64) {
 		for keepName, keep := range keeps {
 			for _, k := range []int{1, 10, 100} {
 				for qi, q := range queries {
-					var ms, ex ExecStats
+					var ex ExecStats
 					terms := analyzeTerms(an, q)
-					pruned := eng.SearchTermsExec(terms, k, keep, ExecMaxScore, &ms)
 					oracle := eng.SearchTermsExec(terms, k, keep, ExecExhaustive, &ex)
-					if len(pruned) != len(oracle) {
-						t.Fatalf("%s/%s/%s k=%d q%d %v: %d results vs oracle %d",
-							scoring, engName, keepName, k, qi, q, len(pruned), len(oracle))
-					}
-					for i := range pruned {
-						if pruned[i].Doc != oracle[i].Doc {
-							t.Fatalf("%s/%s/%s k=%d q%d %v rank %d: doc %d vs oracle %d\npruned: %v\noracle: %v",
-								scoring, engName, keepName, k, qi, q, i, pruned[i].Doc, oracle[i].Doc, pruned, oracle)
+					for _, mode := range []ExecMode{ExecMaxScore, ExecBlockMax} {
+						var ms ExecStats
+						pruned := eng.SearchTermsExec(terms, k, keep, mode, &ms)
+						if len(pruned) != len(oracle) {
+							t.Fatalf("%s/%s/%s/%s k=%d q%d %v: %d results vs oracle %d",
+								scoring, engName, keepName, mode, k, qi, q, len(pruned), len(oracle))
 						}
-						if math.Abs(pruned[i].Score-oracle[i].Score) > 1e-9 {
-							t.Fatalf("%s/%s/%s k=%d q%d %v rank %d: score %.15f vs oracle %.15f",
-								scoring, engName, keepName, k, qi, q, i, pruned[i].Score, oracle[i].Score)
+						for i := range pruned {
+							if pruned[i].Doc != oracle[i].Doc {
+								t.Fatalf("%s/%s/%s/%s k=%d q%d %v rank %d: doc %d vs oracle %d\npruned: %v\noracle: %v",
+									scoring, engName, keepName, mode, k, qi, q, i, pruned[i].Doc, oracle[i].Doc, pruned, oracle)
+							}
+							if math.Abs(pruned[i].Score-oracle[i].Score) > 1e-9 {
+								t.Fatalf("%s/%s/%s/%s k=%d q%d %v rank %d: score %.15f vs oracle %.15f",
+									scoring, engName, keepName, mode, k, qi, q, i, pruned[i].Score, oracle[i].Score)
+							}
 						}
 					}
 				}
@@ -166,26 +169,35 @@ func TestMaxScorePrunesWork(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var ms, ex ExecStats
+		var ms, bm, ex ExecStats
 		for i := 0; i < 20; i++ {
 			topic := gt.TopicWords[rng.Intn(len(gt.TopicWords))]
 			q := analyzeTerms(an, []string{topic[0], topic[1], topic[2]})
 			eng.SearchTermsExec(q, 10, nil, ExecMaxScore, &ms)
+			eng.SearchTermsExec(q, 10, nil, ExecBlockMax, &bm)
 			eng.SearchTermsExec(q, 10, nil, ExecExhaustive, &ex)
 		}
 		if ms.DocsScored*2 > ex.DocsScored {
 			t.Errorf("%v: MaxScore fully scored %d docs, exhaustive %d — expected ≥2× reduction",
 				scoring, ms.DocsScored, ex.DocsScored)
 		}
-		t.Logf("%v: docs scored maxscore=%d exhaustive=%d pruned=%d",
-			scoring, ms.DocsScored, ex.DocsScored, ms.DocsPruned)
+		if bm.DocsScored*2 > ex.DocsScored {
+			t.Errorf("%v: block-max fully scored %d docs, exhaustive %d — expected ≥2× reduction",
+				scoring, bm.DocsScored, ex.DocsScored)
+		}
+		if bm.BlockSkips == 0 {
+			t.Errorf("%v: block-max WAND never skipped on a block bound", scoring)
+		}
+		t.Logf("%v: docs scored maxscore=%d blockmax=%d exhaustive=%d pruned=%d/%d blockskips=%d",
+			scoring, ms.DocsScored, bm.DocsScored, ex.DocsScored, ms.DocsPruned, bm.DocsPruned, bm.BlockSkips)
 	}
 }
 
 // TestExecModeParsing pins the flag/API surface.
 func TestExecModeParsing(t *testing.T) {
 	for s, want := range map[string]ExecMode{
-		"": ExecAuto, "auto": ExecAuto, "maxscore": ExecMaxScore, "exhaustive": ExecExhaustive,
+		"": ExecAuto, "auto": ExecAuto, "maxscore": ExecMaxScore,
+		"exhaustive": ExecExhaustive, "blockmax": ExecBlockMax,
 	} {
 		got, err := ParseExecMode(s)
 		if err != nil || got != want {
@@ -195,7 +207,8 @@ func TestExecModeParsing(t *testing.T) {
 	if _, err := ParseExecMode("bogus"); err == nil {
 		t.Error("bogus mode must error")
 	}
-	if ExecMaxScore.String() != "maxscore" || ExecExhaustive.String() != "exhaustive" || ExecAuto.String() != "auto" {
+	if ExecMaxScore.String() != "maxscore" || ExecExhaustive.String() != "exhaustive" ||
+		ExecAuto.String() != "auto" || ExecBlockMax.String() != "blockmax" {
 		t.Error("ExecMode.String broken")
 	}
 }

@@ -5,15 +5,17 @@
 // of Baeza-Yates & Ribeiro-Neto, the paper's reference [7]) and Okapi
 // BM25 — selected per Engine.
 //
-// Query execution is document-at-a-time over postings iterators. The
-// default strategy (ExecMaxScore) prunes with per-term max-impact
-// bounds: once the running k-th best score exceeds what a term's best
-// posting could contribute, that term's list stops driving candidates
-// and is consulted only by skipping. An exhaustive scorer over flat
-// accumulators (ExecExhaustive) remains as the reference oracle; both
-// paths accumulate contributions in the same canonical term order, so
-// their results — documents, ranks, and floating-point scores — are
-// identical. See ExecMode.
+// Query execution is document-at-a-time over postings iterators, in
+// one of three strategies (see ExecMode): MaxScore pruning with
+// per-term max-impact bounds — once the running k-th best score
+// exceeds what a term's best posting could contribute, that term's
+// list stops driving candidates and is consulted only by skipping —
+// block-max WAND, which re-checks each pivot against per-block
+// (index.BlockSize postings) maxima and skips whole blocks that
+// cannot compete, and an exhaustive scorer over flat accumulators
+// that remains as the reference oracle. All paths accumulate
+// contributions in the same canonical term order, so their results —
+// documents, ranks, and floating-point scores — are identical.
 //
 // TopPriv deliberately requires no changes to this engine; the privacy
 // machinery lives entirely client-side.
@@ -109,8 +111,12 @@ type Engine struct {
 	docNorm []float64  // cosine: precomputed norms (static sources)
 	normSrc NormSource // cosine: dynamic norms (live sources)
 	// impacts is the source's max-impact surface (nil when the source
-	// offers none); required for MaxScore execution.
+	// offers none); required for MaxScore and block-max execution.
 	impacts ImpactSource
+	// blockSrc is the source's per-block iterator surface (nil when
+	// the source offers none); block-max WAND uses it for block-level
+	// skipping and otherwise degrades to term-level bounds.
+	blockSrc BlockSource
 	// mode is the default execution strategy; set before serving.
 	mode ExecMode
 	// states pools per-query scratch (term bags, flat accumulators,
@@ -150,6 +156,9 @@ func NewEngineOver(src Source, an *textproc.Analyzer, scoring Scoring) (*Engine,
 	e.states.New = func() interface{} { return &queryState{} }
 	if imp, ok := src.(ImpactSource); ok {
 		e.impacts = imp
+	}
+	if bs, ok := src.(BlockSource); ok {
+		e.blockSrc = bs
 	}
 	if scoring == Cosine {
 		if ns, ok := src.(NormSource); ok {
@@ -318,10 +327,25 @@ func (e *Engine) SearchTermsExec(terms []string, k int, keep func(corpus.DocID) 
 		return e.searchExhaustive(qs, k, qnorm, keep, stats)
 	case mode == ExecAuto && 4*k >= e.src.NumDocs():
 		// Near-full retrieval: pruning cannot skip much, so the flat
-		// scan's lower per-posting cost wins. Explicit ExecMaxScore
+		// scan's lower per-posting cost wins. An explicit pruned mode
 		// overrides this heuristic.
 		return e.searchExhaustive(qs, k, qnorm, keep, stats)
+	case mode == ExecMaxScore:
+		return e.searchMaxScore(qs, k, qnorm, keep, stats)
+	case mode == ExecBlockMax:
+		return e.searchBlockMax(qs, k, qnorm, keep, stats)
 	default:
+		// ExecAuto on a selective query: cosine's normalized term
+		// bounds are loose enough that MaxScore's candidate stream
+		// stays wide, so block-level skipping wins there; BM25's
+		// tighter saturation bounds already shrink MaxScore's
+		// essential set below what WAND's per-pivot bookkeeping
+		// costs (see README "Choosing an execution mode" for the
+		// measured crossover — proper per-shape calibration is the
+		// ROADMAP's auto exec-mode item).
+		if e.blockSrc != nil && e.blockSrc.HasBlocks() && e.scoring != BM25 {
+			return e.searchBlockMax(qs, k, qnorm, keep, stats)
+		}
 		return e.searchMaxScore(qs, k, qnorm, keep, stats)
 	}
 }

@@ -13,10 +13,12 @@ import (
 type ExecMode int
 
 const (
-	// ExecAuto (the default) runs MaxScore when the source carries
-	// max-impact metadata and the query is selective (k well under the
-	// collection size), falling back to the exhaustive scorer
-	// otherwise. Both choices return identical results.
+	// ExecAuto (the default) picks a pruned path when the source
+	// carries max-impact metadata and the query is selective (k well
+	// under the collection size) — block-max WAND for cosine when the
+	// source has per-block bounds, MaxScore otherwise — and falls
+	// back to the exhaustive scorer for near-full retrieval. All
+	// choices return identical results.
 	ExecAuto ExecMode = iota
 	// ExecMaxScore runs document-at-a-time traversal with MaxScore
 	// top-k pruning: postings lists whose maximum possible contribution
@@ -27,9 +29,18 @@ const (
 	// over plain sources quietly fall back to the exhaustive path.
 	ExecMaxScore
 	// ExecExhaustive scores every matching document — the reference
-	// oracle the pruned path is property-tested against, and the right
-	// mode when k approaches the collection size.
+	// oracle the pruned paths are property-tested against, and the
+	// right mode when k approaches the collection size.
 	ExecExhaustive
+	// ExecBlockMax runs block-max WAND: document-at-a-time pivot
+	// selection over global per-term bounds, then a second bound check
+	// against the much tighter per-block (index.BlockSize postings)
+	// maxima before any document is fully scored, skipping whole
+	// blocks whose best posting cannot beat the current k-th score.
+	// Results are identical to ExecExhaustive. Sources without block
+	// metadata (a live memtable) still execute correctly — each list
+	// degrades to one implicit block bounded by its term-level maxima.
+	ExecBlockMax
 )
 
 // String implements fmt.Stringer.
@@ -41,6 +52,8 @@ func (m ExecMode) String() string {
 		return "maxscore"
 	case ExecExhaustive:
 		return "exhaustive"
+	case ExecBlockMax:
+		return "blockmax"
 	default:
 		return fmt.Sprintf("ExecMode(%d)", int(m))
 	}
@@ -56,8 +69,10 @@ func ParseExecMode(s string) (ExecMode, error) {
 		return ExecMaxScore, nil
 	case "exhaustive":
 		return ExecExhaustive, nil
+	case "blockmax":
+		return ExecBlockMax, nil
 	default:
-		return ExecAuto, fmt.Errorf("vsm: unknown exec mode %q (want auto, maxscore, or exhaustive)", s)
+		return ExecAuto, fmt.Errorf("vsm: unknown exec mode %q (want auto, maxscore, blockmax, or exhaustive)", s)
 	}
 }
 
@@ -75,6 +90,26 @@ type ImpactSource interface {
 	MaxBM25Impact(id textproc.TermID) float64
 }
 
+// BlockSource is the optional Source extension that fuels block-max
+// WAND: per-term postings iterators carrying per-block impact bounds.
+// *index.Index implements it natively (blocks computed by Build and
+// Merge, persisted by the v3 codec); live shards delegate to their
+// sealed index, while memtable iterators carry no blocks and fall
+// back to term-level bounds.
+type BlockSource interface {
+	// BlockIter returns an iterator over the term's postings; when the
+	// source has per-block metadata the iterator carries it
+	// (Iterator.HasBlocks).
+	BlockIter(id textproc.TermID) index.Iterator
+	// HasBlocks reports whether BlockIter actually hands out per-block
+	// bounds. A source may satisfy the interface structurally while
+	// degrading to plain iterators (a live memtable, whose lists grow
+	// in place); ExecAuto only routes to block-max WAND when real
+	// blocks are present, since degraded WAND loses the block skips
+	// that justify it over MaxScore.
+	HasBlocks() bool
+}
+
 // ExecStats counts the work one query performed; pass to
 // SearchTermsExec to measure pruning effectiveness. All counters are
 // per-call (the engine never retains them).
@@ -89,8 +124,13 @@ type ExecStats struct {
 	// (tombstones) rejected before any scoring.
 	DocsFiltered int
 	// Postings is the number of postings visited by the exhaustive
-	// path (0 under MaxScore, which touches lists lazily).
+	// path (0 under MaxScore and block-max WAND, which touch lists
+	// lazily).
 	Postings int
+	// BlockSkips is the number of pivot candidates block-max WAND
+	// discarded on the per-block bound check alone — each one also
+	// counts in DocsPruned.
+	BlockSkips int
 }
 
 // add accumulates other into s (used by segmented fan-out).
@@ -99,6 +139,7 @@ func (s *ExecStats) Add(other ExecStats) {
 	s.DocsPruned += other.DocsPruned
 	s.DocsFiltered += other.DocsFiltered
 	s.Postings += other.Postings
+	s.BlockSkips += other.BlockSkips
 }
 
 // lnTFTable caches the lnc document weight 1+ln(tf) for small term
@@ -131,6 +172,11 @@ type qterm struct {
 	w   float64 // query weight: cosine (1+ln qtf)·idf, BM25 idf
 	ub  float64 // max contribution of this term to any final score
 	it  index.Iterator
+	// Block-max WAND caches the current block's contribution bound so
+	// repeated pivots inside one block pay no recomputation. bbBlk is
+	// the block ordinal the cache is valid for (-1 = none).
+	bb    float64
+	bbBlk int
 }
 
 // queryState is the pooled per-query scratch space: the resolved term
@@ -144,10 +190,13 @@ type queryState struct {
 	touched []corpus.DocID // alive docs hit this query
 	gen     uint32
 	heap    resultHeap
-	ord     []int     // term indexes sorted by ascending ub
-	prefix  []float64 // prefix sums of ub over ord
-	contrib []float64 // per-term raw contribution of the current candidate
-	avgLen  float64   // BM25: collection average length, read once per query
+	ord     []int          // MaxScore: term indexes by ascending ub; block-max: live lists by doc
+	prefix  []float64      // MaxScore: prefix sums of ub; block-max: per-involved block bounds
+	inv     []int          // block-max: live positions on the current pivot
+	docs    []corpus.DocID // block-max: cached current doc per live list
+	ubs     []float64      // block-max: cached term bound per live list
+	contrib []float64      // per-term raw contribution of the current candidate
+	avgLen  float64        // BM25: collection average length, read once per query
 }
 
 // reset prepares the state for a new query, bumping the stamp
@@ -158,6 +207,9 @@ func (qs *queryState) reset() {
 	qs.heap = qs.heap[:0]
 	qs.ord = qs.ord[:0]
 	qs.prefix = qs.prefix[:0]
+	qs.inv = qs.inv[:0]
+	qs.docs = qs.docs[:0]
+	qs.ubs = qs.ubs[:0]
 	qs.gen += 2
 	if qs.gen == 0 { // wrapped: stale stamps could collide
 		for i := range qs.stamp {
@@ -477,6 +529,291 @@ func (e *Engine) searchMaxScore(qs *queryState, k int, qnorm float64, keep func(
 				for first < n && qs.prefix[first] <= theta {
 					first++
 				}
+			}
+		}
+	}
+	return drainTopK(&qs.heap)
+}
+
+// blockBound is one term's upper bound on its contribution to the
+// current pivot's final score, read from the iterator's current block
+// when the source carries block metadata and falling back to the
+// term-level bound otherwise. Like qterm.ub it is in final-score
+// units: the cosine block maximum already folds in each document's
+// norm, so only the query norm divides; the static prior multiplies
+// scores by at most 1 and never loosens the bound. The bound is
+// cached per block, so consecutive pivots inside one block pay a
+// comparison, not a divide.
+func (e *Engine) blockBound(t *qterm, qnorm float64) float64 {
+	if !t.it.HasBlocks() {
+		return t.ub
+	}
+	blk := t.it.BlockIndex()
+	if blk == t.bbBlk {
+		return t.bb
+	}
+	bm := t.it.BlockMax()
+	var b float64
+	if e.scoring == BM25 {
+		b = t.w * bm.MaxBM
+	} else {
+		b = t.w * bm.MaxCos / qnorm
+	}
+	t.bbBlk, t.bb = blk, b
+	return b
+}
+
+// searchBlockMax is the block-max WAND loop. Live lists are kept
+// ordered by their current document (cached in qs.docs so the sort
+// never touches the postings); the pivot — the smallest document
+// whose cumulative term-level bounds could still beat the k-th best
+// score — is then re-checked against the per-block maxima of the
+// lists that actually contain it. When even the block bounds cannot
+// reach the threshold, every involved list skips to just past its
+// current block (capped by the next uninvolved list's position),
+// discarding up to index.BlockSize postings per list on a single
+// comparison. Surviving pivots are evaluated strongest block bound
+// first with the same mid-evaluation abandonment MaxScore applies,
+// and fully evaluated documents sum their raw contributions in
+// ascending TermID order and normalize exactly as the exhaustive
+// oracle does, so results — documents, ranks, and floating-point
+// scores — are identical. Safe on ties for the same reason
+// searchMaxScore is: traversal is in ascending document order and the
+// heap prefers smaller IDs at equal scores, so a candidate that can
+// at best tie the threshold can never enter.
+func (e *Engine) searchBlockMax(qs *queryState, k int, qnorm float64, keep func(corpus.DocID) bool, stats *ExecStats) []Result {
+	// drained marks exhausted lists in the doc cache; they sort to the
+	// end and are compacted away before the next round.
+	const drained = corpus.DocID(math.MaxInt32)
+	live, docs, ubs := qs.ord[:0], qs.docs[:0], qs.ubs[:0]
+	for i := range qs.terms {
+		t := &qs.terms[i]
+		if e.blockSrc != nil {
+			t.it = e.blockSrc.BlockIter(t.id)
+		} else {
+			t.it = e.src.Postings(t.id).Iter()
+		}
+		t.bbBlk = -1
+		if t.w != 0 && t.it.Valid() {
+			live = append(live, i)
+			docs = append(docs, t.it.Doc())
+			ubs = append(ubs, t.ub)
+		}
+	}
+	qs.ord, qs.docs, qs.ubs = live, docs, ubs
+
+	theta := math.Inf(-1)
+	dirty := false // drained sentinels present in docs
+	for len(live) > 0 {
+		if dirty {
+			dirty = false
+			out := 0
+			for i := range live {
+				if docs[i] != drained {
+					live[out], docs[out], ubs[out] = live[i], docs[i], ubs[i]
+					out++
+				}
+			}
+			live, docs, ubs = live[:out], docs[:out], ubs[:out]
+			if len(live) == 0 {
+				break
+			}
+		}
+		// Keep live lists ordered by current document. Insertion sort
+		// over the cached docs: lists barely move between rounds, so
+		// this is near-linear in the handful of query terms.
+		for i := 1; i < len(live); i++ {
+			for j := i; j > 0 && docs[j] < docs[j-1]; j-- {
+				docs[j], docs[j-1] = docs[j-1], docs[j]
+				live[j], live[j-1] = live[j-1], live[j]
+				ubs[j], ubs[j-1] = ubs[j-1], ubs[j]
+			}
+		}
+		// Pivot: the first document at which the cumulative term-level
+		// bounds of every list at or before it exceed the threshold.
+		// Documents below it can appear only in a prefix of lists whose
+		// bounds sum to <= theta, so none of them can enter the heap.
+		sum, p := 0.0, -1
+		for i, ub := range ubs {
+			sum += ub
+			if sum > theta {
+				p = i
+				break
+			}
+		}
+		if p < 0 {
+			break // all remaining lists together cannot beat theta
+		}
+		pivot := docs[p]
+		// Gather the involved lists with their per-block bounds, and
+		// the nearest uninvolved document (it caps any block skip).
+		// Lists before the pivot hold only non-competitive documents:
+		// bring them up to it, collecting the ones that land exactly
+		// on it. The rest of the involved set is the sorted run of
+		// at-pivot lists starting at p, so nothing beyond the run is
+		// scanned — the first list past it is the nearest uninvolved
+		// document.
+		inv, bounds := qs.inv[:0], qs.prefix[:0]
+		blockSum := 0.0
+		minOther := drained
+		for i := 0; i < p; i++ {
+			t := &qs.terms[live[i]]
+			if !t.it.SeekGE(pivot) {
+				docs[i] = drained
+				dirty = true
+				continue
+			}
+			d := t.it.Doc()
+			docs[i] = d
+			if d == pivot {
+				inv = append(inv, i)
+				b := e.blockBound(t, qnorm)
+				bounds = append(bounds, b)
+				blockSum += b
+			} else if d < minOther {
+				minOther = d
+			}
+		}
+		r := p
+		for r < len(live) && docs[r] == pivot {
+			inv = append(inv, r)
+			b := e.blockBound(&qs.terms[live[r]], qnorm)
+			bounds = append(bounds, b)
+			blockSum += b
+			r++
+		}
+		if r < len(live) && docs[r] < minOther {
+			minOther = docs[r]
+		}
+		qs.inv, qs.prefix = inv, bounds
+		if blockSum <= theta {
+			// No document from the pivot through the shortest involved
+			// block can beat theta: within that span the involved lists
+			// are the only possible contributors, and even their block
+			// maxima fall short. Skip to the first document past the
+			// span.
+			next := minOther
+			for _, li := range inv {
+				if b := qs.terms[live[li]].it.BlockLastDoc(); b+1 < next {
+					next = b + 1
+				}
+			}
+			for _, li := range inv {
+				t := &qs.terms[live[li]]
+				if t.it.BlockLastDoc() < next {
+					// The whole remaining block falls inside the
+					// skipped span: one O(1) jump instead of a
+					// galloping seek.
+					t.it.SkipBlock()
+				}
+				if t.it.Valid() && t.it.Doc() < next {
+					t.it.SeekGE(next)
+				}
+				if t.it.Valid() {
+					docs[li] = t.it.Doc()
+				} else {
+					docs[li] = drained
+					dirty = true
+				}
+			}
+			if stats != nil {
+				stats.DocsPruned++
+				stats.BlockSkips++
+			}
+			continue
+		}
+		if keep != nil && !keep(pivot) {
+			if stats != nil {
+				stats.DocsFiltered++
+			}
+			for _, li := range inv {
+				t := &qs.terms[live[li]]
+				if t.it.Next() {
+					docs[li] = t.it.Doc()
+				} else {
+					docs[li] = drained
+					dirty = true
+				}
+			}
+			continue
+		}
+		// Evaluate the involved lists strongest block bound first,
+		// abandoning the pivot as soon as its partial score plus the
+		// unconsulted bounds can no longer reach the threshold — the
+		// same mid-evaluation test MaxScore applies, with tighter
+		// block-level bounds. Contributions stay in raw units; bound
+		// checks scale the threshold by the candidate's normalization
+		// denominator instead (den > 0).
+		for i := 1; i < len(inv); i++ {
+			for j := i; j > 0 && bounds[j] > bounds[j-1]; j-- {
+				bounds[j], bounds[j-1] = bounds[j-1], bounds[j]
+				inv[j], inv[j-1] = inv[j-1], inv[j]
+			}
+		}
+		den := 1.0
+		if e.scoring != BM25 {
+			if nd := e.norm(pivot); nd > 0 {
+				den = nd * qnorm
+			}
+		}
+		craw := qs.contrib[:0]
+		partial, remaining := 0.0, blockSum
+		pruned := false
+		for i, li := range inv {
+			// Before consulting the next list: can the rest still lift
+			// the pivot over theta? partial/den + remaining <= theta ⟺
+			// partial <= (theta − remaining)·den. (The i = 0 case is
+			// the blockSum test above; a candidate that survives every
+			// check is scored canonically and the heap decides.)
+			if i > 0 && partial <= (theta-remaining)*den {
+				pruned = true
+				break
+			}
+			remaining -= bounds[i]
+			t := &qs.terms[live[li]]
+			raw := e.rawContribution(qs, t, t.it.TF(), pivot)
+			craw = append(craw, raw)
+			partial += raw
+		}
+		qs.contrib = craw
+		for _, li := range inv {
+			t := &qs.terms[live[li]]
+			if t.it.Next() {
+				docs[li] = t.it.Doc()
+			} else {
+				docs[li] = drained
+				dirty = true
+			}
+		}
+		if pruned {
+			if stats != nil {
+				stats.DocsPruned++
+			}
+			continue
+		}
+		if stats != nil {
+			stats.DocsScored++
+		}
+		// Canonical final score: reorder the contributions by
+		// ascending TermID (qs.terms is TermID-sorted, so ascending
+		// term index) and sum in that order — bit-identical to the
+		// exhaustive accumulator, which adds exactly these terms in
+		// exactly this order.
+		m := len(craw)
+		for i := 1; i < m; i++ {
+			for j := i; j > 0 && live[inv[j]] < live[inv[j-1]]; j-- {
+				inv[j], inv[j-1] = inv[j-1], inv[j]
+				craw[j], craw[j-1] = craw[j-1], craw[j]
+			}
+		}
+		raw := 0.0
+		for i := 0; i < m; i++ {
+			raw += craw[i]
+		}
+		pushTopK(&qs.heap, k, Result{Doc: pivot, Score: e.finalizeScore(raw, pivot, qnorm)})
+		if len(qs.heap) == k {
+			if nt := qs.heap[0].Score; nt > theta {
+				theta = nt
 			}
 		}
 	}

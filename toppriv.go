@@ -85,8 +85,9 @@ type (
 	Analyzer = textproc.Analyzer
 	// IndexStats summarizes the inverted index.
 	IndexStats = index.Stats
-	// ExecMode selects the query-execution strategy: MaxScore pruning
-	// (the default) or the exhaustive reference scorer.
+	// ExecMode selects the query-execution strategy: pruned
+	// document-at-a-time execution (MaxScore or block-max WAND, the
+	// default) or the exhaustive reference scorer.
 	ExecMode = vsm.ExecMode
 	// ExecStats counts the work one query performed.
 	ExecStats = vsm.ExecStats
@@ -94,12 +95,16 @@ type (
 
 // Query-execution modes, re-exported from the engine.
 const (
-	// ExecAuto runs MaxScore wherever impact metadata exists.
+	// ExecAuto prunes wherever impact metadata exists (block-max WAND
+	// for cosine over block-carrying indexes, MaxScore otherwise).
 	ExecAuto = vsm.ExecAuto
 	// ExecMaxScore forces document-at-a-time MaxScore pruning.
 	ExecMaxScore = vsm.ExecMaxScore
 	// ExecExhaustive forces the exhaustive reference scorer.
 	ExecExhaustive = vsm.ExecExhaustive
+	// ExecBlockMax forces block-max WAND: per-block impact bounds let
+	// the engine skip whole posting blocks, not just documents.
+	ExecBlockMax = vsm.ExecBlockMax
 )
 
 // DefaultPrivacyParams returns the paper's defaults: ε1 = 5%, ε2 = 1%.
@@ -124,9 +129,10 @@ type ServiceSpec struct {
 	// BM25 selects Okapi BM25 scoring instead of tf-idf cosine.
 	BM25 bool
 	// ExecMode pins the query-execution strategy for the service's
-	// engine or live store. The zero value (ExecAuto) runs MaxScore
-	// top-k pruning; ExecExhaustive restores the scan-everything
-	// reference behavior. Rankings are identical either way.
+	// engine or live store. The zero value (ExecAuto) runs pruned
+	// top-k execution (block-max WAND or MaxScore); ExecExhaustive
+	// restores the scan-everything reference behavior. Rankings are
+	// identical either way.
 	ExecMode ExecMode
 	// LinkPriorWeight, when > 0, synthesizes a citation graph over the
 	// corpus (topical preferential attachment), computes PageRank, and
