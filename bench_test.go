@@ -13,6 +13,7 @@ package toppriv
 // in minutes.
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -418,6 +419,76 @@ func BenchmarkSearch(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkSearchBatch measures cycle-at-a-time batch execution: an
+// 8-member obfuscation cycle (generated by the TopPriv obfuscator, so
+// its members share topics and terms the way real ghost cycles do)
+// submitted through SearchBatch in one engine pass versus the same
+// eight queries run sequentially in the default (auto) mode. The batch
+// plan shares term resolution, postings fetches and the per-posting
+// impact computation across members; the sequential baseline pays each
+// query's full cost. The regression gate covers both rows.
+func BenchmarkSearchBatch(b *testing.B) {
+	env := getBenchEnv(b)
+	eng := midEngine(env)
+	obf, err := core.NewObfuscator(eng, core.Params{Eps1: 0.05, Eps2: 0.01})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Assemble a deterministic 8-member cycle: obfuscate workload
+	// queries until eight cycle members (the genuine query among its
+	// ghosts) are collected.
+	rng := rand.New(rand.NewSource(53))
+	queries := env.AnalyzedQueries()
+	var cycle [][]string
+	for qi := 0; len(cycle) < 8; qi++ {
+		cyc, err := obf.Obfuscate(queries[qi%len(queries)], rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycle = append(cycle, cyc.Queries...)
+	}
+	cycle = cycle[:8]
+	ctx := context.Background()
+	for _, scoring := range []vsm.Scoring{vsm.Cosine, vsm.BM25} {
+		engine, err := vsm.NewEngine(env.Index, env.An, scoring)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs := make([]vsm.Request, len(cycle))
+		for i, q := range cycle {
+			reqs[i] = vsm.Request{Terms: q, K: 10}
+		}
+		b.Run(scoring.String()+"/batch8", func(b *testing.B) {
+			var scored int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resps, err := engine.SearchBatch(ctx, reqs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				scored = 0
+				for j := range resps {
+					scored += resps[j].Stats.DocsScored
+				}
+			}
+			b.ReportMetric(float64(scored), "docs_scored/op")
+		})
+		b.Run(scoring.String()+"/sequential8", func(b *testing.B) {
+			var stats vsm.ExecStats
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stats = vsm.ExecStats{}
+				for _, q := range cycle {
+					engine.SearchTermsExec(q, 10, nil, vsm.ExecAuto, &stats)
+				}
+			}
+			b.ReportMetric(float64(stats.DocsScored), "docs_scored/op")
+		})
 	}
 }
 

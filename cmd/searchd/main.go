@@ -1,8 +1,9 @@
 // Command searchd hosts the enterprise search engine over HTTP: the
 // unmodified server of the paper's system model. It serves /search,
-// /doc/{id} and /stats, and — like any real engine — retains a query
-// log, which is exactly what the curious adversary of the threat model
-// gets to analyze.
+// /search/batch (a whole obfuscation cycle per round-trip, every
+// member still logged separately), /doc/{id} and /stats, and — like
+// any real engine — retains a query log, which is exactly what the
+// curious adversary of the threat model gets to analyze.
 //
 // By default the index is immutable, built once from the corpus. With
 // -live the engine runs on the segmented live index instead: POST
@@ -53,6 +54,7 @@ func main() {
 		bm25        = flag.Bool("bm25", false, "score with BM25 instead of tf-idf cosine")
 		execFlag    = flag.String("exec", "auto", "query execution: auto, maxscore (DAAT top-k pruning), blockmax (block-max WAND), or exhaustive")
 		maxK        = flag.Int("max-k", 0, "cap per-request result count (0 = default 1000)")
+		maxBatch    = flag.Int("max-batch", 0, "cap queries per POST /search/batch request (0 = default 64)")
 		live        = flag.Bool("live", false, "serve the segmented live index (POST /index, DELETE /doc/{id})")
 		dataDir     = flag.String("data", "", "live mode: segment persistence directory (empty = in-memory only)")
 		seal        = flag.Int("seal", 0, "live mode: memtable seal threshold in documents (0 = default)")
@@ -110,6 +112,7 @@ func main() {
 	srv.SetQueryLogCap(*querylogCap)
 	srv.SetAdminToken(*adminToken)
 	srv.SetMaxK(*maxK)
+	srv.SetMaxBatch(*maxBatch)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

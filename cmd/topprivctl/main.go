@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -43,6 +44,7 @@ func main() {
 		eps1       = flag.Float64("eps1", 0.05, "relevance threshold ε1")
 		eps2       = flag.Float64("eps2", 0.01, "exposure threshold ε2 (≤ ε1)")
 		k          = flag.Int("k", 10, "results per query")
+		batch      = flag.Bool("batch", false, "submit each obfuscation cycle in a single POST /search/batch round-trip instead of query-by-query (the server still logs every cycle member separately)")
 		execMode   = flag.String("exec", "", "ask the server for this query-execution mode (auto, maxscore, blockmax, exhaustive; empty = server default)")
 		seed       = flag.Int64("seed", 0, "obfuscation seed (0 = nondeterministic)")
 		showGhosts = flag.Bool("show-ghosts", false, "print the ghost queries the server saw")
@@ -58,6 +60,14 @@ func main() {
 	if *addDocs != "" || *deleteDoc >= 0 {
 		runAdmin(*server, *adminToken, *addDocs, *deleteDoc)
 		return
+	}
+
+	if *batch && *session {
+		// Sessions obfuscate with a sticky decoy profile and submit
+		// member by member; silently dropping that for the batch
+		// transport would change the privacy behavior the user asked
+		// for.
+		log.Fatal("-batch and -session are mutually exclusive (session cycles are submitted query-by-query)")
 	}
 
 	f, err := os.Open(*modelPath)
@@ -118,6 +128,8 @@ func main() {
 		switch {
 		case *plain:
 			hits, err = client.SearchPlain(query)
+		case *batch:
+			hits, err = client.SearchCycle(context.Background(), query)
 		case sess != nil:
 			// Session mode: obfuscate with the sticky profile, then
 			// submit each query of the cycle individually.

@@ -2,6 +2,7 @@ package search
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -85,18 +86,14 @@ func NewClient(baseURL string, httpc *http.Client, obf *core.Obfuscator, an *tex
 }
 
 // Search runs one private search: it obfuscates the raw query, submits
-// the whole cycle, and returns only the genuine results.
+// the cycle query-by-query (υ HTTP round-trips, optionally
+// jitter-spaced), and returns only the genuine results. SearchCycle is
+// the single-round-trip alternative.
 func (c *Client) Search(rawQuery string) ([]SearchHit, error) {
-	terms := c.an.Analyze(rawQuery)
-	if len(terms) == 0 {
-		return nil, fmt.Errorf("search: query %q has no indexable terms", rawQuery)
-	}
-	cycle, err := c.obf.Obfuscate(terms, c.rng)
+	cycle, err := c.obfuscate(rawQuery)
 	if err != nil {
-		return nil, fmt.Errorf("search: obfuscate: %w", err)
+		return nil, err
 	}
-	c.lastCycle = cycle
-
 	var userHits []SearchHit
 	for i, q := range cycle.Queries {
 		if c.Jitter > 0 {
@@ -114,6 +111,42 @@ func (c *Client) Search(rawQuery string) ([]SearchHit, error) {
 	return userHits, nil
 }
 
+// SearchCycle runs one private search submitting the entire
+// obfuscation cycle in a single POST /search/batch round-trip: the
+// server still logs each cycle member as a separate query-log entry —
+// the adversary's artifact, and the (ε1, ε2) guarantee over it, are
+// unchanged — but the cycle pays one HTTP exchange instead of υ, and
+// the engine shares term resolution and postings buffers across the
+// members. Only the genuine query's results are returned. Jitter does
+// not apply (there is nothing to space out inside one request); use
+// Search when smearing the cycle over time matters more than latency.
+func (c *Client) SearchCycle(ctx context.Context, rawQuery string) ([]SearchHit, error) {
+	cycle, err := c.obfuscate(rawQuery)
+	if err != nil {
+		return nil, err
+	}
+	responses, err := c.SubmitBatch(ctx, cycle.Queries)
+	if err != nil {
+		return nil, fmt.Errorf("search: submit cycle: %w", err)
+	}
+	return responses[cycle.UserIndex].Hits, nil
+}
+
+// obfuscate analyzes and obfuscates one raw query, retaining the cycle
+// for inspection.
+func (c *Client) obfuscate(rawQuery string) (*core.Cycle, error) {
+	terms := c.an.Analyze(rawQuery)
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("search: query %q has no indexable terms", rawQuery)
+	}
+	cycle, err := c.obf.Obfuscate(terms, c.rng)
+	if err != nil {
+		return nil, fmt.Errorf("search: obfuscate: %w", err)
+	}
+	c.lastCycle = cycle
+	return cycle, nil
+}
+
 // SearchPlain submits the query without obfuscation (for comparisons).
 func (c *Client) SearchPlain(rawQuery string) ([]SearchHit, error) {
 	terms := c.an.Analyze(rawQuery)
@@ -121,6 +154,45 @@ func (c *Client) SearchPlain(rawQuery string) ([]SearchHit, error) {
 		return nil, fmt.Errorf("search: query %q has no indexable terms", rawQuery)
 	}
 	return c.submit(terms)
+}
+
+// SubmitBatch sends one POST /search/batch request with the given term
+// bags (each canonically sorted before submission, like submit) and
+// returns the per-member responses, stats included, aligned with
+// queries by index. The context bounds the whole exchange.
+func (c *Client) SubmitBatch(ctx context.Context, queries [][]string) ([]SearchResponse, error) {
+	batch := BatchSearchRequest{Queries: make([]SearchRequest, len(queries))}
+	for i, terms := range queries {
+		sorted := append([]string{}, terms...)
+		sort.Strings(sorted)
+		batch.Queries[i] = SearchRequest{Query: strings.Join(sorted, " "), K: c.K, Exec: c.Exec}
+	}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/search/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var br BatchSearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return nil, err
+	}
+	if len(br.Responses) != len(queries) {
+		return nil, fmt.Errorf("server returned %d responses for %d queries", len(br.Responses), len(queries))
+	}
+	return br.Responses, nil
 }
 
 // LastCycle returns the cycle generated by the most recent Search call,

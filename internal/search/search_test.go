@@ -23,6 +23,7 @@ type fixture struct {
 	server *Server
 	ts     *httptest.Server
 	obf    *core.Obfuscator
+	beng   *belief.Engine
 	gt     *corpus.GroundTruth
 	an     *textproc.Analyzer
 	c      *corpus.Corpus
@@ -71,7 +72,7 @@ func getFixture(t *testing.T) *fixture {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv)
-	shared = &fixture{server: srv, ts: ts, obf: obf, gt: gt, an: an, c: c}
+	shared = &fixture{server: srv, ts: ts, obf: obf, beng: beng, gt: gt, an: an, c: c}
 	return shared
 }
 

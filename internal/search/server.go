@@ -14,8 +14,10 @@
 package search
 
 import (
+	"context"
 	"crypto/subtle"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -60,6 +62,12 @@ type statsProvider interface {
 // is a denial-of-service lever, not a search.
 const DefaultMaxK = 1000
 
+// DefaultMaxBatch caps the member count of one POST /search/batch
+// request. An obfuscation cycle is υ queries — typically well under
+// twenty — so the default leaves generous headroom without letting a
+// single request monopolize the engine.
+const DefaultMaxBatch = 64
+
 // SearchRequest is the POST /search payload.
 type SearchRequest struct {
 	// Query is the raw query text (a bag of words; order is ignored).
@@ -83,9 +91,31 @@ type SearchHit struct {
 	Title string       `json:"title,omitempty"`
 }
 
-// SearchResponse is the POST /search reply.
+// SearchResponse is the POST /search reply (and one member of the
+// POST /search/batch reply).
 type SearchResponse struct {
 	Hits []SearchHit `json:"hits"`
+	// Stats carries the engine's execution counters (documents scored,
+	// pruned, filtered; block skips) when the backend exposes them —
+	// the first time they cross the HTTP layer. Nil for legacy
+	// backends that only implement vsm.Searcher.
+	Stats *vsm.ExecStats `json:"stats,omitempty"`
+}
+
+// BatchSearchRequest is the POST /search/batch payload: one
+// obfuscation cycle's queries, submitted together as the paper's
+// system model does (§III, Fig. 1). Each member is validated exactly
+// like a single /search request; the server logs each member as a
+// separate query-log entry, so the adversary's view of the log is
+// identical to query-by-query submission.
+type BatchSearchRequest struct {
+	Queries []SearchRequest `json:"queries"`
+}
+
+// BatchSearchResponse is the POST /search/batch reply; Responses align
+// with the request's Queries by index.
+type BatchSearchResponse struct {
+	Responses []SearchResponse `json:"responses"`
 }
 
 // IndexRequest is the POST /index payload: documents to ingest.
@@ -108,16 +138,25 @@ type LoggedQuery struct {
 // TopPriv: ghost queries are indistinguishable requests.
 type Server struct {
 	engine vsm.Searcher
-	modal  ModeSearcher // non-nil when engine supports per-request exec modes
-	live   LiveIndex    // non-nil when engine supports mutation
-	docs   []corpus.Document
-	mux    *http.ServeMux
+	// reqs is the structured Request/Response surface (non-nil when
+	// the backend implements vsm.RequestSearcher — both *vsm.Engine
+	// and *segment.Store do); it powers execution stats, context
+	// cancellation and POST /search/batch. Legacy backends fall back
+	// to the Searcher methods and get neither.
+	reqs  vsm.RequestSearcher
+	modal ModeSearcher // non-nil when engine supports per-request exec modes
+	live  LiveIndex    // non-nil when engine supports mutation
+	docs  []corpus.Document
+	mux   *http.ServeMux
 
 	// adminToken, when non-empty, gates the mutation endpoints behind
 	// an Authorization: Bearer header. Set before serving.
 	adminToken string
 	// maxK caps the per-request result count. Set before serving.
 	maxK int
+	// maxBatch caps the member count of one batch request. Set before
+	// serving.
+	maxBatch int
 
 	mu sync.Mutex
 	// The query log is a ring: seq numbers are absolute and monotonic,
@@ -131,8 +170,11 @@ type Server struct {
 // Request body ceilings: queries are a handful of words; index batches
 // may carry whole documents but must not be able to exhaust memory.
 const (
-	maxSearchBody = 1 << 20  // 1 MiB
-	maxIndexBody  = 32 << 20 // 32 MiB
+	maxSearchBody = 1 << 20 // 1 MiB
+	// maxBatchBody bounds a whole batch of queries — generous for
+	// DefaultMaxBatch short queries, nowhere near document ingestion.
+	maxBatchBody = 4 << 20  // 4 MiB
+	maxIndexBody = 32 << 20 // 32 MiB
 )
 
 // NewServer builds the handler over any Searcher backend. docs may be
@@ -142,14 +184,18 @@ func NewServer(engine vsm.Searcher, docs []corpus.Document) (*Server, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("search: nil engine")
 	}
-	s := &Server{engine: engine, docs: docs, mux: http.NewServeMux(), logCap: DefaultQueryLogCap, maxK: DefaultMaxK}
+	s := &Server{engine: engine, docs: docs, mux: http.NewServeMux(), logCap: DefaultQueryLogCap, maxK: DefaultMaxK, maxBatch: DefaultMaxBatch}
 	if live, ok := engine.(LiveIndex); ok {
 		s.live = live
 	}
 	if modal, ok := engine.(ModeSearcher); ok {
 		s.modal = modal
 	}
+	if reqs, ok := engine.(vsm.RequestSearcher); ok {
+		s.reqs = reqs
+	}
 	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/search/batch", s.handleSearchBatch)
 	s.mux.HandleFunc("/index", s.handleIndex)
 	s.mux.HandleFunc("/doc/", s.handleDoc)
 	s.mux.HandleFunc("/stats", s.handleStats)
@@ -177,12 +223,24 @@ func (s *Server) SetQueryLogCap(n int) {
 // SetMaxK caps the per-request result count (n <= 0 restores the
 // default). Requests asking for more get the cap, not an error —
 // mirroring the long-standing clamp — but a negative K in the request
-// body is rejected outright. Set before serving.
+// body is rejected outright. The cap applies to every query the server
+// accepts, batch members included. Set before serving.
 func (s *Server) SetMaxK(n int) {
 	if n <= 0 {
 		n = DefaultMaxK
 	}
 	s.maxK = n
+}
+
+// SetMaxBatch caps the member count of one POST /search/batch request
+// (n <= 0 restores the default). Oversized batches are rejected with
+// 400, not truncated — silently dropping cycle members would change
+// what the query log records. Set before serving.
+func (s *Server) SetMaxBatch(n int) {
+	if n <= 0 {
+		n = DefaultMaxBatch
+	}
+	s.maxBatch = n
 }
 
 // SetAdminToken requires `Authorization: Bearer token` on the mutation
@@ -215,23 +273,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return
-	}
-	var req SearchRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSearchBody)).Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-		return
-	}
+// decodeQuery is the one place a SearchRequest becomes an executable
+// vsm.Request: empty-query rejection, the negative-k rejection and
+// SetMaxK clamp, and exec-mode parsing all live here, so the single
+// and batch endpoints cannot drift apart (the clamp used to be
+// single-endpoint only, which a batch endpoint would have bypassed).
+func (s *Server) decodeQuery(req *SearchRequest) (vsm.Request, error) {
 	if strings.TrimSpace(req.Query) == "" {
-		http.Error(w, "empty query", http.StatusBadRequest)
-		return
+		return vsm.Request{}, errors.New("empty query")
 	}
 	if req.K < 0 {
-		http.Error(w, fmt.Sprintf("k = %d: must be positive", req.K), http.StatusBadRequest)
-		return
+		return vsm.Request{}, fmt.Errorf("k = %d: must be positive", req.K)
 	}
 	k := req.K
 	if k == 0 {
@@ -242,29 +294,146 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	mode, err := vsm.ParseExecMode(req.Exec)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return vsm.Request{}, err
 	}
-	if req.Exec != "" && s.modal == nil {
-		http.Error(w, "backend does not support exec mode overrides", http.StatusBadRequest)
-		return
+	if req.Exec != "" && s.reqs == nil && s.modal == nil {
+		return vsm.Request{}, errors.New("backend does not support exec mode overrides")
 	}
+	return vsm.Request{Query: req.Query, K: k, Mode: mode}, nil
+}
 
-	s.logQuery(req.Query)
-
-	var results []vsm.Result
-	if req.Exec != "" {
-		results = s.modal.SearchMode(req.Query, k, mode)
-	} else {
-		results = s.engine.Search(req.Query, k)
+// execute runs one decoded request on the best surface the backend
+// offers: the structured RequestSearcher (stats, cancellation) or the
+// legacy Searcher methods.
+func (s *Server) execute(ctx context.Context, req *SearchRequest, vreq vsm.Request) (SearchResponse, error) {
+	var (
+		results []vsm.Result
+		stats   *vsm.ExecStats
+	)
+	switch {
+	case s.reqs != nil:
+		vresp, err := s.reqs.SearchRequest(ctx, vreq)
+		if err != nil {
+			return SearchResponse{}, err
+		}
+		results, stats = vresp.Hits, &vresp.Stats
+	case req.Exec != "":
+		results = s.modal.SearchMode(vreq.Query, vreq.K, vreq.Mode)
+	default:
+		results = s.engine.Search(vreq.Query, vreq.K)
 	}
-	resp := SearchResponse{Hits: make([]SearchHit, len(results))}
+	return s.toSearchResponse(results, stats), nil
+}
+
+// toSearchResponse shapes engine hits into the wire form, resolving
+// titles — the one conversion both the single and batch endpoints use.
+func (s *Server) toSearchResponse(results []vsm.Result, stats *vsm.ExecStats) SearchResponse {
+	resp := SearchResponse{Hits: make([]SearchHit, len(results)), Stats: stats}
 	for i, res := range results {
 		hit := SearchHit{Doc: res.Doc, Score: res.Score}
 		if title, ok := s.title(res.Doc); ok {
 			hit.Title = title
 		}
 		resp.Hits[i] = hit
+	}
+	return resp
+}
+
+// writeExecError maps an execution error onto an HTTP status: client
+// disconnects and deadline overruns are not server faults.
+func writeExecError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req SearchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSearchBody)).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	vreq, err := s.decodeQuery(&req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	s.logQuery(req.Query)
+
+	resp, err := s.execute(r.Context(), &req, vreq)
+	if err != nil {
+		writeExecError(w, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// handleSearchBatch serves one whole cycle per round-trip. Every
+// member passes the same decoding and validation as a single /search
+// request, and every member is logged as its own query-log entry
+// before execution — the retained log, the adversary's artifact, is
+// byte-identical to query-by-query submission.
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var batch BatchSearchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody)).Decode(&batch); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(batch.Queries) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	if len(batch.Queries) > s.maxBatch {
+		http.Error(w, fmt.Sprintf("batch of %d queries exceeds the maximum of %d", len(batch.Queries), s.maxBatch), http.StatusBadRequest)
+		return
+	}
+	vreqs := make([]vsm.Request, len(batch.Queries))
+	for i := range batch.Queries {
+		vreq, err := s.decodeQuery(&batch.Queries[i])
+		if err != nil {
+			http.Error(w, fmt.Sprintf("batch member %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		vreqs[i] = vreq
+	}
+	// One log entry per cycle member, in submission order, exactly as
+	// query-by-query submission would record them.
+	for i := range batch.Queries {
+		s.logQuery(batch.Queries[i].Query)
+	}
+
+	resp := BatchSearchResponse{Responses: make([]SearchResponse, len(batch.Queries))}
+	if s.reqs != nil {
+		vresps, err := s.reqs.SearchBatch(r.Context(), vreqs)
+		if err != nil {
+			writeExecError(w, err)
+			return
+		}
+		for i := range vresps {
+			resp.Responses[i] = s.toSearchResponse(vresps[i].Hits, &vresps[i].Stats)
+		}
+		writeJSON(w, resp)
+		return
+	}
+	// Legacy backend: member-at-a-time, same results, no stats.
+	for i := range batch.Queries {
+		sr, err := s.execute(r.Context(), &batch.Queries[i], vreqs[i])
+		if err != nil {
+			writeExecError(w, err)
+			return
+		}
+		resp.Responses[i] = sr
 	}
 	writeJSON(w, resp)
 }

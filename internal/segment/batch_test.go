@@ -1,0 +1,122 @@
+package segment
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/textproc"
+	"toppriv/internal/vsm"
+)
+
+// TestStoreSearchBatchMatchesSingle asserts the store's batch path —
+// one fan-out per batch, each shard running the whole cycle, per-member
+// merge — returns, member for member, exactly what SearchRequest
+// returns alone: same documents, same order, same float64 scores, same
+// aggregated stats for explicit modes. Exercised over a store with
+// memtable + sealed segments + tombstones, both scorings, mixed modes.
+func TestStoreSearchBatchMatchesSingle(t *testing.T) {
+	ctx := context.Background()
+	for _, scoring := range []vsm.Scoring{vsm.Cosine, vsm.BM25} {
+		scoring := scoring
+		t.Run(scoring.String(), func(t *testing.T) {
+			an := textproc.NewAnalyzer()
+			docs := synthDocs(t, 80, 640)
+			rng := rand.New(rand.NewSource(9300))
+			st, err := Open(Config{
+				Scoring:           scoring,
+				Analyzer:          an,
+				SealThreshold:     9,
+				DisableCompaction: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			var gids []corpus.DocID
+			for _, doc := range docs {
+				ids, err := st.Add(doc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gids = append(gids, ids[0])
+				if rng.Float64() < 0.15 && len(gids) > 1 {
+					i := rng.Intn(len(gids))
+					if err := st.Delete(gids[i]); err != nil {
+						t.Fatal(err)
+					}
+					gids = append(gids[:i], gids[i+1:]...)
+				}
+			}
+
+			modes := []vsm.ExecMode{vsm.ExecAuto, vsm.ExecAuto, vsm.ExecMaxScore, vsm.ExecBlockMax, vsm.ExecExhaustive, vsm.ExecAuto}
+			reqs := make([]vsm.Request, 0, 8)
+			for qi := 0; qi < 8; qi++ {
+				q := queryFrom(docs[rng.Intn(len(docs))], rng.Intn(25), 2+rng.Intn(4))
+				reqs = append(reqs, vsm.Request{
+					Query: q,
+					K:     []int{1, 10, 50}[qi%3],
+					Mode:  modes[qi%len(modes)],
+				})
+			}
+			batch, err := st.SearchBatch(ctx, reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batch) != len(reqs) {
+				t.Fatalf("%d responses for %d requests", len(batch), len(reqs))
+			}
+			for i, req := range reqs {
+				single, err := st.SearchRequest(ctx, req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(batch[i].Hits) != len(single.Hits) {
+					t.Fatalf("member %d: batch %d hits, single %d", i, len(batch[i].Hits), len(single.Hits))
+				}
+				for j := range single.Hits {
+					if batch[i].Hits[j] != single.Hits[j] {
+						t.Fatalf("member %d rank %d: batch %+v vs single %+v", i, j, batch[i].Hits[j], single.Hits[j])
+					}
+				}
+				// The legacy surface must agree too.
+				legacy := st.SearchTermsExec(an.Analyze(req.Query), req.K, req.Mode, nil)
+				for j := range legacy {
+					if batch[i].Hits[j] != legacy[j] {
+						t.Fatalf("member %d rank %d: batch %+v vs legacy %+v", i, j, batch[i].Hits[j], legacy[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStoreSearchCancellation pins context propagation through the
+// shard fan-out: an already-canceled context fails the batch with the
+// context's error.
+func TestStoreSearchCancellation(t *testing.T) {
+	an := textproc.NewAnalyzer()
+	st, err := Open(Config{Analyzer: an, SealThreshold: 16, DisableCompaction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	docs := synthDocs(t, 40, 888)
+	if _, err := st.Add(docs...); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := queryFrom(docs[0], 0, 3)
+	if _, err := st.SearchRequest(ctx, vsm.Request{Query: q, K: 10}); err != context.Canceled {
+		t.Errorf("canceled store request returned %v, want context.Canceled", err)
+	}
+	if _, err := st.SearchBatch(ctx, []vsm.Request{{Query: q, K: 10}, {Query: q, K: 5}}); err != context.Canceled {
+		t.Errorf("canceled store batch returned %v, want context.Canceled", err)
+	}
+	// Validation errors surface before execution.
+	if _, err := st.SearchBatch(context.Background(), []vsm.Request{{Query: q, K: 0}}); err == nil {
+		t.Error("k = 0 store batch member must error")
+	}
+}

@@ -2,6 +2,7 @@ package segment
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -317,8 +318,132 @@ func (st *Store) Flush() error {
 	return nil
 }
 
+// SearchRequest executes one structured request across all shards —
+// the primary query entry point since the query-API redesign. The
+// request's Keep filter composes with the per-shard tombstone filter;
+// stats accumulate across shards; the context cancels mid-execution
+// between postings blocks. Implements vsm.RequestSearcher together
+// with SearchBatch.
+func (st *Store) SearchRequest(ctx context.Context, req vsm.Request) (vsm.Response, error) {
+	resps, err := st.SearchBatch(ctx, []vsm.Request{req})
+	if err != nil {
+		return vsm.Response{}, err
+	}
+	return resps[0], nil
+}
+
+// SearchBatch executes a batch of requests — typically one obfuscation
+// cycle — against every shard with a single fan-out: one goroutine per
+// shard runs the whole batch (sharing term resolution and postings
+// buffers inside the shard engine), then each member's per-shard top-k
+// lists merge into its global top-k. Each member's result is identical
+// to running it alone; the property tests assert it.
+func (st *Store) SearchBatch(ctx context.Context, reqs []vsm.Request) ([]vsm.Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	// Analyze raw queries once, before taking the lock.
+	prepared := make([]vsm.Request, len(reqs))
+	for i, req := range reqs {
+		if err := req.Validate(); err != nil {
+			return nil, fmt.Errorf("segment: batch member %d: %w", i, err)
+		}
+		if req.Terms == nil {
+			req.Terms = st.an.Analyze(req.Query)
+		}
+		prepared[i] = req
+	}
+
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+
+	shards := st.shardsLocked()
+	resps := make([]vsm.Response, len(reqs))
+	if len(shards) == 0 {
+		return resps, nil
+	}
+
+	type shardOut struct {
+		resps []vsm.Response
+		err   error
+	}
+	outs := make([]shardOut, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int, sh shard) {
+			defer wg.Done()
+			dead := sh.dead
+			keep := func(d corpus.DocID) bool { return !dead[d] }
+			local := make([]vsm.Request, len(prepared))
+			for j, req := range prepared {
+				userKeep := req.Keep
+				if userKeep == nil {
+					req.Keep = keep
+				} else {
+					ids := sh.ids
+					req.Keep = func(d corpus.DocID) bool {
+						return !dead[d] && userKeep(ids[d])
+					}
+				}
+				local[j] = req
+			}
+			rs, err := sh.eng.SearchBatch(ctx, local)
+			if err != nil {
+				outs[i].err = err
+				return
+			}
+			for j := range rs {
+				for h := range rs[j].Hits {
+					rs[j].Hits[h].Doc = sh.ids[rs[j].Hits[h].Doc]
+				}
+			}
+			outs[i].resps = rs
+		}(i, shards[i])
+	}
+	wg.Wait()
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+	}
+	lists := make([][]vsm.Result, len(shards))
+	for j := range reqs {
+		for i := range outs {
+			lists[i] = outs[i].resps[j].Hits
+			resps[j].Stats.Add(outs[i].resps[j].Stats)
+		}
+		resps[j].Hits = mergeTopK(lists, prepared[j].K)
+	}
+	return resps, nil
+}
+
+// shard is one searchable slice of the store: a sealed segment or the
+// memtable, with its engine, global-ID mapping and tombstone bits.
+type shard struct {
+	eng  *vsm.Engine
+	ids  []corpus.DocID
+	dead []bool
+}
+
+// shardsLocked snapshots the live shards. Caller holds st.mu (either
+// mode).
+func (st *Store) shardsLocked() []shard {
+	shards := make([]shard, 0, len(st.segs)+1)
+	for _, sg := range st.segs {
+		if sg.live > 0 {
+			shards = append(shards, shard{eng: sg.eng, ids: sg.ids, dead: sg.dead})
+		}
+	}
+	if st.mem.live > 0 {
+		shards = append(shards, shard{eng: st.mem.eng, ids: st.mem.ids, dead: st.mem.dead})
+	}
+	return shards
+}
+
 // Search analyzes the raw query and returns the global top-k across all
-// shards. Implements vsm.Searcher.
+// shards. Implements vsm.Searcher. Legacy wrapper; new code should use
+// SearchRequest.
 func (st *Store) Search(query string, k int) []vsm.Result {
 	return st.SearchTerms(st.an.Analyze(query), k)
 }
@@ -329,76 +454,36 @@ func (st *Store) Search(query string, k int) []vsm.Result {
 // are filtered inside each shard before they are scored, and every
 // shard scores with the store's global statistics, so the merged
 // ranking equals a single-index search over the surviving documents.
+// Legacy wrapper; new code should use SearchRequest.
 func (st *Store) SearchTerms(terms []string, k int) []vsm.Result {
 	return st.SearchTermsExec(terms, k, vsm.ExecAuto, nil)
 }
 
 // SearchMode analyzes and runs a query under an explicit execution
-// mode, overriding the store's configured default — the per-request
-// surface the HTTP server exposes.
+// mode, overriding the store's configured default. Legacy wrapper; new
+// code should use SearchRequest with Request.Mode.
 func (st *Store) SearchMode(query string, k int, mode vsm.ExecMode) []vsm.Result {
 	return st.SearchTermsExec(st.an.Analyze(query), k, mode, nil)
 }
 
-// SearchTermsExec is the full-control query entry point: analyzed
-// terms, an explicit execution mode (vsm.ExecAuto defers to the
-// configured default), and an optional work-counter sink that
+// SearchTermsExec is the uncancellable full-control query entry point:
+// analyzed terms, an explicit execution mode (vsm.ExecAuto defers to
+// the configured default), and an optional work-counter sink that
 // accumulates across shards. Every shard prunes against its own local
 // top-k threshold, so the merged result is identical to exhaustive
-// execution.
+// execution. Legacy wrapper over SearchRequest.
 func (st *Store) SearchTermsExec(terms []string, k int, mode vsm.ExecMode, stats *vsm.ExecStats) []vsm.Result {
 	if k <= 0 || len(terms) == 0 {
 		return nil
 	}
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-
-	type shard struct {
-		eng  *vsm.Engine
-		ids  []corpus.DocID
-		dead []bool
-	}
-	shards := make([]shard, 0, len(st.segs)+1)
-	for _, sg := range st.segs {
-		if sg.live > 0 {
-			shards = append(shards, shard{eng: sg.eng, ids: sg.ids, dead: sg.dead})
-		}
-	}
-	if st.mem.live > 0 {
-		shards = append(shards, shard{eng: st.mem.eng, ids: st.mem.ids, dead: st.mem.dead})
-	}
-	if len(shards) == 0 {
+	resp, err := st.SearchRequest(context.Background(), vsm.Request{Terms: terms, K: k, Mode: mode})
+	if err != nil {
 		return nil
 	}
-
-	results := make([][]vsm.Result, len(shards))
-	shardStats := make([]vsm.ExecStats, len(shards))
-	var wg sync.WaitGroup
-	for i := range shards {
-		wg.Add(1)
-		go func(i int, sh shard) {
-			defer wg.Done()
-			dead := sh.dead
-			var sp *vsm.ExecStats
-			if stats != nil {
-				sp = &shardStats[i]
-			}
-			local := sh.eng.SearchTermsExec(terms, k, func(d corpus.DocID) bool {
-				return !dead[d]
-			}, mode, sp)
-			for j := range local {
-				local[j].Doc = sh.ids[local[j].Doc]
-			}
-			results[i] = local
-		}(i, shards[i])
-	}
-	wg.Wait()
 	if stats != nil {
-		for i := range shardStats {
-			stats.Add(shardStats[i])
-		}
+		stats.Add(resp.Stats)
 	}
-	return mergeTopK(results, k)
+	return resp.Hits
 }
 
 // mergeTopK merges per-shard top-k lists into the global top-k with a

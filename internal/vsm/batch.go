@@ -1,0 +1,376 @@
+package vsm
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/index"
+	"toppriv/internal/textproc"
+)
+
+// batchShareNum/batchShareDen gate the cycle-at-a-time shared
+// traversal: auto-mode members join it only when the distinct postings
+// across the batch are at most batchShareNum/batchShareDen of the
+// per-member sum — i.e. the cycle's term overlap repays the shared
+// scan with at least a 20% postings saving. Below that the batch runs
+// member-at-a-time under the usual auto heuristic. Like the single
+// query auto crossover, the exact boundary is a calibration candidate
+// (see the ROADMAP auto exec-mode item).
+const (
+	batchShareNum = 4
+	batchShareDen = 5
+)
+
+// batchMember is one request's resolved execution state inside a
+// batch.
+type batchMember struct {
+	qs    *queryState
+	qnorm float64
+	req   *Request
+	stats *ExecStats
+	// live is false when the member resolved to nothing (no indexable
+	// terms, or zero query norm) and owns no pooled state.
+	live bool
+}
+
+// batchRef fans one distinct term out to a member containing it, with
+// the member's query-side weight for that term.
+type batchRef struct {
+	member int
+	w      float64
+}
+
+// unionTerm is one distinct term across the batch with its postings
+// (fetched once — the per-batch postings-reuse cache) and the slice of
+// members containing it.
+type unionTerm struct {
+	id       textproc.TermID
+	pl       index.PostingList
+	from, to int // refs[from:to]
+}
+
+// batchState is the pooled per-batch scratch: the member table, the
+// TermID-sorted union plan, the flattened member references, and the
+// per-term impact buffer the shared traversal fills once per distinct
+// list.
+type batchState struct {
+	members []batchMember
+	union   []unionTerm
+	refs    []batchRef
+	impacts []float64
+	// denoms caches each document's BM25 length normalization
+	// k1·(1−b+b·dl/avgdl) across the whole union — documents recur in
+	// a cycle's term lists, and the factor is query-independent. Zero
+	// means "not computed yet" (the real factor is always positive).
+	denoms []float64
+}
+
+func newBatchState() *batchState { return &batchState{} }
+
+func (bs *batchState) reset() {
+	bs.members = bs.members[:0]
+	bs.union = bs.union[:0]
+	bs.refs = bs.refs[:0]
+}
+
+// SearchBatch executes a batch of requests — typically the υ queries
+// of one obfuscation cycle, submitted together as the paper's system
+// model does (§III, Fig. 1). Terms are resolved in one pass and each
+// distinct term's postings are fetched once for the whole batch; when
+// the members' term overlap makes it profitable, all auto-mode members
+// are evaluated in a single cycle-at-a-time traversal that walks each
+// distinct postings list once and fans every posting's shared impact
+// factor out to the members containing the term. Members with an
+// explicit execution mode run member-at-a-time with the shared
+// resolution. Either way each member's hits are bit-identical to what
+// SearchRequest would return for it alone; the property tests assert
+// it.
+//
+// Responses align with reqs by index. The context cancels
+// mid-execution between postings blocks; on cancellation the whole
+// batch fails.
+func (e *Engine) SearchBatch(ctx context.Context, reqs []Request) ([]Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	for i := range reqs {
+		if err := reqs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("vsm: batch member %d: %w", i, err)
+		}
+	}
+	resps := make([]Response, len(reqs))
+	bs := e.batches.Get().(*batchState)
+	bs.reset()
+	defer func() {
+		for i := range bs.members {
+			if bs.members[i].live {
+				e.states.Put(bs.members[i].qs)
+			}
+			bs.members[i] = batchMember{}
+		}
+		for i := range bs.union {
+			bs.union[i].pl = nil
+		}
+		e.batches.Put(bs)
+	}()
+
+	// One term-resolution pass across the batch.
+	for i := range reqs {
+		req := &reqs[i]
+		m := batchMember{req: req, stats: &resps[i].Stats}
+		terms := req.Terms
+		if terms == nil {
+			terms = e.an.Analyze(req.Query)
+		}
+		if len(terms) > 0 {
+			qs := e.states.Get().(*queryState)
+			qs.reset()
+			if e.resolveTerms(qs, terms) {
+				if qnorm := e.weighTerms(qs); qnorm != 0 {
+					m.qs, m.qnorm, m.live = qs, qnorm, true
+				}
+			}
+			if !m.live {
+				e.states.Put(qs)
+			}
+		}
+		bs.members = append(bs.members, m)
+	}
+
+	// Plan: auto-mode members may join the shared traversal when the
+	// engine itself is not pinned to a pruned strategy; explicit-mode
+	// members (and pinned engines) keep their member-at-a-time path.
+	sharable := e.mode == ExecAuto || e.mode == ExecExhaustive
+	var shared []int
+	totalPostings := 0
+	for i := range bs.members {
+		m := &bs.members[i]
+		if !m.live || m.req.Mode != ExecAuto || !sharable {
+			continue
+		}
+		for j := range m.qs.terms {
+			totalPostings += len(e.src.Postings(m.qs.terms[j].id))
+		}
+		shared = append(shared, i)
+	}
+	if len(shared) >= 2 {
+		distinct := e.buildUnion(bs, shared)
+		if e.mode == ExecExhaustive || distinct*batchShareDen <= totalPostings*batchShareNum {
+			if err := e.batchExhaustive(ctx, bs); err != nil {
+				return nil, err
+			}
+			for _, i := range shared {
+				resps[i].Hits = drainTopK(&bs.members[i].qs.heap)
+			}
+		}
+	}
+
+	// Member-at-a-time for everyone left: explicit modes, unprofitable
+	// sharing, and engines pinned to a pruned strategy. Members the
+	// shared traversal served have non-nil (possibly empty) hit
+	// slices; dead members keep nil hits and zero stats.
+	for i := range bs.members {
+		m := &bs.members[i]
+		if !m.live || resps[i].Hits != nil {
+			continue
+		}
+		hits, err := e.execResolved(ctx, m.qs, m.req.K, m.qnorm, m.req.Keep, m.req.Mode, m.stats)
+		if err != nil {
+			return nil, err
+		}
+		resps[i].Hits = hits
+	}
+	return resps, nil
+}
+
+// buildUnion assembles the TermID-sorted union plan over the given
+// members, fetching each distinct term's postings exactly once.
+// Returns the number of distinct postings across the union.
+func (e *Engine) buildUnion(bs *batchState, members []int) int {
+	type triple struct {
+		id textproc.TermID
+		batchRef
+	}
+	var triples []triple
+	for _, i := range members {
+		m := &bs.members[i]
+		for j := range m.qs.terms {
+			t := &m.qs.terms[j]
+			if t.w == 0 {
+				continue
+			}
+			triples = append(triples, triple{id: t.id, batchRef: batchRef{member: i, w: t.w}})
+		}
+	}
+	sort.Slice(triples, func(a, b int) bool {
+		if triples[a].id != triples[b].id {
+			return triples[a].id < triples[b].id
+		}
+		return triples[a].member < triples[b].member
+	})
+	distinct := 0
+	for _, tr := range triples {
+		n := len(bs.union)
+		if n == 0 || bs.union[n-1].id != tr.id {
+			pl := e.src.Postings(tr.id)
+			bs.union = append(bs.union, unionTerm{id: tr.id, pl: pl, from: len(bs.refs)})
+			distinct += len(pl)
+			n++
+		}
+		bs.refs = append(bs.refs, tr.batchRef)
+		bs.union[n-1].to = len(bs.refs)
+	}
+	return distinct
+}
+
+// batchExhaustive is the cycle-at-a-time traversal: one pass over each
+// distinct term's postings (ascending TermID), fanning the shared
+// impact factor of every posting out to the members containing the
+// term. Per member, the sequence of accumulator updates — terms in
+// ascending TermID order, postings in ascending document order, the
+// identical weight-times-impact product — matches searchExhaustive
+// exactly, so scores, ranks and stats are bit-identical to
+// member-at-a-time execution. Top-k heaps are filled here; the caller
+// drains them.
+func (e *Engine) batchExhaustive(ctx context.Context, bs *batchState) error {
+	done := ctx.Done()
+	var avgLen float64
+	// Size each member's accumulator off its own lists' final entries,
+	// as the single-query path does.
+	maxDoc := corpus.DocID(-1)
+	for ui := range bs.union {
+		ut := &bs.union[ui]
+		if len(ut.pl) == 0 {
+			continue
+		}
+		last := ut.pl[len(ut.pl)-1].Doc
+		if last > maxDoc {
+			maxDoc = last
+		}
+		for _, rf := range bs.refs[ut.from:ut.to] {
+			bs.members[rf.member].qs.ensureDoc(last)
+		}
+	}
+	var denoms []float64
+	if e.scoring == BM25 {
+		avgLen = e.src.AvgDocLen()
+		if need := int(maxDoc) + 1; cap(bs.denoms) < need {
+			bs.denoms = make([]float64, need)
+		} else {
+			bs.denoms = bs.denoms[:need]
+			for i := range bs.denoms {
+				bs.denoms[i] = 0
+			}
+		}
+		denoms = bs.denoms
+	}
+	for ui := range bs.union {
+		ut := &bs.union[ui]
+		refs := bs.refs[ut.from:ut.to]
+		pl := ut.pl
+		if cap(bs.impacts) < len(pl) {
+			bs.impacts = make([]float64, len(pl))
+		}
+		impacts := bs.impacts[:len(pl)]
+		for start := 0; start < len(pl); start += cancelStride {
+			if canceled(done) {
+				return ctx.Err()
+			}
+			end := start + cancelStride
+			if end > len(pl) {
+				end = len(pl)
+			}
+			// Pass 1, once per distinct term: the query-independent
+			// impact factor of every posting — the arithmetic every
+			// member containing the term would otherwise redo. The BM25
+			// branch mirrors sharedImpact exactly, with the per-document
+			// length factor cached across the union's lists.
+			if e.scoring == BM25 {
+				for i, p := range pl[start:end] {
+					d := p.Doc
+					dn := denoms[d]
+					if dn == 0 {
+						dn = bm25K1 * (1 - bm25B + bm25B*float64(e.src.DocLen(d))/avgLen)
+						denoms[d] = dn
+					}
+					ftf := float64(p.TF)
+					impacts[start+i] = ftf * (bm25K1 + 1) / (ftf + dn)
+				}
+			} else {
+				for i, p := range pl[start:end] {
+					impacts[start+i] = docWeight(p.TF)
+				}
+			}
+			// Pass 2, per member: a tight accumulate loop over this
+			// member's own arrays, the same update sequence as the
+			// single-query exhaustive scan.
+			for _, rf := range refs {
+				m := &bs.members[rf.member]
+				qs := m.qs
+				genAlive, genDead := qs.gen, qs.gen+1
+				w, keep := rf.w, m.req.Keep
+				stamp, score, touched := qs.stamp, qs.score, qs.touched
+				if keep == nil {
+					// Without a filter a stamp is either genAlive or
+					// stale (genDead only ever marks filtered docs), so
+					// first touch can write the contribution directly:
+					// contributions are positive, making x and 0+x the
+					// same float64.
+					for i, p := range pl[start:end] {
+						d := p.Doc
+						if stamp[d] == genAlive {
+							score[d] += w * impacts[start+i]
+							continue
+						}
+						stamp[d] = genAlive
+						score[d] = w * impacts[start+i]
+						touched = append(touched, d)
+					}
+					qs.touched = touched
+					continue
+				}
+				for i, p := range pl[start:end] {
+					d := p.Doc
+					st := stamp[d]
+					if st == genDead {
+						continue
+					}
+					if st != genAlive {
+						if !keep(d) {
+							stamp[d] = genDead
+							m.stats.DocsFiltered++
+							continue
+						}
+						stamp[d] = genAlive
+						score[d] = 0
+						touched = append(touched, d)
+					}
+					score[d] += w * impacts[start+i]
+				}
+				qs.touched = touched
+			}
+		}
+		for _, rf := range refs {
+			bs.members[rf.member].stats.Postings += len(pl)
+		}
+	}
+	// Finalize per member: same normalization, same heap discipline as
+	// the single-query exhaustive tail.
+	seen := make(map[int]bool, len(bs.members))
+	for _, rf := range bs.refs {
+		if seen[rf.member] {
+			continue
+		}
+		seen[rf.member] = true
+		m := &bs.members[rf.member]
+		qs := m.qs
+		m.stats.DocsScored += len(qs.touched)
+		for _, d := range qs.touched {
+			s := e.finalizeScore(qs.score[d], d, m.qnorm)
+			pushTopK(&qs.heap, m.req.K, Result{Doc: d, Score: s})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package vsm
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/index"
+	"toppriv/internal/textproc"
+)
+
+// cycleQueries builds a batch of queries shaped like an obfuscation
+// cycle: members drawn from a couple of shared topics, so terms repeat
+// across members the way a cycle's ghosts share masking topics.
+func cycleQueries(gt *corpus.GroundTruth, an *textproc.Analyzer, rng *rand.Rand, n int) [][]string {
+	// Sample from each topic's head — topical word distributions are
+	// peaked, so a cycle's members keep drawing the same few words.
+	pool := func(words []string) []string {
+		if len(words) > 8 {
+			return words[:8]
+		}
+		return words
+	}
+	a := pool(gt.TopicWords[rng.Intn(len(gt.TopicWords))])
+	b := pool(gt.TopicWords[rng.Intn(len(gt.TopicWords))])
+	queries := make([][]string, n)
+	for i := range queries {
+		src := a
+		if i%2 == 1 {
+			src = b
+		}
+		q := make([]string, 0, 6)
+		for j := 0; j < 2+rng.Intn(4); j++ {
+			q = append(q, src[rng.Intn(len(src))])
+		}
+		queries[i] = analyzeTerms(an, q)
+	}
+	return queries
+}
+
+// TestSearchBatchMatchesSingle is the batch path's correctness anchor:
+// over random corpora, both scorings, mixed per-member modes and k,
+// with and without tombstone filters, every batch member's hits must
+// be bit-identical — documents, ranks, and float64 scores — to running
+// the same Request alone through SearchRequest.
+func TestSearchBatchMatchesSingle(t *testing.T) {
+	ctx := context.Background()
+	for _, scoring := range []Scoring{Cosine, BM25} {
+		scoring := scoring
+		t.Run(scoring.String(), func(t *testing.T) {
+			for trial := int64(0); trial < 4; trial++ {
+				rng := rand.New(rand.NewSource(7100 + trial))
+				c, gt, err := corpus.Synthesize(corpus.GenSpec{
+					Seed:    300 + trial,
+					NumDocs: 150 + int(trial)*60, NumTopics: 5,
+					DocLenMin: 15, DocLenMax: 60,
+				}, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				idx, err := index.Build(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				an := textproc.NewAnalyzer()
+				eng, err := NewEngine(idx, an, scoring)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				dead := make([]bool, c.NumDocs())
+				for d := range dead {
+					dead[d] = rng.Float64() < 0.15
+				}
+				keep := func(d corpus.DocID) bool { return !dead[d] }
+
+				queries := cycleQueries(gt, an, rng, 8)
+				modes := []ExecMode{ExecAuto, ExecAuto, ExecAuto, ExecMaxScore, ExecBlockMax, ExecExhaustive, ExecAuto, ExecAuto}
+				ks := []int{10, 10, 1, 10, 25, 10, 100, 10}
+				reqs := make([]Request, len(queries))
+				for i, q := range queries {
+					reqs[i] = Request{Terms: q, K: ks[i], Mode: modes[i]}
+					if i%3 == 2 {
+						reqs[i].Keep = keep
+					}
+				}
+				// One member that resolves to nothing.
+				reqs = append(reqs, Request{Terms: []string{"zzzznotaword"}, K: 5})
+
+				batch, err := eng.SearchBatch(ctx, reqs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(batch) != len(reqs) {
+					t.Fatalf("%d responses for %d requests", len(batch), len(reqs))
+				}
+				for i, req := range reqs {
+					single, err := eng.SearchRequest(ctx, req)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(batch[i].Hits) != len(single.Hits) {
+						t.Fatalf("trial %d member %d: batch %d hits, single %d",
+							trial, i, len(batch[i].Hits), len(single.Hits))
+					}
+					for j := range single.Hits {
+						if batch[i].Hits[j] != single.Hits[j] {
+							t.Fatalf("trial %d member %d rank %d: batch %+v vs single %+v",
+								trial, i, j, batch[i].Hits[j], single.Hits[j])
+						}
+					}
+					if batch[i].Stats.DocsScored != single.Stats.DocsScored &&
+						req.Mode != ExecAuto {
+						// Explicit modes take the identical member-at-a-time
+						// path, so even the work counters must agree; auto
+						// members may legitimately run a different (shared)
+						// plan.
+						t.Errorf("trial %d member %d: batch scored %d docs, single %d",
+							trial, i, batch[i].Stats.DocsScored, single.Stats.DocsScored)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSearchBatchSharesTraversal pins the planner: a cycle of
+// overlapping auto-mode queries on an auto-mode engine runs the shared
+// exhaustive traversal (no pruning counters), not υ pruned scans — and
+// still returns the pruned path's exact results (checked above).
+func TestSearchBatchSharesTraversal(t *testing.T) {
+	c, gt, err := corpus.Synthesize(corpus.GenSpec{
+		Seed: 11, NumDocs: 600, NumTopics: 6, DocLenMin: 30, DocLenMax: 70,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := textproc.NewAnalyzer()
+	eng, err := NewEngine(idx, an, Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	queries := cycleQueries(gt, an, rng, 8)
+	reqs := make([]Request, len(queries))
+	for i, q := range queries {
+		reqs[i] = Request{Terms: q, K: 10}
+	}
+	batch, err := eng.SearchBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singlePruned := 0
+	for i := range batch {
+		if batch[i].Stats.Postings == 0 {
+			t.Errorf("member %d: no postings counted — not the exhaustive traversal?", i)
+		}
+		if batch[i].Stats.DocsPruned != 0 {
+			t.Errorf("member %d: %d docs pruned — batch ran a pruned scan instead of the shared traversal", i, batch[i].Stats.DocsPruned)
+		}
+		single, err := eng.SearchRequest(context.Background(), reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		singlePruned += single.Stats.DocsPruned
+	}
+	// Single-query auto on this corpus prunes; the tell that the batch
+	// really chose a different, shared plan.
+	if singlePruned == 0 {
+		t.Error("single-query auto never pruned — test premise broken")
+	}
+}
+
+// TestSearchBatchValidation pins the error surface: non-positive k
+// fails the whole batch naming the offending member; an empty batch is
+// a no-op.
+func TestSearchBatchValidation(t *testing.T) {
+	eng, _ := testEngine(t)
+	if _, err := eng.SearchBatch(context.Background(), []Request{
+		{Terms: []string{"alpha"}, K: 5},
+		{Terms: []string{"beta"}, K: 0},
+	}); err == nil {
+		t.Error("k = 0 batch member must error")
+	}
+	resps, err := eng.SearchBatch(context.Background(), nil)
+	if err != nil || resps != nil {
+		t.Errorf("empty batch = %v, %v; want nil, nil", resps, err)
+	}
+	if _, err := eng.SearchRequest(context.Background(), Request{Query: "alpha", K: -1}); err == nil {
+		t.Error("negative k request must error")
+	}
+}
+
+// TestSearchCancellation pins context handling: an already-canceled
+// context aborts single and batch execution with the context's error,
+// for every execution mode.
+func TestSearchCancellation(t *testing.T) {
+	eng, gt := testEngine(t)
+	q := analyzeTerms(eng.Analyzer(), gt.TopicWords[0][:3])
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, mode := range []ExecMode{ExecAuto, ExecMaxScore, ExecBlockMax, ExecExhaustive} {
+		if _, err := eng.SearchRequest(ctx, Request{Terms: q, K: 10, Mode: mode}); err != context.Canceled {
+			t.Errorf("%v: canceled request returned %v, want context.Canceled", mode, err)
+		}
+	}
+	q2 := analyzeTerms(eng.Analyzer(), gt.TopicWords[1][:3])
+	if _, err := eng.SearchBatch(ctx, []Request{
+		{Terms: q, K: 10},
+		{Terms: q2, K: 10},
+	}); err != context.Canceled {
+		t.Errorf("canceled batch returned %v, want context.Canceled", err)
+	}
+}
+
+// testEngine builds a small engine over a synthetic corpus for API
+// surface tests.
+func testEngine(t *testing.T) (*Engine, *corpus.GroundTruth) {
+	t.Helper()
+	c, gt, err := corpus.Synthesize(corpus.GenSpec{
+		Seed: 21, NumDocs: 300, NumTopics: 5, DocLenMin: 20, DocLenMax: 50,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(idx, textproc.NewAnalyzer(), Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, gt
+}

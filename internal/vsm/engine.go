@@ -22,6 +22,7 @@
 package vsm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -122,6 +123,9 @@ type Engine struct {
 	// states pools per-query scratch (term bags, flat accumulators,
 	// heaps) across queries and goroutines.
 	states sync.Pool
+	// batches pools per-batch scratch (the term-union plan and the
+	// postings-reuse cache) across SearchBatch calls.
+	batches sync.Pool
 	// prior, when non-nil, is a static per-document score multiplier in
 	// (0, 1], derived from link analysis (see NewEngineWithPrior).
 	prior       []float64
@@ -154,6 +158,7 @@ func NewEngineOver(src Source, an *textproc.Analyzer, scoring Scoring) (*Engine,
 	}
 	e := &Engine{src: src, an: an, scoring: scoring}
 	e.states.New = func() interface{} { return &queryState{} }
+	e.batches.New = func() interface{} { return newBatchState() }
 	if imp, ok := src.(ImpactSource); ok {
 		e.impacts = imp
 	}
@@ -272,14 +277,42 @@ func (e *Engine) ComputeStats() index.Stats {
 // Analyzer exposes the engine's analyzer.
 func (e *Engine) Analyzer() *textproc.Analyzer { return e.an }
 
+// SearchRequest executes one structured request: analyze (when Terms
+// is unset), resolve, and run under the requested execution mode,
+// returning the ranked hits together with the execution counters. The
+// context cancels mid-execution between postings blocks. This is the
+// primary query entry point; the string-and-int methods below are thin
+// wrappers kept for incremental migration.
+func (e *Engine) SearchRequest(ctx context.Context, req Request) (Response, error) {
+	if err := req.Validate(); err != nil {
+		return Response{}, err
+	}
+	terms := req.Terms
+	if terms == nil {
+		terms = e.an.Analyze(req.Query)
+	}
+	var resp Response
+	hits, err := e.searchTermsCtx(ctx, terms, req.K, req.Keep, req.Mode, &resp.Stats)
+	if err != nil {
+		return Response{}, err
+	}
+	resp.Hits = hits
+	return resp, nil
+}
+
 // Search analyzes the raw query text and returns the top-k documents by
 // descending score. Ties break by ascending DocID for determinism.
 // An empty or fully-stopworded query returns no results.
+//
+// Search is the legacy string-and-int surface, retained as a thin
+// wrapper; new code should use SearchRequest, which adds context
+// cancellation, error returns and execution stats.
 func (e *Engine) Search(query string, k int) []Result {
 	return e.SearchTerms(e.an.Analyze(query), k)
 }
 
-// SearchTerms runs a query that is already analyzed into terms.
+// SearchTerms runs a query that is already analyzed into terms. Legacy
+// wrapper; new code should use SearchRequest with Request.Terms.
 func (e *Engine) SearchTerms(terms []string, k int) []Result {
 	return e.SearchTermsFiltered(terms, k, nil)
 }
@@ -288,52 +321,71 @@ func (e *Engine) SearchTerms(terms []string, k int) []Result {
 // among documents for which keep returns true (nil keeps everything).
 // Live stores use the filter to hide tombstoned documents without
 // rebuilding the shard; the filter is consulted before a document is
-// scored, so tombstoned postings cost no arithmetic.
+// scored, so tombstoned postings cost no arithmetic. Legacy wrapper;
+// new code should use SearchRequest with Request.Keep.
 func (e *Engine) SearchTermsFiltered(terms []string, k int, keep func(corpus.DocID) bool) []Result {
 	return e.SearchTermsExec(terms, k, keep, e.mode, nil)
 }
 
 // SearchMode analyzes and runs a query under an explicit execution
-// mode, overriding the engine default — the per-request surface the
-// HTTP server exposes.
+// mode, overriding the engine default. Legacy wrapper; new code should
+// use SearchRequest with Request.Mode.
 func (e *Engine) SearchMode(query string, k int, mode ExecMode) []Result {
 	return e.SearchTermsExec(e.an.Analyze(query), k, nil, mode, nil)
 }
 
-// SearchTermsExec is the full-control entry point: analyzed terms, a
-// tombstone filter, an explicit execution mode (ExecAuto defers to the
-// engine default, then to metadata availability), and an optional
-// work-counter sink. MaxScore and exhaustive execution return
-// identical results; the property tests in this package assert it.
+// SearchTermsExec is the uncancellable full-control entry point:
+// analyzed terms, a tombstone filter, an explicit execution mode
+// (ExecAuto defers to the engine default, then to metadata
+// availability), and an optional work-counter sink. MaxScore and
+// exhaustive execution return identical results; the property tests in
+// this package assert it. Legacy wrapper over the context-aware path;
+// new code should use SearchRequest.
 func (e *Engine) SearchTermsExec(terms []string, k int, keep func(corpus.DocID) bool, mode ExecMode, stats *ExecStats) []Result {
+	res, _ := e.searchTermsCtx(context.Background(), terms, k, keep, mode, stats)
+	return res
+}
+
+// searchTermsCtx resolves and executes one analyzed query — the shared
+// core under SearchRequest and the legacy wrappers. The only possible
+// error is the context's.
+func (e *Engine) searchTermsCtx(ctx context.Context, terms []string, k int, keep func(corpus.DocID) bool, mode ExecMode, stats *ExecStats) ([]Result, error) {
 	if k <= 0 || len(terms) == 0 {
-		return nil
+		return nil, nil
 	}
 	qs := e.states.Get().(*queryState)
 	defer e.states.Put(qs)
 	qs.reset()
 	if !e.resolveTerms(qs, terms) {
-		return nil
+		return nil, nil
 	}
 	qnorm := e.weighTerms(qs)
 	if qnorm == 0 {
-		return nil
+		return nil, nil
 	}
+	return e.execResolved(ctx, qs, k, qnorm, keep, mode, stats)
+}
+
+// execResolved dispatches a resolved, weighted query state to an
+// execution strategy. SearchBatch calls it directly for batch members
+// that cannot join the shared traversal, so resolution is never
+// repeated.
+func (e *Engine) execResolved(ctx context.Context, qs *queryState, k int, qnorm float64, keep func(corpus.DocID) bool, mode ExecMode, stats *ExecStats) ([]Result, error) {
 	if mode == ExecAuto {
 		mode = e.mode
 	}
 	switch {
 	case mode == ExecExhaustive || e.impacts == nil:
-		return e.searchExhaustive(qs, k, qnorm, keep, stats)
+		return e.searchExhaustive(ctx, qs, k, qnorm, keep, stats)
 	case mode == ExecAuto && 4*k >= e.src.NumDocs():
 		// Near-full retrieval: pruning cannot skip much, so the flat
 		// scan's lower per-posting cost wins. An explicit pruned mode
 		// overrides this heuristic.
-		return e.searchExhaustive(qs, k, qnorm, keep, stats)
+		return e.searchExhaustive(ctx, qs, k, qnorm, keep, stats)
 	case mode == ExecMaxScore:
-		return e.searchMaxScore(qs, k, qnorm, keep, stats)
+		return e.searchMaxScore(ctx, qs, k, qnorm, keep, stats)
 	case mode == ExecBlockMax:
-		return e.searchBlockMax(qs, k, qnorm, keep, stats)
+		return e.searchBlockMax(ctx, qs, k, qnorm, keep, stats)
 	default:
 		// ExecAuto on a selective query: cosine's normalized term
 		// bounds are loose enough that MaxScore's candidate stream
@@ -344,9 +396,9 @@ func (e *Engine) SearchTermsExec(terms []string, k int, keep func(corpus.DocID) 
 		// measured crossover — proper per-shape calibration is the
 		// ROADMAP's auto exec-mode item).
 		if e.blockSrc != nil && e.blockSrc.HasBlocks() && e.scoring != BM25 {
-			return e.searchBlockMax(qs, k, qnorm, keep, stats)
+			return e.searchBlockMax(ctx, qs, k, qnorm, keep, stats)
 		}
-		return e.searchMaxScore(qs, k, qnorm, keep, stats)
+		return e.searchMaxScore(ctx, qs, k, qnorm, keep, stats)
 	}
 }
 

@@ -1,6 +1,7 @@
 package vsm
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -110,27 +111,29 @@ type BlockSource interface {
 	HasBlocks() bool
 }
 
-// ExecStats counts the work one query performed; pass to
-// SearchTermsExec to measure pruning effectiveness. All counters are
-// per-call (the engine never retains them).
+// ExecStats counts the work one query performed; returned in every
+// Response (and passed to SearchTermsExec by the legacy surface) to
+// measure pruning effectiveness. All counters are per-call (the engine
+// never retains them). The JSON form is what the HTTP server's search
+// responses carry.
 type ExecStats struct {
 	// DocsScored is the number of documents whose full score was
 	// computed.
-	DocsScored int
+	DocsScored int `json:"docs_scored"`
 	// DocsPruned is the number of candidate documents MaxScore
 	// abandoned on a bound check before fully scoring them.
-	DocsPruned int
+	DocsPruned int `json:"docs_pruned,omitempty"`
 	// DocsFiltered is the number of documents the keep predicate
 	// (tombstones) rejected before any scoring.
-	DocsFiltered int
+	DocsFiltered int `json:"docs_filtered,omitempty"`
 	// Postings is the number of postings visited by the exhaustive
 	// path (0 under MaxScore and block-max WAND, which touch lists
 	// lazily).
-	Postings int
+	Postings int `json:"postings,omitempty"`
 	// BlockSkips is the number of pivot candidates block-max WAND
 	// discarded on the per-block bound check alone — each one also
 	// counts in DocsPruned.
-	BlockSkips int
+	BlockSkips int `json:"block_skips,omitempty"`
 }
 
 // add accumulates other into s (used by segmented fan-out).
@@ -314,10 +317,32 @@ func (e *Engine) weighTerms(qs *queryState) float64 {
 	}
 }
 
+// cancelStride is how many postings (exhaustive) or candidates
+// (pruned modes) are processed between context polls — a few blocks'
+// worth of work, so cancellation lands between blocks without a
+// channel read in the per-posting hot path.
+const cancelStride = 4096
+
+// canceled polls a context's done channel. A nil channel (background
+// context) costs one predictable branch.
+func canceled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
 // searchExhaustive scores every posting of every query term into the
 // flat accumulator — the reference semantics. The keep filter is
-// consulted once per document, before any contribution lands.
-func (e *Engine) searchExhaustive(qs *queryState, k int, qnorm float64, keep func(corpus.DocID) bool, stats *ExecStats) []Result {
+// consulted once per document, before any contribution lands. The
+// context is polled every cancelStride postings.
+func (e *Engine) searchExhaustive(ctx context.Context, qs *queryState, k int, qnorm float64, keep func(corpus.DocID) bool, stats *ExecStats) ([]Result, error) {
+	done := ctx.Done()
 	genAlive, genDead := qs.gen, qs.gen+1
 	// Size the accumulator once, off the lists' final entries.
 	for i := range qs.terms {
@@ -334,25 +359,34 @@ func (e *Engine) searchExhaustive(qs *queryState, k int, qnorm float64, keep fun
 		if stats != nil {
 			stats.Postings += len(pl)
 		}
-		for _, p := range pl {
-			d := p.Doc
-			st := qs.stamp[d]
-			if st == genDead {
-				continue
+		for start := 0; start < len(pl); start += cancelStride {
+			if canceled(done) {
+				return nil, ctx.Err()
 			}
-			if st != genAlive {
-				if keep != nil && !keep(d) {
-					qs.stamp[d] = genDead
-					if stats != nil {
-						stats.DocsFiltered++
-					}
+			end := start + cancelStride
+			if end > len(pl) {
+				end = len(pl)
+			}
+			for _, p := range pl[start:end] {
+				d := p.Doc
+				st := qs.stamp[d]
+				if st == genDead {
 					continue
 				}
-				qs.stamp[d] = genAlive
-				qs.score[d] = 0
-				qs.touched = append(qs.touched, d)
+				if st != genAlive {
+					if keep != nil && !keep(d) {
+						qs.stamp[d] = genDead
+						if stats != nil {
+							stats.DocsFiltered++
+						}
+						continue
+					}
+					qs.stamp[d] = genAlive
+					qs.score[d] = 0
+					qs.touched = append(qs.touched, d)
+				}
+				qs.score[d] += e.rawContribution(qs, t, p.TF, d)
 			}
-			qs.score[d] += e.rawContribution(qs, t, p.TF, d)
 		}
 	}
 	if stats != nil {
@@ -362,22 +396,33 @@ func (e *Engine) searchExhaustive(qs *queryState, k int, qnorm float64, keep fun
 		s := e.finalizeScore(qs.score[d], d, qnorm)
 		pushTopK(&qs.heap, k, Result{Doc: d, Score: s})
 	}
-	return drainTopK(&qs.heap)
+	return drainTopK(&qs.heap), nil
 }
 
-// rawContribution is one term's unnormalized addition to a document's
-// score: cosine w·(1+ln tf) (the lnc dot-product part), BM25 the full
-// idf·saturation product. Both execution paths accumulate exactly this
-// expression in exactly TermID order, which is what makes their
-// floating-point results identical.
-func (e *Engine) rawContribution(qs *queryState, t *qterm, tf int32, d corpus.DocID) float64 {
+// sharedImpact is the query-independent factor of one posting's
+// contribution: the lnc document weight 1+ln(tf) for cosine, the BM25
+// tf-saturation factor for BM25. rawContribution multiplies it by the
+// per-query term weight; the batch traversal computes it once per
+// posting and fans it out to every cycle member containing the term,
+// which is what makes shared execution both cheaper and bit-identical.
+func (e *Engine) sharedImpact(avgLen float64, tf int32, d corpus.DocID) float64 {
 	if e.scoring == BM25 {
 		ftf := float64(tf)
 		dl := float64(e.src.DocLen(d))
-		denom := ftf + bm25K1*(1-bm25B+bm25B*dl/qs.avgLen)
-		return t.w * ftf * (bm25K1 + 1) / denom
+		denom := ftf + bm25K1*(1-bm25B+bm25B*dl/avgLen)
+		return ftf * (bm25K1 + 1) / denom
 	}
-	return t.w * docWeight(tf)
+	return docWeight(tf)
+}
+
+// rawContribution is one term's unnormalized addition to a document's
+// score: cosine w·(1+ln tf) (the lnc dot-product part), BM25
+// idf·saturation. Every execution path accumulates exactly this
+// expression — the per-query weight times the shared impact factor —
+// in exactly TermID order, which is what makes their floating-point
+// results identical.
+func (e *Engine) rawContribution(qs *queryState, t *qterm, tf int32, d corpus.DocID) float64 {
+	return t.w * e.sharedImpact(qs.avgLen, tf, d)
 }
 
 // finalizeScore applies the per-document normalization (cosine) and
@@ -402,8 +447,11 @@ func (e *Engine) finalizeScore(raw float64, d corpus.DocID, qnorm float64) float
 // essential lists surface. Candidates are abandoned mid-evaluation
 // once their partial score plus the remaining bounds drops to or under
 // the threshold — safe on ties because traversal is in ascending doc
-// order and the ranking prefers smaller IDs at equal scores.
-func (e *Engine) searchMaxScore(qs *queryState, k int, qnorm float64, keep func(corpus.DocID) bool, stats *ExecStats) []Result {
+// order and the ranking prefers smaller IDs at equal scores. The
+// context is polled every few hundred candidates.
+func (e *Engine) searchMaxScore(ctx context.Context, qs *queryState, k int, qnorm float64, keep func(corpus.DocID) bool, stats *ExecStats) ([]Result, error) {
+	done := ctx.Done()
+	rounds := 0
 	n := len(qs.terms)
 	for i := range qs.terms {
 		qs.terms[i].it = e.src.Postings(qs.terms[i].id).Iter()
@@ -438,6 +486,9 @@ func (e *Engine) searchMaxScore(qs *queryState, k int, qnorm float64, keep func(
 	theta := math.Inf(-1)
 	first := 0 // ord[first:] are the essential lists
 	for first < n {
+		if rounds++; rounds&255 == 1 && canceled(done) {
+			return nil, ctx.Err()
+		}
 		// Pick the next candidate: the smallest current doc among the
 		// essential iterators.
 		cand := corpus.DocID(math.MaxInt32)
@@ -532,7 +583,7 @@ func (e *Engine) searchMaxScore(qs *queryState, k int, qnorm float64, keep func(
 			}
 		}
 	}
-	return drainTopK(&qs.heap)
+	return drainTopK(&qs.heap), nil
 }
 
 // blockBound is one term's upper bound on its contribution to the
@@ -580,8 +631,11 @@ func (e *Engine) blockBound(t *qterm, qnorm float64) float64 {
 // scores — are identical. Safe on ties for the same reason
 // searchMaxScore is: traversal is in ascending document order and the
 // heap prefers smaller IDs at equal scores, so a candidate that can
-// at best tie the threshold can never enter.
-func (e *Engine) searchBlockMax(qs *queryState, k int, qnorm float64, keep func(corpus.DocID) bool, stats *ExecStats) []Result {
+// at best tie the threshold can never enter. The context is polled
+// every few hundred pivots — between blocks, never inside one.
+func (e *Engine) searchBlockMax(ctx context.Context, qs *queryState, k int, qnorm float64, keep func(corpus.DocID) bool, stats *ExecStats) ([]Result, error) {
+	done := ctx.Done()
+	rounds := 0
 	// drained marks exhausted lists in the doc cache; they sort to the
 	// end and are compacted away before the next round.
 	const drained = corpus.DocID(math.MaxInt32)
@@ -605,6 +659,9 @@ func (e *Engine) searchBlockMax(qs *queryState, k int, qnorm float64, keep func(
 	theta := math.Inf(-1)
 	dirty := false // drained sentinels present in docs
 	for len(live) > 0 {
+		if rounds++; rounds&255 == 1 && canceled(done) {
+			return nil, ctx.Err()
+		}
 		if dirty {
 			dirty = false
 			out := 0
@@ -817,5 +874,5 @@ func (e *Engine) searchBlockMax(qs *queryState, k int, qnorm float64, keep func(
 			}
 		}
 	}
-	return drainTopK(&qs.heap)
+	return drainTopK(&qs.heap), nil
 }

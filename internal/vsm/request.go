@@ -1,0 +1,79 @@
+package vsm
+
+import (
+	"context"
+	"fmt"
+
+	"toppriv/internal/corpus"
+)
+
+// Request is one structured similarity query — the unit the engine,
+// the live store, the HTTP server and the trusted client all speak
+// since the query-API redesign. The paper's system model (§III,
+// Fig. 1) submits each obfuscation cycle's υ queries together; Request
+// is the per-member shape and SearchBatch the cycle-at-a-time entry
+// point.
+type Request struct {
+	// Query is the raw query text, analyzed by the engine's analyzer
+	// when Terms is nil. Ignored when Terms is set.
+	Query string
+	// Terms is the query already analyzed into index terms; takes
+	// precedence over Query. Callers that analyzed once (the trusted
+	// client canonicalizes word order before submission) pass Terms so
+	// the text pipeline runs exactly once per query.
+	Terms []string
+	// K is the number of results wanted. Must be positive; the
+	// validation that used to be scattered across callers now lives
+	// here.
+	K int
+	// Mode selects the execution strategy for this request. ExecAuto
+	// (the zero value) defers to the engine or store default. Results
+	// are identical across modes.
+	Mode ExecMode
+	// Keep, when non-nil, restricts results to documents for which it
+	// returns true, consulted before a document is scored. Live stores
+	// use it to hide tombstones; it is an in-process knob and never
+	// crosses the HTTP surface.
+	Keep func(corpus.DocID) bool
+}
+
+// Validate rejects malformed requests. Empty queries are not an
+// error — a fully-stopworded query legitimately matches nothing and
+// returns an empty Response — but a non-positive K is a caller bug the
+// old int-parameter surface silently swallowed. Every execution layer
+// (engine, store, HTTP server) applies the same check.
+func (r *Request) Validate() error {
+	if r.K <= 0 {
+		return fmt.Errorf("vsm: request k = %d, must be positive", r.K)
+	}
+	return nil
+}
+
+// Response is the engine's reply to one Request: the ranked hits plus
+// the execution counters that previously could not cross API
+// boundaries at all.
+type Response struct {
+	// Hits are the top-k documents, best first (descending score,
+	// ascending DocID on ties).
+	Hits []Result
+	// Stats counts the work this query performed (documents scored,
+	// pruned, filtered; block skips). Always populated.
+	Stats ExecStats
+}
+
+// RequestSearcher is the structured query surface shared by the static
+// Engine and the live segment.Store: context-aware, error-returning,
+// with per-request knobs and execution stats. The string-and-int
+// Searcher methods remain as thin wrappers over it for incremental
+// migration.
+type RequestSearcher interface {
+	// SearchRequest executes one request. The context cancels
+	// mid-execution between postings blocks.
+	SearchRequest(ctx context.Context, req Request) (Response, error)
+	// SearchBatch executes a batch — typically one obfuscation
+	// cycle — sharing term resolution and postings buffers across
+	// members. Responses align with reqs by index, and each member's
+	// hits are bit-identical to what SearchRequest would return for it
+	// alone.
+	SearchBatch(ctx context.Context, reqs []Request) ([]Response, error)
+}

@@ -25,6 +25,7 @@
 package toppriv
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -91,6 +92,11 @@ type (
 	ExecMode = vsm.ExecMode
 	// ExecStats counts the work one query performed.
 	ExecStats = vsm.ExecStats
+	// Request is one structured similarity query: terms or raw text,
+	// k, an execution mode, an optional document filter.
+	Request = vsm.Request
+	// Response is the ranked hits plus execution stats for one Request.
+	Response = vsm.Response
 )
 
 // Query-execution modes, re-exported from the engine.
@@ -321,19 +327,52 @@ func (s *Service) Analyzer() *Analyzer { return s.analyzer }
 func (s *Service) AnalyzeQuery(raw string) []string { return s.analyzer.Analyze(raw) }
 
 // Search runs an (unprotected) similarity query directly against the
-// local engine, returning up to k results.
+// local engine, returning up to k results. Legacy wrapper; new code
+// should use SearchRequest.
 func (s *Service) Search(raw string, k int) []SearchHit {
 	return s.toHits(s.searcher.Search(raw, k))
 }
 
+// SearchRequest runs one structured (unprotected) query against the
+// local engine or live store: per-request k and execution mode,
+// context cancellation, execution stats. Hits carry titles resolved
+// against the service's document source.
+func (s *Service) SearchRequest(ctx context.Context, req Request) ([]SearchHit, ExecStats, error) {
+	rs, ok := s.searcher.(vsm.RequestSearcher)
+	if !ok {
+		return nil, ExecStats{}, fmt.Errorf("toppriv: %T does not implement vsm.RequestSearcher", s.searcher)
+	}
+	resp, err := rs.SearchRequest(ctx, req)
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	return s.toHits(resp.Hits), resp.Stats, nil
+}
+
+// SearchBatch runs a batch of structured queries — typically one
+// obfuscation cycle — in a single engine pass that shares term
+// resolution and postings buffers across members. Responses align with
+// reqs by index; each member's hits are identical to running it alone.
+func (s *Service) SearchBatch(ctx context.Context, reqs []Request) ([]Response, error) {
+	rs, ok := s.searcher.(vsm.RequestSearcher)
+	if !ok {
+		return nil, fmt.Errorf("toppriv: %T does not implement vsm.RequestSearcher", s.searcher)
+	}
+	return rs.SearchBatch(ctx, reqs)
+}
+
 // SearchExec runs an unprotected query under an explicit execution
 // mode, overriding the spec default — results are identical across
-// modes; the knob exists for benchmarking and regression triage.
-func (s *Service) SearchExec(raw string, k int, mode ExecMode) []SearchHit {
-	if m, ok := s.searcher.(search.ModeSearcher); ok {
-		return s.toHits(m.SearchMode(raw, k, mode))
+// modes; the knob exists for benchmarking and regression triage. A
+// searcher without per-mode support is an explicit error, not a silent
+// fallback to the default mode (callers asking for a specific plan
+// must not silently measure a different one).
+func (s *Service) SearchExec(raw string, k int, mode ExecMode) ([]SearchHit, error) {
+	m, ok := s.searcher.(search.ModeSearcher)
+	if !ok {
+		return nil, fmt.Errorf("toppriv: %T does not support per-request execution modes", s.searcher)
 	}
-	return s.Search(raw, k)
+	return s.toHits(m.SearchMode(raw, k, mode)), nil
 }
 
 // toHits resolves result titles against whichever document source the

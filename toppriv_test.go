@@ -1,6 +1,7 @@
 package toppriv
 
 import (
+	"context"
 	"math/rand"
 	"net/http/httptest"
 	"strings"
@@ -261,5 +262,92 @@ func TestServiceWithLinkPrior(t *testing.T) {
 	}
 	if _, err := obf.Obfuscate(svc.AnalyzeQuery(svc.topicQueryText(0, 10)), rand.New(rand.NewSource(1))); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestServiceRequestAPI(t *testing.T) {
+	svc := getService(t)
+	ctx := context.Background()
+	q := svc.topicQueryText(0, 5)
+
+	hits, stats, err := svc.SearchRequest(ctx, Request{Query: q, K: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || len(hits) > 7 {
+		t.Fatalf("got %d hits", len(hits))
+	}
+	if hits[0].Title == "" {
+		t.Error("hits should carry titles")
+	}
+	if stats.DocsScored == 0 {
+		t.Error("stats should count scored documents")
+	}
+	legacy := svc.Search(q, 7)
+	for i := range legacy {
+		if hits[i] != legacy[i] {
+			t.Fatalf("rank %d: SearchRequest %+v vs Search %+v", i, hits[i], legacy[i])
+		}
+	}
+
+	// A batch — cycle-at-a-time through the facade — matches member-
+	// by-member execution.
+	reqs := []Request{
+		{Query: q, K: 5},
+		{Query: svc.topicQueryText(1, 4), K: 3, Mode: ExecExhaustive},
+	}
+	resps, err := svc.SearchBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != len(reqs) {
+		t.Fatalf("%d responses for %d requests", len(resps), len(reqs))
+	}
+	for i, req := range reqs {
+		single, _, err := svc.SearchRequest(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resps[i].Hits) != len(single) {
+			t.Fatalf("member %d: %d vs %d hits", i, len(resps[i].Hits), len(single))
+		}
+		for j := range single {
+			if resps[i].Hits[j].Doc != single[j].Doc || resps[i].Hits[j].Score != single[j].Score {
+				t.Fatalf("member %d rank %d: %+v vs %+v", i, j, resps[i].Hits[j], single[j])
+			}
+		}
+	}
+
+	// Validation errors propagate.
+	if _, _, err := svc.SearchRequest(ctx, Request{Query: q, K: 0}); err == nil {
+		t.Error("k = 0 must error")
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, _, err := svc.SearchRequest(canceled, Request{Query: q, K: 5}); err == nil {
+		t.Error("canceled context must error")
+	}
+}
+
+func TestServiceSearchExecModes(t *testing.T) {
+	svc := getService(t)
+	q := svc.topicQueryText(2, 5)
+	base, err := svc.SearchExec(q, 10, ExecExhaustive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) == 0 {
+		t.Fatal("no hits under exhaustive")
+	}
+	for _, mode := range []ExecMode{ExecMaxScore, ExecBlockMax, ExecAuto} {
+		hits, err := svc.SearchExec(q, 10, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base {
+			if hits[i] != base[i] {
+				t.Fatalf("%v rank %d: %+v vs exhaustive %+v", mode, i, hits[i], base[i])
+			}
+		}
 	}
 }
