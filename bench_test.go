@@ -492,6 +492,24 @@ func BenchmarkSearchBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkIndexSize records the memory footprint of the
+// block-compressed postings on the bench corpus: exact postings bytes
+// per document (the index_bytes/doc metric the CI gate hard-fails on
+// when it grows >10%), and the compression ratio against the
+// uncompressed 8-byte ⟨int32 doc, int32 tf⟩ posting representation.
+func BenchmarkIndexSize(b *testing.B) {
+	env := getBenchEnv(b)
+	var s index.Stats
+	for i := 0; i < b.N; i++ {
+		s = env.Index.ComputeStats()
+	}
+	b.ReportMetric(s.BytesPerDoc, "index_bytes/doc")
+	b.ReportMetric(float64(s.PostingsBytes), "postings_bytes")
+	if s.PostingsBytes > 0 {
+		b.ReportMetric(float64(8*s.NumPostings)/float64(s.PostingsBytes), "compression_x")
+	}
+}
+
 // BenchmarkIndexBuild measures inverted-index construction.
 func BenchmarkIndexBuild(b *testing.B) {
 	env := getBenchEnv(b)

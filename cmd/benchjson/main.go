@@ -25,7 +25,12 @@
 // their ns/op grew by more than -tolerance (fraction, default 0.25)
 // or when they disappeared from the new results; everything else —
 // other benchmarks, and work metrics like docs_scored/op — only
-// warns. Exit status 1 on any failure.
+// warns. Entries carrying an index_bytes/doc metric (the
+// BenchmarkIndexSize memory-footprint row) are gated on that metric
+// instead: growth beyond -size-tolerance (default 0.10) always hard-
+// fails — index size is machine-independent, so there is no hardware
+// excuse — while their ns/op (dominated by one-time environment
+// setup) is ignored. Exit status 1 on any failure.
 package main
 
 import (
@@ -58,6 +63,7 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	compare := flag.Bool("compare", false, "compare two benchmark JSON files (old new) and exit non-zero on regression")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth before a gated benchmark counts as regressed")
+	sizeTolerance := flag.Float64("size-tolerance", 0.10, "allowed fractional index_bytes/doc growth before a size benchmark hard-fails")
 	gate := flag.String("gate", "BenchmarkSearch", "benchmark-name prefix whose regressions fail the comparison (others only warn)")
 	flag.Parse()
 
@@ -76,7 +82,7 @@ func main() {
 			}
 			files = files[:2]
 		}
-		runCompare(files, *tolerance, *gate)
+		runCompare(files, *tolerance, *sizeTolerance, *gate)
 		return
 	}
 
@@ -162,7 +168,7 @@ func stripCPUSuffix(name string) string {
 
 // runCompare loads two artifacts and exits non-zero when the new one
 // regresses a gated benchmark.
-func runCompare(args []string, tolerance float64, gate string) {
+func runCompare(args []string, tolerance, sizeTolerance float64, gate string) {
 	if len(args) != 2 {
 		log.Fatal("-compare needs exactly two arguments: old.json new.json")
 	}
@@ -174,7 +180,7 @@ func runCompare(args []string, tolerance float64, gate string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	failures, warnings := compareBenchmarks(oldB, newB, tolerance, gate)
+	failures, warnings := compareBenchmarks(oldB, newB, tolerance, sizeTolerance, gate)
 	for _, w := range warnings {
 		fmt.Fprintf(os.Stderr, "benchjson: warn: %s\n", w)
 	}
@@ -203,16 +209,23 @@ func loadBenchmarks(path string) ([]Benchmark, error) {
 	return benches, nil
 }
 
+// sizeMetric is the machine-independent memory-footprint metric
+// (BenchmarkIndexSize): postings bytes per indexed document.
+const sizeMetric = "index_bytes/doc"
+
 // compareBenchmarks diffs new against the old baseline. ns/op growth
 // beyond the tolerance fails gated entries (name prefix match) and
 // warns for the rest; docs_scored/op growth always only warns —
 // scoring more documents is a pruning regression worth flagging, but
 // it is machine-independent work, not wall-clock, so it never blocks
-// by itself. Entries present only in the new run are additions and
-// pass silently. Names are matched as stored: parseLine already
-// normalized away the -cpu suffix, and stripping again here would
-// mangle sub-benchmark names that legitimately end in "-<digits>".
-func compareBenchmarks(oldB, newB []Benchmark, tolerance float64, gate string) (failures, warnings []string) {
+// by itself. Entries carrying the index_bytes/doc size metric are
+// compared on that metric alone and hard-fail beyond sizeTolerance
+// regardless of the gate prefix (bytes don't depend on the runner).
+// Entries present only in the new run are additions and pass
+// silently. Names are matched as stored: parseLine already normalized
+// away the -cpu suffix, and stripping again here would mangle
+// sub-benchmark names that legitimately end in "-<digits>".
+func compareBenchmarks(oldB, newB []Benchmark, tolerance, sizeTolerance float64, gate string) (failures, warnings []string) {
 	latest := make(map[string]Benchmark, len(newB))
 	for _, b := range newB {
 		latest[b.Name] = b
@@ -227,6 +240,25 @@ func compareBenchmarks(oldB, newB []Benchmark, tolerance float64, gate string) (
 	}
 	for _, ob := range oldB {
 		name := ob.Name
+		if oldSz, ok := ob.Metrics[sizeMetric]; ok && oldSz > 0 {
+			nb, ok := latest[name]
+			if !ok {
+				flag(true, "%s: missing from new results", name)
+				continue
+			}
+			newSz, ok := nb.Metrics[sizeMetric]
+			if !ok {
+				flag(true, "%s: %s missing from new results", name, sizeMetric)
+				continue
+			}
+			if newSz > oldSz*(1+sizeTolerance) {
+				flag(true, "%s: %s %.1f → %.1f (+%.1f%%, tolerance %.0f%%) — index footprint regressed",
+					name, sizeMetric, oldSz, newSz, (newSz/oldSz-1)*100, sizeTolerance*100)
+			}
+			// ns/op of a size benchmark is environment-setup noise;
+			// nothing else to compare.
+			continue
+		}
 		gated := strings.HasPrefix(name, gate)
 		nb, ok := latest[name]
 		if !ok {

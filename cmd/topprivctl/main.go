@@ -50,6 +50,7 @@ func main() {
 		showGhosts = flag.Bool("show-ghosts", false, "print the ghost queries the server saw")
 		plain      = flag.Bool("plain", false, "skip obfuscation (for comparison)")
 		session    = flag.Bool("session", false, "keep a sticky decoy profile across the queries of this invocation (resists cross-cycle intersection analysis)")
+		stats      = flag.Bool("stats", false, "print the server's index statistics (GET /stats) — docs, terms, serialized size, and the exact compressed-postings footprint — then exit")
 		addDocs    = flag.String("add-docs", "", "admin: ingest documents from this JSON file into a -live searchd (POST /index), then exit")
 		deleteDoc  = flag.Int64("delete-doc", -1, "admin: tombstone this document ID on a -live searchd (DELETE /doc/{id}), then exit")
 		adminToken = flag.String("admin-token", "", "bearer token for the admin verbs (when searchd runs with -admin-token)")
@@ -57,6 +58,10 @@ func main() {
 	flag.Parse()
 
 	// Admin verbs talk straight to the live index and need no model.
+	if *stats {
+		runStats(*server)
+		return
+	}
 	if *addDocs != "" || *deleteDoc >= 0 {
 		runAdmin(*server, *adminToken, *addDocs, *deleteDoc)
 		return
@@ -196,6 +201,27 @@ func main() {
 	if err := sc.Err(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runStats prints the server's index-shape report: the collection
+// counts plus the postings memory footprint the compressed layout is
+// accountable for.
+func runStats(server string) {
+	client := search.NewAdminClient(server, nil)
+	s, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("documents:         %d\n", s.NumDocs)
+	fmt.Printf("terms:             %d\n", s.NumTerms)
+	fmt.Printf("postings:          %d (mean list %.1f, max list %d)\n", s.NumPostings, s.MeanListLen, s.MaxListLen)
+	fmt.Printf("serialized bytes:  %d\n", s.SizeBytes)
+	fmt.Printf("postings bytes:    %d (%.1f bytes/doc", s.PostingsBytes, s.BytesPerDoc)
+	if s.PostingsBytes > 0 {
+		fmt.Printf(", %.2fx vs uncompressed", float64(8*s.NumPostings)/float64(s.PostingsBytes))
+	}
+	fmt.Println(")")
+	fmt.Printf("PIR-padded bytes:  %d (%.0fx blowup)\n", s.PaddedPIRBytes, s.BlowupFactor())
 }
 
 // runAdmin performs one mutation against a -live searchd. The docs file

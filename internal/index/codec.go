@@ -18,7 +18,14 @@ import (
 //	uvarint numTerms
 //	per term: uvarint(len(term)) term-bytes
 //	          uvarint(listLen)
-//	          postings as (uvarint docID-delta, uvarint tf)
+//	          v4: uvarint(dataLen) followed by the block-compressed
+//	              postings bytes exactly as held in memory (see
+//	              postings.go for the per-block layout), then per
+//	              block: uvarint lastDoc-delta (from the previous
+//	              block's last doc; +1 offset so the first block's
+//	              value is lastDoc+1), uvarint blockMaxTF,
+//	              float64 blockMaxCos | float64 blockMaxBM25
+//	          v1–v3: postings as (uvarint docID-delta, uvarint tf)
 //	          v2 only: uvarint maxTF
 //	                   float64 maxCosImpact | float64 maxBM25Impact
 //	          v3 only: per ceil(listLen/BlockSize) blocks:
@@ -26,23 +33,25 @@ import (
 //	                   float64 blockMaxCos | float64 blockMaxBM25
 //	per doc:  uvarint docLen
 //
-// Doc IDs are delta-encoded within each list, mirroring production
-// inverted-index layouts, so SizeBytes reflects a realistic index
-// footprint for the Figure 6 comparison against the LDA model size.
+// Version 4 writes the block-compressed postings verbatim — the file
+// is a memory image of the lists plus the per-block skip metadata
+// (last docs; byte offsets and start ordinals are rebuilt by walking
+// the self-describing block headers) and impact bounds, so writing
+// does no re-encoding and loading does no re-compression. Loading
+// fully validates every block (structure and payload) and rejects
+// corrupt or truncated input with an error, never a panic.
 //
-// Version 3 persists the per-block max-impact metadata that fuels
-// block-max WAND; the term-level maxima are derived on load as the
-// maxima over each list's blocks (bit-identical to what Build
-// computed, since both maximize over the same values). The block
-// count is derived from listLen, so it is never stored. Version 2
-// files (term-level metadata only) and version 1 files (no metadata)
-// still load: their impact metadata — block- and term-level — is
-// recomputed from the postings after reading, which yields exactly
-// the values Build would have produced.
+// Versions 1–3 still load: their varint-delta postings are read into
+// raw lists and compressed on the fly. Version 3 carries per-block
+// impact metadata (BlockSize-aligned, matching what compression
+// produces for a fresh list) which is retained; versions 1 and 2
+// recompute all impact metadata from the postings after reading,
+// which yields exactly the values Build would have produced.
 
 const codecMagic = "TPIX"
 const (
-	codecVersion   = 3
+	codecVersion   = 4
+	codecVersionV3 = 3
 	codecVersionV2 = 2
 	codecVersionV1 = 1
 )
@@ -73,10 +82,10 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	if err := writeUvarint(uint64(x.numDocs)); err != nil {
 		return cw.n, err
 	}
-	if err := writeUvarint(uint64(len(x.postings))); err != nil {
+	if err := writeUvarint(uint64(len(x.lists))); err != nil {
 		return cw.n, err
 	}
-	for id := range x.postings {
+	for id := range x.lists {
 		term := x.vocab.Term(textproc.TermID(id))
 		if err := writeUvarint(uint64(len(term))); err != nil {
 			return cw.n, err
@@ -84,21 +93,26 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 		if _, err := cw.Write([]byte(term)); err != nil {
 			return cw.n, err
 		}
-		pl := x.postings[id]
-		if err := writeUvarint(uint64(len(pl))); err != nil {
+		cl := &x.lists[id]
+		if err := writeUvarint(uint64(cl.n)); err != nil {
 			return cw.n, err
 		}
-		prev := corpus.DocID(0)
-		for _, p := range pl {
-			if err := writeUvarint(uint64(p.Doc - prev)); err != nil {
-				return cw.n, err
-			}
-			prev = p.Doc
-			if err := writeUvarint(uint64(p.TF)); err != nil {
-				return cw.n, err
-			}
+		if cl.n == 0 {
+			continue
 		}
-		for _, bm := range x.blocks[id] {
+		if err := writeUvarint(uint64(len(cl.data))); err != nil {
+			return cw.n, err
+		}
+		if _, err := cw.Write(cl.data); err != nil {
+			return cw.n, err
+		}
+		prevLast := corpus.DocID(-1)
+		for b, bm := range x.blocks[id] {
+			last := cl.blockLast(b)
+			if err := writeUvarint(uint64(last - prevLast)); err != nil {
+				return cw.n, err
+			}
+			prevLast = last
 			if err := writeUvarint(uint64(bm.MaxTF)); err != nil {
 				return cw.n, err
 			}
@@ -118,7 +132,7 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, cw.w.(*bufio.Writer).Flush()
 }
 
-// Read deserializes an index written by WriteTo.
+// Read deserializes an index written by WriteTo (any TPIX version).
 func Read(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
@@ -133,27 +147,49 @@ func Read(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("index: read version: %w", err)
 	}
 	version := binary.LittleEndian.Uint32(ver[:])
-	if version != codecVersion && version != codecVersionV2 && version != codecVersionV1 {
+	switch version {
+	case codecVersion, codecVersionV3, codecVersionV2, codecVersionV1:
+	default:
 		return nil, fmt.Errorf("index: unsupported version %d", version)
 	}
 	numDocs, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("index: read numDocs: %w", err)
 	}
+	if numDocs > math.MaxInt32 {
+		return nil, fmt.Errorf("index: numDocs %d out of range", numDocs)
+	}
 	numTerms, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("index: read numTerms: %w", err)
 	}
 	x := &Index{
-		vocab:    textproc.NewVocab(),
-		postings: make([]PostingList, 0, numTerms),
-		numDocs:  int(numDocs),
+		vocab:   textproc.NewVocab(),
+		numDocs: int(numDocs),
+	}
+	// Pre-sizing from untrusted counts is capped: a corrupt header
+	// must not allocate gigabytes before the (bounded) stream runs
+	// out. Slices grow organically past the cap.
+	const preallocCap = 1 << 16
+	prealloc := int(numTerms)
+	if prealloc > preallocCap {
+		prealloc = preallocCap
+	}
+	// Legacy versions accumulate raw lists to compress after reading.
+	var raw [][]Posting
+	if version == codecVersion {
+		x.lists = make([]compList, 0, prealloc)
+	} else {
+		raw = make([][]Posting, 0, prealloc)
 	}
 	termBuf := make([]byte, 0, 64)
 	for t := uint64(0); t < numTerms; t++ {
 		tl, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("index: term %d length: %w", t, err)
+		}
+		if tl > 1<<20 {
+			return nil, fmt.Errorf("index: term %d length %d out of range", t, tl)
 		}
 		if cap(termBuf) < int(tl) {
 			termBuf = make([]byte, tl)
@@ -167,21 +203,41 @@ func Read(r io.Reader) (*Index, error) {
 		if err != nil {
 			return nil, fmt.Errorf("index: term %d list length: %w", t, err)
 		}
-		pl := make(PostingList, ll)
+		if ll > numDocs {
+			// A list holds at most one posting per document.
+			return nil, fmt.Errorf("index: term %d list length %d exceeds %d docs", t, ll, numDocs)
+		}
+		if version == codecVersion {
+			if err := x.readV4List(br, t, ll, int(numDocs)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		plPrealloc := int(ll)
+		if plPrealloc > preallocCap {
+			plPrealloc = preallocCap
+		}
+		pl := make([]Posting, 0, plPrealloc)
 		prev := uint64(0)
-		for i := range pl {
+		for i := uint64(0); i < ll; i++ {
 			delta, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, fmt.Errorf("index: term %d posting %d: %w", t, i, err)
 			}
 			prev += delta
+			if prev >= numDocs || (i > 0 && delta == 0) {
+				return nil, fmt.Errorf("index: term %d posting %d: doc %d out of range", t, i, prev)
+			}
 			tf, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, fmt.Errorf("index: term %d tf %d: %w", t, i, err)
 			}
-			pl[i] = Posting{Doc: corpus.DocID(prev), TF: int32(tf)}
+			if tf == 0 || tf > math.MaxInt32 {
+				return nil, fmt.Errorf("index: term %d posting %d: tf %d out of range", t, i, tf)
+			}
+			pl = append(pl, Posting{Doc: corpus.DocID(prev), TF: int32(tf)})
 		}
-		x.postings = append(x.postings, pl)
+		raw = append(raw, pl)
 		switch version {
 		case codecVersionV2:
 			// v2 carried term-level metadata but no blocks. The blocks
@@ -198,59 +254,142 @@ func Read(r io.Reader) (*Index, error) {
 			if _, err := readFloat(br); err != nil {
 				return nil, fmt.Errorf("index: term %d maxBM25: %w", t, err)
 			}
-		case codecVersion:
+		case codecVersionV3:
 			var bs []BlockMax
-			if ll > 0 {
-				bs = make([]BlockMax, (ll+BlockSize-1)/BlockSize)
-			}
-			var mtf int32
-			mcos, mbm := 0.0, 0.0
-			for b := range bs {
-				btf, err := binary.ReadUvarint(br)
+			for b := uint64(0); b < (ll+BlockSize-1)/BlockSize; b++ {
+				bm, err := readBlockMax(br)
 				if err != nil {
-					return nil, fmt.Errorf("index: term %d block %d maxTF: %w", t, b, err)
+					return nil, fmt.Errorf("index: term %d block %d: %w", t, b, err)
 				}
-				bcos, err := readFloat(br)
-				if err != nil {
-					return nil, fmt.Errorf("index: term %d block %d maxCos: %w", t, b, err)
-				}
-				bbm, err := readFloat(br)
-				if err != nil {
-					return nil, fmt.Errorf("index: term %d block %d maxBM25: %w", t, b, err)
-				}
-				bs[b] = BlockMax{MaxTF: int32(btf), MaxCos: bcos, MaxBM: bbm}
-				if bs[b].MaxTF > mtf {
-					mtf = bs[b].MaxTF
-				}
-				if bcos > mcos {
-					mcos = bcos
-				}
-				if bbm > mbm {
-					mbm = bbm
-				}
+				bs = append(bs, bm)
 			}
 			x.blocks = append(x.blocks, bs)
+			mtf, mcos, mbm := maxOverBlocks(bs)
 			x.maxTF = append(x.maxTF, mtf)
 			x.maxCos = append(x.maxCos, mcos)
 			x.maxBM = append(x.maxBM, mbm)
 		}
 	}
-	x.docLen = make([]int, numDocs)
-	for d := range x.docLen {
+	dlPrealloc := int(numDocs)
+	if dlPrealloc > preallocCap {
+		dlPrealloc = preallocCap
+	}
+	x.docLen = make([]int, 0, dlPrealloc)
+	for d := uint64(0); d < numDocs; d++ {
 		dl, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("index: doc %d length: %w", d, err)
 		}
-		x.docLen[d] = int(dl)
+		x.docLen = append(x.docLen, int(dl))
 		x.totalLen += int(dl)
 	}
-	if version < codecVersion {
+	switch version {
+	case codecVersion:
+		// Block-compressed lists and metadata were read directly.
+	case codecVersionV3:
+		x.compressLists(raw)
+	default:
 		// v1 files carry no impact metadata and v2 files no per-block
 		// bounds; derive both from the postings so loaded indexes
 		// prune identically to built ones.
-		x.computeImpacts()
+		x.computeImpacts(raw)
+		x.compressLists(raw)
 	}
 	return x, nil
+}
+
+// readV4List reads one term's block-compressed list and per-block
+// metadata, validating the blocks fully before accepting them.
+func (x *Index) readV4List(br *bufio.Reader, t, ll uint64, numDocs int) error {
+	if ll == 0 {
+		x.lists = append(x.lists, compList{})
+		x.blocks = append(x.blocks, nil)
+		x.maxTF = append(x.maxTF, 0)
+		x.maxCos = append(x.maxCos, 0)
+		x.maxBM = append(x.maxBM, 0)
+		return nil
+	}
+	dataLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("index: term %d data length: %w", t, err)
+	}
+	// Every posting costs at least a bit somewhere and every block at
+	// least ~5 bytes; 16 bytes per posting is a generous ceiling that
+	// rejects corrupt lengths early, and reading in bounded chunks
+	// keeps even an accepted-but-lying length from allocating past
+	// what the stream actually holds.
+	if dataLen > 16*ll+64 {
+		return fmt.Errorf("index: term %d data length %d implausible for %d postings", t, dataLen, ll)
+	}
+	const chunk = 1 << 20
+	pre := dataLen
+	if pre > chunk {
+		pre = chunk
+	}
+	data := make([]byte, 0, pre)
+	for remaining := dataLen; remaining > 0; {
+		step := remaining
+		if step > chunk {
+			step = chunk
+		}
+		off := len(data)
+		data = append(data, make([]byte, step)...)
+		if _, err := io.ReadFull(br, data[off:]); err != nil {
+			return fmt.Errorf("index: term %d data: %w", t, err)
+		}
+		remaining -= step
+	}
+	// The block count is structural: walk the self-describing headers.
+	offs, _, err := walkBlocks(data, int(ll))
+	if err != nil {
+		return fmt.Errorf("index: term %d: %w", t, err)
+	}
+	nb := len(offs) - 1
+	lasts := make([]corpus.DocID, nb)
+	bs := make([]BlockMax, nb)
+	prevLast := int64(-1)
+	for b := 0; b < nb; b++ {
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("index: term %d block %d last doc: %w", t, b, err)
+		}
+		prevLast += int64(delta)
+		if delta == 0 || prevLast > math.MaxInt32 {
+			return fmt.Errorf("index: term %d block %d last doc out of range", t, b)
+		}
+		lasts[b] = corpus.DocID(prevLast)
+		if bs[b], err = readBlockMax(br); err != nil {
+			return fmt.Errorf("index: term %d block %d: %w", t, b, err)
+		}
+	}
+	cl, err := newCompListFromWire(int(ll), data, lasts, numDocs)
+	if err != nil {
+		return fmt.Errorf("index: term %d: %w", t, err)
+	}
+	x.lists = append(x.lists, cl)
+	x.blocks = append(x.blocks, bs)
+	mtf, mcos, mbm := maxOverBlocks(bs)
+	x.maxTF = append(x.maxTF, mtf)
+	x.maxCos = append(x.maxCos, mcos)
+	x.maxBM = append(x.maxBM, mbm)
+	return nil
+}
+
+// readBlockMax reads one persisted per-block impact triple.
+func readBlockMax(br *bufio.Reader) (BlockMax, error) {
+	btf, err := binary.ReadUvarint(br)
+	if err != nil {
+		return BlockMax{}, fmt.Errorf("maxTF: %w", err)
+	}
+	bcos, err := readFloat(br)
+	if err != nil {
+		return BlockMax{}, fmt.Errorf("maxCos: %w", err)
+	}
+	bbm, err := readFloat(br)
+	if err != nil {
+		return BlockMax{}, fmt.Errorf("maxBM25: %w", err)
+	}
+	return BlockMax{MaxTF: int32(btf), MaxCos: bcos, MaxBM: bbm}, nil
 }
 
 // readFloat reads one little-endian IEEE-754 float64.

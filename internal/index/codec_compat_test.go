@@ -104,11 +104,16 @@ func TestMergeCarriesImpacts(t *testing.T) {
 	if got := merged.MaxTF(id); got != 1 {
 		t.Fatalf("merged MaxTF(apache) = %d, want 1 after dropping the tf=4 doc", got)
 	}
-	// Full consistency: metadata equals a recomputation.
+	// Full consistency: metadata equals a recomputation over the
+	// decoded merged postings.
 	wantTF := append([]int32(nil), merged.maxTF...)
 	wantCos := append([]float64(nil), merged.maxCos...)
 	wantBM := append([]float64(nil), merged.maxBM...)
-	merged.computeImpacts()
+	raw := make([][]Posting, merged.NumTerms())
+	for tid := range raw {
+		raw[tid] = merged.Postings(textproc.TermID(tid))
+	}
+	merged.computeImpacts(raw)
 	for tid := range wantTF {
 		if merged.maxTF[tid] != wantTF[tid] ||
 			math.Float64bits(merged.maxCos[tid]) != math.Float64bits(wantCos[tid]) ||

@@ -1,0 +1,168 @@
+package index
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/textproc"
+)
+
+// postingsFromBytes derives a deterministic, valid postings list from
+// arbitrary fuzz input: each byte pair becomes one posting's doc gap
+// and tf. Gap magnitudes are stretched non-linearly so the fuzzer
+// exercises every frame width from 0 to 32 bits.
+func postingsFromBytes(data []byte) []Posting {
+	var pl []Posting
+	doc := corpus.DocID(-1)
+	for i := 0; i+1 < len(data) && len(pl) < 4*BlockSize; i += 2 {
+		gap := corpus.DocID(data[i]) + 1
+		if data[i]&3 == 3 {
+			gap <<= uint(data[i+1] % 20) // up to ~2^27 gaps
+		}
+		if int64(doc)+int64(gap) > math.MaxInt32/2 {
+			break
+		}
+		doc += gap
+		pl = append(pl, Posting{Doc: doc, TF: int32(data[i+1]%31) + 1})
+	}
+	return pl
+}
+
+// FuzzDecodePostings fuzzes the block codec from both ends: the input
+// bytes are (a) interpreted as a postings list, encoded, and decoded
+// back — the round trip must reproduce the list exactly through both
+// the wire-validation path and the iterator — and (b) fed raw to the
+// wire reader and to the full TPIX codec, which must reject corrupt
+// or truncated input with an error, never a panic.
+func FuzzDecodePostings(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 1, 2, 3, 255, 30, 7, 0})
+	// A well-formed encoding as a seed so mutations explore near-valid
+	// block structures.
+	seed := encodePostings([]Posting{{Doc: 0, TF: 1}, {Doc: 5, TF: 3}, {Doc: 1000, TF: 9}})
+	f.Add(seed.data)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// (a) Round trip: encode(postings) then decode must be exact.
+		pl := postingsFromBytes(data)
+		cl := encodePostings(pl)
+		lasts := make([]corpus.DocID, cl.numBlocks())
+		for b := range lasts {
+			lasts[b] = cl.blockLast(b)
+		}
+		numDocs := 0
+		if n := len(pl); n > 0 {
+			numDocs = int(pl[n-1].Doc) + 1
+		}
+		validated, err := newCompListFromWire(len(pl), cl.data, lasts, numDocs)
+		if err != nil {
+			t.Fatalf("valid encoding rejected: %v", err)
+		}
+		it := newCompIterator(&validated, nil)
+		for i, want := range pl {
+			if !it.Valid() {
+				t.Fatalf("iterator exhausted at %d/%d", i, len(pl))
+			}
+			if it.Doc() != want.Doc || it.TF() != want.TF {
+				t.Fatalf("posting %d: got (%d,%d), want (%d,%d)", i, it.Doc(), it.TF(), want.Doc, want.TF)
+			}
+			it.Next()
+		}
+		if it.Valid() {
+			t.Fatal("iterator valid past the end")
+		}
+
+		// (b) Arbitrary bytes as wire data: must error or succeed, never
+		// panic. Plausible list lengths are tried so truncation at every
+		// boundary is exercised.
+		for _, n := range []int{1, 7, BlockSize, BlockSize + 1} {
+			_, _ = newCompListFromWire(n, data, lasts[:0], 1<<20)
+		}
+		// And as a whole TPIX stream.
+		_, _ = Read(bytes.NewReader(data))
+	})
+}
+
+// FuzzReadTPIX mutates a real v4 file: every Read outcome must be an
+// error or a structurally valid index — never a panic.
+func FuzzReadTPIX(f *testing.F) {
+	x := buildTestIndex(f,
+		"apache helicopter army weapons apache helicopter apache",
+		"stock market investors trading volume stock",
+		"apache webserver software configuration",
+	)
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:buf.Len()/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		y, err := Read(bytes.NewReader(data))
+		if err != nil || y == nil {
+			return
+		}
+		// Accepted indexes must be traversable end to end.
+		for tid := 0; tid < y.NumTerms(); tid++ {
+			it := y.Iter(textproc.TermID(tid))
+			prev := corpus.DocID(-1)
+			for it.Valid() {
+				if it.Doc() <= prev || int(it.Doc()) >= y.NumDocs() || it.TF() < 1 {
+					t.Fatalf("term %d: invalid posting (%d,%d) after prev %d", tid, it.Doc(), it.TF(), prev)
+				}
+				prev = it.Doc()
+				it.Next()
+			}
+		}
+	})
+}
+
+// TestV4CorruptBlocksRejected hand-corrupts specific fields of a v4
+// stream — block widths, counts, payload truncation, last-doc
+// metadata — and requires Read to return an error for each, not
+// panic and not accept.
+func TestV4CorruptBlocksRejected(t *testing.T) {
+	x := buildTestIndex(t,
+		"apache helicopter army weapons apache helicopter apache",
+		"stock market investors trading volume stock",
+		"apache webserver software configuration",
+		"cooking recipes kitchen dinner helicopter",
+	)
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	if _, err := Read(bytes.NewReader(orig)); err != nil {
+		t.Fatalf("pristine v4 must load: %v", err)
+	}
+	// Truncation at every prefix length must error.
+	for cut := 0; cut < len(orig); cut += 7 {
+		if _, err := Read(bytes.NewReader(orig[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+	}
+	// Single-byte corruption across the stream: every outcome must be
+	// an error or a fully valid index (some flips only touch impact
+	// floats, which carry no structural invariant) — never a panic.
+	for pos := 8; pos < len(orig); pos++ {
+		mut := append([]byte(nil), orig...)
+		mut[pos] ^= 0xFF
+		y, err := Read(bytes.NewReader(mut))
+		if err != nil || y == nil {
+			continue
+		}
+		for tid := 0; tid < y.NumTerms(); tid++ {
+			it := y.Iter(textproc.TermID(tid))
+			prev := corpus.DocID(-1)
+			for it.Valid() {
+				if it.Doc() <= prev || int(it.Doc()) >= y.NumDocs() || it.TF() < 1 {
+					t.Fatalf("byte %d flipped: accepted index has invalid posting", pos)
+				}
+				prev = it.Doc()
+				it.Next()
+			}
+		}
+	}
+}

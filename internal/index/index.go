@@ -1,8 +1,8 @@
 // Package index implements the inverted-index substrate of the search
 // engine: per-term postings lists of ⟨doc, tf⟩ pairs (the ⟨p_ij, d_j⟩
-// pairs of the paper's §II), tf-idf statistics, a compact on-disk codec,
-// and the size accounting the paper uses in its PIR cost argument and
-// in Figure 6.
+// pairs of the paper's §II) held block-compressed in memory and on
+// disk, tf-idf statistics, a compact on-disk codec, and the size
+// accounting the paper uses in its PIR cost argument and in Figure 6.
 package index
 
 import (
@@ -14,7 +14,10 @@ import (
 	"toppriv/internal/textproc"
 )
 
-// Posting records one document's occurrence count for a term.
+// Posting records one document's occurrence count for a term — the
+// decoded form of one postings entry. Inside an Index postings live
+// block-compressed (see postings.go); Posting is the unit iterators
+// decode and builders/mergers assemble.
 type Posting struct {
 	Doc corpus.DocID
 	TF  int32
@@ -31,17 +34,18 @@ const (
 	BM25B  = 0.75
 )
 
-// BlockSize is the number of postings per max-impact block. Per-block
-// bounds are what let document-at-a-time execution skip whole runs of
-// postings (block-max WAND) instead of single documents: a block whose
-// best posting cannot beat the current top-k threshold is never
-// descended into. 128 is the standard choice — big enough that block
-// metadata is a rounding error next to the postings, small enough that
-// the bounds stay tight.
+// BlockSize is the number of postings per compressed block and per
+// max-impact block. Per-block bounds are what let document-at-a-time
+// execution skip whole runs of postings (block-max WAND) instead of
+// single documents, and block-wise compression is what lets a skipped
+// run also skip its decode. 128 is the standard choice — big enough
+// that block metadata is a rounding error next to the postings, small
+// enough that the bounds stay tight and a decoded block fits in a
+// kilobyte of iterator buffer.
 const BlockSize = 128
 
-// BlockMax is the impact summary of one fixed-size block of postings:
-// the same three bounds the term-level metadata carries (largest term
+// BlockMax is the impact summary of one block of postings: the same
+// three bounds the term-level metadata carries (largest term
 // frequency, largest lnc cosine partial, largest length-free BM25
 // saturation factor), restricted to the block's documents.
 type BlockMax struct {
@@ -64,9 +68,12 @@ func BM25TFBound(tf int32) float64 {
 // Index is an immutable inverted index over a corpus. Build it with
 // Build; it is then safe for concurrent readers.
 type Index struct {
-	vocab    *textproc.Vocab
-	postings []PostingList // indexed by TermID
-	docLen   []int         // analyzed length of each document
+	vocab *textproc.Vocab
+	// lists holds each term's block-compressed postings (indexed by
+	// TermID). Traversal decodes block-at-a-time through Iter/BlockIter;
+	// Postings materializes a list only for cold paths and tests.
+	lists    []compList
+	docLen   []int // analyzed length of each document
 	numDocs  int
 	totalLen int
 
@@ -78,10 +85,10 @@ type Index struct {
 	maxTF  []int32
 	maxCos []float64
 	maxBM  []float64
-	// blocks holds the same bounds per BlockSize-posting block of each
-	// list (ceil(len/BlockSize) entries; nil for empty lists) — the
-	// skipping fuel of block-max WAND. The term-level maxima above are
-	// exactly the maxima over a list's blocks. Persisted by the v3
+	// blocks holds the same bounds per compressed block of each list
+	// (aligned with the list's block structure; nil for empty lists) —
+	// the skipping fuel of block-max WAND. The term-level maxima above
+	// are exactly the maxima over a list's blocks. Persisted by the
 	// codec, recomputed on v1/v2 loads.
 	blocks [][]BlockMax
 }
@@ -92,11 +99,11 @@ func Build(c *corpus.Corpus) (*Index, error) {
 		return nil, fmt.Errorf("index: nil corpus")
 	}
 	idx := &Index{
-		vocab:    c.Vocab,
-		postings: make([]PostingList, c.Vocab.Size()),
-		docLen:   make([]int, c.NumDocs()),
-		numDocs:  c.NumDocs(),
+		vocab:   c.Vocab,
+		docLen:  make([]int, c.NumDocs()),
+		numDocs: c.NumDocs(),
 	}
+	raw := make([][]Posting, c.Vocab.Size())
 	for d, bag := range c.Bags {
 		idx.docLen[d] = len(bag)
 		idx.totalLen += len(bag)
@@ -105,28 +112,39 @@ func Build(c *corpus.Corpus) (*Index, error) {
 			counts[id]++
 		}
 		for id, tf := range counts {
-			idx.postings[id] = append(idx.postings[id], Posting{Doc: corpus.DocID(d), TF: tf})
+			raw[id] = append(raw[id], Posting{Doc: corpus.DocID(d), TF: tf})
 		}
 	}
 	// Document order within each list follows map iteration above; sort
 	// for deterministic layout and delta-encodable doc IDs.
-	for id := range idx.postings {
-		pl := idx.postings[id]
+	for id := range raw {
+		pl := raw[id]
 		sort.Slice(pl, func(i, j int) bool { return pl[i].Doc < pl[j].Doc })
 	}
-	idx.computeImpacts()
+	idx.computeImpacts(raw)
+	idx.compressLists(raw)
 	return idx, nil
 }
 
+// compressLists encodes the raw sorted lists into the block-compressed
+// in-memory form. The raw slices are not retained.
+func (x *Index) compressLists(raw [][]Posting) {
+	x.lists = make([]compList, len(raw))
+	for t, pl := range raw {
+		x.lists[t] = encodePostings(pl)
+	}
+}
+
 // computeImpacts derives the per-term and per-block max-impact
-// metadata from the postings in one pass: lnc document norms first
-// (they need the whole index), then each list's blocks, then the
-// term-level maxima as the maxima over blocks — which makes the two
-// levels consistent by construction (bit-for-bit: they maximize over
-// the same float values, and BM25TFBound is monotone in tf).
-func (x *Index) computeImpacts() {
+// metadata from the raw (uncompressed, sorted) postings in one pass:
+// lnc document norms first (they need the whole index), then each
+// list's blocks, then the term-level maxima as the maxima over blocks
+// — which makes the two levels consistent by construction
+// (bit-for-bit: they maximize over the same float values, and
+// BM25TFBound is monotone in tf).
+func (x *Index) computeImpacts(raw [][]Posting) {
 	norms := make([]float64, x.numDocs)
-	for _, pl := range x.postings {
+	for _, pl := range raw {
 		for _, p := range pl {
 			w := 1 + math.Log(float64(p.TF))
 			norms[p.Doc] += w * w
@@ -135,11 +153,11 @@ func (x *Index) computeImpacts() {
 	for d := range norms {
 		norms[d] = math.Sqrt(norms[d])
 	}
-	x.maxTF = make([]int32, len(x.postings))
-	x.maxCos = make([]float64, len(x.postings))
-	x.maxBM = make([]float64, len(x.postings))
-	x.blocks = make([][]BlockMax, len(x.postings))
-	for t, pl := range x.postings {
+	x.maxTF = make([]int32, len(raw))
+	x.maxCos = make([]float64, len(raw))
+	x.maxBM = make([]float64, len(raw))
+	x.blocks = make([][]BlockMax, len(raw))
+	for t, pl := range raw {
 		if len(pl) == 0 {
 			continue
 		}
@@ -149,36 +167,49 @@ func (x *Index) computeImpacts() {
 			if end > len(pl) {
 				end = len(pl)
 			}
-			var bm BlockMax
-			for _, p := range pl[start:end] {
-				if p.TF > bm.MaxTF {
-					bm.MaxTF = p.TF
-				}
-				if c := (1 + math.Log(float64(p.TF))) / norms[p.Doc]; c > bm.MaxCos {
-					bm.MaxCos = c
-				}
-			}
-			bm.MaxBM = BM25TFBound(bm.MaxTF)
-			bs[b] = bm
+			bs[b] = blockMaxOf(pl[start:end], norms, nil)
 		}
 		x.blocks[t] = bs
-		var mtf int32
-		mcos, mbm := 0.0, 0.0
-		for _, bm := range bs {
-			if bm.MaxTF > mtf {
-				mtf = bm.MaxTF
-			}
-			if bm.MaxCos > mcos {
-				mcos = bm.MaxCos
-			}
-			if bm.MaxBM > mbm {
-				mbm = bm.MaxBM
-			}
-		}
-		x.maxTF[t] = mtf
-		x.maxCos[t] = mcos
-		x.maxBM[t] = mbm
+		x.maxTF[t], x.maxCos[t], x.maxBM[t] = maxOverBlocks(bs)
 	}
+}
+
+// blockMaxOf computes one block's impact bounds over its postings.
+// When remap is non-nil, norms are indexed by remap of the posting's
+// doc (the block-wise merge path, where postings already carry merged
+// IDs but norms are per-part).
+func blockMaxOf(pl []Posting, norms []float64, remap []corpus.DocID) BlockMax {
+	var bm BlockMax
+	for i, p := range pl {
+		if p.TF > bm.MaxTF {
+			bm.MaxTF = p.TF
+		}
+		d := p.Doc
+		if remap != nil {
+			d = remap[i]
+		}
+		if c := (1 + math.Log(float64(p.TF))) / norms[d]; c > bm.MaxCos {
+			bm.MaxCos = c
+		}
+	}
+	bm.MaxBM = BM25TFBound(bm.MaxTF)
+	return bm
+}
+
+// maxOverBlocks folds a list's block bounds into its term-level maxima.
+func maxOverBlocks(bs []BlockMax) (mtf int32, mcos, mbm float64) {
+	for _, bm := range bs {
+		if bm.MaxTF > mtf {
+			mtf = bm.MaxTF
+		}
+		if bm.MaxCos > mcos {
+			mcos = bm.MaxCos
+		}
+		if bm.MaxBM > mbm {
+			mbm = bm.MaxBM
+		}
+	}
+	return mtf, mcos, mbm
 }
 
 // Vocab returns the shared vocabulary.
@@ -188,25 +219,68 @@ func (x *Index) Vocab() *textproc.Vocab { return x.vocab }
 func (x *Index) NumDocs() int { return x.numDocs }
 
 // NumTerms returns the dictionary size.
-func (x *Index) NumTerms() int { return len(x.postings) }
+func (x *Index) NumTerms() int { return len(x.lists) }
 
-// Postings returns the postings list for a term ID. The returned slice
-// is shared; callers must not modify it.
+// Postings decodes and returns the postings list for a term ID. Each
+// call materializes a fresh slice — hot paths should traverse through
+// Iter/BlockIter instead, which decode block-at-a-time without
+// allocating.
 func (x *Index) Postings(id textproc.TermID) PostingList {
-	if id < 0 || int(id) >= len(x.postings) {
+	if id < 0 || int(id) >= len(x.lists) {
 		return nil
 	}
-	return x.postings[id]
+	cl := &x.lists[id]
+	if cl.n == 0 {
+		return nil
+	}
+	out := make(PostingList, 0, cl.n)
+	it := newCompIterator(cl, nil)
+	for it.Valid() {
+		docs, tfs := it.Window()
+		for i := range docs {
+			out = append(out, Posting{Doc: docs[i], TF: tfs[i]})
+		}
+		if !it.NextWindow() {
+			break
+		}
+	}
+	return out
 }
 
-// PostingsByTerm resolves a surface term and returns its postings.
+// PostingsByTerm resolves a surface term and returns its postings
+// (decoded; see Postings).
 func (x *Index) PostingsByTerm(term string) PostingList {
 	return x.Postings(x.vocab.ID(term))
 }
 
 // DocFreq returns the document frequency of a term.
 func (x *Index) DocFreq(id textproc.TermID) int {
-	return len(x.Postings(id))
+	if id < 0 || int(id) >= len(x.lists) {
+		return 0
+	}
+	return int(x.lists[id].n)
+}
+
+// Iter returns a decode-on-traversal iterator over id's postings,
+// carrying the per-block impact bounds. Absent terms yield an
+// exhausted iterator. Query hot paths use IterInto instead, which
+// repositions a pooled iterator without copying its buffers.
+func (x *Index) Iter(id textproc.TermID) Iterator {
+	if id < 0 || int(id) >= len(x.lists) {
+		return Iterator{}
+	}
+	return newCompIterator(&x.lists[id], x.blocks[id])
+}
+
+// IterInto repositions it over id's postings in place — the vsm
+// Source contract. Only the first block's doc IDs are decoded; the
+// iterator's kilobyte of buffer is neither cleared nor copied.
+func (x *Index) IterInto(id textproc.TermID, it *Iterator) {
+	if id < 0 || int(id) >= len(x.lists) {
+		it.ResetList(nil, nil)
+		return
+	}
+	it.resetComp(&x.lists[id], x.blocks[id])
 }
 
 // MaxTF returns the largest term frequency in id's postings list
@@ -238,9 +312,9 @@ func (x *Index) MaxBM25Impact(id textproc.TermID) float64 {
 	return x.maxBM[id]
 }
 
-// BlockMaxes returns the per-block impact bounds of id's postings:
-// ceil(len/BlockSize) entries, block b covering postings
-// [b·BlockSize, (b+1)·BlockSize). Nil for absent terms and empty
+// BlockMaxes returns the per-block impact bounds of id's postings,
+// aligned with the list's compressed-block structure (block b of the
+// iterator carries bounds entry b). Nil for absent terms and empty
 // lists. The returned slice is shared; callers must not modify it.
 func (x *Index) BlockMaxes(id textproc.TermID) []BlockMax {
 	if id < 0 || int(id) >= len(x.blocks) {
@@ -256,13 +330,13 @@ func (x *Index) HasBlocks() bool { return true }
 
 // BlockIter returns an iterator over id's postings that carries the
 // per-block impact bounds, enabling block-level skipping in the
-// query engine (the vsm BlockSource contract).
-func (x *Index) BlockIter(id textproc.TermID) Iterator {
-	if id < 0 || int(id) >= len(x.postings) {
-		return Iterator{}
-	}
-	return x.postings[id].IterBlocks(x.blocks[id])
-}
+// query engine. Identical to Iter.
+func (x *Index) BlockIter(id textproc.TermID) Iterator { return x.Iter(id) }
+
+// BlockIterInto is the in-place BlockIter — the vsm BlockSource
+// contract. Identical to IterInto (every index iterator carries
+// block bounds).
+func (x *Index) BlockIterInto(id textproc.TermID, it *Iterator) { x.IterInto(id, it) }
 
 // IDF returns the smoothed inverse document frequency
 // ln(1 + N/df). Terms absent from the dictionary get 0.

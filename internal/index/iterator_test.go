@@ -9,7 +9,7 @@ import (
 	"toppriv/internal/textproc"
 )
 
-func buildTestIndex(t *testing.T, texts ...string) *Index {
+func buildTestIndex(t testing.TB, texts ...string) *Index {
 	t.Helper()
 	docs := make([]corpus.Document, len(texts))
 	for i, text := range texts {
@@ -237,7 +237,7 @@ func TestBuildBlockMaxes(t *testing.T) {
 	)
 	norms := make([]float64, idx.NumDocs())
 	for tid := 0; tid < idx.NumTerms(); tid++ {
-		for _, p := range idx.postings[tid] {
+		for _, p := range idx.Postings(textproc.TermID(tid)) {
 			w := 1 + math.Log(float64(p.TF))
 			norms[p.Doc] += w * w
 		}
@@ -308,7 +308,7 @@ func TestImpactMetadata(t *testing.T) {
 	)
 	norms := make([]float64, idx.NumDocs())
 	for tid := 0; tid < idx.NumTerms(); tid++ {
-		for _, p := range idx.postings[tid] {
+		for _, p := range idx.Postings(textproc.TermID(tid)) {
 			w := 1 + math.Log(float64(p.TF))
 			norms[p.Doc] += w * w
 		}
@@ -319,7 +319,7 @@ func TestImpactMetadata(t *testing.T) {
 	for tid := 0; tid < idx.NumTerms(); tid++ {
 		var wantTF int32
 		wantCos := 0.0
-		for _, p := range idx.postings[tid] {
+		for _, p := range idx.Postings(textproc.TermID(tid)) {
 			if p.TF > wantTF {
 				wantTF = p.TF
 			}

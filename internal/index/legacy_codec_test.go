@@ -13,10 +13,12 @@ import (
 )
 
 // writeLegacy serializes x in a historical TPIX layout: version 1
-// (postings only) or version 2 (postings plus term-level impact
-// metadata, no blocks). It exists so the upgrade paths can be tested
-// against freshly produced legacy bytes, and so the checked-in
-// fixtures can be regenerated (TestRegenerateLegacyFixtures).
+// (postings only), version 2 (postings plus term-level impact
+// metadata, no blocks), or version 3 (postings plus per-block impact
+// metadata, uncompressed varint-delta lists). It exists so the
+// upgrade paths can be tested against freshly produced legacy bytes,
+// and so the checked-in fixtures can be regenerated
+// (TestRegenerateLegacyFixtures).
 func writeLegacy(t *testing.T, version uint32, x *Index) []byte {
 	t.Helper()
 	var buf bytes.Buffer
@@ -36,12 +38,12 @@ func writeLegacy(t *testing.T, version uint32, x *Index) []byte {
 	binary.LittleEndian.PutUint32(ver[:], version)
 	w.Write(ver[:])
 	wu(uint64(x.numDocs))
-	wu(uint64(len(x.postings)))
-	for id := range x.postings {
+	wu(uint64(x.NumTerms()))
+	for id := 0; id < x.NumTerms(); id++ {
 		term := x.vocab.Term(textproc.TermID(id))
 		wu(uint64(len(term)))
 		w.WriteString(term)
-		pl := x.postings[id]
+		pl := x.Postings(textproc.TermID(id))
 		wu(uint64(len(pl)))
 		prev := corpus.DocID(0)
 		for _, p := range pl {
@@ -49,10 +51,17 @@ func writeLegacy(t *testing.T, version uint32, x *Index) []byte {
 			prev = p.Doc
 			wu(uint64(p.TF))
 		}
-		if version >= codecVersionV2 {
+		if version == codecVersionV2 {
 			wu(uint64(x.maxTF[id]))
 			wf(x.maxCos[id])
 			wf(x.maxBM[id])
+		}
+		if version == codecVersionV3 {
+			for _, bm := range x.BlockMaxes(textproc.TermID(id)) {
+				wu(uint64(bm.MaxTF))
+				wf(bm.MaxCos)
+				wf(bm.MaxBM)
+			}
 		}
 	}
 	for _, dl := range x.docLen {
@@ -76,27 +85,35 @@ func fixtureIndex(t *testing.T) *Index {
 	)
 }
 
-// TestRegenerateLegacyFixtures rewrites testdata/v2.tpix when
-// TPIX_WRITE_FIXTURES is set; normally it only checks the checked-in
-// bytes still match what writeLegacy produces for the fixture corpus.
-// (testdata/v1.tpix predates this helper and is left untouched — it
-// pins the historical writer's bytes, not this reconstruction.)
+// TestRegenerateLegacyFixtures rewrites testdata/v2.tpix and
+// testdata/v3.tpix when TPIX_WRITE_FIXTURES is set; normally it only
+// checks the checked-in bytes still match what writeLegacy produces
+// for the fixture corpus. (testdata/v1.tpix predates this helper and
+// is left untouched — it pins the historical writer's bytes, not this
+// reconstruction.)
 func TestRegenerateLegacyFixtures(t *testing.T) {
-	want := writeLegacy(t, codecVersionV2, fixtureIndex(t))
-	const path = "testdata/v2.tpix"
-	if os.Getenv("TPIX_WRITE_FIXTURES") != "" {
-		if err := os.WriteFile(path, want, 0o644); err != nil {
-			t.Fatal(err)
+	for _, fx := range []struct {
+		version uint32
+		path    string
+	}{
+		{codecVersionV2, "testdata/v2.tpix"},
+		{codecVersionV3, "testdata/v3.tpix"},
+	} {
+		want := writeLegacy(t, fx.version, fixtureIndex(t))
+		if os.Getenv("TPIX_WRITE_FIXTURES") != "" {
+			if err := os.WriteFile(fx.path, want, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s (%d bytes)", fx.path, len(want))
+			continue
 		}
-		t.Logf("wrote %s (%d bytes)", path, len(want))
-		return
-	}
-	got, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatalf("%v (run with TPIX_WRITE_FIXTURES=1 to generate)", err)
-	}
-	if !bytes.Equal(got, want) {
-		t.Fatalf("%s drifted from writeLegacy output (%d vs %d bytes)", path, len(got), len(want))
+		got, err := os.ReadFile(fx.path)
+		if err != nil {
+			t.Fatalf("%v (run with TPIX_WRITE_FIXTURES=1 to generate)", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s drifted from writeLegacy output (%d vs %d bytes)", fx.path, len(got), len(want))
+		}
 	}
 }
 
@@ -124,14 +141,14 @@ func TestReadV2Fixture(t *testing.T) {
 	assertImpactsMatchFresh(t, x, fixtureIndex(t))
 }
 
-// TestLegacyUpgradeRoundTrip writes v1 and v2 bytes for a fresh
+// TestLegacyUpgradeRoundTrip writes v1, v2, and v3 bytes for a fresh
 // index, reads them back, and requires the upgraded in-memory form —
 // postings, term-level impacts, and per-block bounds — to match the
-// original bit-for-bit; then a v3 round-trip of the upgraded index
+// original bit-for-bit; then a v4 round-trip of the upgraded index
 // must preserve everything again.
 func TestLegacyUpgradeRoundTrip(t *testing.T) {
 	x := fixtureIndex(t)
-	for _, version := range []uint32{codecVersionV1, codecVersionV2} {
+	for _, version := range []uint32{codecVersionV1, codecVersionV2, codecVersionV3} {
 		y, err := Read(bytes.NewReader(writeLegacy(t, version, x)))
 		if err != nil {
 			t.Fatalf("v%d: %v", version, err)
@@ -139,14 +156,39 @@ func TestLegacyUpgradeRoundTrip(t *testing.T) {
 		assertImpactsMatchFresh(t, y, x)
 		var buf bytes.Buffer
 		if _, err := y.WriteTo(&buf); err != nil {
-			t.Fatalf("v%d→v3 write: %v", version, err)
+			t.Fatalf("v%d→v4 write: %v", version, err)
 		}
 		z, err := Read(&buf)
 		if err != nil {
-			t.Fatalf("v%d→v3 read: %v", version, err)
+			t.Fatalf("v%d→v4 read: %v", version, err)
 		}
 		assertImpactsMatchFresh(t, z, x)
 	}
+}
+
+// TestReadV3Fixture loads the checked-in v3-format TPIX file
+// (uncompressed varint-delta postings plus per-block impact metadata)
+// and checks the postings and metadata survive the upgrade to the
+// block-compressed in-memory form — the v3→v4 path. If this breaks,
+// v3 files in the field stopped loading.
+func TestReadV3Fixture(t *testing.T) {
+	f, err := os.Open("testdata/v3.tpix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	x, err := Read(f)
+	if err != nil {
+		t.Fatalf("v3 fixture must load: %v", err)
+	}
+	if x.NumDocs() != 4 {
+		t.Fatalf("fixture NumDocs = %d, want 4", x.NumDocs())
+	}
+	pl := x.PostingsByTerm("apache")
+	if len(pl) != 2 || pl[0].Doc != 0 || pl[0].TF != 3 || pl[1].Doc != 2 || pl[1].TF != 1 {
+		t.Fatalf("apache postings = %v", pl)
+	}
+	assertImpactsMatchFresh(t, x, fixtureIndex(t))
 }
 
 // assertImpactsMatchFresh compares got's postings and impact metadata

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"testing"
@@ -140,4 +141,189 @@ func TestMergeErrors(t *testing.T) {
 	if _, _, err := Merge([]*Index{idx}, make([]func(corpus.DocID) bool, 2)); err == nil {
 		t.Fatal("want error for keep length mismatch")
 	}
+}
+
+// sharedVocabParts builds nParts indexes over one shared append-only
+// dictionary — the segment store's discipline, where every earlier
+// part's vocabulary is a prefix of every later one's, so Merge takes
+// its block-wise path. Lists for "common" span multiple blocks.
+func sharedVocabParts(t *testing.T, sizes []int) ([]*Index, [][]string) {
+	t.Helper()
+	an := textproc.NewAnalyzer(textproc.WithStemming(false))
+	vocab := textproc.NewVocab()
+	parts := make([]*Index, len(sizes))
+	texts := make([][]string, len(sizes))
+	word := 0
+	for p, size := range sizes {
+		docs := make([]corpus.Document, size)
+		bags := make([][]textproc.TermID, size)
+		for d := 0; d < size; d++ {
+			// Every doc shares "common"; every third doc shares
+			// "periodic"; each doc has a unique term and a repeated one.
+			txt := fmt.Sprintf("common unique%d unique%d", word, word)
+			if d%3 == 0 {
+				txt += " periodic periodic"
+			}
+			word++
+			docs[d] = corpus.Document{Text: txt}
+			bags[d] = corpus.AnalyzeInto(docs[d], an, vocab)
+			texts[p] = append(texts[p], txt)
+		}
+		c := &corpus.Corpus{Docs: docs, Vocab: vocab.Clone(), Bags: bags}
+		idx, err := Build(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[p] = idx
+	}
+	return parts, texts
+}
+
+// assertMergedMatchesRebuild compares a merged index against a
+// from-scratch Build over the same surviving documents: postings and
+// document facts must match exactly, term-level impact metadata
+// bit-for-bit (the block-wise path must not perturb a single ULP —
+// its copied cosine bounds divide by norms accumulated in the same
+// order a rebuild uses), and every per-block bound must exactly
+// summarize the block it covers, whatever the block partitioning.
+func assertMergedMatchesRebuild(t *testing.T, merged, want *Index) {
+	t.Helper()
+	if merged.NumDocs() != want.NumDocs() || merged.AvgDocLen() != want.AvgDocLen() {
+		t.Fatalf("shape: %d/%d docs, avg %v/%v", merged.NumDocs(), want.NumDocs(), merged.AvgDocLen(), want.AvgDocLen())
+	}
+	for tid := 0; tid < want.NumTerms(); tid++ {
+		term := want.Vocab().Term(textproc.TermID(tid))
+		mid := merged.Vocab().ID(term)
+		wp, mp := want.Postings(textproc.TermID(tid)), merged.Postings(mid)
+		if len(wp) != len(mp) {
+			t.Fatalf("term %q: %d vs %d postings", term, len(mp), len(wp))
+		}
+		for i := range wp {
+			if wp[i] != mp[i] {
+				t.Fatalf("term %q posting %d: %+v vs %+v", term, i, mp[i], wp[i])
+			}
+		}
+		if merged.MaxTF(mid) != want.MaxTF(textproc.TermID(tid)) {
+			t.Errorf("term %q: MaxTF %d vs %d", term, merged.MaxTF(mid), want.MaxTF(textproc.TermID(tid)))
+		}
+		if math.Float64bits(merged.MaxCosImpact(mid)) != math.Float64bits(want.MaxCosImpact(textproc.TermID(tid))) {
+			t.Errorf("term %q: MaxCosImpact differs from rebuild", term)
+		}
+		if math.Float64bits(merged.MaxBM25Impact(mid)) != math.Float64bits(want.MaxBM25Impact(textproc.TermID(tid))) {
+			t.Errorf("term %q: MaxBM25Impact differs from rebuild", term)
+		}
+		// Block bounds must exactly summarize their (possibly
+		// irregular) blocks.
+		it := merged.Iter(mid)
+		bms := merged.BlockMaxes(mid)
+		pos := 0
+		for it.Valid() {
+			bi := it.BlockIndex()
+			docs, tfs := it.Window()
+			var btf int32
+			for j := range docs {
+				if tfs[j] != mp[pos].TF || docs[j] != mp[pos].Doc {
+					t.Fatalf("term %q: iterator diverged at %d", term, pos)
+				}
+				if tfs[j] > btf {
+					btf = tfs[j]
+				}
+				pos++
+			}
+			if bms[bi].MaxTF != btf {
+				t.Fatalf("term %q block %d: MaxTF %d, block holds %d", term, bi, bms[bi].MaxTF, btf)
+			}
+			if math.Float64bits(bms[bi].MaxBM) != math.Float64bits(BM25TFBound(btf)) {
+				t.Fatalf("term %q block %d: MaxBM inconsistent", term, bi)
+			}
+			if !it.NextWindow() {
+				break
+			}
+		}
+		if pos != len(mp) {
+			t.Fatalf("term %q: iterator yielded %d of %d postings", term, pos, len(mp))
+		}
+	}
+}
+
+// TestMergeBlockwiseClean merges three shared-dictionary parts with no
+// tombstones — the pure block-copy path, first blocks rebased, interior
+// partial blocks at the part seams — and requires exact agreement with
+// a from-scratch rebuild, surviving a v4 codec round trip.
+func TestMergeBlockwiseClean(t *testing.T) {
+	parts, texts := sharedVocabParts(t, []int{300, 200, 140})
+	merged, _, err := Merge(parts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []string
+	for _, tx := range texts {
+		all = append(all, tx...)
+	}
+	want, err := Build(buildCorpusNoStem(t, all))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMergedMatchesRebuild(t, merged, want)
+
+	// The irregular block layout must survive serialization.
+	var buf bytes.Buffer
+	if _, err := merged.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMergedMatchesRebuild(t, back, want)
+}
+
+// TestMergeBlockwiseWithTombstones mixes a dirty part (tombstoned
+// documents force decode-filter-re-encode) between clean parts whose
+// blocks are copied; results must still match a rebuild over the
+// survivors exactly, including bit-identical term-level bounds.
+func TestMergeBlockwiseWithTombstones(t *testing.T) {
+	parts, texts := sharedVocabParts(t, []int{200, 170, 150})
+	keep := []func(corpus.DocID) bool{
+		nil,
+		func(d corpus.DocID) bool { return d%4 != 1 },
+		nil,
+	}
+	merged, remap, err := Merge(parts, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []string
+	for p, tx := range texts {
+		for d, txt := range tx {
+			if keep[p] == nil || keep[p](corpus.DocID(d)) {
+				all = append(all, txt)
+			}
+		}
+	}
+	want, err := Build(buildCorpusNoStem(t, all))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMergedMatchesRebuild(t, merged, want)
+	for d := 0; d < len(remap[1]); d++ {
+		if (remap[1][d] == DroppedDoc) != (d%4 == 1) {
+			t.Fatalf("part 1 doc %d: unexpected remap %d", d, remap[1][d])
+		}
+	}
+}
+
+// buildCorpusNoStem analyzes texts with stemming off (sharedVocabParts
+// uses the same analyzer configuration).
+func buildCorpusNoStem(t *testing.T, texts []string) *corpus.Corpus {
+	t.Helper()
+	docs := make([]corpus.Document, len(texts))
+	for i, txt := range texts {
+		docs[i] = corpus.Document{Text: txt}
+	}
+	c, err := corpus.Build(docs, textproc.NewAnalyzer(textproc.WithStemming(false)), textproc.PruneSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }

@@ -1,0 +1,531 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"toppriv/internal/corpus"
+)
+
+// Block-compressed postings: the in-memory (and, via the v4 codec,
+// on-disk) representation of a postings list. Each run of up to
+// BlockSize postings is stored as one frame-of-reference block —
+// delta-encoded doc IDs and term frequencies, both reduced by a
+// per-block minimum and bit-packed at a per-block width — so a list
+// costs a few bits per posting instead of the 8 bytes of a raw
+// Posting, and traversal decodes one block at a time into a small
+// per-iterator buffer instead of materializing []Posting.
+//
+// Wire layout of one block (identical in memory and in the v4 file):
+//
+//	uvarint baseDelta   firstDoc − prevLast (prevLast = −1 before the
+//	                    first block, so baseDelta ≥ 1). First so a
+//	                    block-wise merge can rebase a copied run by
+//	                    rewriting one varint.
+//	uvarint count       postings in the block (1..BlockSize)
+//	byte    gapBits     bit width of the packed gap residuals (≤ 31)
+//	byte    tfBits      bit width of the packed tf residuals (≤ 31)
+//	uvarint minGap−1    smallest doc gap (present only when count > 1)
+//	uvarint minTF−1     smallest term frequency in the block
+//	packed  count−1 gap residuals (gap_i − minGap), gapBits each, LSB-first
+//	packed  count tf residuals (tf_i − minTF), tfBits each
+//
+// Blocks produced by Build and seal are BlockSize-aligned; a
+// block-wise Merge may append shorter interior blocks (one partial
+// block per source run), which every consumer supports because block
+// boundaries are carried as explicit start ordinals, never derived by
+// division.
+
+// compList is one term's compressed postings plus the per-block skip
+// metadata (byte offsets, start ordinals, last doc IDs) that lets
+// SeekGE and block-max WAND jump across blocks without decoding them.
+// Lists of at most BlockSize postings — the overwhelmingly common case
+// — keep offs/starts/lasts nil and answer block queries from n,
+// len(data), and lastDoc, so a short list costs exactly one data
+// allocation.
+type compList struct {
+	n       int32
+	lastDoc corpus.DocID
+	data    []byte
+	// Multi-block lists only (nil otherwise):
+	offs   []uint32       // numBlocks+1 byte offsets into data
+	starts []int32        // numBlocks+1 posting ordinals (starts[numBlocks] = n)
+	lasts  []corpus.DocID // last doc ID of each block
+}
+
+// numBlocks returns the block count.
+func (cl *compList) numBlocks() int {
+	if cl.offs == nil {
+		if cl.n == 0 {
+			return 0
+		}
+		return 1
+	}
+	return len(cl.offs) - 1
+}
+
+// blockData returns the raw bytes of block b.
+func (cl *compList) blockData(b int) []byte {
+	if cl.offs == nil {
+		return cl.data
+	}
+	return cl.data[cl.offs[b]:cl.offs[b+1]]
+}
+
+// blockStart returns the ordinal of block b's first posting.
+func (cl *compList) blockStart(b int) int {
+	if cl.starts == nil {
+		return 0
+	}
+	return int(cl.starts[b])
+}
+
+// blockLen returns the posting count of block b.
+func (cl *compList) blockLen(b int) int {
+	if cl.starts == nil {
+		return int(cl.n)
+	}
+	return int(cl.starts[b+1] - cl.starts[b])
+}
+
+// blockLast returns the last doc ID of block b.
+func (cl *compList) blockLast(b int) corpus.DocID {
+	if cl.lasts == nil {
+		return cl.lastDoc
+	}
+	return cl.lasts[b]
+}
+
+// memBytes is the exact in-memory footprint of the postings
+// representation: packed data plus the skip metadata arrays. This is
+// what Stats.PostingsBytes sums.
+func (cl *compList) memBytes() int64 {
+	return int64(len(cl.data)) +
+		4*int64(len(cl.offs)) + 4*int64(len(cl.starts)) + 4*int64(len(cl.lasts))
+}
+
+// appendUvarint appends v as a uvarint.
+func appendUvarint(data []byte, v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	return append(data, buf[:binary.PutUvarint(buf[:], v)]...)
+}
+
+// appendPackedBits appends count values at the given width (≤ 31),
+// LSB-first within each byte.
+func appendPackedBits(data []byte, vals []uint32, width uint) []byte {
+	if width == 0 {
+		return data
+	}
+	var acc uint64
+	var nbits uint
+	for _, v := range vals {
+		acc |= uint64(v) << nbits
+		nbits += width
+		for nbits >= 8 {
+			data = append(data, byte(acc))
+			acc >>= 8
+			nbits -= 8
+		}
+	}
+	if nbits > 0 {
+		data = append(data, byte(acc))
+	}
+	return data
+}
+
+// unpackBits decodes count width-bit values from data into out.
+// len(data) must cover count*width bits; width ≤ 31.
+func unpackBits(data []byte, count int, width uint, out []uint32) {
+	if width == 0 {
+		for i := 0; i < count; i++ {
+			out[i] = 0
+		}
+		return
+	}
+	mask := uint32(1)<<width - 1
+	var acc uint64
+	var nbits uint
+	pos := 0
+	for i := 0; i < count; i++ {
+		for nbits < width {
+			acc |= uint64(data[pos]) << nbits
+			pos++
+			nbits += 8
+		}
+		out[i] = uint32(acc) & mask
+		acc >>= width
+		nbits -= width
+	}
+}
+
+// packedLen returns the byte length of count width-bit values.
+func packedLen(count int, width uint) int {
+	return (count*int(width) + 7) / 8
+}
+
+// appendBlock encodes one block of up to BlockSize postings (sorted,
+// strictly ascending docs, tfs ≥ 1) after a predecessor whose last doc
+// was prevLast (−1 at list start).
+func appendBlock(data []byte, prevLast corpus.DocID, pl []Posting) []byte {
+	n := len(pl)
+	var gaps [BlockSize]uint32
+	minGap := uint32(math.MaxUint32)
+	prev := pl[0].Doc
+	for i := 1; i < n; i++ {
+		g := uint32(pl[i].Doc - prev)
+		gaps[i-1] = g
+		if g < minGap {
+			minGap = g
+		}
+		prev = pl[i].Doc
+	}
+	var tfs [BlockSize]uint32
+	minTF := uint32(math.MaxUint32)
+	for i := 0; i < n; i++ {
+		tf := uint32(pl[i].TF)
+		tfs[i] = tf
+		if tf < minTF {
+			minTF = tf
+		}
+	}
+	var gapBits, tfBits uint
+	for i := 0; i < n-1; i++ {
+		gaps[i] -= minGap
+		if w := uint(bits.Len32(gaps[i])); w > gapBits {
+			gapBits = w
+		}
+	}
+	for i := 0; i < n; i++ {
+		tfs[i] -= minTF
+		if w := uint(bits.Len32(tfs[i])); w > tfBits {
+			tfBits = w
+		}
+	}
+	// Round widths up to whole bytes: the format carries arbitrary bit
+	// widths, but byte-aligned frames decode with plain loads instead
+	// of shift-and-mask extraction — roughly 3× faster on the block
+	// decode that every traversal pays — for a fraction of a byte per
+	// posting. One-bit tf frames (ubiquitous tf=1 blocks with a rare
+	// 2) stay bit-packed: at one bit the extraction is trivial and the
+	// byte-rounding cost is 8×.
+	gapBits = (gapBits + 7) &^ 7
+	if tfBits > 1 {
+		tfBits = (tfBits + 7) &^ 7
+	}
+	data = appendUvarint(data, uint64(pl[0].Doc-prevLast))
+	data = appendUvarint(data, uint64(n))
+	data = append(data, byte(gapBits), byte(tfBits))
+	if n > 1 {
+		data = appendUvarint(data, uint64(minGap-1))
+	}
+	data = appendUvarint(data, uint64(minTF-1))
+	data = appendPackedBits(data, gaps[:n-1], gapBits)
+	return appendPackedBits(data, tfs[:n], tfBits)
+}
+
+// encodePostings compresses a sorted postings list into
+// BlockSize-aligned blocks.
+func encodePostings(pl []Posting) compList {
+	if len(pl) == 0 {
+		return compList{}
+	}
+	cl := compList{n: int32(len(pl)), lastDoc: pl[len(pl)-1].Doc}
+	nb := (len(pl) + BlockSize - 1) / BlockSize
+	if nb > 1 {
+		cl.offs = make([]uint32, 0, nb+1)
+		cl.starts = make([]int32, 0, nb+1)
+		cl.lasts = make([]corpus.DocID, 0, nb)
+	}
+	prevLast := corpus.DocID(-1)
+	var data []byte
+	for start := 0; start < len(pl); start += BlockSize {
+		end := start + BlockSize
+		if end > len(pl) {
+			end = len(pl)
+		}
+		if nb > 1 {
+			cl.offs = append(cl.offs, uint32(len(data)))
+			cl.starts = append(cl.starts, int32(start))
+			cl.lasts = append(cl.lasts, pl[end-1].Doc)
+		}
+		data = appendBlock(data, prevLast, pl[start:end])
+		prevLast = pl[end-1].Doc
+	}
+	if nb > 1 {
+		cl.offs = append(cl.offs, uint32(len(data)))
+		cl.starts = append(cl.starts, int32(len(pl)))
+	}
+	cl.data = data
+	return cl
+}
+
+// blockHeader is a parsed block header with absolute payload offsets.
+type blockHeader struct {
+	baseDelta uint64
+	count     int
+	gapBits   uint
+	tfBits    uint
+	minGap    uint64
+	minTF     uint64
+	gapsOff   int // offset of the packed gaps within data
+	tfsOff    int
+	end       int // offset just past the block
+}
+
+// parseBlockHeader parses the block starting at data[off:], validating
+// every field and that the payload fits in data.
+func parseBlockHeader(data []byte, off int) (blockHeader, error) {
+	var h blockHeader
+	rd := func() (uint64, error) {
+		v, k := binary.Uvarint(data[off:])
+		if k <= 0 {
+			return 0, fmt.Errorf("index: block header: bad varint at %d", off)
+		}
+		off += k
+		return v, nil
+	}
+	var err error
+	if h.baseDelta, err = rd(); err != nil {
+		return h, err
+	}
+	if h.baseDelta == 0 {
+		return h, fmt.Errorf("index: block header: zero base delta")
+	}
+	cnt, err := rd()
+	if err != nil {
+		return h, err
+	}
+	if cnt == 0 || cnt > BlockSize {
+		return h, fmt.Errorf("index: block header: count %d out of range", cnt)
+	}
+	h.count = int(cnt)
+	if off+2 > len(data) {
+		return h, fmt.Errorf("index: block header: truncated widths")
+	}
+	h.gapBits, h.tfBits = uint(data[off]), uint(data[off+1])
+	off += 2
+	if h.gapBits > 32 || h.tfBits > 32 {
+		return h, fmt.Errorf("index: block header: widths %d/%d out of range", h.gapBits, h.tfBits)
+	}
+	if h.count > 1 {
+		mg, err := rd()
+		if err != nil {
+			return h, err
+		}
+		h.minGap = mg + 1
+	}
+	mt, err := rd()
+	if err != nil {
+		return h, err
+	}
+	h.minTF = mt + 1
+	h.gapsOff = off
+	h.tfsOff = off + packedLen(h.count-1, h.gapBits)
+	h.end = h.tfsOff + packedLen(h.count, h.tfBits)
+	if h.end > len(data) {
+		return h, fmt.Errorf("index: block payload: %d bytes past end", h.end-len(data))
+	}
+	return h, nil
+}
+
+// mustParseHeader parses block b's header; the list must be valid
+// (built by encodePostings or validated on load).
+func (cl *compList) mustParseHeader(b int) blockHeader {
+	h, err := parseBlockHeader(cl.data, cl.byteOff(b))
+	if err != nil {
+		panic("index: corrupt validated postings block: " + err.Error())
+	}
+	return h
+}
+
+// decodeBlockDocs parses block b's header and decodes its doc IDs
+// into out — one fused word-at-a-time unpack-and-prefix-sum pass. The
+// returned header lets the caller decode the tf half later without
+// reparsing.
+func (cl *compList) decodeBlockDocs(b int, out *[BlockSize]corpus.DocID) blockHeader {
+	prevLast := corpus.DocID(-1)
+	if b > 0 {
+		prevLast = cl.blockLast(b - 1)
+	}
+	h := cl.mustParseHeader(b)
+	d := prevLast + corpus.DocID(h.baseDelta)
+	out[0] = d
+	n := h.count - 1
+	if n == 0 {
+		return h
+	}
+	minGap := corpus.DocID(h.minGap)
+	width := h.gapBits
+	if width == 0 {
+		for i := 1; i <= n; i++ {
+			d += minGap
+			out[i] = d
+		}
+		return h
+	}
+	src := cl.data[h.gapsOff:h.tfsOff]
+	switch width {
+	case 8:
+		// Byte-aligned frames (what the encoder emits): plain loads.
+		for i := 1; i <= n; i++ {
+			d += minGap + corpus.DocID(src[i-1])
+			out[i] = d
+		}
+	case 16:
+		for i := 1; i <= n; i++ {
+			d += minGap + corpus.DocID(binary.LittleEndian.Uint16(src[2*(i-1):]))
+			out[i] = d
+		}
+	default:
+		unpackInto(src, n, width, func(i int, v uint32) {
+			d += minGap + corpus.DocID(v)
+			out[i+1] = d
+		})
+	}
+	return h
+}
+
+// unpackInto extracts count width-bit values (width 1..32) by
+// absolute bit position, one unaligned word load per value: width ≤
+// 32 plus a sub-byte shift ≤ 7 always fits in 64 bits. Only the final
+// values whose load would run past the payload fall back to a byte
+// gather.
+func unpackInto(src []byte, count int, width uint, emit func(i int, v uint32)) {
+	mask := uint32(uint64(1)<<width - 1)
+	bulk := len(src) - 8
+	bitPos := 0
+	for i := 0; i < count; i++ {
+		byteIdx := bitPos >> 3
+		var v uint32
+		if byteIdx <= bulk {
+			v = uint32(binary.LittleEndian.Uint64(src[byteIdx:])>>(uint(bitPos)&7)) & mask
+		} else {
+			var w uint64
+			for k, shift := byteIdx, uint(0); k < len(src); k++ {
+				w |= uint64(src[k]) << shift
+				shift += 8
+			}
+			v = uint32(w>>(uint(bitPos)&7)) & mask
+		}
+		bitPos += int(width)
+		emit(i, v)
+	}
+}
+
+// decodeBlockTFs decodes the tf half of a block whose header was
+// already parsed by decodeBlockDocs.
+func (cl *compList) decodeBlockTFs(h blockHeader, out *[BlockSize]int32) {
+	minTF := int32(h.minTF)
+	width := h.tfBits
+	if width == 0 {
+		for i := 0; i < h.count; i++ {
+			out[i] = minTF
+		}
+		return
+	}
+	src := cl.data[h.tfsOff:h.end]
+	switch width {
+	case 8:
+		for i := 0; i < h.count; i++ {
+			out[i] = minTF + int32(src[i])
+		}
+	case 1:
+		for i := 0; i < h.count; i++ {
+			out[i] = minTF + int32(src[i>>3]>>(uint(i)&7)&1)
+		}
+	default:
+		unpackInto(src, h.count, width, func(i int, v uint32) {
+			out[i] = minTF + int32(v)
+		})
+	}
+}
+
+// byteOff returns the byte offset of block b in data.
+func (cl *compList) byteOff(b int) int {
+	if cl.offs == nil {
+		return 0
+	}
+	return int(cl.offs[b])
+}
+
+// newCompListFromWire reconstructs a list from its wire data: walks
+// the block headers to derive offsets and start ordinals, attaches the
+// separately stored per-block last docs, then fully decodes every
+// block once to verify the structure — strictly ascending doc IDs
+// inside [0, numDocs), positive frequencies, agreement with the stored
+// last docs — so corrupt or truncated input is rejected here with an
+// error and iterators over accepted lists can decode unchecked.
+func newCompListFromWire(n int, data []byte, lasts []corpus.DocID, numDocs int) (compList, error) {
+	if n == 0 {
+		if len(data) != 0 || len(lasts) != 0 {
+			return compList{}, fmt.Errorf("index: empty list with %d data bytes", len(data))
+		}
+		return compList{}, nil
+	}
+	offs, starts, err := walkBlocks(data, n)
+	if err != nil {
+		return compList{}, err
+	}
+	nb := len(offs) - 1
+	if len(lasts) != nb {
+		return compList{}, fmt.Errorf("index: %d block-last entries for %d blocks", len(lasts), nb)
+	}
+	cl := compList{n: int32(n), data: data, lastDoc: lasts[nb-1]}
+	if nb > 1 {
+		cl.offs, cl.starts, cl.lasts = offs, starts, lasts
+	}
+	prevLast := corpus.DocID(-1)
+	for b := 0; b < nb; b++ {
+		h, err := parseBlockHeader(data, int(offs[b]))
+		if err != nil {
+			return compList{}, err
+		}
+		var resid [BlockSize]uint32
+		unpackBits(data[h.gapsOff:h.tfsOff], h.count-1, h.gapBits, resid[:])
+		d := int64(prevLast) + int64(h.baseDelta)
+		for i := 0; i < h.count; i++ {
+			if i > 0 {
+				d += int64(h.minGap) + int64(resid[i-1])
+			}
+			if d >= int64(numDocs) || d > math.MaxInt32 {
+				return compList{}, fmt.Errorf("index: block %d doc %d out of range", b, d)
+			}
+		}
+		if corpus.DocID(d) != lasts[b] {
+			return compList{}, fmt.Errorf("index: block %d last doc %d, metadata says %d", b, d, lasts[b])
+		}
+		unpackBits(data[h.tfsOff:h.end], h.count, h.tfBits, resid[:])
+		for i := 0; i < h.count; i++ {
+			if h.minTF+uint64(resid[i]) > math.MaxInt32 {
+				return compList{}, fmt.Errorf("index: block %d tf overflow", b)
+			}
+		}
+		prevLast = lasts[b]
+	}
+	return cl, nil
+}
+
+// walkBlocks scans the block headers (no payload decode) of a list of
+// n postings, returning per-block byte offsets and start ordinals,
+// both with an end sentinel.
+func walkBlocks(data []byte, n int) (offs []uint32, starts []int32, err error) {
+	off, start := 0, 0
+	for start < n {
+		h, err := parseBlockHeader(data, off)
+		if err != nil {
+			return nil, nil, err
+		}
+		if start+h.count > n {
+			return nil, nil, fmt.Errorf("index: blocks hold more than %d postings", n)
+		}
+		offs = append(offs, uint32(off))
+		starts = append(starts, int32(start))
+		off, start = h.end, start+h.count
+	}
+	if off != len(data) {
+		return nil, nil, fmt.Errorf("index: %d trailing bytes after last block", len(data)-off)
+	}
+	return append(offs, uint32(off)), append(starts, int32(n)), nil
+}

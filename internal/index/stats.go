@@ -14,6 +14,16 @@ type Stats struct {
 	MaxListLen int
 	// SizeBytes is the serialized index size.
 	SizeBytes int64
+	// PostingsBytes is the exact in-memory footprint of the
+	// block-compressed postings: packed data plus the per-block skip
+	// metadata (offsets, start ordinals, last docs). Impact bounds and
+	// the dictionary are excluded — this is the number to compare
+	// against 8·NumPostings, the cost of the uncompressed
+	// ⟨int32 doc, int32 tf⟩ representation.
+	PostingsBytes int64
+	// BytesPerDoc is PostingsBytes per indexed document — the
+	// index_bytes/doc metric the bench suite records and CI gates.
+	BytesPerDoc float64
 	// PaddedPIRBytes estimates the index size if every list were padded
 	// to MaxListLen, as PIR requires (every retrieval unit equal-sized).
 	PaddedPIRBytes int64
@@ -21,15 +31,20 @@ type Stats struct {
 
 // ComputeStats scans the index once and serializes it once.
 func (x *Index) ComputeStats() Stats {
-	s := Stats{NumDocs: x.numDocs, NumTerms: len(x.postings)}
-	for _, pl := range x.postings {
-		s.NumPostings += len(pl)
-		if len(pl) > s.MaxListLen {
-			s.MaxListLen = len(pl)
+	s := Stats{NumDocs: x.numDocs, NumTerms: len(x.lists)}
+	for t := range x.lists {
+		cl := &x.lists[t]
+		s.NumPostings += int(cl.n)
+		if int(cl.n) > s.MaxListLen {
+			s.MaxListLen = int(cl.n)
 		}
+		s.PostingsBytes += cl.memBytes()
 	}
 	if s.NumTerms > 0 {
 		s.MeanListLen = float64(s.NumPostings) / float64(s.NumTerms)
+	}
+	if s.NumDocs > 0 {
+		s.BytesPerDoc = float64(s.PostingsBytes) / float64(s.NumDocs)
 	}
 	s.SizeBytes = x.SizeBytes()
 	// A posting is one ⟨doc,tf⟩ pair; estimate the padded size using the

@@ -14,6 +14,7 @@ import (
 
 	"toppriv/internal/core"
 	"toppriv/internal/corpus"
+	"toppriv/internal/index"
 	"toppriv/internal/textproc"
 )
 
@@ -289,6 +290,27 @@ func (c *Client) authorize(req *http.Request) {
 	if c.AdminToken != "" {
 		req.Header.Set("Authorization", "Bearer "+c.AdminToken)
 	}
+}
+
+// Stats retrieves the server's index-shape statistics (GET /stats):
+// document and term counts, the serialized size, and the exact
+// in-memory footprint of the block-compressed postings
+// (PostingsBytes/BytesPerDoc) — the numbers the paper's PIR cost
+// argument turns on.
+func (c *Client) Stats() (index.Stats, error) {
+	var s index.Stats
+	resp, err := c.httpc.Get(c.baseURL + "/stats")
+	if err != nil {
+		return s, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return s, fmt.Errorf("server returned %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return s, fmt.Errorf("decoding stats: %w", err)
+	}
+	return s, nil
 }
 
 // FetchDocument retrieves a document body (Step 7 of Fig. 1; the paper

@@ -95,8 +95,12 @@ func (mt *memtable) add(doc corpus.Document, gid corpus.DocID) []textproc.TermID
 
 func (mt *memtable) NumTerms() int { return mt.st.vocab.Size() }
 
-func (mt *memtable) Postings(id textproc.TermID) index.PostingList {
-	return mt.post[id]
+// IterInto hands out a plain slice iterator over the term's growing
+// list — the memtable keeps its postings uncompressed (they mutate in
+// place); compression happens on seal, when index.Build lays the
+// frozen lists out block-compressed.
+func (mt *memtable) IterInto(id textproc.TermID, it *index.Iterator) {
+	it.ResetList(mt.post[id], nil)
 }
 
 func (mt *memtable) DocLen(d corpus.DocID) int {

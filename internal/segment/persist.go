@@ -312,8 +312,8 @@ func (st *Store) rebuildStatsLocked() {
 			}
 		}
 		for t := 0; t < sg.idx.NumTerms(); t++ {
-			for _, p := range sg.idx.Postings(textproc.TermID(t)) {
-				if !sg.dead[p.Doc] {
+			for it := sg.idx.Iter(textproc.TermID(t)); it.Valid(); it.Next() {
+				if !sg.dead[it.Doc()] {
 					st.df[t]++
 				}
 			}

@@ -76,14 +76,16 @@ func locateID(ids []corpus.DocID, gid corpus.DocID) (corpus.DocID, bool) {
 	return 0, false
 }
 
-// localSource is the shard-local half of a liveSource: postings,
-// per-document facts, and the per-term max-impact bounds that fuel
-// MaxScore pruning. Both *index.Index (sealed segments, exact bounds
-// computed at Build) and *memtable (incrementally maintained bounds,
+// localSource is the shard-local half of a liveSource: postings
+// iterators, per-document facts, and the per-term max-impact bounds
+// that fuel MaxScore pruning. Both *index.Index (sealed segments:
+// decode-on-traversal iterators over block-compressed lists, exact
+// bounds computed at Build) and *memtable (plain slice iterators over
+// its uncompressed growing lists, incrementally maintained bounds
 // recomputed exactly on seal) satisfy it.
 type localSource interface {
 	NumTerms() int
-	Postings(id textproc.TermID) index.PostingList
+	IterInto(id textproc.TermID, it *index.Iterator)
 	DocLen(d corpus.DocID) int
 	MaxTF(id textproc.TermID) int32
 	MaxCosImpact(id textproc.TermID) float64
@@ -119,8 +121,8 @@ func (s *liveSource) Vocab() *textproc.Vocab { return s.st.vocab }
 func (s *liveSource) NumDocs() int           { return s.st.liveDocs }
 func (s *liveSource) NumTerms() int          { return s.local.NumTerms() }
 
-func (s *liveSource) Postings(id textproc.TermID) index.PostingList {
-	return s.local.Postings(id)
+func (s *liveSource) IterInto(id textproc.TermID, it *index.Iterator) {
+	s.local.IterInto(id, it)
 }
 
 func (s *liveSource) DocFreq(id textproc.TermID) int { return s.st.docFreqLocked(id) }
@@ -151,18 +153,19 @@ func (s *liveSource) MaxBM25Impact(id textproc.TermID) float64 {
 // compaction). The memtable does not: its lists grow in place, so its
 // iterators fall back to term-level bounds.
 type localBlocks interface {
-	BlockIter(id textproc.TermID) index.Iterator
+	BlockIterInto(id textproc.TermID, it *index.Iterator)
 }
 
-// BlockIter implements vsm.BlockSource: sealed shards hand out
+// BlockIterInto implements vsm.BlockSource: sealed shards hand out
 // iterators with per-block bounds; the memtable degrades to a plain
 // iterator, which block-max WAND treats as a single block bounded by
 // the term-level maxima.
-func (s *liveSource) BlockIter(id textproc.TermID) index.Iterator {
+func (s *liveSource) BlockIterInto(id textproc.TermID, it *index.Iterator) {
 	if lb, ok := s.local.(localBlocks); ok {
-		return lb.BlockIter(id)
+		lb.BlockIterInto(id, it)
+		return
 	}
-	return s.local.Postings(id).Iter()
+	s.local.IterInto(id, it)
 }
 
 // HasBlocks reports whether this shard's iterators carry real block

@@ -590,7 +590,9 @@ func (st *Store) Stats() Stats {
 // ComputeStats aggregates index-shape statistics across all sealed
 // segments and the memtable, for the /stats endpoint. SizeBytes is the
 // sum of the segments' serialized sizes (the memtable, unserialized, is
-// excluded).
+// excluded). PostingsBytes counts the sealed segments' exact compressed
+// footprint plus the memtable's uncompressed lists at their in-memory
+// cost of 8 bytes per ⟨int32 doc, int32 tf⟩ posting.
 func (st *Store) ComputeStats() index.Stats {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
@@ -602,15 +604,20 @@ func (st *Store) ComputeStats() index.Stats {
 			s.MaxListLen = part.MaxListLen
 		}
 		s.SizeBytes += part.SizeBytes
+		s.PostingsBytes += part.PostingsBytes
 	}
 	for _, pl := range st.mem.post {
 		s.NumPostings += len(pl)
 		if len(pl) > s.MaxListLen {
 			s.MaxListLen = len(pl)
 		}
+		s.PostingsBytes += 8 * int64(len(pl))
 	}
 	if s.NumTerms > 0 {
 		s.MeanListLen = float64(s.NumPostings) / float64(s.NumTerms)
+	}
+	if s.NumDocs > 0 {
+		s.BytesPerDoc = float64(s.PostingsBytes) / float64(s.NumDocs)
 	}
 	if s.NumPostings > 0 && s.SizeBytes > 0 {
 		bytesPerPosting := float64(s.SizeBytes) / float64(s.NumPostings)

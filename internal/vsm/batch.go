@@ -43,11 +43,11 @@ type batchRef struct {
 }
 
 // unionTerm is one distinct term across the batch with its postings
-// (fetched once — the per-batch postings-reuse cache) and the slice of
-// members containing it.
+// iterator (created once — each distinct list is decoded exactly one
+// time for the whole batch) and the slice of members containing it.
 type unionTerm struct {
 	id       textproc.TermID
-	pl       index.PostingList
+	it       index.Iterator
 	from, to int // refs[from:to]
 }
 
@@ -111,7 +111,7 @@ func (e *Engine) SearchBatch(ctx context.Context, reqs []Request) ([]Response, e
 			bs.members[i] = batchMember{}
 		}
 		for i := range bs.union {
-			bs.union[i].pl = nil
+			bs.union[i].it = index.Iterator{}
 		}
 		e.batches.Put(bs)
 	}()
@@ -151,7 +151,7 @@ func (e *Engine) SearchBatch(ctx context.Context, reqs []Request) ([]Response, e
 			continue
 		}
 		for j := range m.qs.terms {
-			totalPostings += len(e.src.Postings(m.qs.terms[j].id))
+			totalPostings += e.src.DocFreq(m.qs.terms[j].id)
 		}
 		shared = append(shared, i)
 	}
@@ -214,10 +214,11 @@ func (e *Engine) buildUnion(bs *batchState, members []int) int {
 	for _, tr := range triples {
 		n := len(bs.union)
 		if n == 0 || bs.union[n-1].id != tr.id {
-			pl := e.src.Postings(tr.id)
-			bs.union = append(bs.union, unionTerm{id: tr.id, pl: pl, from: len(bs.refs)})
-			distinct += len(pl)
+			bs.union = append(bs.union, unionTerm{id: tr.id, from: len(bs.refs)})
 			n++
+			ut := &bs.union[n-1]
+			e.src.IterInto(tr.id, &ut.it)
+			distinct += ut.it.Len()
 		}
 		bs.refs = append(bs.refs, tr.batchRef)
 		bs.union[n-1].to = len(bs.refs)
@@ -237,15 +238,15 @@ func (e *Engine) buildUnion(bs *batchState, members []int) int {
 func (e *Engine) batchExhaustive(ctx context.Context, bs *batchState) error {
 	done := ctx.Done()
 	var avgLen float64
-	// Size each member's accumulator off its own lists' final entries,
-	// as the single-query path does.
+	// Size each member's accumulator off its own lists' final entries
+	// (block metadata — no decoding), as the single-query path does.
 	maxDoc := corpus.DocID(-1)
 	for ui := range bs.union {
 		ut := &bs.union[ui]
-		if len(ut.pl) == 0 {
+		if !ut.it.Valid() {
 			continue
 		}
-		last := ut.pl[len(ut.pl)-1].Doc
+		last := ut.it.LastDoc()
 		if last > maxDoc {
 			maxDoc = last
 		}
@@ -266,41 +267,47 @@ func (e *Engine) batchExhaustive(ctx context.Context, bs *batchState) error {
 		}
 		denoms = bs.denoms
 	}
+	if cap(bs.impacts) < index.BlockSize {
+		bs.impacts = make([]float64, index.BlockSize)
+	}
 	for ui := range bs.union {
 		ut := &bs.union[ui]
 		refs := bs.refs[ut.from:ut.to]
-		pl := ut.pl
-		if cap(bs.impacts) < len(pl) {
-			bs.impacts = make([]float64, len(pl))
+		if !ut.it.Valid() {
+			continue
 		}
-		impacts := bs.impacts[:len(pl)]
-		for start := 0; start < len(pl); start += cancelStride {
-			if canceled(done) {
-				return ctx.Err()
+		if canceled(done) {
+			return ctx.Err()
+		}
+		sinceCancel := 0
+		for {
+			docs, tfs := ut.it.Window()
+			if sinceCancel += len(docs); sinceCancel >= cancelStride {
+				sinceCancel = 0
+				if canceled(done) {
+					return ctx.Err()
+				}
 			}
-			end := start + cancelStride
-			if end > len(pl) {
-				end = len(pl)
-			}
-			// Pass 1, once per distinct term: the query-independent
-			// impact factor of every posting — the arithmetic every
-			// member containing the term would otherwise redo. The BM25
-			// branch mirrors sharedImpact exactly, with the per-document
-			// length factor cached across the union's lists.
+			impacts := bs.impacts[:len(docs)]
+			// Pass 1, once per distinct term and block: the
+			// query-independent impact factor of every posting — the
+			// arithmetic every member containing the term would
+			// otherwise redo. The BM25 branch mirrors sharedImpact
+			// exactly, with the per-document length factor cached
+			// across the union's lists.
 			if e.scoring == BM25 {
-				for i, p := range pl[start:end] {
-					d := p.Doc
+				for i, d := range docs {
 					dn := denoms[d]
 					if dn == 0 {
 						dn = bm25K1 * (1 - bm25B + bm25B*float64(e.src.DocLen(d))/avgLen)
 						denoms[d] = dn
 					}
-					ftf := float64(p.TF)
-					impacts[start+i] = ftf * (bm25K1 + 1) / (ftf + dn)
+					ftf := float64(tfs[i])
+					impacts[i] = ftf * (bm25K1 + 1) / (ftf + dn)
 				}
 			} else {
-				for i, p := range pl[start:end] {
-					impacts[start+i] = docWeight(p.TF)
+				for i := range docs {
+					impacts[i] = docWeight(tfs[i])
 				}
 			}
 			// Pass 2, per member: a tight accumulate loop over this
@@ -318,21 +325,19 @@ func (e *Engine) batchExhaustive(ctx context.Context, bs *batchState) error {
 					// first touch can write the contribution directly:
 					// contributions are positive, making x and 0+x the
 					// same float64.
-					for i, p := range pl[start:end] {
-						d := p.Doc
+					for i, d := range docs {
 						if stamp[d] == genAlive {
-							score[d] += w * impacts[start+i]
+							score[d] += w * impacts[i]
 							continue
 						}
 						stamp[d] = genAlive
-						score[d] = w * impacts[start+i]
+						score[d] = w * impacts[i]
 						touched = append(touched, d)
 					}
 					qs.touched = touched
 					continue
 				}
-				for i, p := range pl[start:end] {
-					d := p.Doc
+				for i, d := range docs {
 					st := stamp[d]
 					if st == genDead {
 						continue
@@ -347,13 +352,16 @@ func (e *Engine) batchExhaustive(ctx context.Context, bs *batchState) error {
 						score[d] = 0
 						touched = append(touched, d)
 					}
-					score[d] += w * impacts[start+i]
+					score[d] += w * impacts[i]
 				}
 				qs.touched = touched
 			}
+			if !ut.it.NextWindow() {
+				break
+			}
 		}
 		for _, rf := range refs {
-			bs.members[rf.member].stats.Postings += len(pl)
+			bs.members[rf.member].stats.Postings += ut.it.Len()
 		}
 	}
 	// Finalize per member: same normalization, same heap discipline as

@@ -82,11 +82,22 @@ type Searcher interface {
 // of its shards in a Source whose collection statistics (NumDocs,
 // DocFreq, IDF, AvgDocLen) are global across shards while postings stay
 // shard-local, so distributed scoring matches a single-index build.
+//
+// Postings are consumed exclusively through iterators: an index-backed
+// source hands out decode-on-traversal cursors over block-compressed
+// lists, a memtable hands out plain slice cursors, and every execution
+// path walks them through the same API without materializing
+// []Posting.
 type Source interface {
 	Vocab() *textproc.Vocab
 	NumDocs() int
 	NumTerms() int
-	Postings(id textproc.TermID) index.PostingList
+	// IterInto repositions it over the term's postings, on the first
+	// posting (exhausted for absent terms). In-place so pooled
+	// iterators — which embed a block-decode buffer — are never
+	// cleared or copied on the query path.
+	IterInto(id textproc.TermID, it *index.Iterator)
+	// DocFreq is the term's postings-list length.
 	DocFreq(id textproc.TermID) int
 	IDF(id textproc.TermID) float64
 	DocLen(d corpus.DocID) int
@@ -229,19 +240,21 @@ func NewEngineWithPrior(idx *index.Index, an *textproc.Analyzer, scoring Scoring
 // DocNorms accumulates, per document, the L2 norm of its lnc weight
 // vector: weight = 1 + ln(tf). Exported so live stores can precompute
 // norms for a sealed shard once instead of per engine construction.
-// One pass over the postings: the norm array grows to each list's last
-// (largest) document ID as it is encountered, so no separate
-// max-doc-ID scan is needed. For a plain index the resulting length is
-// NumDocs(); for a shard source it is the local document range, which
-// may differ from the global NumDocs().
+// One block-at-a-time pass over the postings: the norm array grows to
+// each list's last (largest) document ID as it is encountered, so no
+// separate max-doc-ID scan is needed, and no list is ever
+// materialized. For a plain index the resulting length is NumDocs();
+// for a shard source it is the local document range, which may differ
+// from the global NumDocs().
 func DocNorms(src Source) []float64 {
 	var norms []float64
+	var it index.Iterator
 	for id := 0; id < src.NumTerms(); id++ {
-		pl := src.Postings(textproc.TermID(id))
-		if len(pl) == 0 {
+		src.IterInto(textproc.TermID(id), &it)
+		if !it.Valid() {
 			continue
 		}
-		if need := int(pl[len(pl)-1].Doc) + 1; need > len(norms) {
+		if need := int(it.LastDoc()) + 1; need > len(norms) {
 			if need <= cap(norms) {
 				norms = norms[:need]
 			} else {
@@ -250,9 +263,15 @@ func DocNorms(src Source) []float64 {
 				norms = grown
 			}
 		}
-		for _, p := range pl {
-			w := 1 + math.Log(float64(p.TF))
-			norms[p.Doc] += w * w
+		for {
+			docs, tfs := it.Window()
+			for i, d := range docs {
+				w := 1 + math.Log(float64(tfs[i]))
+				norms[d] += w * w
+			}
+			if !it.NextWindow() {
+				break
+			}
 		}
 	}
 	for d := range norms {
@@ -392,9 +411,13 @@ func (e *Engine) execResolved(ctx context.Context, qs *queryState, k int, qnorm 
 		// stays wide, so block-level skipping wins there; BM25's
 		// tighter saturation bounds already shrink MaxScore's
 		// essential set below what WAND's per-pivot bookkeeping
-		// costs (see README "Choosing an execution mode" for the
-		// measured crossover — proper per-shape calibration is the
-		// ROADMAP's auto exec-mode item).
+		// costs. Recalibrated on the block-compressed layout
+		// (interleaved-run medians behind BENCH_search.json): cosine
+		// blockmax 44.2 µs vs maxscore 51.0 µs — block skips now also
+		// skip block decodes, widening WAND's cosine lead — while BM25
+		// maxscore 31.0 µs vs blockmax 43.3 µs keeps MaxScore. See
+		// README "Choosing an execution mode"; per-(list-length, k)
+		// calibration remains the ROADMAP's auto exec-mode item.
 		if e.blockSrc != nil && e.blockSrc.HasBlocks() && e.scoring != BM25 {
 			return e.searchBlockMax(ctx, qs, k, qnorm, keep, stats)
 		}

@@ -94,14 +94,14 @@ type ImpactSource interface {
 // BlockSource is the optional Source extension that fuels block-max
 // WAND: per-term postings iterators carrying per-block impact bounds.
 // *index.Index implements it natively (blocks computed by Build and
-// Merge, persisted by the v3 codec); live shards delegate to their
+// Merge, persisted by the codec); live shards delegate to their
 // sealed index, while memtable iterators carry no blocks and fall
 // back to term-level bounds.
 type BlockSource interface {
-	// BlockIter returns an iterator over the term's postings; when the
+	// BlockIterInto repositions it over the term's postings; when the
 	// source has per-block metadata the iterator carries it
 	// (Iterator.HasBlocks).
-	BlockIter(id textproc.TermID) index.Iterator
+	BlockIterInto(id textproc.TermID, it *index.Iterator)
 	// HasBlocks reports whether BlockIter actually hands out per-block
 	// bounds. A source may satisfy the interface structurally while
 	// degrading to plain iterators (a live memtable, whose lists grow
@@ -174,7 +174,6 @@ type qterm struct {
 	qtf int     // query-side term frequency
 	w   float64 // query weight: cosine (1+ln qtf)·idf, BM25 idf
 	ub  float64 // max contribution of this term to any final score
-	it  index.Iterator
 	// Block-max WAND caches the current block's contribution bound so
 	// repeated pivots inside one block pay no recomputation. bbBlk is
 	// the block ordinal the cache is valid for (-1 = none).
@@ -187,7 +186,13 @@ type qterm struct {
 // the top-k heap, and the MaxScore ordering buffers. One queryState
 // serves one query at a time; engines keep them in a sync.Pool.
 type queryState struct {
-	terms   []qterm
+	terms []qterm
+	// its holds one postings iterator per resolved term, parallel to
+	// terms and filled by each execution strategy at entry. It lives
+	// outside qterm because an iterator carries its own block-decode
+	// buffer (~1 KiB): keeping terms small keeps their sort and dedup
+	// cheap, while the buffers still come from the pool, not the heap.
+	its     []index.Iterator
 	score   []float64      // flat accumulator indexed by local doc ID
 	stamp   []uint32       // generation marks: gen = alive, gen+1 = dead
 	touched []corpus.DocID // alive docs hit this query
@@ -200,6 +205,15 @@ type queryState struct {
 	ubs     []float64      // block-max: cached term bound per live list
 	contrib []float64      // per-term raw contribution of the current candidate
 	avgLen  float64        // BM25: collection average length, read once per query
+}
+
+// iterSlots returns n pooled iterator slots (contents unspecified; the
+// caller assigns every slot it uses).
+func (qs *queryState) iterSlots(n int) []index.Iterator {
+	if cap(qs.its) < n {
+		qs.its = make([]index.Iterator, n)
+	}
+	return qs.its[:n]
 }
 
 // reset prepares the state for a new query, bumping the stamp
@@ -338,37 +352,45 @@ func canceled(done <-chan struct{}) bool {
 }
 
 // searchExhaustive scores every posting of every query term into the
-// flat accumulator — the reference semantics. The keep filter is
-// consulted once per document, before any contribution lands. The
-// context is polled every cancelStride postings.
+// flat accumulator — the reference semantics. Lists are traversed
+// block-at-a-time through their iterators (decoding compressed blocks
+// into the iterator's buffer, never materializing a list); the keep
+// filter is consulted once per document, before any contribution
+// lands. The context is polled every cancelStride postings, between
+// blocks.
 func (e *Engine) searchExhaustive(ctx context.Context, qs *queryState, k int, qnorm float64, keep func(corpus.DocID) bool, stats *ExecStats) ([]Result, error) {
 	done := ctx.Done()
 	genAlive, genDead := qs.gen, qs.gen+1
-	// Size the accumulator once, off the lists' final entries.
+	// Size the accumulator once, off the lists' final entries (block
+	// metadata — no decoding).
+	its := qs.iterSlots(len(qs.terms))
 	for i := range qs.terms {
-		if pl := e.src.Postings(qs.terms[i].id); len(pl) > 0 {
-			qs.ensureDoc(pl[len(pl)-1].Doc)
+		e.src.IterInto(qs.terms[i].id, &its[i])
+		if its[i].Valid() {
+			qs.ensureDoc(its[i].LastDoc())
 		}
 	}
 	for i := range qs.terms {
-		t := &qs.terms[i]
-		if t.w == 0 {
+		t, it := &qs.terms[i], &its[i]
+		if t.w == 0 || !it.Valid() {
 			continue
 		}
-		pl := e.src.Postings(t.id)
 		if stats != nil {
-			stats.Postings += len(pl)
+			stats.Postings += it.Len()
 		}
-		for start := 0; start < len(pl); start += cancelStride {
-			if canceled(done) {
-				return nil, ctx.Err()
+		if canceled(done) {
+			return nil, ctx.Err()
+		}
+		sinceCancel := 0
+		for {
+			docs, tfs := it.Window()
+			if sinceCancel += len(docs); sinceCancel >= cancelStride {
+				sinceCancel = 0
+				if canceled(done) {
+					return nil, ctx.Err()
+				}
 			}
-			end := start + cancelStride
-			if end > len(pl) {
-				end = len(pl)
-			}
-			for _, p := range pl[start:end] {
-				d := p.Doc
+			for j, d := range docs {
 				st := qs.stamp[d]
 				if st == genDead {
 					continue
@@ -385,7 +407,10 @@ func (e *Engine) searchExhaustive(ctx context.Context, qs *queryState, k int, qn
 					qs.score[d] = 0
 					qs.touched = append(qs.touched, d)
 				}
-				qs.score[d] += e.rawContribution(qs, t, p.TF, d)
+				qs.score[d] += e.rawContribution(qs, t, tfs[j], d)
+			}
+			if !it.NextWindow() {
+				break
 			}
 		}
 	}
@@ -453,10 +478,22 @@ func (e *Engine) searchMaxScore(ctx context.Context, qs *queryState, k int, qnor
 	done := ctx.Done()
 	rounds := 0
 	n := len(qs.terms)
+	its := qs.iterSlots(n)
+	// curDocs caches each list's current document (drained sentinel
+	// when exhausted) so the per-candidate scans touch one compact
+	// array instead of striding across the iterators' decode buffers.
+	const drained = corpus.DocID(math.MaxInt32)
+	curDocs := qs.docs[:0]
 	for i := range qs.terms {
-		qs.terms[i].it = e.src.Postings(qs.terms[i].id).Iter()
+		e.src.IterInto(qs.terms[i].id, &its[i])
 		qs.ord = append(qs.ord, i)
+		if its[i].Valid() {
+			curDocs = append(curDocs, its[i].Doc())
+		} else {
+			curDocs = append(curDocs, drained)
+		}
 	}
+	qs.docs = curDocs
 	if cap(qs.contrib) < n {
 		qs.contrib = make([]float64, n)
 	} else {
@@ -491,16 +528,13 @@ func (e *Engine) searchMaxScore(ctx context.Context, qs *queryState, k int, qnor
 		}
 		// Pick the next candidate: the smallest current doc among the
 		// essential iterators.
-		cand := corpus.DocID(math.MaxInt32)
-		found := false
+		cand := drained
 		for _, i := range ord[first:] {
-			it := &qs.terms[i].it
-			if it.Valid() && it.Doc() < cand {
-				cand = it.Doc()
-				found = true
+			if curDocs[i] < cand {
+				cand = curDocs[i]
 			}
 		}
-		if !found {
+		if cand == drained {
 			break
 		}
 		if keep != nil && !keep(cand) {
@@ -508,8 +542,12 @@ func (e *Engine) searchMaxScore(ctx context.Context, qs *queryState, k int, qnor
 				stats.DocsFiltered++
 			}
 			for _, i := range ord[first:] {
-				if it := &qs.terms[i].it; it.Valid() && it.Doc() == cand {
-					it.Next()
+				if curDocs[i] == cand {
+					if its[i].Next() {
+						curDocs[i] = its[i].Doc()
+					} else {
+						curDocs[i] = drained
+					}
 				}
 			}
 			continue
@@ -531,12 +569,16 @@ func (e *Engine) searchMaxScore(ctx context.Context, qs *queryState, k int, qnor
 		}
 		partial := 0.0
 		for _, i := range ord[first:] {
-			t := &qs.terms[i]
-			if t.it.Valid() && t.it.Doc() == cand {
-				raw := e.rawContribution(qs, t, t.it.TF(), cand)
+			if curDocs[i] == cand {
+				it := &its[i]
+				raw := e.rawContribution(qs, &qs.terms[i], it.TF(), cand)
 				qs.contrib[i] = raw
 				partial += raw
-				t.it.Next()
+				if it.Next() {
+					curDocs[i] = it.Doc()
+				} else {
+					curDocs[i] = drained
+				}
 			}
 		}
 		// Non-essential lists, strongest bound first: stop as soon as
@@ -549,11 +591,16 @@ func (e *Engine) searchMaxScore(ctx context.Context, qs *queryState, k int, qnor
 				pruned = true
 				break
 			}
-			t := &qs.terms[ord[j]]
-			if t.it.SeekGE(cand) && t.it.Doc() == cand {
-				raw := e.rawContribution(qs, t, t.it.TF(), cand)
-				qs.contrib[ord[j]] = raw
-				partial += raw
+			it := &its[ord[j]]
+			if it.SeekGE(cand) {
+				curDocs[ord[j]] = it.Doc()
+				if it.Doc() == cand {
+					raw := e.rawContribution(qs, &qs.terms[ord[j]], it.TF(), cand)
+					qs.contrib[ord[j]] = raw
+					partial += raw
+				}
+			} else {
+				curDocs[ord[j]] = drained
 			}
 		}
 		if pruned {
@@ -595,15 +642,15 @@ func (e *Engine) searchMaxScore(ctx context.Context, qs *queryState, k int, qnor
 // scores by at most 1 and never loosens the bound. The bound is
 // cached per block, so consecutive pivots inside one block pay a
 // comparison, not a divide.
-func (e *Engine) blockBound(t *qterm, qnorm float64) float64 {
-	if !t.it.HasBlocks() {
+func (e *Engine) blockBound(t *qterm, it *index.Iterator, qnorm float64) float64 {
+	if !it.HasBlocks() {
 		return t.ub
 	}
-	blk := t.it.BlockIndex()
+	blk := it.BlockIndex()
 	if blk == t.bbBlk {
 		return t.bb
 	}
-	bm := t.it.BlockMax()
+	bm := it.BlockMax()
 	var b float64
 	if e.scoring == BM25 {
 		b = t.w * bm.MaxBM
@@ -640,17 +687,18 @@ func (e *Engine) searchBlockMax(ctx context.Context, qs *queryState, k int, qnor
 	// end and are compacted away before the next round.
 	const drained = corpus.DocID(math.MaxInt32)
 	live, docs, ubs := qs.ord[:0], qs.docs[:0], qs.ubs[:0]
+	its := qs.iterSlots(len(qs.terms))
 	for i := range qs.terms {
 		t := &qs.terms[i]
 		if e.blockSrc != nil {
-			t.it = e.blockSrc.BlockIter(t.id)
+			e.blockSrc.BlockIterInto(t.id, &its[i])
 		} else {
-			t.it = e.src.Postings(t.id).Iter()
+			e.src.IterInto(t.id, &its[i])
 		}
 		t.bbBlk = -1
-		if t.w != 0 && t.it.Valid() {
+		if t.w != 0 && its[i].Valid() {
 			live = append(live, i)
-			docs = append(docs, t.it.Doc())
+			docs = append(docs, its[i].Doc())
 			ubs = append(ubs, t.ub)
 		}
 	}
@@ -714,17 +762,17 @@ func (e *Engine) searchBlockMax(ctx context.Context, qs *queryState, k int, qnor
 		blockSum := 0.0
 		minOther := drained
 		for i := 0; i < p; i++ {
-			t := &qs.terms[live[i]]
-			if !t.it.SeekGE(pivot) {
+			it := &its[live[i]]
+			if !it.SeekGE(pivot) {
 				docs[i] = drained
 				dirty = true
 				continue
 			}
-			d := t.it.Doc()
+			d := it.Doc()
 			docs[i] = d
 			if d == pivot {
 				inv = append(inv, i)
-				b := e.blockBound(t, qnorm)
+				b := e.blockBound(&qs.terms[live[i]], it, qnorm)
 				bounds = append(bounds, b)
 				blockSum += b
 			} else if d < minOther {
@@ -734,7 +782,7 @@ func (e *Engine) searchBlockMax(ctx context.Context, qs *queryState, k int, qnor
 		r := p
 		for r < len(live) && docs[r] == pivot {
 			inv = append(inv, r)
-			b := e.blockBound(&qs.terms[live[r]], qnorm)
+			b := e.blockBound(&qs.terms[live[r]], &its[live[r]], qnorm)
 			bounds = append(bounds, b)
 			blockSum += b
 			r++
@@ -751,23 +799,19 @@ func (e *Engine) searchBlockMax(ctx context.Context, qs *queryState, k int, qnor
 			// span.
 			next := minOther
 			for _, li := range inv {
-				if b := qs.terms[live[li]].it.BlockLastDoc(); b+1 < next {
+				if b := its[live[li]].BlockLastDoc(); b+1 < next {
 					next = b + 1
 				}
 			}
 			for _, li := range inv {
-				t := &qs.terms[live[li]]
-				if t.it.BlockLastDoc() < next {
-					// The whole remaining block falls inside the
-					// skipped span: one O(1) jump instead of a
-					// galloping seek.
-					t.it.SkipBlock()
-				}
-				if t.it.Valid() && t.it.Doc() < next {
-					t.it.SeekGE(next)
-				}
-				if t.it.Valid() {
-					docs[li] = t.it.Doc()
+				// One seek per involved list: SeekGE walks the block
+				// last-doc metadata from the current block, so every
+				// block inside the skipped span is passed over without
+				// being decoded — the compressed layout's block skip
+				// discards the decode work along with the scoring work.
+				it := &its[live[li]]
+				if it.SeekGE(next) {
+					docs[li] = it.Doc()
 				} else {
 					docs[li] = drained
 					dirty = true
@@ -784,9 +828,9 @@ func (e *Engine) searchBlockMax(ctx context.Context, qs *queryState, k int, qnor
 				stats.DocsFiltered++
 			}
 			for _, li := range inv {
-				t := &qs.terms[live[li]]
-				if t.it.Next() {
-					docs[li] = t.it.Doc()
+				it := &its[live[li]]
+				if it.Next() {
+					docs[li] = it.Doc()
 				} else {
 					docs[li] = drained
 					dirty = true
@@ -827,16 +871,15 @@ func (e *Engine) searchBlockMax(ctx context.Context, qs *queryState, k int, qnor
 				break
 			}
 			remaining -= bounds[i]
-			t := &qs.terms[live[li]]
-			raw := e.rawContribution(qs, t, t.it.TF(), pivot)
+			raw := e.rawContribution(qs, &qs.terms[live[li]], its[live[li]].TF(), pivot)
 			craw = append(craw, raw)
 			partial += raw
 		}
 		qs.contrib = craw
 		for _, li := range inv {
-			t := &qs.terms[live[li]]
-			if t.it.Next() {
-				docs[li] = t.it.Doc()
+			it := &its[live[li]]
+			if it.Next() {
+				docs[li] = it.Doc()
 			} else {
 				docs[li] = drained
 				dirty = true
