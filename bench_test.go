@@ -27,6 +27,7 @@ import (
 	"toppriv/internal/index"
 	"toppriv/internal/lda"
 	"toppriv/internal/linkrank"
+	"toppriv/internal/telemetry"
 	"toppriv/internal/vsm"
 )
 
@@ -417,6 +418,40 @@ func BenchmarkSearch(b *testing.B) {
 				if mode == vsm.ExecBlockMax {
 					b.ReportMetric(float64(stats.BlockSkips)/float64(b.N), "block_skips/op")
 				}
+			})
+		}
+	}
+}
+
+// BenchmarkSearchInstrumented is BenchmarkSearch with telemetry wired
+// on: a live registry, latency and phase histograms, work-counter
+// aggregates and the trace ring all updating on every query. Its rows
+// sit next to BenchmarkSearch's in BENCH_search.json, so the committed
+// baseline records the instrumentation overhead explicitly and the
+// benchjson gate (prefix "BenchmarkSearch") keeps both from
+// regressing. The cost of enabling is a near-constant ~1-2µs per
+// query, dominated by the six clock reads that bound the four phases;
+// the histogram and counter updates are a handful of atomic adds.
+// Telemetry stays off by default, so BenchmarkSearch itself is the
+// proof the uninstrumented path did not pay for the feature.
+func BenchmarkSearchInstrumented(b *testing.B) {
+	env := getBenchEnv(b)
+	queries := env.AnalyzedQueries()
+	for _, scoring := range []vsm.Scoring{vsm.Cosine, vsm.BM25} {
+		engine, err := vsm.NewEngine(env.Index, env.An, scoring)
+		if err != nil {
+			b.Fatal(err)
+		}
+		engine.EnableMetrics(telemetry.NewRegistry(), telemetry.NewTraceRing(telemetry.DefaultTraceCap))
+		for _, mode := range []vsm.ExecMode{vsm.ExecMaxScore, vsm.ExecBlockMax, vsm.ExecExhaustive} {
+			b.Run(scoring.String()+"/"+mode.String(), func(b *testing.B) {
+				var stats vsm.ExecStats
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					engine.SearchTermsExec(queries[i%len(queries)], 10, nil, mode, &stats)
+				}
+				b.ReportMetric(float64(stats.DocsScored)/float64(b.N), "docs_scored/op")
 			})
 		}
 	}

@@ -17,10 +17,16 @@
 // mode flushes the memtable into a sealed segment and saves to -data
 // before exiting.
 //
+// The server exposes its telemetry on GET /metrics (Prometheus text
+// format) and GET /debug/traces (per-query phase traces); with
+// -metrics-addr those are additionally served on a separate admin
+// listener, and -pprof mounts net/http/pprof there too.
+//
 // Usage:
 //
 //	searchd -corpus corpus.json -addr :8080 [-bm25]
 //	searchd -live -data ./idx -corpus corpus.json -addr :8080
+//	searchd -corpus corpus.json -addr :8080 -metrics-addr 127.0.0.1:9090 -pprof
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -61,8 +68,14 @@ func main() {
 		querylogCap = flag.Int("querylog-cap", 0, "retain at most this many query-log entries (0 = default 100k)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		adminToken  = flag.String("admin-token", "", "live mode: require this bearer token on POST /index and DELETE /doc/{id}")
+		metricsAddr = flag.String("metrics-addr", "", "also serve GET /metrics and /debug/traces on a separate admin listener at this address")
+		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof on the -metrics-addr admin listener")
 	)
 	flag.Parse()
+
+	if *pprofFlag && *metricsAddr == "" {
+		log.Fatal("-pprof requires -metrics-addr: profiling endpoints must not share the public listener")
+	}
 
 	scoring := vsm.Cosine
 	if *bm25 {
@@ -131,6 +144,41 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 
+	// The admin listener carries the operator surface — metrics, phase
+	// traces, and (opted in) pprof — on an address that can stay behind
+	// the firewall while the search listener faces users.
+	var adminSrv *http.Server
+	if *metricsAddr != "" {
+		adminLn, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		adminMux := http.NewServeMux()
+		adminMux.Handle("/metrics", srv)
+		adminMux.Handle("/debug/traces", srv)
+		if *pprofFlag {
+			adminMux.HandleFunc("/debug/pprof/", pprof.Index)
+			adminMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			adminMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			adminMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			adminMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		adminSrv = &http.Server{
+			Handler:           adminMux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		what := "metrics"
+		if *pprofFlag {
+			what = "metrics+pprof"
+		}
+		log.Printf("admin (%s) on %s", what, adminLn.Addr())
+		go func() {
+			if err := adminSrv.Serve(adminLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("admin serve: %v", err)
+			}
+		}()
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	select {
@@ -144,6 +192,11 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("drain: %v", err)
+	}
+	if adminSrv != nil {
+		if err := adminSrv.Shutdown(ctx); err != nil {
+			log.Printf("admin drain: %v", err)
+		}
 	}
 	if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
 		log.Printf("serve: %v", serveErr)

@@ -30,6 +30,7 @@ import (
 	"toppriv/internal/corpus"
 	"toppriv/internal/lda"
 	"toppriv/internal/search"
+	"toppriv/internal/telemetry"
 	"toppriv/internal/textproc"
 	"toppriv/internal/vsm"
 )
@@ -51,6 +52,8 @@ func main() {
 		plain      = flag.Bool("plain", false, "skip obfuscation (for comparison)")
 		session    = flag.Bool("session", false, "keep a sticky decoy profile across the queries of this invocation (resists cross-cycle intersection analysis)")
 		stats      = flag.Bool("stats", false, "print the server's index statistics (GET /stats) — docs, terms, serialized size, and the exact compressed-postings footprint — then exit")
+		metrics    = flag.Bool("metrics", false, "fetch GET /metrics and pretty-print every family (aligned, sorted), then exit")
+		traces     = flag.Int("traces", 0, "fetch the most recent N per-query phase traces (GET /debug/traces; -1 = all), then exit")
 		addDocs    = flag.String("add-docs", "", "admin: ingest documents from this JSON file into a -live searchd (POST /index), then exit")
 		deleteDoc  = flag.Int64("delete-doc", -1, "admin: tombstone this document ID on a -live searchd (DELETE /doc/{id}), then exit")
 		adminToken = flag.String("admin-token", "", "bearer token for the admin verbs (when searchd runs with -admin-token)")
@@ -60,6 +63,14 @@ func main() {
 	// Admin verbs talk straight to the live index and need no model.
 	if *stats {
 		runStats(*server)
+		return
+	}
+	if *metrics {
+		runMetrics(*server)
+		return
+	}
+	if *traces != 0 {
+		runTraces(*server, *adminToken, *traces)
 		return
 	}
 	if *addDocs != "" || *deleteDoc >= 0 {
@@ -208,10 +219,11 @@ func main() {
 // accountable for.
 func runStats(server string) {
 	client := search.NewAdminClient(server, nil)
-	s, err := client.Stats()
+	full, err := client.StatsFull()
 	if err != nil {
 		log.Fatal(err)
 	}
+	s := full.Stats
 	fmt.Printf("documents:         %d\n", s.NumDocs)
 	fmt.Printf("terms:             %d\n", s.NumTerms)
 	fmt.Printf("postings:          %d (mean list %.1f, max list %d)\n", s.NumPostings, s.MeanListLen, s.MaxListLen)
@@ -222,6 +234,64 @@ func runStats(server string) {
 	}
 	fmt.Println(")")
 	fmt.Printf("PIR-padded bytes:  %d (%.0fx blowup)\n", s.PaddedPIRBytes, s.BlowupFactor())
+	ql := full.QueryLog
+	fmt.Printf("query log:         %d retained, %d evicted (seq [%d, %d))\n", ql.Retained, ql.Evicted, ql.HeadSeq, ql.TailSeq)
+}
+
+// runMetrics scrapes GET /metrics and pretty-prints the families the
+// way a human reads them — sorted, aligned, one sample per line — via
+// the same parser the round-trip tests use.
+func runMetrics(server string) {
+	client := search.NewAdminClient(server, nil)
+	text, err := client.MetricsText()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fams, err := telemetry.ParseText(strings.NewReader(text))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := telemetry.FormatTable(fams, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runTraces prints the server's retained per-query phase traces,
+// newest last. Traces carry timings and work counters, never query
+// text.
+func runTraces(server, token string, n int) {
+	client := search.NewAdminClient(server, nil)
+	client.AdminToken = token
+	if n < 0 {
+		n = 0 // 0 = all, mirroring the endpoint
+	}
+	traces, err := client.Traces(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(traces) == 0 {
+		fmt.Println("no traces retained (run some queries first)")
+		return
+	}
+	fmt.Printf("%-8s %-8s %-9s %6s %4s %6s %10s %10s %10s %10s %10s %8s\n",
+		"SEQ", "SCORER", "MODE", "TERMS", "K", "BATCH", "RESOLVE", "FETCH", "TRAVERSE", "MERGE", "TOTAL", "SCORED")
+	for _, t := range traces {
+		fmt.Printf("%-8d %-8s %-9s %6d %4d %6d %10s %10s %10s %10s %10s %8d\n",
+			t.Seq, t.Scorer, t.Mode, t.Terms, t.K, t.Batch,
+			fmtNS(t.ResolveNS), fmtNS(t.FetchNS), fmtNS(t.TraverseNS), fmtNS(t.MergeNS), fmtNS(t.TotalNS),
+			t.DocsScored)
+	}
+}
+
+// fmtNS renders a nanosecond duration compactly (µs under 10ms, ms
+// above).
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 10_000_000:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.0fµs", float64(ns)/1e3)
+	}
 }
 
 // runAdmin performs one mutation against a -live searchd. The docs file

@@ -45,8 +45,13 @@ type Iterator struct {
 	// and in-window) since the iterator was (re)positioned — the
 	// evidence the seek-after-skip regression tests assert on.
 	probes int
-	docBuf [BlockSize]corpus.DocID
-	tfBuf  [BlockSize]int32
+	// decodes counts compressed blocks whose doc IDs were actually
+	// decoded since the iterator was (re)positioned — the complement of
+	// probes in the cost model: together they show how much decode work
+	// block skipping saved. Always 0 in slice mode.
+	decodes int
+	docBuf  [BlockSize]corpus.DocID
+	tfBuf   [BlockSize]int32
 }
 
 // Iter returns an iterator positioned on the list's first posting.
@@ -73,7 +78,7 @@ func (pl PostingList) IterBlocks(blocks []BlockMax) Iterator {
 // Iter for pooled iterator slots.
 func (it *Iterator) ResetList(pl PostingList, blocks []BlockMax) {
 	it.pl, it.cl, it.blocks = pl, nil, blocks
-	it.pos, it.n, it.probes = 0, len(pl), 0
+	it.pos, it.n, it.probes, it.decodes = 0, len(pl), 0, 0
 	if it.n > 0 {
 		it.cur = pl[0].Doc
 	}
@@ -84,12 +89,13 @@ func (it *Iterator) ResetList(pl PostingList, blocks []BlockMax) {
 // newCompIterator.
 func (it *Iterator) resetComp(cl *compList, blocks []BlockMax) {
 	it.pl, it.cl, it.blocks = nil, cl, blocks
-	it.pos, it.n, it.probes = 0, int(cl.n), 0
+	it.pos, it.n, it.probes, it.decodes = 0, int(cl.n), 0, 0
 	it.blk, it.blkStart, it.tfOK = 0, 0, false
 	if it.n > 0 {
 		it.hdr = cl.decodeBlockDocs(0, &it.docBuf)
 		it.blkLen = it.hdr.count
 		it.cur = it.docBuf[0]
+		it.decodes = 1
 	}
 }
 
@@ -111,6 +117,7 @@ func (it *Iterator) loadBlock(b int) bool {
 	it.blk = b
 	it.blkStart = it.cl.blockStart(b)
 	it.hdr = it.cl.decodeBlockDocs(b, &it.docBuf)
+	it.decodes++
 	it.blkLen = it.hdr.count
 	it.tfOK = false
 	it.pos = it.blkStart
@@ -276,6 +283,13 @@ func (it *Iterator) NextWindow() bool {
 // SeekGE has made on this iterator — the cost model the
 // seek-after-skip regression tests pin down.
 func (it *Iterator) SeekProbes() int { return it.probes }
+
+// BlocksDecoded returns how many compressed blocks this iterator
+// decoded since it was (re)positioned — 0 in slice mode, where nothing
+// is compressed. Blocks that SeekGE or SkipBlock passed over without
+// decoding are not counted, so comparing against ceil(Len/BlockSize)
+// measures how much decode work pruning actually saved.
+func (it *Iterator) BlocksDecoded() int { return it.decodes }
 
 // SeekGE advances to the first posting with Doc >= d, reporting whether
 // one exists. It never moves backwards; seeking to a document at or

@@ -15,6 +15,7 @@ import (
 	"toppriv/internal/core"
 	"toppriv/internal/corpus"
 	"toppriv/internal/index"
+	"toppriv/internal/telemetry"
 	"toppriv/internal/textproc"
 )
 
@@ -311,6 +312,73 @@ func (c *Client) Stats() (index.Stats, error) {
 		return s, fmt.Errorf("decoding stats: %w", err)
 	}
 	return s, nil
+}
+
+// StatsFull retrieves the complete GET /stats reply — the index-shape
+// statistics plus the query-log ring state (retained/evicted counts
+// and absolute head/tail sequence numbers).
+func (c *Client) StatsFull() (StatsResponse, error) {
+	var s StatsResponse
+	resp, err := c.httpc.Get(c.baseURL + "/stats")
+	if err != nil {
+		return s, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return s, fmt.Errorf("server returned %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return s, fmt.Errorf("decoding stats: %w", err)
+	}
+	return s, nil
+}
+
+// MetricsText retrieves the raw Prometheus text exposition from
+// GET /metrics. Callers wanting structure can feed it to
+// telemetry.ParseText.
+func (c *Client) MetricsText() (string, error) {
+	resp, err := c.httpc.Get(c.baseURL + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("server returned %s", resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Traces retrieves the server's retained phase traces (GET
+// /debug/traces, admin-token-gated when the server has one). n > 0
+// limits the reply to the most recent n traces.
+func (c *Client) Traces(n int) ([]telemetry.PhaseTrace, error) {
+	url := c.baseURL + "/debug/traces"
+	if n > 0 {
+		url += fmt.Sprintf("?n=%d", n)
+	}
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.authorize(req)
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var tr TracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("decoding traces: %w", err)
+	}
+	return tr.Traces, nil
 }
 
 // FetchDocument retrieves a document body (Step 7 of Fig. 1; the paper

@@ -23,9 +23,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"toppriv/internal/corpus"
 	"toppriv/internal/index"
+	"toppriv/internal/telemetry"
 	"toppriv/internal/vsm"
 )
 
@@ -82,6 +84,11 @@ type SearchRequest struct {
 	// identical either way; the knob exists for benchmarking and
 	// regression triage.
 	Exec string `json:"exec,omitempty"`
+	// Trace, when true, asks for a per-phase timing breakdown of this
+	// query's execution inline in the response. The trace carries phase
+	// durations and work counters only — never query content — so
+	// opting in does not widen what the server retains about the query.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // SearchHit is one result row.
@@ -100,6 +107,10 @@ type SearchResponse struct {
 	// the first time they cross the HTTP layer. Nil for legacy
 	// backends that only implement vsm.Searcher.
 	Stats *vsm.ExecStats `json:"stats,omitempty"`
+	// Trace is the per-phase timing breakdown, present when the request
+	// set "trace": true and the backend supports tracing. Batch members
+	// served by a shared traversal all carry the same cycle-level trace.
+	Trace *telemetry.PhaseTrace `json:"trace,omitempty"`
 }
 
 // BatchSearchRequest is the POST /search/batch payload: one
@@ -158,6 +169,16 @@ type Server struct {
 	// serving.
 	maxBatch int
 
+	// Telemetry: the server owns the process's metric registry and
+	// phase-trace ring, and hands them to the backend when it
+	// implements MetricsBackend. See telemetry.go.
+	reg          *telemetry.Registry
+	ring         *telemetry.TraceRing
+	httpReqs     *telemetry.CounterVec
+	httpErrs     *telemetry.CounterVec
+	httpInflight *telemetry.GaugeVec
+	logEvicted   atomic.Uint64
+
 	mu sync.Mutex
 	// The query log is a ring: seq numbers are absolute and monotonic,
 	// but only the most recent logCap entries are retained.
@@ -194,11 +215,14 @@ func NewServer(engine vsm.Searcher, docs []corpus.Document) (*Server, error) {
 	if reqs, ok := engine.(vsm.RequestSearcher); ok {
 		s.reqs = reqs
 	}
-	s.mux.HandleFunc("/search", s.handleSearch)
-	s.mux.HandleFunc("/search/batch", s.handleSearchBatch)
-	s.mux.HandleFunc("/index", s.handleIndex)
-	s.mux.HandleFunc("/doc/", s.handleDoc)
-	s.mux.HandleFunc("/stats", s.handleStats)
+	s.initTelemetry()
+	s.mux.Handle("/search", s.instrument("/search", s.handleSearch))
+	s.mux.Handle("/search/batch", s.instrument("/search/batch", s.handleSearchBatch))
+	s.mux.Handle("/index", s.instrument("/index", s.handleIndex))
+	s.mux.Handle("/doc/", s.instrument("/doc", s.handleDoc))
+	s.mux.Handle("/stats", s.instrument("/stats", s.handleStats))
+	s.mux.Handle("/metrics", s.instrument("/metrics", s.handleMetrics))
+	s.mux.Handle("/debug/traces", s.instrument("/debug/traces", s.handleTraces))
 	return s, nil
 }
 
@@ -213,6 +237,7 @@ func (s *Server) SetQueryLogCap(n int) {
 	defer s.mu.Unlock()
 	cur := s.snapshotLogLocked()
 	if len(cur) > n {
+		s.logEvicted.Add(uint64(len(cur) - n))
 		cur = cur[len(cur)-n:]
 	}
 	s.logCap = n
@@ -299,7 +324,7 @@ func (s *Server) decodeQuery(req *SearchRequest) (vsm.Request, error) {
 	if req.Exec != "" && s.reqs == nil && s.modal == nil {
 		return vsm.Request{}, errors.New("backend does not support exec mode overrides")
 	}
-	return vsm.Request{Query: req.Query, K: k, Mode: mode}, nil
+	return vsm.Request{Query: req.Query, K: k, Mode: mode, Trace: req.Trace && s.reqs != nil}, nil
 }
 
 // execute runs one decoded request on the best surface the backend
@@ -309,6 +334,7 @@ func (s *Server) execute(ctx context.Context, req *SearchRequest, vreq vsm.Reque
 	var (
 		results []vsm.Result
 		stats   *vsm.ExecStats
+		trace   *telemetry.PhaseTrace
 	)
 	switch {
 	case s.reqs != nil:
@@ -316,19 +342,19 @@ func (s *Server) execute(ctx context.Context, req *SearchRequest, vreq vsm.Reque
 		if err != nil {
 			return SearchResponse{}, err
 		}
-		results, stats = vresp.Hits, &vresp.Stats
+		results, stats, trace = vresp.Hits, &vresp.Stats, vresp.Trace
 	case req.Exec != "":
 		results = s.modal.SearchMode(vreq.Query, vreq.K, vreq.Mode)
 	default:
 		results = s.engine.Search(vreq.Query, vreq.K)
 	}
-	return s.toSearchResponse(results, stats), nil
+	return s.toSearchResponse(results, stats, trace), nil
 }
 
 // toSearchResponse shapes engine hits into the wire form, resolving
 // titles — the one conversion both the single and batch endpoints use.
-func (s *Server) toSearchResponse(results []vsm.Result, stats *vsm.ExecStats) SearchResponse {
-	resp := SearchResponse{Hits: make([]SearchHit, len(results)), Stats: stats}
+func (s *Server) toSearchResponse(results []vsm.Result, stats *vsm.ExecStats, trace *telemetry.PhaseTrace) SearchResponse {
+	resp := SearchResponse{Hits: make([]SearchHit, len(results)), Stats: stats, Trace: trace}
 	for i, res := range results {
 		hit := SearchHit{Doc: res.Doc, Score: res.Score}
 		if title, ok := s.title(res.Doc); ok {
@@ -421,7 +447,7 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		for i := range vresps {
-			resp.Responses[i] = s.toSearchResponse(vresps[i].Hits, &vresps[i].Stats)
+			resp.Responses[i] = s.toSearchResponse(vresps[i].Hits, &vresps[i].Stats, vresps[i].Trace)
 		}
 		writeJSON(w, resp)
 		return
@@ -524,6 +550,28 @@ func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// QueryLogStats describes the query-log ring on GET /stats. Seq
+// numbers are absolute: HeadSeq is the oldest retained entry's
+// sequence and TailSeq the next to be assigned, so TailSeq - HeadSeq
+// == Retained and HeadSeq == Evicted. An adversary-side consumer can
+// tell from a HeadSeq jump exactly how much history rolled off
+// between two scrapes.
+type QueryLogStats struct {
+	Retained int    `json:"retained"`
+	Evicted  uint64 `json:"evicted"`
+	HeadSeq  int    `json:"head_seq"`
+	TailSeq  int    `json:"tail_seq"`
+}
+
+// StatsResponse is the GET /stats reply: the index shape stats the
+// endpoint has always served, plus the query-log ring's state. The
+// extension is additive — clients decoding into index.Stats ignore
+// the new key.
+type StatsResponse struct {
+	index.Stats
+	QueryLog QueryLogStats `json:"querylog"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
@@ -534,7 +582,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "stats unavailable for this backend", http.StatusNotFound)
 		return
 	}
-	writeJSON(w, sp.ComputeStats())
+	writeJSON(w, StatsResponse{Stats: sp.ComputeStats(), QueryLog: s.queryLogStats()})
+}
+
+func (s *Server) queryLogStats() QueryLogStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return QueryLogStats{
+		Retained: len(s.log),
+		Evicted:  s.logEvicted.Load(),
+		HeadSeq:  s.seq - len(s.log),
+		TailSeq:  s.seq,
+	}
 }
 
 // logQuery appends to the ring, evicting the oldest entry at capacity.
@@ -549,6 +608,7 @@ func (s *Server) logQuery(q string) {
 	}
 	s.log[s.logStart] = entry
 	s.logStart = (s.logStart + 1) % len(s.log)
+	s.logEvicted.Add(1)
 }
 
 // QueryLog returns a copy of the retained query log, oldest first — the
@@ -577,6 +637,7 @@ func (s *Server) ResetLog() {
 	s.log = nil
 	s.logStart = 0
 	s.seq = 0
+	s.logEvicted.Store(0)
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

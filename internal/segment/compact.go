@@ -116,6 +116,7 @@ func findRun(segs []*seg, fanout int) (int, int) {
 // install step revalidates under the write lock and re-applies any
 // deletes that landed mid-merge.
 func (st *Store) compactRun(start, end int) (*seg, error) {
+	began := time.Now()
 	st.mu.RLock()
 	if start < 0 || end > len(st.segs) || end-start < 2 {
 		st.mu.RUnlock()
@@ -206,5 +207,7 @@ func (st *Store) compactRun(start, end int) (*seg, error) {
 	stack = append(stack, out)
 	stack = append(stack, st.segs[end:]...)
 	st.segs = stack
+	st.compactRuns.Add(1)
+	st.compactNanos.Add(time.Since(began).Nanoseconds())
 	return out, nil
 }

@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"toppriv/internal/corpus"
 	"toppriv/internal/index"
+	"toppriv/internal/telemetry"
 	"toppriv/internal/textproc"
 	"toppriv/internal/vsm"
 )
@@ -99,6 +101,15 @@ type Store struct {
 	closeCh   chan struct{}
 	wg        sync.WaitGroup
 	closed    bool
+
+	// metrics, when non-nil, carries the pre-resolved telemetry handles
+	// the query path updates (see EnableMetrics). Set before serving.
+	metrics *storeMetrics
+	// compactRuns/compactNanos count completed compaction runs and
+	// their total wall time; maintained by compactRun, read at scrape
+	// time. Atomics so the compactor never contends with scrapes.
+	compactRuns  atomic.Uint64
+	compactNanos atomic.Int64
 }
 
 // Open creates an empty store and starts its background compactor.
@@ -342,7 +353,19 @@ func (st *Store) SearchBatch(ctx context.Context, reqs []vsm.Request) ([]vsm.Res
 	if len(reqs) == 0 {
 		return nil, nil
 	}
-	// Analyze raw queries once, before taking the lock.
+	resps := make([]vsm.Response, len(reqs))
+	bt := batchTimer{enabled: st.metrics != nil}
+	for i := range reqs {
+		if reqs[i].Trace {
+			bt.enabled = true
+			resps[i].Trace = &telemetry.PhaseTrace{}
+		}
+	}
+	bt.start()
+	// Analyze raw queries once, before taking the lock. Tracing is
+	// handled at the store level (finishBatch), so the per-shard copies
+	// drop the Trace flag — shard-local phase times are partial and
+	// concurrent, not something a caller can interpret.
 	prepared := make([]vsm.Request, len(reqs))
 	for i, req := range reqs {
 		if err := req.Validate(); err != nil {
@@ -351,14 +374,15 @@ func (st *Store) SearchBatch(ctx context.Context, reqs []vsm.Request) ([]vsm.Res
 		if req.Terms == nil {
 			req.Terms = st.an.Analyze(req.Query)
 		}
+		req.Trace = false
 		prepared[i] = req
 	}
+	bt.mark(&bt.resolve)
 
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 
 	shards := st.shardsLocked()
-	resps := make([]vsm.Response, len(reqs))
 	if len(shards) == 0 {
 		return resps, nil
 	}
@@ -407,6 +431,7 @@ func (st *Store) SearchBatch(ctx context.Context, reqs []vsm.Request) ([]vsm.Res
 			return nil, outs[i].err
 		}
 	}
+	bt.mark(&bt.traverse)
 	lists := make([][]vsm.Result, len(shards))
 	for j := range reqs {
 		for i := range outs {
@@ -415,6 +440,8 @@ func (st *Store) SearchBatch(ctx context.Context, reqs []vsm.Request) ([]vsm.Res
 		}
 		resps[j].Hits = mergeTopK(lists, prepared[j].K)
 	}
+	bt.mark(&bt.merge)
+	st.finishBatch(&bt, prepared, resps)
 	return resps, nil
 }
 

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram with exact sum and count.
+// Observations are two atomic adds plus a CAS float-add for the sum;
+// there is no lock on the observation path. Buckets are cumulative
+// only at exposition time — internally each slot counts observations
+// that fell in (uppers[i-1], uppers[i]].
+type Histogram struct {
+	uppers []float64 // ascending upper bounds, +Inf excluded
+	counts []atomic.Uint64
+	total  atomic.Uint64 // observations above the last finite bound included
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(uppers []float64) *Histogram {
+	for i := 1; i < len(uppers); i++ {
+		if uppers[i] <= uppers[i-1] {
+			panic("telemetry: histogram buckets must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		uppers: append([]float64(nil), uppers...),
+		counts: make([]atomic.Uint64, len(uppers)),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search beats linear scan only past ~16 buckets; latency
+	// histograms here have ~20, and most observations land in the low
+	// buckets, so scan from the bottom.
+	for i, upper := range h.uppers {
+		if v <= upper {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+}
+
+// ObserveSeconds records a duration given in nanoseconds, converted to
+// seconds — the Prometheus base unit for time.
+func (h *Histogram) ObserveSeconds(ns int64) {
+	h.Observe(float64(ns) / 1e9)
+}
+
+// snapshot returns per-bucket (non-cumulative) counts, the exact sum,
+// and the total observation count. Reads are atomic per word; a scrape
+// racing an observation may see the bucket before the total or vice
+// versa, which Prometheus tolerates (counts are monotone).
+func (h *Histogram) snapshot() (counts []uint64, sum float64, total uint64) {
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, math.Float64frombits(h.sum.Load()), h.total.Load()
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the exact sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefaultLatencyBuckets is the shared bucket layout for query-latency
+// histograms: exponential, 10µs to ~2.6s in ×1.9 steps (21 finite
+// buckets). The low end resolves the ~30µs in-memory query path; the
+// high end keeps p999 visible under pathological load without an
+// unbounded tail.
+var DefaultLatencyBuckets = ExponentialBuckets(10e-6, 1.9, 21)
+
+// ExponentialBuckets returns n ascending bounds starting at start,
+// each factor times the previous. start must be positive and factor
+// greater than one.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: invalid exponential bucket spec")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}

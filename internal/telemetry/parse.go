@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedSample is one exposition line: a metric name (including any
+// _bucket/_sum/_count suffix), its labels, and the value.
+type ParsedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one family reassembled from an exposition stream.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    MetricType
+	Samples []ParsedSample
+}
+
+// ParseText parses a Prometheus text-format (v0.0.4) stream into
+// families, in stream order. It understands exactly the subset
+// WriteText emits — HELP/TYPE comments, escaped label values,
+// +Inf/-Inf/NaN — which is also the subset real scrapers require. It
+// exists so the round-trip property is testable without a Prometheus
+// dependency, and doubles as the decoder behind topprivctl -metrics.
+func ParseText(r io.Reader) ([]ParsedFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var fams []ParsedFamily
+	byName := map[string]int{}
+	// familyOf maps a sample name to its family name by stripping
+	// histogram suffixes when the base family is known.
+	familyOf := func(sample string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(sample, suf); ok {
+				if i, found := byName[base]; found && fams[i].Type == TypeHistogram {
+					return base
+				}
+			}
+		}
+		return sample
+	}
+	ensure := func(name string) *ParsedFamily {
+		if i, ok := byName[name]; ok {
+			return &fams[i]
+		}
+		byName[name] = len(fams)
+		fams = append(fams, ParsedFamily{Name: name})
+		return &fams[len(fams)-1]
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 {
+				continue // bare comment
+			}
+			switch fields[1] {
+			case "HELP":
+				f := ensure(fields[2])
+				if len(fields) == 4 {
+					f.Help = unescapeHelp(fields[3])
+				}
+			case "TYPE":
+				if len(fields) >= 4 {
+					f := ensure(fields[2])
+					f.Type = MetricType(fields[3])
+				}
+			}
+			continue
+		}
+		sample, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+		}
+		f := ensure(familyOf(sample.Name))
+		f.Samples = append(f.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+func parseSample(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	brace := strings.IndexByte(line, '{')
+	var rest string
+	if brace < 0 {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return s, fmt.Errorf("sample %q has no value", line)
+		}
+		s.Name = line[:sp]
+		rest = line[sp+1:]
+	} else {
+		s.Name = line[:brace]
+		end, labels, err := parseLabels(line[brace+1:])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = strings.TrimSpace(line[brace+1+end:])
+	}
+	// Ignore an optional trailing timestamp (we never emit one, but be
+	// lenient: value is the first whitespace-separated token).
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `name="value",...}` and returns the offset one
+// past the closing brace.
+func parseLabels(s string) (int, map[string]string, error) {
+	labels := map[string]string{}
+	i := 0
+	for {
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return 0, nil, fmt.Errorf("label without '=' in %q", s)
+		}
+		name := s[i : i+eq]
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		var val strings.Builder
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				default:
+					val.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[name] = val.String()
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func unescapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+// FormatTable pretty-prints parsed families as aligned text, families
+// sorted by name — the human-facing view behind topprivctl -metrics.
+func FormatTable(fams []ParsedFamily, w io.Writer) error {
+	sorted := append([]ParsedFamily(nil), fams...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for i, f := range sorted {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s (%s) — %s\n", f.Name, f.Type, f.Help); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			label := formatLabels(s.Labels)
+			if _, err := fmt.Fprintf(w, "  %-60s %s\n", s.Name+label, formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,276 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildRegistry populates one of every family kind, including labeled
+// children and awkward label values needing escaping.
+func buildRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("t_requests_total", "Total requests.").Add(42)
+	cv := r.CounterVec("t_errors_total", "Errors by endpoint.", "endpoint", "code")
+	cv.With("/search", "400").Add(3)
+	cv.With("/index", "500").Inc()
+	cv.With(`/weird"path`, `5\00`).Add(7)
+	r.Gauge("t_inflight", "In-flight requests.").Set(2.5)
+	gv := r.GaugeVec("t_shard_docs", "Docs per shard.", "shard")
+	gv.With("0").Set(1000)
+	gv.With("1").Set(-3)
+	r.GaugeFunc("t_staleness", "Model staleness\nmultiline help.", func() float64 { return 0.125 })
+	r.CounterFunc("t_compactions_total", "Compaction runs.", func() float64 { return 9 })
+	h := r.Histogram("t_latency_seconds", "Query latency.", DefaultLatencyBuckets)
+	for _, v := range []float64{1e-6, 5e-5, 3e-4, 0.01, 0.5, 10} {
+		h.Observe(v)
+	}
+	hv := r.HistogramVec("t_phase_seconds", "Phase latency.", []float64{0.001, 0.01, 0.1}, "phase")
+	hv.With("resolve").Observe(0.0005)
+	hv.With("traverse").Observe(0.05)
+	hv.With("traverse").Observe(5) // above the last finite bound
+	return r
+}
+
+// TestRoundTrip renders the registry and re-parses it, checking every
+// family's name, type, help, labels and values survive the trip.
+func TestRoundTrip(t *testing.T) {
+	r := buildRegistry()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	fams, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ParseText: %v\n%s", err, sb.String())
+	}
+	byName := map[string]ParsedFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+
+	want := map[string]MetricType{
+		"t_requests_total":    TypeCounter,
+		"t_errors_total":      TypeCounter,
+		"t_inflight":          TypeGauge,
+		"t_shard_docs":        TypeGauge,
+		"t_staleness":         TypeGauge,
+		"t_compactions_total": TypeCounter,
+		"t_latency_seconds":   TypeHistogram,
+		"t_phase_seconds":     TypeHistogram,
+	}
+	if len(byName) != len(want) {
+		t.Fatalf("parsed %d families, want %d: %v", len(byName), len(want), byName)
+	}
+	for name, typ := range want {
+		f, ok := byName[name]
+		if !ok {
+			t.Fatalf("family %s missing from exposition", name)
+		}
+		if f.Type != typ {
+			t.Errorf("%s: type %q, want %q", name, f.Type, typ)
+		}
+		if f.Help == "" {
+			t.Errorf("%s: missing HELP", name)
+		}
+	}
+
+	if f := byName["t_staleness"]; f.Help != "Model staleness\nmultiline help." {
+		t.Errorf("multiline help mangled: %q", f.Help)
+	}
+	if got := byName["t_requests_total"].Samples[0].Value; got != 42 {
+		t.Errorf("t_requests_total = %v, want 42", got)
+	}
+	if got := byName["t_compactions_total"].Samples[0].Value; got != 9 {
+		t.Errorf("t_compactions_total = %v, want 9", got)
+	}
+
+	// Labeled counter children, including the escaped one.
+	errs := map[string]float64{}
+	for _, s := range byName["t_errors_total"].Samples {
+		errs[s.Labels["endpoint"]+"|"+s.Labels["code"]] = s.Value
+	}
+	for key, val := range map[string]float64{
+		"/search|400": 3, "/index|500": 1, `/weird"path|5\00`: 7,
+	} {
+		if errs[key] != val {
+			t.Errorf("t_errors_total{%s} = %v, want %v (all: %v)", key, errs[key], val, errs)
+		}
+	}
+
+	// Histogram structure: one +Inf bucket per series, sum/count match.
+	hist := byName["t_latency_seconds"]
+	var infCount, sum, count float64
+	for _, s := range hist.Samples {
+		switch {
+		case s.Name == "t_latency_seconds_bucket" && s.Labels["le"] == "+Inf":
+			infCount = s.Value
+		case s.Name == "t_latency_seconds_sum":
+			sum = s.Value
+		case s.Name == "t_latency_seconds_count":
+			count = s.Value
+		}
+	}
+	if infCount != 6 || count != 6 {
+		t.Errorf("latency histogram: +Inf bucket %v, count %v, want 6", infCount, count)
+	}
+	wantSum := 1e-6 + 5e-5 + 3e-4 + 0.01 + 0.5 + 10
+	if math.Abs(sum-wantSum) > 1e-12 {
+		t.Errorf("latency histogram sum = %v, want %v", sum, wantSum)
+	}
+
+	// An observation above the last finite bound shows up only in +Inf.
+	for _, s := range byName["t_phase_seconds"].Samples {
+		if s.Name != "t_phase_seconds_bucket" || s.Labels["phase"] != "traverse" {
+			continue
+		}
+		switch s.Labels["le"] {
+		case "0.1":
+			if s.Value != 1 {
+				t.Errorf("traverse le=0.1 bucket = %v, want 1", s.Value)
+			}
+		case "+Inf":
+			if s.Value != 2 {
+				t.Errorf("traverse +Inf bucket = %v, want 2", s.Value)
+			}
+		}
+	}
+}
+
+// TestHistogramMonotonic is the bucket-monotonicity property test:
+// random observations, then cumulative bucket counts must be
+// non-decreasing in le, the +Inf bucket must equal the count, and the
+// sum must be exact.
+func TestHistogramMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(12)
+		uppers := make([]float64, n)
+		v := rng.Float64() * 1e-3
+		for i := range uppers {
+			v *= 1 + rng.Float64()*3
+			uppers[i] = v
+		}
+		h := newHistogram(uppers)
+		var wantSum float64
+		obs := 1 + rng.Intn(500)
+		for i := 0; i < obs; i++ {
+			x := rng.Float64() * uppers[n-1] * 1.5 // some land above the top bound
+			h.Observe(x)
+			wantSum += x
+		}
+		counts, sum, total := h.snapshot()
+		if total != uint64(obs) {
+			t.Fatalf("trial %d: count %d, want %d", trial, total, obs)
+		}
+		if math.Abs(sum-wantSum) > 1e-9*math.Max(1, math.Abs(wantSum)) {
+			t.Fatalf("trial %d: sum %v, want %v", trial, sum, wantSum)
+		}
+		cum := uint64(0)
+		prev := uint64(0)
+		for i := range counts {
+			cum += counts[i]
+			if cum < prev {
+				t.Fatalf("trial %d: cumulative bucket %d decreased: %d < %d", trial, i, cum, prev)
+			}
+			prev = cum
+		}
+		if cum > total {
+			t.Fatalf("trial %d: finite buckets %d exceed count %d", trial, cum, total)
+		}
+	}
+}
+
+// TestConcurrentUpdates hammers every metric kind from many goroutines
+// while scraping concurrently; the final totals must be exact. Run
+// under -race this also proves the implementation is data-race-free.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "c")
+	g := r.Gauge("cc_gauge", "g")
+	h := r.Histogram("cc_hist", "h", []float64{1, 2, 4})
+	cv := r.CounterVec("cc_labeled_total", "lc", "w")
+
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			child := cv.With("shared") // resolve races family lock
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 5))
+				child.Inc()
+			}
+		}(w)
+	}
+	// Concurrent scrapes must not race updates.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WriteText(&sb); err != nil {
+				t.Errorf("WriteText during updates: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	const n = workers * perWorker
+	if got := c.Value(); got != n {
+		t.Errorf("counter = %d, want %d", got, n)
+	}
+	if got := g.Value(); got != n {
+		t.Errorf("gauge = %v, want %d", got, n)
+	}
+	if got := h.Count(); got != n {
+		t.Errorf("histogram count = %d, want %d", got, n)
+	}
+	// Each worker observes 0,1,2,3,4 cyclically: sum per 5 obs is 10.
+	if got, want := h.Sum(), float64(n/5*10); got != want {
+		t.Errorf("histogram sum = %v, want %v", got, want)
+	}
+	if got := cv.With("shared").Value(); got != n {
+		t.Errorf("labeled counter = %d, want %d", got, n)
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	r := NewTraceRing(4)
+	for i := 0; i < 6; i++ {
+		seq := r.Record(PhaseTrace{Terms: i})
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("ring kept %d traces, want 4", len(snap))
+	}
+	for i, tr := range snap {
+		if want := uint64(i + 3); tr.Seq != want {
+			t.Errorf("snapshot[%d].Seq = %d, want %d (oldest first)", i, tr.Seq, want)
+		}
+	}
+	if r.Len() != 4 {
+		t.Errorf("Len = %d, want 4", r.Len())
+	}
+}
+
+func TestConflictingRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering dup_total as gauge did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "x")
+}

@@ -7,6 +7,7 @@ import (
 
 	"toppriv/internal/corpus"
 	"toppriv/internal/index"
+	"toppriv/internal/telemetry"
 	"toppriv/internal/textproc"
 )
 
@@ -101,6 +102,20 @@ func (e *Engine) SearchBatch(ctx context.Context, reqs []Request) ([]Response, e
 		}
 	}
 	resps := make([]Response, len(reqs))
+	m := e.metrics
+	// bc times the batch-level phases: the shared resolution pass, the
+	// union fetch, the cycle-at-a-time traversal and the drains. Members
+	// the shared traversal serves get this cycle-level trace; members
+	// running member-at-a-time get their own per-member clocks.
+	var bc phaseClock
+	bc.enabled = m != nil
+	for i := range reqs {
+		if reqs[i].Trace {
+			bc.enabled = true
+			resps[i].Trace = &telemetry.PhaseTrace{}
+		}
+	}
+	bc.start()
 	bs := e.batches.Get().(*batchState)
 	bs.reset()
 	defer func() {
@@ -138,6 +153,7 @@ func (e *Engine) SearchBatch(ctx context.Context, reqs []Request) ([]Response, e
 		}
 		bs.members = append(bs.members, m)
 	}
+	bc.mark(&bc.resolve)
 
 	// Plan: auto-mode members may join the shared traversal when the
 	// engine itself is not pinned to a pruned strategy; explicit-mode
@@ -157,32 +173,83 @@ func (e *Engine) SearchBatch(ctx context.Context, reqs []Request) ([]Response, e
 	}
 	if len(shared) >= 2 {
 		distinct := e.buildUnion(bs, shared)
+		bc.mark(&bc.fetch)
 		if e.mode == ExecExhaustive || distinct*batchShareDen <= totalPostings*batchShareNum {
 			if err := e.batchExhaustive(ctx, bs); err != nil {
 				return nil, err
 			}
+			bc.mark(&bc.traverse)
 			for _, i := range shared {
 				resps[i].Hits = drainTopK(&bs.members[i].qs.heap)
 			}
+			bc.mark(&bc.merge)
+			e.finishBatch(&bc, bs, shared, resps)
 		}
 	}
 
 	// Member-at-a-time for everyone left: explicit modes, unprofitable
 	// sharing, and engines pinned to a pruned strategy. Members the
 	// shared traversal served have non-nil (possibly empty) hit
-	// slices; dead members keep nil hits and zero stats.
+	// slices; dead members keep nil hits and zero stats. Resolution was
+	// shared, so per-member clocks carry fetch/traverse/merge only.
 	for i := range bs.members {
-		m := &bs.members[i]
-		if !m.live || resps[i].Hits != nil {
+		bm := &bs.members[i]
+		if !bm.live || resps[i].Hits != nil {
 			continue
 		}
-		hits, err := e.execResolved(ctx, m.qs, m.req.K, m.qnorm, m.req.Keep, m.req.Mode, m.stats)
+		bm.qs.clock.enabled = m != nil || resps[i].Trace != nil
+		bm.qs.clock.start()
+		hits, err := e.execResolved(ctx, bm.qs, bm.req.K, bm.qnorm, bm.req.Keep, bm.req.Mode, bm.stats)
 		if err != nil {
 			return nil, err
 		}
 		resps[i].Hits = hits
+		e.finishQuery(bm.qs, len(bm.qs.terms), bm.req.K, bm.stats, resps[i].Trace)
 	}
 	return resps, nil
+}
+
+// finishBatch closes out one shared traversal: the cycle-level trace
+// aggregates the served members' work counters, is recorded once in
+// the ring and observed once in the latency histogram (mode "batch"),
+// and is copied to every served member that asked for an inline trace.
+func (e *Engine) finishBatch(bc *phaseClock, bs *batchState, shared []int, resps []Response) {
+	if !bc.enabled {
+		return
+	}
+	t := telemetry.PhaseTrace{
+		Scorer:     e.scoring.String(),
+		Mode:       "batch",
+		Terms:      len(bs.union),
+		Batch:      len(shared),
+		ResolveNS:  bc.resolve,
+		FetchNS:    bc.fetch,
+		TraverseNS: bc.traverse,
+		MergeNS:    bc.merge,
+		TotalNS:    bc.total(),
+	}
+	for _, i := range shared {
+		st := &resps[i].Stats
+		t.DocsScored += st.DocsScored
+		t.Postings += st.Postings
+		t.BlocksDecoded += st.BlocksDecoded
+	}
+	if m := e.metrics; m != nil {
+		m.batchLat.ObserveSeconds(t.TotalNS)
+		m.batchQ.Add(uint64(len(shared)))
+		for _, i := range shared {
+			st := resps[i].Stats
+			m.addStats(&st)
+		}
+		if m.ring != nil {
+			t.Seq = m.ring.Record(t)
+		}
+	}
+	for _, i := range shared {
+		if resps[i].Trace != nil {
+			*resps[i].Trace = t
+		}
+	}
 }
 
 // buildUnion assembles the TermID-sorted union plan over the given
@@ -361,7 +428,9 @@ func (e *Engine) batchExhaustive(ctx context.Context, bs *batchState) error {
 			}
 		}
 		for _, rf := range refs {
-			bs.members[rf.member].stats.Postings += ut.it.Len()
+			st := bs.members[rf.member].stats
+			st.Postings += ut.it.Len()
+			st.BlocksDecoded += ut.it.BlocksDecoded()
 		}
 	}
 	// Finalize per member: same normalization, same heap discipline as

@@ -30,6 +30,7 @@ import (
 
 	"toppriv/internal/corpus"
 	"toppriv/internal/index"
+	"toppriv/internal/telemetry"
 	"toppriv/internal/textproc"
 )
 
@@ -141,6 +142,9 @@ type Engine struct {
 	// (0, 1], derived from link analysis (see NewEngineWithPrior).
 	prior       []float64
 	priorWeight float64
+	// metrics, when non-nil, carries the pre-resolved telemetry handles
+	// every query updates (see EnableMetrics). Set before serving.
+	metrics *engineMetrics
 }
 
 // NewEngine builds a search engine over idx. The analyzer must be the
@@ -311,7 +315,10 @@ func (e *Engine) SearchRequest(ctx context.Context, req Request) (Response, erro
 		terms = e.an.Analyze(req.Query)
 	}
 	var resp Response
-	hits, err := e.searchTermsCtx(ctx, terms, req.K, req.Keep, req.Mode, &resp.Stats)
+	if req.Trace {
+		resp.Trace = &telemetry.PhaseTrace{}
+	}
+	hits, err := e.searchTermsCtx(ctx, terms, req.K, req.Keep, req.Mode, &resp.Stats, resp.Trace)
 	if err != nil {
 		return Response{}, err
 	}
@@ -361,20 +368,31 @@ func (e *Engine) SearchMode(query string, k int, mode ExecMode) []Result {
 // this package assert it. Legacy wrapper over the context-aware path;
 // new code should use SearchRequest.
 func (e *Engine) SearchTermsExec(terms []string, k int, keep func(corpus.DocID) bool, mode ExecMode, stats *ExecStats) []Result {
-	res, _ := e.searchTermsCtx(context.Background(), terms, k, keep, mode, stats)
+	res, _ := e.searchTermsCtx(context.Background(), terms, k, keep, mode, stats, nil)
 	return res
 }
 
 // searchTermsCtx resolves and executes one analyzed query — the shared
 // core under SearchRequest and the legacy wrappers. The only possible
-// error is the context's.
-func (e *Engine) searchTermsCtx(ctx context.Context, terms []string, k int, keep func(corpus.DocID) bool, mode ExecMode, stats *ExecStats) ([]Result, error) {
+// error is the context's. When the engine is instrumented or the
+// caller wants an inline trace, the phases are timed and the query is
+// closed out through finishQuery.
+func (e *Engine) searchTermsCtx(ctx context.Context, terms []string, k int, keep func(corpus.DocID) bool, mode ExecMode, stats *ExecStats, trace *telemetry.PhaseTrace) ([]Result, error) {
 	if k <= 0 || len(terms) == 0 {
 		return nil, nil
 	}
+	m := e.metrics
 	qs := e.states.Get().(*queryState)
 	defer e.states.Put(qs)
 	qs.reset()
+	qs.clock.enabled = m != nil || trace != nil
+	if qs.clock.enabled && stats == nil {
+		// Traces carry the work counters; collect them locally when the
+		// caller did not ask for any.
+		var local ExecStats
+		stats = &local
+	}
+	qs.clock.start()
 	if !e.resolveTerms(qs, terms) {
 		return nil, nil
 	}
@@ -382,29 +400,34 @@ func (e *Engine) searchTermsCtx(ctx context.Context, terms []string, k int, keep
 	if qnorm == 0 {
 		return nil, nil
 	}
-	return e.execResolved(ctx, qs, k, qnorm, keep, mode, stats)
+	qs.clock.mark(&qs.clock.resolve)
+	res, err := e.execResolved(ctx, qs, k, qnorm, keep, mode, stats)
+	if err != nil {
+		return nil, err
+	}
+	e.finishQuery(qs, len(qs.terms), k, stats, trace)
+	return res, nil
 }
 
-// execResolved dispatches a resolved, weighted query state to an
-// execution strategy. SearchBatch calls it directly for batch members
-// that cannot join the shared traversal, so resolution is never
-// repeated.
-func (e *Engine) execResolved(ctx context.Context, qs *queryState, k int, qnorm float64, keep func(corpus.DocID) bool, mode ExecMode, stats *ExecStats) ([]Result, error) {
+// effectiveMode resolves the strategy a query will actually run under:
+// ExecAuto defers to the engine default, then to metadata availability
+// and the retrieval-size heuristic.
+func (e *Engine) effectiveMode(mode ExecMode, k int) ExecMode {
 	if mode == ExecAuto {
 		mode = e.mode
 	}
 	switch {
 	case mode == ExecExhaustive || e.impacts == nil:
-		return e.searchExhaustive(ctx, qs, k, qnorm, keep, stats)
+		return ExecExhaustive
 	case mode == ExecAuto && 4*k >= e.src.NumDocs():
 		// Near-full retrieval: pruning cannot skip much, so the flat
 		// scan's lower per-posting cost wins. An explicit pruned mode
 		// overrides this heuristic.
-		return e.searchExhaustive(ctx, qs, k, qnorm, keep, stats)
+		return ExecExhaustive
 	case mode == ExecMaxScore:
-		return e.searchMaxScore(ctx, qs, k, qnorm, keep, stats)
+		return ExecMaxScore
 	case mode == ExecBlockMax:
-		return e.searchBlockMax(ctx, qs, k, qnorm, keep, stats)
+		return ExecBlockMax
 	default:
 		// ExecAuto on a selective query: cosine's normalized term
 		// bounds are loose enough that MaxScore's candidate stream
@@ -419,9 +442,27 @@ func (e *Engine) execResolved(ctx context.Context, qs *queryState, k int, qnorm 
 		// README "Choosing an execution mode"; per-(list-length, k)
 		// calibration remains the ROADMAP's auto exec-mode item.
 		if e.blockSrc != nil && e.blockSrc.HasBlocks() && e.scoring != BM25 {
-			return e.searchBlockMax(ctx, qs, k, qnorm, keep, stats)
+			return ExecBlockMax
 		}
+		return ExecMaxScore
+	}
+}
+
+// execResolved dispatches a resolved, weighted query state to an
+// execution strategy. SearchBatch calls it directly for batch members
+// that cannot join the shared traversal, so resolution is never
+// repeated. The effective mode is recorded on the state for telemetry
+// labeling.
+func (e *Engine) execResolved(ctx context.Context, qs *queryState, k int, qnorm float64, keep func(corpus.DocID) bool, mode ExecMode, stats *ExecStats) ([]Result, error) {
+	eff := e.effectiveMode(mode, k)
+	qs.effMode = eff
+	switch eff {
+	case ExecMaxScore:
 		return e.searchMaxScore(ctx, qs, k, qnorm, keep, stats)
+	case ExecBlockMax:
+		return e.searchBlockMax(ctx, qs, k, qnorm, keep, stats)
+	default:
+		return e.searchExhaustive(ctx, qs, k, qnorm, keep, stats)
 	}
 }
 

@@ -4,11 +4,53 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"toppriv/internal/corpus"
 	"toppriv/internal/index"
 	"toppriv/internal/textproc"
 )
+
+// phaseClock times the resolve/fetch/traverse/merge phases of one
+// query. Disabled (the common case without telemetry) it costs one
+// predictable branch per mark and no time.Now calls; enabled it is
+// ~5 monotonic clock reads per query, well under the instrumentation
+// budget the benchmarks gate. It lives in the pooled queryState so
+// enabling tracing allocates nothing.
+type phaseClock struct {
+	enabled                         bool
+	began                           time.Time
+	last                            time.Time
+	resolve, fetch, traverse, merge int64
+}
+
+// start zeroes the phase accumulators and opens the first phase.
+func (pc *phaseClock) start() {
+	pc.resolve, pc.fetch, pc.traverse, pc.merge = 0, 0, 0, 0
+	if pc.enabled {
+		pc.began = time.Now()
+		pc.last = pc.began
+	}
+}
+
+// mark closes the current phase into d and opens the next.
+func (pc *phaseClock) mark(d *int64) {
+	if !pc.enabled {
+		return
+	}
+	now := time.Now()
+	*d += now.Sub(pc.last).Nanoseconds()
+	pc.last = now
+}
+
+// total is the wall time since start; it can slightly exceed the phase
+// sum (inter-phase bookkeeping runs off the clock).
+func (pc *phaseClock) total() int64 {
+	if !pc.enabled {
+		return 0
+	}
+	return time.Since(pc.began).Nanoseconds()
+}
 
 // ExecMode selects the query-execution strategy.
 type ExecMode int
@@ -134,6 +176,15 @@ type ExecStats struct {
 	// discarded on the per-block bound check alone — each one also
 	// counts in DocsPruned.
 	BlockSkips int `json:"block_skips,omitempty"`
+	// SeekProbes is the total number of document comparisons the
+	// query's iterators made under SeekGE — the traversal cost the
+	// pruned modes pay for skipping instead of scanning.
+	SeekProbes int `json:"seek_probes,omitempty"`
+	// BlocksDecoded is how many compressed postings blocks were
+	// actually decoded; blocks passed over by seeks and block skips
+	// never decode, so this against Postings/index.BlockSize shows the
+	// decode work pruning saved. 0 over uncompressed sources.
+	BlocksDecoded int `json:"blocks_decoded,omitempty"`
 }
 
 // add accumulates other into s (used by segmented fan-out).
@@ -143,6 +194,22 @@ func (s *ExecStats) Add(other ExecStats) {
 	s.DocsFiltered += other.DocsFiltered
 	s.Postings += other.Postings
 	s.BlockSkips += other.BlockSkips
+	s.SeekProbes += other.SeekProbes
+	s.BlocksDecoded += other.BlocksDecoded
+}
+
+// harvestIterStats folds each iterator's cumulative seek-probe and
+// block-decode counters into stats, once at the end of an execution
+// loop (the counters reset when the pooled iterators are repositioned
+// for the next query).
+func harvestIterStats(its []index.Iterator, stats *ExecStats) {
+	if stats == nil {
+		return
+	}
+	for i := range its {
+		stats.SeekProbes += its[i].SeekProbes()
+		stats.BlocksDecoded += its[i].BlocksDecoded()
+	}
 }
 
 // lnTFTable caches the lnc document weight 1+ln(tf) for small term
@@ -205,6 +272,11 @@ type queryState struct {
 	ubs     []float64      // block-max: cached term bound per live list
 	contrib []float64      // per-term raw contribution of the current candidate
 	avgLen  float64        // BM25: collection average length, read once per query
+	// clock times the query's phases when telemetry or an inline trace
+	// is requested; effMode records the execution strategy actually
+	// chosen (after ExecAuto resolution) for labeling.
+	clock   phaseClock
+	effMode ExecMode
 }
 
 // iterSlots returns n pooled iterator slots (contents unspecified; the
@@ -370,6 +442,7 @@ func (e *Engine) searchExhaustive(ctx context.Context, qs *queryState, k int, qn
 			qs.ensureDoc(its[i].LastDoc())
 		}
 	}
+	qs.clock.mark(&qs.clock.fetch)
 	for i := range qs.terms {
 		t, it := &qs.terms[i], &its[i]
 		if t.w == 0 || !it.Valid() {
@@ -417,11 +490,15 @@ func (e *Engine) searchExhaustive(ctx context.Context, qs *queryState, k int, qn
 	if stats != nil {
 		stats.DocsScored += len(qs.touched)
 	}
+	harvestIterStats(its, stats)
+	qs.clock.mark(&qs.clock.traverse)
 	for _, d := range qs.touched {
 		s := e.finalizeScore(qs.score[d], d, qnorm)
 		pushTopK(&qs.heap, k, Result{Doc: d, Score: s})
 	}
-	return drainTopK(&qs.heap), nil
+	res := drainTopK(&qs.heap)
+	qs.clock.mark(&qs.clock.merge)
+	return res, nil
 }
 
 // sharedImpact is the query-independent factor of one posting's
@@ -519,6 +596,7 @@ func (e *Engine) searchMaxScore(ctx context.Context, qs *queryState, k int, qnor
 		sum += qs.terms[i].ub
 		qs.prefix = append(qs.prefix, sum)
 	}
+	qs.clock.mark(&qs.clock.fetch)
 
 	theta := math.Inf(-1)
 	first := 0 // ord[first:] are the essential lists
@@ -630,7 +708,11 @@ func (e *Engine) searchMaxScore(ctx context.Context, qs *queryState, k int, qnor
 			}
 		}
 	}
-	return drainTopK(&qs.heap), nil
+	harvestIterStats(its, stats)
+	qs.clock.mark(&qs.clock.traverse)
+	res := drainTopK(&qs.heap)
+	qs.clock.mark(&qs.clock.merge)
+	return res, nil
 }
 
 // blockBound is one term's upper bound on its contribution to the
@@ -703,6 +785,7 @@ func (e *Engine) searchBlockMax(ctx context.Context, qs *queryState, k int, qnor
 		}
 	}
 	qs.ord, qs.docs, qs.ubs = live, docs, ubs
+	qs.clock.mark(&qs.clock.fetch)
 
 	theta := math.Inf(-1)
 	dirty := false // drained sentinels present in docs
@@ -917,5 +1000,9 @@ func (e *Engine) searchBlockMax(ctx context.Context, qs *queryState, k int, qnor
 			}
 		}
 	}
-	return drainTopK(&qs.heap), nil
+	harvestIterStats(its, stats)
+	qs.clock.mark(&qs.clock.traverse)
+	res := drainTopK(&qs.heap)
+	qs.clock.mark(&qs.clock.merge)
+	return res, nil
 }

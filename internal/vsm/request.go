@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"toppriv/internal/corpus"
+	"toppriv/internal/telemetry"
 )
 
 // Request is one structured similarity query — the unit the engine,
@@ -35,6 +36,11 @@ type Request struct {
 	// use it to hide tombstones; it is an in-process knob and never
 	// crosses the HTTP surface.
 	Keep func(corpus.DocID) bool
+	// Trace asks for the per-phase timing breakdown of this request in
+	// Response.Trace. It works with or without engine-level metrics and
+	// costs a handful of monotonic clock reads. The trace carries no
+	// query content — term count and work counters only.
+	Trace bool
 }
 
 // Validate rejects malformed requests. Empty queries are not an
@@ -59,6 +65,11 @@ type Response struct {
 	// Stats counts the work this query performed (documents scored,
 	// pruned, filtered; block skips). Always populated.
 	Stats ExecStats
+	// Trace is the per-phase timing breakdown, populated only when the
+	// request set Trace. Batch members served by the shared traversal
+	// receive the cycle-level trace (Batch > 0) since their phases
+	// cannot be attributed individually.
+	Trace *telemetry.PhaseTrace
 }
 
 // RequestSearcher is the structured query surface shared by the static

@@ -1,0 +1,163 @@
+package vsm
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/index"
+	"toppriv/internal/telemetry"
+	"toppriv/internal/textproc"
+)
+
+// telemetryEngine builds an instrumented engine over a synthetic
+// corpus large enough that the pruned modes actually seek and decode
+// blocks.
+func telemetryEngine(t *testing.T) (*Engine, *telemetry.Registry, *telemetry.TraceRing, []string) {
+	t.Helper()
+	spec := corpus.GenSpec{Seed: 311, NumDocs: 400, NumTopics: 4, DocLenMin: 30, DocLenMax: 80}
+	c, gt, err := corpus.Synthesize(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := textproc.NewAnalyzer()
+	eng, err := NewEngine(idx, an, Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewTraceRing(8)
+	eng.EnableMetrics(reg, ring)
+	var terms []string
+	for _, w := range gt.TopicWords[0] {
+		if t, ok := an.AnalyzeTerm(w); ok {
+			terms = append(terms, t)
+			if len(terms) == 5 {
+				break
+			}
+		}
+	}
+	return eng, reg, ring, terms
+}
+
+// TestExecStatsIteratorCounters pins the satellite surface: SeekProbes
+// and BlocksDecoded flow from the iterators into ExecStats for every
+// execution mode, and Add folds them like the other counters.
+func TestExecStatsIteratorCounters(t *testing.T) {
+	eng, _, _, terms := telemetryEngine(t)
+	for _, mode := range []ExecMode{ExecExhaustive, ExecMaxScore, ExecBlockMax} {
+		var stats ExecStats
+		eng.SearchTermsExec(terms, 10, nil, mode, &stats)
+		if stats.BlocksDecoded == 0 {
+			t.Errorf("%v: BlocksDecoded = 0, want > 0", mode)
+		}
+		if mode != ExecExhaustive && stats.SeekProbes == 0 {
+			t.Errorf("%v: SeekProbes = 0, want > 0 for a seeking mode", mode)
+		}
+		var sum ExecStats
+		sum.Add(stats)
+		sum.Add(stats)
+		if sum.SeekProbes != 2*stats.SeekProbes || sum.BlocksDecoded != 2*stats.BlocksDecoded {
+			t.Errorf("%v: Add dropped iterator counters: %+v vs %+v", mode, sum, stats)
+		}
+	}
+}
+
+// TestEngineMetricsObserve checks the engine-side wiring end to end:
+// queries land in the latency and phase histograms under the
+// effective-mode label, the work counters advance, and the trace ring
+// retains a structurally-sound trace.
+func TestEngineMetricsObserve(t *testing.T) {
+	eng, reg, ring, terms := telemetryEngine(t)
+	const n = 4
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		if _, err := eng.SearchRequest(ctx, Request{Terms: terms, K: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := telemetry.ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var latCount, queries float64
+	for _, f := range fams {
+		switch f.Name {
+		case MetricQuerySeconds:
+			for _, s := range f.Samples {
+				if strings.HasSuffix(s.Name, "_count") {
+					latCount += s.Value
+				}
+			}
+		case MetricQueriesTotal:
+			for _, s := range f.Samples {
+				queries += s.Value
+			}
+		}
+	}
+	if latCount != n || queries != n {
+		t.Fatalf("histogram count = %v, queries_total = %v, want %d each", latCount, queries, n)
+	}
+
+	if ring.Len() != n {
+		t.Fatalf("trace ring retains %d, want %d", ring.Len(), n)
+	}
+	traces := ring.Snapshot()
+	last := traces[len(traces)-1]
+	if last.Terms != len(terms) || last.K != 5 || last.Scorer != "cosine" {
+		t.Fatalf("trace = %+v, want terms=%d k=5 scorer=cosine", last, len(terms))
+	}
+	if last.Mode == "" || last.Mode == "auto" {
+		t.Fatalf("trace mode = %q, want the effective (resolved) mode", last.Mode)
+	}
+	if last.TotalNS <= 0 || last.TraverseNS <= 0 {
+		t.Fatalf("trace timings not populated: %+v", last)
+	}
+	if last.DocsScored == 0 || last.BlocksDecoded == 0 {
+		t.Fatalf("trace work counters not populated: %+v", last)
+	}
+}
+
+// TestTraceWithoutMetrics guards the decoupling: an explicit Trace
+// request must produce an inline trace even on an engine that never
+// called EnableMetrics — tracing works without a scrape pipeline —
+// and an unrequested trace must stay absent.
+func TestTraceWithoutMetrics(t *testing.T) {
+	spec := corpus.GenSpec{Seed: 313, NumDocs: 80, NumTopics: 3, DocLenMin: 20, DocLenMax: 40}
+	c, gt, err := corpus.Synthesize(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(idx, textproc.NewAnalyzer(), Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := eng.SearchRequest(context.Background(), Request{Query: strings.Join(gt.TopicWords[0][:3], " "), K: 5, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace == nil || resp.Trace.TotalNS <= 0 {
+		t.Fatalf("inline trace without metrics = %+v, want populated", resp.Trace)
+	}
+	resp, err = eng.SearchRequest(context.Background(), Request{Query: strings.Join(gt.TopicWords[0][:3], " "), K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace != nil {
+		t.Fatal("unrequested trace present")
+	}
+}

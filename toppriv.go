@@ -507,12 +507,27 @@ func (s *Service) NewTrackMeNot(numGhosts, minLen, maxLen int) (*TrackMeNot, err
 // Handler returns the HTTP search server for this corpus: the
 // unmodified engine of the paper's system model. Live services get the
 // mutation endpoints (POST /index, DELETE /doc/{id}) as well; document
-// lookups then resolve through the live store.
+// lookups then resolve through the live store. The server's GET
+// /metrics exposition additionally carries this service's LDA
+// model-staleness gauge, so a scraper can watch corpus drift and alert
+// when a retrain is due.
 func (s *Service) Handler() (*Server, error) {
+	var (
+		srv *Server
+		err error
+	)
 	if s.store != nil {
-		return search.NewServer(s.store, nil)
+		srv, err = search.NewServer(s.store, nil)
+	} else {
+		srv, err = search.NewServer(s.searcher, s.Corpus.Docs)
 	}
-	return search.NewServer(s.searcher, s.Corpus.Docs)
+	if err != nil {
+		return nil, err
+	}
+	srv.Registry().GaugeFunc("toppriv_lda_staleness",
+		"Corpus drift since LDA training: mutations / training-corpus size.",
+		s.Staleness)
+	return srv, nil
 }
 
 // NewClient builds the trusted client module against a running server.
