@@ -20,10 +20,11 @@
 // the whole line.
 //
 // Compare mode: benchmarks are matched by name with the -cpu suffix
-// stripped (machines differ). Entries whose name starts with the
-// -gate prefix (default "BenchmarkSearch") fail the comparison when
-// their ns/op grew by more than -tolerance (fraction, default 0.25)
-// or when they disappeared from the new results; everything else —
+// stripped (machines differ). Entries whose name matches the -gate
+// regexp (default covers the search benchmarks plus the decode
+// micro-benchmarks) fail the comparison when their ns/op grew by more
+// than -tolerance (fraction, default 0.25) or when they disappeared
+// from the new results; everything else —
 // other benchmarks, and work metrics like docs_scored/op — only
 // warns. Entries carrying an index_bytes/doc metric (the
 // BenchmarkIndexSize memory-footprint row) are gated on that metric
@@ -40,9 +41,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
+
+// defaultGate gates the end-to-end search benchmarks and the postings
+// decode micro-benchmarks; everything else (live-index, instrumented
+// variants) only warns on regression.
+const defaultGate = "^Benchmark(Search|DecodeTraversal|SeekAfterSkip)"
 
 // Benchmark is one parsed result line.
 type Benchmark struct {
@@ -64,7 +71,7 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two benchmark JSON files (old new) and exit non-zero on regression")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth before a gated benchmark counts as regressed")
 	sizeTolerance := flag.Float64("size-tolerance", 0.10, "allowed fractional index_bytes/doc growth before a size benchmark hard-fails")
-	gate := flag.String("gate", "BenchmarkSearch", "benchmark-name prefix whose regressions fail the comparison (others only warn)")
+	gate := flag.String("gate", defaultGate, "regexp over benchmark names whose regressions fail the comparison (others only warn)")
 	flag.Parse()
 
 	if *compare {
@@ -172,6 +179,10 @@ func runCompare(args []string, tolerance, sizeTolerance float64, gate string) {
 	if len(args) != 2 {
 		log.Fatal("-compare needs exactly two arguments: old.json new.json")
 	}
+	gateRE, err := regexp.Compile(gate)
+	if err != nil {
+		log.Fatalf("-gate: %v", err)
+	}
 	oldB, err := loadBenchmarks(args[0])
 	if err != nil {
 		log.Fatal(err)
@@ -180,7 +191,7 @@ func runCompare(args []string, tolerance, sizeTolerance float64, gate string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	failures, warnings := compareBenchmarks(oldB, newB, tolerance, sizeTolerance, gate)
+	failures, warnings := compareBenchmarks(oldB, newB, tolerance, sizeTolerance, gateRE)
 	for _, w := range warnings {
 		fmt.Fprintf(os.Stderr, "benchjson: warn: %s\n", w)
 	}
@@ -214,18 +225,18 @@ func loadBenchmarks(path string) ([]Benchmark, error) {
 const sizeMetric = "index_bytes/doc"
 
 // compareBenchmarks diffs new against the old baseline. ns/op growth
-// beyond the tolerance fails gated entries (name prefix match) and
+// beyond the tolerance fails gated entries (gate regexp match) and
 // warns for the rest; docs_scored/op growth always only warns —
 // scoring more documents is a pruning regression worth flagging, but
 // it is machine-independent work, not wall-clock, so it never blocks
 // by itself. Entries carrying the index_bytes/doc size metric are
 // compared on that metric alone and hard-fail beyond sizeTolerance
-// regardless of the gate prefix (bytes don't depend on the runner).
+// regardless of the gate regexp (bytes don't depend on the runner).
 // Entries present only in the new run are additions and pass
 // silently. Names are matched as stored: parseLine already normalized
 // away the -cpu suffix, and stripping again here would mangle
 // sub-benchmark names that legitimately end in "-<digits>".
-func compareBenchmarks(oldB, newB []Benchmark, tolerance, sizeTolerance float64, gate string) (failures, warnings []string) {
+func compareBenchmarks(oldB, newB []Benchmark, tolerance, sizeTolerance float64, gate *regexp.Regexp) (failures, warnings []string) {
 	latest := make(map[string]Benchmark, len(newB))
 	for _, b := range newB {
 		latest[b.Name] = b
@@ -259,7 +270,7 @@ func compareBenchmarks(oldB, newB []Benchmark, tolerance, sizeTolerance float64,
 			// nothing else to compare.
 			continue
 		}
-		gated := strings.HasPrefix(name, gate)
+		gated := gate.MatchString(name)
 		nb, ok := latest[name]
 		if !ok {
 			flag(gated, "%s: missing from new results", name)

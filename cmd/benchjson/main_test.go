@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -102,7 +103,7 @@ func TestCompareGatesNsOpRegressions(t *testing.T) {
 		bench("BenchmarkLiveIndex/single", 80000, 0),         // ungated: warn only
 		bench("BenchmarkSearch/cosine/exhaustive", 10000, 0), // addition: ignored
 	}
-	failures, warnings := compareBenchmarks(oldB, newB, 0.25, 0.10, "BenchmarkSearch")
+	failures, warnings := compareBenchmarks(oldB, newB, 0.25, 0.10, regexp.MustCompile("^BenchmarkSearch"))
 	if len(failures) != 1 || !strings.Contains(failures[0], "bm25/maxscore") {
 		t.Errorf("failures = %v, want exactly the bm25/maxscore ns/op regression", failures)
 	}
@@ -122,7 +123,7 @@ func TestCompareGatesNsOpRegressions(t *testing.T) {
 
 func TestCompareMissingGatedEntryFails(t *testing.T) {
 	oldB := []Benchmark{bench("BenchmarkSearch/cosine/blockmax", 40000, 0)}
-	failures, _ := compareBenchmarks(oldB, []Benchmark{bench("BenchmarkOther", 1, 0)}, 0.25, 0.10, "BenchmarkSearch")
+	failures, _ := compareBenchmarks(oldB, []Benchmark{bench("BenchmarkOther", 1, 0)}, 0.25, 0.10, regexp.MustCompile("^BenchmarkSearch"))
 	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
 		t.Errorf("failures = %v, want a missing-entry failure", failures)
 	}
@@ -137,7 +138,7 @@ func TestCompareCleanRun(t *testing.T) {
 		bench("BenchmarkSearch/cosine/blockmax", 41000, 58),
 		bench("BenchmarkLiveIndex/segmented4", 70000, 410),
 	}
-	failures, warnings := compareBenchmarks(oldB, newB, 0.25, 0.10, "BenchmarkSearch")
+	failures, warnings := compareBenchmarks(oldB, newB, 0.25, 0.10, regexp.MustCompile("^BenchmarkSearch"))
 	if len(failures) != 0 || len(warnings) != 0 {
 		t.Errorf("clean run produced failures %v warnings %v", failures, warnings)
 	}
@@ -159,26 +160,51 @@ func TestCompareSizeGate(t *testing.T) {
 	oldB := []Benchmark{sizeBench("BenchmarkIndexSize", 125, 7e9)}
 	// +8% with a 1000x ns/op swing: clean.
 	failures, warnings := compareBenchmarks(oldB,
-		[]Benchmark{sizeBench("BenchmarkIndexSize", 135, 7e6)}, 0.25, 0.10, "BenchmarkSearch")
+		[]Benchmark{sizeBench("BenchmarkIndexSize", 135, 7e6)}, 0.25, 0.10, regexp.MustCompile("^BenchmarkSearch"))
 	if len(failures) != 0 || len(warnings) != 0 {
 		t.Errorf("within-tolerance size growth flagged: failures %v warnings %v", failures, warnings)
 	}
 	// +20%: hard failure even though the name is outside the gate prefix.
 	failures, _ = compareBenchmarks(oldB,
-		[]Benchmark{sizeBench("BenchmarkIndexSize", 150, 7e9)}, 0.25, 0.10, "BenchmarkSearch")
+		[]Benchmark{sizeBench("BenchmarkIndexSize", 150, 7e9)}, 0.25, 0.10, regexp.MustCompile("^BenchmarkSearch"))
 	if len(failures) != 1 || !strings.Contains(failures[0], "index_bytes/doc") {
 		t.Errorf("failures = %v, want one index_bytes/doc size failure", failures)
 	}
 	// Size entry vanished entirely: hard failure.
 	failures, _ = compareBenchmarks(oldB,
-		[]Benchmark{bench("BenchmarkSearch/cosine/blockmax", 40000, 60)}, 0.25, 0.10, "BenchmarkSearch")
+		[]Benchmark{bench("BenchmarkSearch/cosine/blockmax", 40000, 60)}, 0.25, 0.10, regexp.MustCompile("^BenchmarkSearch"))
 	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
 		t.Errorf("failures = %v, want a missing size-entry failure", failures)
 	}
 	// New run lost the metric but kept the benchmark: hard failure.
 	failures, _ = compareBenchmarks(oldB,
-		[]Benchmark{bench("BenchmarkIndexSize", 100, 0)}, 0.25, 0.10, "BenchmarkSearch")
+		[]Benchmark{bench("BenchmarkIndexSize", 100, 0)}, 0.25, 0.10, regexp.MustCompile("^BenchmarkSearch"))
 	if len(failures) != 1 || !strings.Contains(failures[0], "index_bytes/doc missing") {
 		t.Errorf("failures = %v, want a missing-metric failure", failures)
+	}
+}
+
+// TestCompareDefaultGateRegexp pins the default gate: the decode
+// micro-benchmarks regress loudly alongside the search benchmarks,
+// while a name that merely contains (not starts with) a gated word
+// stays a warning.
+func TestCompareDefaultGateRegexp(t *testing.T) {
+	gate := regexp.MustCompile(defaultGate)
+	oldB := []Benchmark{
+		bench("BenchmarkDecodeTraversal/w8", 1000, 0),
+		bench("BenchmarkSeekAfterSkip", 2000, 0),
+		bench("BenchmarkResearchIndexing", 500, 0),
+	}
+	newB := []Benchmark{
+		bench("BenchmarkDecodeTraversal/w8", 2000, 0),
+		bench("BenchmarkSeekAfterSkip", 4000, 0),
+		bench("BenchmarkResearchIndexing", 1000, 0),
+	}
+	failures, warnings := compareBenchmarks(oldB, newB, 0.25, 0.10, gate)
+	if len(failures) != 2 {
+		t.Errorf("failures = %v, want DecodeTraversal and SeekAfterSkip gated", failures)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "ResearchIndexing") {
+		t.Errorf("warnings = %v, want the anchored-out name to warn only", warnings)
 	}
 }

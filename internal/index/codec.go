@@ -18,13 +18,15 @@ import (
 //	uvarint numTerms
 //	per term: uvarint(len(term)) term-bytes
 //	          uvarint(listLen)
-//	          v4: uvarint(dataLen) followed by the block-compressed
+//	          v4/v5: uvarint(dataLen) followed by the block-compressed
 //	              postings bytes exactly as held in memory (see
 //	              postings.go for the per-block layout), then per
 //	              block: uvarint lastDoc-delta (from the previous
 //	              block's last doc; +1 offset so the first block's
 //	              value is lastDoc+1), uvarint blockMaxTF,
 //	              float64 blockMaxCos | float64 blockMaxBM25
+//	          v5 only: uvarint headLen, then headLen uvarint block
+//	              ordinals — the impact-ordered head (see headOrder)
 //	          v1–v3: postings as (uvarint docID-delta, uvarint tf)
 //	          v2 only: uvarint maxTF
 //	                   float64 maxCosImpact | float64 maxBM25Impact
@@ -33,13 +35,18 @@ import (
 //	                   float64 blockMaxCos | float64 blockMaxBM25
 //	per doc:  uvarint docLen
 //
-// Version 4 writes the block-compressed postings verbatim — the file
-// is a memory image of the lists plus the per-block skip metadata
+// Versions 4 and 5 write the block-compressed postings verbatim — the
+// file is a memory image of the lists plus the per-block skip metadata
 // (last docs; byte offsets and start ordinals are rebuilt by walking
 // the self-describing block headers) and impact bounds, so writing
-// does no re-encoding and loading does no re-compression. Loading
-// fully validates every block (structure and payload) and rejects
-// corrupt or truncated input with an error, never a panic.
+// does no re-encoding and loading does no re-compression. Version 5
+// additionally persists each list's impact-ordered head. Loading
+// fully validates every block (structure and payload) and every head
+// (length cap, ordinal range, no duplicates — a duplicate would make
+// threshold priming double-count a document, turning the prune bound
+// unsound) and rejects corrupt or truncated input with an error,
+// never a panic. Version 4 files load with heads derived from the
+// persisted block bounds, exactly as a fresh build computes them.
 //
 // Versions 1–3 still load: their varint-delta postings are read into
 // raw lists and compressed on the fly. Version 3 carries per-block
@@ -50,7 +57,8 @@ import (
 
 const codecMagic = "TPIX"
 const (
-	codecVersion   = 4
+	codecVersion   = 5
+	codecVersionV4 = 4
 	codecVersionV3 = 3
 	codecVersionV2 = 2
 	codecVersionV1 = 1
@@ -123,6 +131,15 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 				return cw.n, err
 			}
 		}
+		head := x.heads[id]
+		if err := writeUvarint(uint64(len(head))); err != nil {
+			return cw.n, err
+		}
+		for _, ord := range head {
+			if err := writeUvarint(uint64(ord)); err != nil {
+				return cw.n, err
+			}
+		}
 	}
 	for _, dl := range x.docLen {
 		if err := writeUvarint(uint64(dl)); err != nil {
@@ -148,7 +165,7 @@ func Read(r io.Reader) (*Index, error) {
 	}
 	version := binary.LittleEndian.Uint32(ver[:])
 	switch version {
-	case codecVersion, codecVersionV3, codecVersionV2, codecVersionV1:
+	case codecVersion, codecVersionV4, codecVersionV3, codecVersionV2, codecVersionV1:
 	default:
 		return nil, fmt.Errorf("index: unsupported version %d", version)
 	}
@@ -177,7 +194,7 @@ func Read(r io.Reader) (*Index, error) {
 	}
 	// Legacy versions accumulate raw lists to compress after reading.
 	var raw [][]Posting
-	if version == codecVersion {
+	if version >= codecVersionV4 {
 		x.lists = make([]compList, 0, prealloc)
 	} else {
 		raw = make([][]Posting, 0, prealloc)
@@ -207,8 +224,8 @@ func Read(r io.Reader) (*Index, error) {
 			// A list holds at most one posting per document.
 			return nil, fmt.Errorf("index: term %d list length %d exceeds %d docs", t, ll, numDocs)
 		}
-		if version == codecVersion {
-			if err := x.readV4List(br, t, ll, int(numDocs)); err != nil {
+		if version >= codecVersionV4 {
+			if err := x.readCompList(br, t, ll, int(numDocs), version); err != nil {
 				return nil, err
 			}
 			continue
@@ -264,6 +281,7 @@ func Read(r io.Reader) (*Index, error) {
 				bs = append(bs, bm)
 			}
 			x.blocks = append(x.blocks, bs)
+			x.heads = append(x.heads, headOrder(bs))
 			mtf, mcos, mbm := maxOverBlocks(bs)
 			x.maxTF = append(x.maxTF, mtf)
 			x.maxCos = append(x.maxCos, mcos)
@@ -284,7 +302,7 @@ func Read(r io.Reader) (*Index, error) {
 		x.totalLen += int(dl)
 	}
 	switch version {
-	case codecVersion:
+	case codecVersion, codecVersionV4:
 		// Block-compressed lists and metadata were read directly.
 	case codecVersionV3:
 		x.compressLists(raw)
@@ -298,12 +316,16 @@ func Read(r io.Reader) (*Index, error) {
 	return x, nil
 }
 
-// readV4List reads one term's block-compressed list and per-block
-// metadata, validating the blocks fully before accepting them.
-func (x *Index) readV4List(br *bufio.Reader, t, ll uint64, numDocs int) error {
+// readCompList reads one term's block-compressed list and per-block
+// metadata (the shared v4/v5 list layout), validating the blocks fully
+// before accepting them. For v5 it also reads and validates the
+// persisted impact-ordered head; for v4 the head is derived from the
+// block bounds, exactly as a fresh build would compute it.
+func (x *Index) readCompList(br *bufio.Reader, t, ll uint64, numDocs int, version uint32) error {
 	if ll == 0 {
 		x.lists = append(x.lists, compList{})
 		x.blocks = append(x.blocks, nil)
+		x.heads = append(x.heads, nil)
 		x.maxTF = append(x.maxTF, 0)
 		x.maxCos = append(x.maxCos, 0)
 		x.maxBM = append(x.maxBM, 0)
@@ -362,17 +384,63 @@ func (x *Index) readV4List(br *bufio.Reader, t, ll uint64, numDocs int) error {
 			return fmt.Errorf("index: term %d block %d: %w", t, b, err)
 		}
 	}
+	var head []int32
+	if version >= codecVersion {
+		if head, err = readHead(br, t, nb); err != nil {
+			return err
+		}
+	} else {
+		head = headOrder(bs)
+	}
 	cl, err := newCompListFromWire(int(ll), data, lasts, numDocs)
 	if err != nil {
 		return fmt.Errorf("index: term %d: %w", t, err)
 	}
 	x.lists = append(x.lists, cl)
 	x.blocks = append(x.blocks, bs)
+	x.heads = append(x.heads, head)
 	mtf, mcos, mbm := maxOverBlocks(bs)
 	x.maxTF = append(x.maxTF, mtf)
 	x.maxCos = append(x.maxCos, mcos)
 	x.maxBM = append(x.maxBM, mbm)
 	return nil
+}
+
+// readHead reads and validates one list's persisted impact-ordered
+// head: at most maxHeadBlocks ordinals, each a distinct valid block of
+// the nb-block list. Duplicate or out-of-range ordinals are rejected —
+// a head is only an ordering hint for threshold priming, but a
+// duplicate entry would let priming count one document's contribution
+// twice, overstating the primed threshold and silently dropping true
+// results.
+func readHead(br *bufio.Reader, t uint64, nb int) ([]int32, error) {
+	hl, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("index: term %d head length: %w", t, err)
+	}
+	if hl > maxHeadBlocks {
+		return nil, fmt.Errorf("index: term %d head length %d exceeds %d", t, hl, maxHeadBlocks)
+	}
+	if hl == 0 {
+		return nil, nil
+	}
+	head := make([]int32, hl)
+	for i := range head {
+		ord, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("index: term %d head entry %d: %w", t, i, err)
+		}
+		if ord >= uint64(nb) {
+			return nil, fmt.Errorf("index: term %d head entry %d: block %d out of range (%d blocks)", t, i, ord, nb)
+		}
+		head[i] = int32(ord)
+		for j := 0; j < i; j++ {
+			if head[j] == head[i] {
+				return nil, fmt.Errorf("index: term %d head entry %d: duplicate block %d", t, i, ord)
+			}
+		}
+	}
+	return head, nil
 }
 
 // readBlockMax reads one persisted per-block impact triple.

@@ -59,7 +59,7 @@ func FuzzDecodePostings(f *testing.F) {
 		if err != nil {
 			t.Fatalf("valid encoding rejected: %v", err)
 		}
-		it := newCompIterator(&validated, nil)
+		it := newCompIterator(&validated, nil, nil)
 		for i, want := range pl {
 			if !it.Valid() {
 				t.Fatalf("iterator exhausted at %d/%d", i, len(pl))
@@ -84,8 +84,11 @@ func FuzzDecodePostings(f *testing.F) {
 	})
 }
 
-// FuzzReadTPIX mutates a real v4 file: every Read outcome must be an
-// error or a structurally valid index — never a panic.
+// FuzzReadTPIX mutates real v5 files — one small, one whose lists
+// span blocks and carry impact-ordered heads, plus variants clipped
+// and flipped near the head/tail boundary — and requires every Read
+// outcome to be an error or a structurally valid index (postings
+// traversable, heads satisfying the v5 invariants), never a panic.
 func FuzzReadTPIX(f *testing.F) {
 	x := buildTestIndex(f,
 		"apache helicopter army weapons apache helicopter apache",
@@ -98,6 +101,20 @@ func FuzzReadTPIX(f *testing.F) {
 	}
 	f.Add(buf.Bytes())
 	f.Add(buf.Bytes()[:buf.Len()/2])
+	var mb bytes.Buffer
+	if _, err := multiBlockIndex(f).WriteTo(&mb); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mb.Bytes())
+	// Mutations around the trailing quarter land in per-list block
+	// metadata and head fields, steering the fuzzer onto the
+	// head/tail boundary validation.
+	f.Add(mb.Bytes()[:mb.Len()-mb.Len()/4])
+	flipped := append([]byte(nil), mb.Bytes()...)
+	for pos := len(flipped) - len(flipped)/4; pos < len(flipped); pos += 11 {
+		flipped[pos] ^= 0x41
+	}
+	f.Add(flipped)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		y, err := Read(bytes.NewReader(data))
 		if err != nil || y == nil {
@@ -115,13 +132,15 @@ func FuzzReadTPIX(f *testing.F) {
 				it.Next()
 			}
 		}
+		assertHeadInvariants(t, y)
 	})
 }
 
-// TestV4CorruptBlocksRejected hand-corrupts specific fields of a v4
-// stream — block widths, counts, payload truncation, last-doc
-// metadata — and requires Read to return an error for each, not
-// panic and not accept.
+// TestV4CorruptBlocksRejected hand-corrupts specific fields of a
+// current-format stream — block widths, counts, payload truncation,
+// last-doc metadata — and requires Read to return an error for each,
+// not panic and not accept. (Named for the v4 format that introduced
+// block compression; the checks apply unchanged to v5.)
 func TestV4CorruptBlocksRejected(t *testing.T) {
 	x := buildTestIndex(t,
 		"apache helicopter army weapons apache helicopter apache",

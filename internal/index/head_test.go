@@ -1,0 +1,219 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"toppriv/internal/textproc"
+)
+
+// multiBlockIndex builds an index whose "common" postings list spans
+// several compressed blocks with distinct block maxima — including an
+// impact spike far from block 0 — so the impact-ordered head is a
+// non-trivial permutation. Single-block terms ("sparse", the unique
+// fillers) ride along to pin the nil-head path in the same stream.
+func multiBlockIndex(t testing.TB) *Index {
+	t.Helper()
+	texts := make([]string, 300)
+	for i := range texts {
+		var sb strings.Builder
+		// tf cycles 1..5 with a spike late in the list, so the
+		// highest-impact block is not the first one.
+		tf := i%5 + 1
+		if i == 290 {
+			tf = 40
+		}
+		for j := 0; j < tf; j++ {
+			sb.WriteString("common ")
+		}
+		fmt.Fprintf(&sb, "unique%d", i)
+		if i%3 == 0 {
+			sb.WriteString(" sparse")
+		}
+		texts[i] = sb.String()
+	}
+	return buildTestIndex(t, texts...)
+}
+
+// assertHeadInvariants checks the structural head invariants the v5
+// reader enforces for every term: at most maxHeadBlocks entries,
+// every ordinal a valid block index, and no duplicates (a duplicate
+// would double-count a block's postings during threshold priming).
+// Impact ordering is deliberately not checked here — it depends on
+// the float block maxima, which carry no structural invariant a
+// corrupted-but-accepted stream must preserve; use
+// assertHeadImpactOrdered on pristine indexes.
+func assertHeadInvariants(t *testing.T, x *Index) {
+	t.Helper()
+	for tid := 0; tid < x.NumTerms(); tid++ {
+		id := textproc.TermID(tid)
+		head := x.HeadOrder(id)
+		bs := x.BlockMaxes(id)
+		if len(head) > maxHeadBlocks {
+			t.Fatalf("term %d: head has %d entries, max %d", tid, len(head), maxHeadBlocks)
+		}
+		if len(bs) < 2 && head != nil {
+			t.Fatalf("term %d: %d-block list has non-nil head %v", tid, len(bs), head)
+		}
+		for i, ord := range head {
+			if ord < 0 || int(ord) >= len(bs) {
+				t.Fatalf("term %d: head ordinal %d out of range [0,%d)", tid, ord, len(bs))
+			}
+			for j := 0; j < i; j++ {
+				if head[j] == ord {
+					t.Fatalf("term %d: duplicate head ordinal %d", tid, ord)
+				}
+			}
+		}
+	}
+}
+
+// assertHeadImpactOrdered requires every head's block maxima to be
+// non-increasing — the property priming relies on to stop after a
+// budget of blocks. Only meaningful on trusted (freshly built or
+// cleanly round-tripped) indexes.
+func assertHeadImpactOrdered(t *testing.T, x *Index) {
+	t.Helper()
+	for tid := 0; tid < x.NumTerms(); tid++ {
+		id := textproc.TermID(tid)
+		head := x.HeadOrder(id)
+		bs := x.BlockMaxes(id)
+		for i := 1; i < len(head); i++ {
+			if bs[head[i]].MaxCos > bs[head[i-1]].MaxCos {
+				t.Fatalf("term %d: head not impact-ordered at entry %d", tid, i)
+			}
+		}
+	}
+}
+
+// TestBuildComputesHeads pins the head a fresh build derives for a
+// list that genuinely spans blocks: it must exist, satisfy every
+// structural invariant, and lead with the argmax block — which the
+// corpus arranges to not be block 0, so a head that degenerates to
+// doc order fails loudly.
+func TestBuildComputesHeads(t *testing.T) {
+	x := multiBlockIndex(t)
+	assertHeadInvariants(t, x)
+	assertHeadImpactOrdered(t, x)
+
+	id := x.Vocab().ID("common")
+	bs := x.BlockMaxes(id)
+	if len(bs) < 2 {
+		t.Fatalf("common spans %d blocks, want >= 2", len(bs))
+	}
+	head := x.HeadOrder(id)
+	if len(head) == 0 {
+		t.Fatal("multi-block list has no head")
+	}
+	best := 0
+	for b := range bs {
+		if bs[b].MaxCos > bs[best].MaxCos {
+			best = b
+		}
+	}
+	if int(head[0]) != best {
+		t.Fatalf("head[0] = %d, argmax block = %d", head[0], best)
+	}
+	if best == 0 {
+		t.Fatal("corpus regression: argmax block is block 0, head ordering untested")
+	}
+
+	if h := x.HeadOrder(x.Vocab().ID("unique0")); h != nil {
+		t.Fatalf("single-block list has head %v", h)
+	}
+}
+
+// TestV5RoundTripPreservesHeads writes a multi-block index and reads
+// it back: the persisted heads must match the built ones exactly, and
+// the iterator must expose the same view.
+func TestV5RoundTripPreservesHeads(t *testing.T) {
+	x := multiBlockIndex(t)
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	y, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertImpactsMatchFresh(t, y, x)
+	assertHeadInvariants(t, y)
+	assertHeadImpactOrdered(t, y)
+
+	id := y.Vocab().ID("common")
+	it := y.Iter(id)
+	ho := it.HeadOrder()
+	want := y.HeadOrder(id)
+	if len(ho) != len(want) {
+		t.Fatalf("iterator head %v, index head %v", ho, want)
+	}
+	for i := range want {
+		if ho[i] != want[i] {
+			t.Fatalf("iterator head %v, index head %v", ho, want)
+		}
+	}
+}
+
+// TestV5RejectsCorruptHeads writes streams whose head field violates
+// each invariant in turn — the writer is driven off a tampered
+// in-memory index, so the rest of the stream stays perfectly valid —
+// and requires Read to reject every one.
+func TestV5RejectsCorruptHeads(t *testing.T) {
+	cases := []struct {
+		name string
+		head []int32
+	}{
+		{"duplicate ordinal", []int32{1, 1}},
+		{"out-of-range ordinal", []int32{99}},
+		{"overlong head", make([]int32, maxHeadBlocks+1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x := multiBlockIndex(t)
+			x.heads[x.Vocab().ID("common")] = tc.head
+			var buf bytes.Buffer
+			if _, err := x.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Read(&buf); err == nil {
+				t.Fatal("corrupt head accepted")
+			}
+		})
+	}
+}
+
+// TestV5CorruptStreamRejected sweeps a multi-block v5 stream — the
+// first format with a head/tail boundary inside each list — with
+// truncations and single-byte flips: every outcome must be an error or
+// a fully valid index whose heads still satisfy the structural
+// invariants, never a panic and never a silently broken head.
+func TestV5CorruptStreamRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("byte-flip sweep is slow")
+	}
+	x := multiBlockIndex(t)
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	if _, err := Read(bytes.NewReader(orig)); err != nil {
+		t.Fatalf("pristine v5 must load: %v", err)
+	}
+	for cut := 0; cut < len(orig); cut += 13 {
+		if _, err := Read(bytes.NewReader(orig[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+	}
+	for pos := 8; pos < len(orig); pos += 3 {
+		mut := append([]byte(nil), orig...)
+		mut[pos] ^= 0xFF
+		y, err := Read(bytes.NewReader(mut))
+		if err != nil || y == nil {
+			continue
+		}
+		assertHeadInvariants(t, y)
+	}
+}

@@ -91,6 +91,57 @@ type Index struct {
 	// are exactly the maxima over a list's blocks. Persisted by the
 	// codec, recomputed on v1/v2 loads.
 	blocks [][]BlockMax
+	// heads holds each list's impact-ordered head: the ordinals of its
+	// up to maxHeadBlocks highest-impact blocks, strongest first (see
+	// headOrder). The physical postings stay doc-ordered — the head is
+	// a permutation view, so delta chains, byte-for-byte merges, and
+	// doc-ordered traversal are untouched — and the query engine uses
+	// it to decode the best blocks first and seed the top-k threshold
+	// before doc-ordered traversal begins. Persisted by the v5 codec,
+	// derived from the block bounds on legacy loads and merges.
+	heads [][]int32
+}
+
+// maxHeadBlocks caps a list's impact-ordered head. Eight blocks — a
+// thousand postings — is far more than threshold seeding ever decodes
+// (the engine budgets a handful of blocks per query), while keeping
+// the head under nine bytes per multi-block list; the codec rejects
+// files claiming more.
+const maxHeadBlocks = 8
+
+// headOrder computes a list's impact-ordered head from its per-block
+// bounds: the ordinals of up to maxHeadBlocks blocks by descending
+// cosine block maximum, ties broken by ascending ordinal so the order
+// is deterministic. Single-block lists carry no head — it would name
+// the whole list. One scalar orders the head for both scorers: MaxBM
+// is monotone in MaxTF and tracks MaxCos closely, and consumers
+// re-check each entry's own bound for the scorer in play, so the
+// choice affects priming quality, never safety.
+func headOrder(bs []BlockMax) []int32 {
+	if len(bs) < 2 {
+		return nil
+	}
+	h := len(bs)
+	if h > maxHeadBlocks {
+		h = maxHeadBlocks
+	}
+	ord := make([]int32, len(bs))
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	// Partial selection sort: h is at most eight and this runs once per
+	// list per build/merge/load, never on the query path.
+	for i := 0; i < h; i++ {
+		best := i
+		for j := i + 1; j < len(ord); j++ {
+			bj, bb := bs[ord[j]], bs[ord[best]]
+			if bj.MaxCos > bb.MaxCos || (bj.MaxCos == bb.MaxCos && ord[j] < ord[best]) {
+				best = j
+			}
+		}
+		ord[i], ord[best] = ord[best], ord[i]
+	}
+	return ord[:h:h]
 }
 
 // Build constructs the index from an analyzed corpus.
@@ -157,6 +208,7 @@ func (x *Index) computeImpacts(raw [][]Posting) {
 	x.maxCos = make([]float64, len(raw))
 	x.maxBM = make([]float64, len(raw))
 	x.blocks = make([][]BlockMax, len(raw))
+	x.heads = make([][]int32, len(raw))
 	for t, pl := range raw {
 		if len(pl) == 0 {
 			continue
@@ -170,6 +222,7 @@ func (x *Index) computeImpacts(raw [][]Posting) {
 			bs[b] = blockMaxOf(pl[start:end], norms, nil)
 		}
 		x.blocks[t] = bs
+		x.heads[t] = headOrder(bs)
 		x.maxTF[t], x.maxCos[t], x.maxBM[t] = maxOverBlocks(bs)
 	}
 }
@@ -234,7 +287,7 @@ func (x *Index) Postings(id textproc.TermID) PostingList {
 		return nil
 	}
 	out := make(PostingList, 0, cl.n)
-	it := newCompIterator(cl, nil)
+	it := newCompIterator(cl, nil, nil)
 	for it.Valid() {
 		docs, tfs := it.Window()
 		for i := range docs {
@@ -269,7 +322,7 @@ func (x *Index) Iter(id textproc.TermID) Iterator {
 	if id < 0 || int(id) >= len(x.lists) {
 		return Iterator{}
 	}
-	return newCompIterator(&x.lists[id], x.blocks[id])
+	return newCompIterator(&x.lists[id], x.blocks[id], x.heads[id])
 }
 
 // IterInto repositions it over id's postings in place — the vsm
@@ -280,7 +333,7 @@ func (x *Index) IterInto(id textproc.TermID, it *Iterator) {
 		it.ResetList(nil, nil)
 		return
 	}
-	it.resetComp(&x.lists[id], x.blocks[id])
+	it.resetComp(&x.lists[id], x.blocks[id], x.heads[id])
 }
 
 // MaxTF returns the largest term frequency in id's postings list
@@ -321,6 +374,17 @@ func (x *Index) BlockMaxes(id textproc.TermID) []BlockMax {
 		return nil
 	}
 	return x.blocks[id]
+}
+
+// HeadOrder returns the impact-ordered head of id's postings list:
+// block ordinals by descending cosine block bound (see headOrder).
+// Nil for absent terms and lists of fewer than two blocks. The slice
+// is shared; callers must not modify it.
+func (x *Index) HeadOrder(id textproc.TermID) []int32 {
+	if id < 0 || int(id) >= len(x.heads) {
+		return nil
+	}
+	return x.heads[id]
 }
 
 // HasBlocks reports that this index hands out per-block bounds (it

@@ -29,6 +29,7 @@ type Iterator struct {
 	pl     PostingList // slice mode (nil in compressed mode)
 	cl     *compList   // compressed mode (nil in slice mode)
 	blocks []BlockMax
+	head   []int32      // impact-ordered head ordinals (see Index.heads); may be nil
 	pos    int          // global posting ordinal
 	n      int          // total postings
 	cur    corpus.DocID // current posting's doc; maintained by every move
@@ -77,7 +78,7 @@ func (pl PostingList) IterBlocks(blocks []BlockMax) Iterator {
 // without touching the decode buffers — the in-place counterpart of
 // Iter for pooled iterator slots.
 func (it *Iterator) ResetList(pl PostingList, blocks []BlockMax) {
-	it.pl, it.cl, it.blocks = pl, nil, blocks
+	it.pl, it.cl, it.blocks, it.head = pl, nil, blocks, nil
 	it.pos, it.n, it.probes, it.decodes = 0, len(pl), 0, 0
 	if it.n > 0 {
 		it.cur = pl[0].Doc
@@ -87,8 +88,8 @@ func (it *Iterator) ResetList(pl PostingList, blocks []BlockMax) {
 // resetComp repositions the iterator over a compressed list, decoding
 // only the first block's doc IDs. The in-place counterpart of
 // newCompIterator.
-func (it *Iterator) resetComp(cl *compList, blocks []BlockMax) {
-	it.pl, it.cl, it.blocks = nil, cl, blocks
+func (it *Iterator) resetComp(cl *compList, blocks []BlockMax, head []int32) {
+	it.pl, it.cl, it.blocks, it.head = nil, cl, blocks, head
 	it.pos, it.n, it.probes, it.decodes = 0, int(cl.n), 0, 0
 	it.blk, it.blkStart, it.tfOK = 0, 0, false
 	if it.n > 0 {
@@ -101,9 +102,9 @@ func (it *Iterator) resetComp(cl *compList, blocks []BlockMax) {
 
 // newCompIterator returns a decode-on-traversal iterator positioned on
 // the first posting of a compressed list.
-func newCompIterator(cl *compList, blocks []BlockMax) Iterator {
+func newCompIterator(cl *compList, blocks []BlockMax, head []int32) Iterator {
 	var it Iterator
-	it.resetComp(cl, blocks)
+	it.resetComp(cl, blocks, head)
 	return it
 }
 
@@ -127,6 +128,29 @@ func (it *Iterator) loadBlock(b int) bool {
 
 // HasBlocks reports whether the iterator carries per-block bounds.
 func (it *Iterator) HasBlocks() bool { return it.blocks != nil }
+
+// HeadOrder returns the list's impact-ordered head: the ordinals of
+// its highest-impact blocks, strongest first (see Index.HeadOrder).
+// Nil when the list carries no head — single-block lists, slice mode.
+// The slice is shared; callers must not modify it.
+func (it *Iterator) HeadOrder() []int32 { return it.head }
+
+// BlockMaxAt returns block b's impact bounds without moving the
+// cursor. HasBlocks must be true and b a valid block ordinal.
+func (it *Iterator) BlockMaxAt(b int) BlockMax { return it.blocks[b] }
+
+// EnterBlock positions the cursor on the first posting of block b —
+// random block access for impact-ordered consumers working through
+// HeadOrder — reporting whether b exists. Only meaningful in
+// compressed mode; unlike SeekGE it may move backwards, so a caller
+// mixing EnterBlock with doc-ordered traversal must reposition (or
+// SeekGE forward) afterwards.
+func (it *Iterator) EnterBlock(b int) bool {
+	if it.cl == nil || b < 0 {
+		return false
+	}
+	return it.loadBlock(b)
+}
 
 // Len returns the total number of postings in the underlying list.
 func (it *Iterator) Len() int { return it.n }

@@ -1,0 +1,82 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"toppriv/internal/corpus"
+)
+
+// TestDecodeKernelsMatchGenericBits is the kernel ground-truth
+// property test: for every frame width 1..32 — the unrolled kernels
+// for the byte-rounded widths the encoder emits and the generic
+// extractor for everything else — decodeGaps and decodeTFs must be
+// bit-identical to packing random residuals with appendPackedBits and
+// re-extracting them with the reference bit-loop unpackBits, across
+// counts that include single values, partial final bytes/words, and
+// full blocks, and across random min-gap/min-tf bases.
+func TestDecodeKernelsMatchGenericBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	counts := []int{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 63, 127, BlockSize}
+	for width := uint(1); width <= 32; width++ {
+		for _, n := range counts {
+			vals := make([]uint32, n)
+			for i := range vals {
+				vals[i] = rng.Uint32() & uint32(uint64(1)<<width-1)
+			}
+			packed := appendPackedBits(nil, vals, width)
+			if len(packed) != packedLen(n, width) {
+				t.Fatalf("width %d n %d: packed %d bytes, want %d", width, n, len(packed), packedLen(n, width))
+			}
+			ref := make([]uint32, n)
+			unpackBits(packed, n, width, ref)
+			for i := range ref {
+				if ref[i] != vals[i] {
+					t.Fatalf("width %d n %d: reference round-trip broke at %d", width, n, i)
+				}
+			}
+
+			// Gap side: residuals chained into doc IDs from a random
+			// base and min gap, against a scalar reference prefix sum.
+			minGap := corpus.DocID(rng.Intn(1000) + 1)
+			base := corpus.DocID(rng.Intn(1 << 20))
+			got := make([]corpus.DocID, n)
+			decodeGaps(packed, n, width, minGap, base, got)
+			d := base
+			for i := range vals {
+				d += minGap + corpus.DocID(vals[i])
+				if got[i] != d {
+					t.Fatalf("width %d n %d minGap %d: gap[%d] = %d, want %d", width, n, minGap, i, got[i], d)
+				}
+			}
+
+			// TF side: residuals offset by a random block minimum.
+			minTF := int32(rng.Intn(1000) + 1)
+			tfs := make([]int32, n)
+			decodeTFs(packed, n, width, minTF, tfs)
+			for i := range vals {
+				if want := minTF + int32(vals[i]); tfs[i] != want {
+					t.Fatalf("width %d n %d minTF %d: tf[%d] = %d, want %d", width, n, minTF, i, tfs[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeKernelTablesCoverEncoderWidths pins the dispatch tables to
+// the widths the encoder actually emits: every byte-rounded gap width
+// and every byte-rounded or 1-bit tf width must hit an unrolled
+// kernel, so a generator regression that drops one degrades silently
+// to the generic path — this test makes it loud.
+func TestDecodeKernelTablesCoverEncoderWidths(t *testing.T) {
+	for _, w := range []uint{8, 16, 24, 32} {
+		if gapKernels[w] == nil {
+			t.Errorf("no gap kernel for byte-rounded width %d", w)
+		}
+	}
+	for _, w := range []uint{1, 8, 16, 24, 32} {
+		if tfKernels[w] == nil {
+			t.Errorf("no tf kernel for width %d", w)
+		}
+	}
+}

@@ -14,11 +14,12 @@ import (
 
 // writeLegacy serializes x in a historical TPIX layout: version 1
 // (postings only), version 2 (postings plus term-level impact
-// metadata, no blocks), or version 3 (postings plus per-block impact
-// metadata, uncompressed varint-delta lists). It exists so the
-// upgrade paths can be tested against freshly produced legacy bytes,
-// and so the checked-in fixtures can be regenerated
-// (TestRegenerateLegacyFixtures).
+// metadata, no blocks), version 3 (postings plus per-block impact
+// metadata, uncompressed varint-delta lists), or version 4
+// (block-compressed lists plus per-block metadata, no impact-ordered
+// head). It exists so the upgrade paths can be tested against freshly
+// produced legacy bytes, and so the checked-in fixtures can be
+// regenerated (TestRegenerateLegacyFixtures).
 func writeLegacy(t *testing.T, version uint32, x *Index) []byte {
 	t.Helper()
 	var buf bytes.Buffer
@@ -45,6 +46,26 @@ func writeLegacy(t *testing.T, version uint32, x *Index) []byte {
 		w.WriteString(term)
 		pl := x.Postings(textproc.TermID(id))
 		wu(uint64(len(pl)))
+		if version == codecVersionV4 {
+			// v4 list layout: raw block bytes plus per-block last-doc
+			// deltas and impact triples — the v5 layout minus the head.
+			if len(pl) == 0 {
+				continue
+			}
+			cl := &x.lists[id]
+			wu(uint64(len(cl.data)))
+			w.Write(cl.data)
+			prevLast := corpus.DocID(-1)
+			for b, bm := range x.blocks[id] {
+				last := cl.blockLast(b)
+				wu(uint64(last - prevLast))
+				prevLast = last
+				wu(uint64(bm.MaxTF))
+				wf(bm.MaxCos)
+				wf(bm.MaxBM)
+			}
+			continue
+		}
 		prev := corpus.DocID(0)
 		for _, p := range pl {
 			wu(uint64(p.Doc - prev))
@@ -85,12 +106,12 @@ func fixtureIndex(t *testing.T) *Index {
 	)
 }
 
-// TestRegenerateLegacyFixtures rewrites testdata/v2.tpix and
-// testdata/v3.tpix when TPIX_WRITE_FIXTURES is set; normally it only
-// checks the checked-in bytes still match what writeLegacy produces
-// for the fixture corpus. (testdata/v1.tpix predates this helper and
-// is left untouched — it pins the historical writer's bytes, not this
-// reconstruction.)
+// TestRegenerateLegacyFixtures rewrites testdata/v2.tpix,
+// testdata/v3.tpix, and testdata/v4.tpix when TPIX_WRITE_FIXTURES is
+// set; normally it only checks the checked-in bytes still match what
+// writeLegacy produces for the fixture corpus. (testdata/v1.tpix
+// predates this helper and is left untouched — it pins the historical
+// writer's bytes, not this reconstruction.)
 func TestRegenerateLegacyFixtures(t *testing.T) {
 	for _, fx := range []struct {
 		version uint32
@@ -98,6 +119,7 @@ func TestRegenerateLegacyFixtures(t *testing.T) {
 	}{
 		{codecVersionV2, "testdata/v2.tpix"},
 		{codecVersionV3, "testdata/v3.tpix"},
+		{codecVersionV4, "testdata/v4.tpix"},
 	} {
 		want := writeLegacy(t, fx.version, fixtureIndex(t))
 		if os.Getenv("TPIX_WRITE_FIXTURES") != "" {
@@ -141,29 +163,55 @@ func TestReadV2Fixture(t *testing.T) {
 	assertImpactsMatchFresh(t, x, fixtureIndex(t))
 }
 
-// TestLegacyUpgradeRoundTrip writes v1, v2, and v3 bytes for a fresh
+// TestLegacyUpgradeRoundTrip writes v1 through v4 bytes for a fresh
 // index, reads them back, and requires the upgraded in-memory form —
-// postings, term-level impacts, and per-block bounds — to match the
-// original bit-for-bit; then a v4 round-trip of the upgraded index
-// must preserve everything again.
+// postings, term-level impacts, per-block bounds, and impact-ordered
+// heads — to match the original bit-for-bit; then a v5 round-trip of
+// the upgraded index must preserve everything again.
 func TestLegacyUpgradeRoundTrip(t *testing.T) {
-	x := fixtureIndex(t)
-	for _, version := range []uint32{codecVersionV1, codecVersionV2, codecVersionV3} {
-		y, err := Read(bytes.NewReader(writeLegacy(t, version, x)))
-		if err != nil {
-			t.Fatalf("v%d: %v", version, err)
+	for _, x := range []*Index{fixtureIndex(t), multiBlockIndex(t)} {
+		for _, version := range []uint32{codecVersionV1, codecVersionV2, codecVersionV3, codecVersionV4} {
+			y, err := Read(bytes.NewReader(writeLegacy(t, version, x)))
+			if err != nil {
+				t.Fatalf("v%d: %v", version, err)
+			}
+			assertImpactsMatchFresh(t, y, x)
+			var buf bytes.Buffer
+			if _, err := y.WriteTo(&buf); err != nil {
+				t.Fatalf("v%d→v5 write: %v", version, err)
+			}
+			z, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("v%d→v5 read: %v", version, err)
+			}
+			assertImpactsMatchFresh(t, z, x)
 		}
-		assertImpactsMatchFresh(t, y, x)
-		var buf bytes.Buffer
-		if _, err := y.WriteTo(&buf); err != nil {
-			t.Fatalf("v%d→v4 write: %v", version, err)
-		}
-		z, err := Read(&buf)
-		if err != nil {
-			t.Fatalf("v%d→v4 read: %v", version, err)
-		}
-		assertImpactsMatchFresh(t, z, x)
 	}
+}
+
+// TestReadV4Fixture loads the checked-in v4-format TPIX file
+// (block-compressed lists and per-block metadata, no head table) and
+// checks the postings load and the impact-ordered heads are derived on
+// upgrade exactly as a fresh build computes them — the v4→v5 path. If
+// this breaks, v4 files in the field stopped loading.
+func TestReadV4Fixture(t *testing.T) {
+	f, err := os.Open("testdata/v4.tpix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	x, err := Read(f)
+	if err != nil {
+		t.Fatalf("v4 fixture must load: %v", err)
+	}
+	if x.NumDocs() != 4 {
+		t.Fatalf("fixture NumDocs = %d, want 4", x.NumDocs())
+	}
+	pl := x.PostingsByTerm("apache")
+	if len(pl) != 2 || pl[0].Doc != 0 || pl[0].TF != 3 || pl[1].Doc != 2 || pl[1].TF != 1 {
+		t.Fatalf("apache postings = %v", pl)
+	}
+	assertImpactsMatchFresh(t, x, fixtureIndex(t))
 }
 
 // TestReadV3Fixture loads the checked-in v3-format TPIX file
@@ -229,6 +277,15 @@ func assertImpactsMatchFresh(t *testing.T, got, want *Index) {
 				math.Float64bits(gb[b].MaxCos) != math.Float64bits(wb[b].MaxCos) ||
 				math.Float64bits(gb[b].MaxBM) != math.Float64bits(wb[b].MaxBM) {
 				t.Errorf("term %q block %d: %+v vs %+v", term, b, gb[b], wb[b])
+			}
+		}
+		gh, wh := got.HeadOrder(gid), want.HeadOrder(textproc.TermID(tid))
+		if len(gh) != len(wh) {
+			t.Fatalf("term %q: head %v vs %v", term, gh, wh)
+		}
+		for i := range wh {
+			if gh[i] != wh[i] {
+				t.Errorf("term %q head entry %d: %d vs %d", term, i, gh[i], wh[i])
 			}
 		}
 	}

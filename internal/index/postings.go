@@ -37,6 +37,14 @@ import (
 // block per source run), which every consumer supports because block
 // boundaries are carried as explicit start ordinals, never derived by
 // division.
+//
+// Decoding dispatches on the frame width: the byte-rounded widths the
+// encoder emits go through unrolled width-specialized kernels
+// (kernels_gen.go, produced by gen_kernels.go), everything else —
+// only foreign writers produce non-byte widths — through the generic
+// bit extractors below.
+
+//go:generate go run gen_kernels.go
 
 // compList is one term's compressed postings plus the per-block skip
 // metadata (byte offsets, start ordinals, last doc IDs) that lets
@@ -357,89 +365,106 @@ func (cl *compList) decodeBlockDocs(b int, out *[BlockSize]corpus.DocID) blockHe
 		return h
 	}
 	minGap := corpus.DocID(h.minGap)
-	width := h.gapBits
-	if width == 0 {
+	if h.gapBits == 0 {
 		for i := 1; i <= n; i++ {
 			d += minGap
 			out[i] = d
 		}
 		return h
 	}
-	src := cl.data[h.gapsOff:h.tfsOff]
-	switch width {
-	case 8:
-		// Byte-aligned frames (what the encoder emits): plain loads.
-		for i := 1; i <= n; i++ {
-			d += minGap + corpus.DocID(src[i-1])
-			out[i] = d
-		}
-	case 16:
-		for i := 1; i <= n; i++ {
-			d += minGap + corpus.DocID(binary.LittleEndian.Uint16(src[2*(i-1):]))
-			out[i] = d
-		}
-	default:
-		unpackInto(src, n, width, func(i int, v uint32) {
-			d += minGap + corpus.DocID(v)
-			out[i+1] = d
-		})
-	}
+	decodeGaps(cl.data[h.gapsOff:h.tfsOff], n, h.gapBits, minGap, d, out[1:1+n])
 	return h
 }
 
-// unpackInto extracts count width-bit values (width 1..32) by
-// absolute bit position, one unaligned word load per value: width ≤
-// 32 plus a sub-byte shift ≤ 7 always fits in 64 bits. Only the final
-// values whose load would run past the payload fall back to a byte
-// gather.
-func unpackInto(src []byte, count int, width uint, emit func(i int, v uint32)) {
+// decodeGaps decodes n width-bit gap residuals (width 1..32) into out
+// as running doc IDs chained from d: the byte-rounded widths the
+// encoder emits dispatch to an unrolled kernel, everything else to the
+// generic extractor.
+func decodeGaps(src []byte, n int, width uint, minGap, d corpus.DocID, out []corpus.DocID) {
+	if k := gapKernels[width]; k != nil {
+		k(src, n, minGap, d, out)
+		return
+	}
+	unpackGapsGeneric(src, n, width, minGap, d, out)
+}
+
+// unpackGapsGeneric extracts n width-bit gap residuals by absolute bit
+// position — one unaligned word load per value; width ≤ 32 plus a
+// sub-byte shift ≤ 7 always fits in 64 bits — fusing in the prefix sum
+// with direct slice writes. Only the final values whose load would run
+// past the payload fall back to a byte gather.
+func unpackGapsGeneric(src []byte, n int, width uint, minGap, d corpus.DocID, out []corpus.DocID) {
 	mask := uint32(uint64(1)<<width - 1)
 	bulk := len(src) - 8
 	bitPos := 0
-	for i := 0; i < count; i++ {
+	out = out[:n]
+	for i := range out {
 		byteIdx := bitPos >> 3
 		var v uint32
 		if byteIdx <= bulk {
 			v = uint32(binary.LittleEndian.Uint64(src[byteIdx:])>>(uint(bitPos)&7)) & mask
 		} else {
-			var w uint64
-			for k, shift := byteIdx, uint(0); k < len(src); k++ {
-				w |= uint64(src[k]) << shift
-				shift += 8
-			}
-			v = uint32(w>>(uint(bitPos)&7)) & mask
+			v = uint32(gatherTail(src, byteIdx)>>(uint(bitPos)&7)) & mask
 		}
 		bitPos += int(width)
-		emit(i, v)
+		d += minGap + corpus.DocID(v)
+		out[i] = d
 	}
+}
+
+// unpackTFsGeneric is unpackGapsGeneric's tf-side twin: direct slice
+// writes offset by the block minimum, no prefix sum.
+func unpackTFsGeneric(src []byte, n int, width uint, minTF int32, out []int32) {
+	mask := uint32(uint64(1)<<width - 1)
+	bulk := len(src) - 8
+	bitPos := 0
+	out = out[:n]
+	for i := range out {
+		byteIdx := bitPos >> 3
+		var v uint32
+		if byteIdx <= bulk {
+			v = uint32(binary.LittleEndian.Uint64(src[byteIdx:])>>(uint(bitPos)&7)) & mask
+		} else {
+			v = uint32(gatherTail(src, byteIdx)>>(uint(bitPos)&7)) & mask
+		}
+		bitPos += int(width)
+		out[i] = minTF + int32(v)
+	}
+}
+
+// gatherTail assembles src[byteIdx:] into one little-endian word — the
+// end-of-payload fallback for the generic extractors' unaligned loads.
+func gatherTail(src []byte, byteIdx int) uint64 {
+	var w uint64
+	for k, shift := byteIdx, uint(0); k < len(src); k++ {
+		w |= uint64(src[k]) << shift
+		shift += 8
+	}
+	return w
 }
 
 // decodeBlockTFs decodes the tf half of a block whose header was
 // already parsed by decodeBlockDocs.
 func (cl *compList) decodeBlockTFs(h blockHeader, out *[BlockSize]int32) {
 	minTF := int32(h.minTF)
-	width := h.tfBits
-	if width == 0 {
+	if h.tfBits == 0 {
 		for i := 0; i < h.count; i++ {
 			out[i] = minTF
 		}
 		return
 	}
-	src := cl.data[h.tfsOff:h.end]
-	switch width {
-	case 8:
-		for i := 0; i < h.count; i++ {
-			out[i] = minTF + int32(src[i])
-		}
-	case 1:
-		for i := 0; i < h.count; i++ {
-			out[i] = minTF + int32(src[i>>3]>>(uint(i)&7)&1)
-		}
-	default:
-		unpackInto(src, h.count, width, func(i int, v uint32) {
-			out[i] = minTF + int32(v)
-		})
+	decodeTFs(cl.data[h.tfsOff:h.end], h.count, h.tfBits, minTF, out[:h.count])
+}
+
+// decodeTFs decodes n width-bit tf residuals (width 1..32) into out,
+// offset by the block minimum — kernel dispatch with generic fallback,
+// mirroring decodeGaps.
+func decodeTFs(src []byte, n int, width uint, minTF int32, out []int32) {
+	if k := tfKernels[width]; k != nil {
+		k(src, n, minTF, out)
+		return
 	}
+	unpackTFsGeneric(src, n, width, minTF, out)
 }
 
 // byteOff returns the byte offset of block b in data.

@@ -22,7 +22,7 @@ func TestCompIteratorMatchesSlice(t *testing.T) {
 	for _, n := range []int{1, 3, BlockSize - 1, BlockSize, BlockSize + 1, 2 * BlockSize, 5*BlockSize + 17} {
 		cl, pl := compressedRandomList(rng, n)
 		// Full Next walk.
-		it := newCompIterator(&cl, nil)
+		it := newCompIterator(&cl, nil, nil)
 		for i, p := range pl {
 			if !it.Valid() || it.Doc() != p.Doc || it.TF() != p.TF {
 				t.Fatalf("n=%d next-walk posting %d mismatch", n, i)
@@ -33,7 +33,7 @@ func TestCompIteratorMatchesSlice(t *testing.T) {
 			t.Fatalf("n=%d: iterator valid past end", n)
 		}
 		// Window walk.
-		it = newCompIterator(&cl, nil)
+		it = newCompIterator(&cl, nil, nil)
 		i := 0
 		for it.Valid() {
 			docs, tfs := it.Window()
@@ -51,7 +51,7 @@ func TestCompIteratorMatchesSlice(t *testing.T) {
 			t.Fatalf("n=%d: windows yielded %d postings", n, i)
 		}
 		// Random interleaved seeks vs linear scan.
-		it = newCompIterator(&cl, nil)
+		it = newCompIterator(&cl, nil, nil)
 		pos := 0
 		for step := 0; step < 60 && pos < n; step++ {
 			target := corpus.DocID(rng.Intn(int(pl[n-1].Doc) + 3))
@@ -87,7 +87,7 @@ func TestSeekAfterSkipProbeCounts(t *testing.T) {
 	const nBlocks = 64
 	cl, pl := compressedRandomList(rng, nBlocks*BlockSize)
 	blocks := make([]BlockMax, nBlocks)
-	it := newCompIterator(&cl, blocks)
+	it := newCompIterator(&cl, blocks, nil)
 	seeks := 0
 	for it.Valid() {
 		if !it.SkipBlock() {
@@ -128,7 +128,7 @@ func BenchmarkSeekAfterSkip(b *testing.B) {
 	b.ResetTimer()
 	probes := 0
 	for i := 0; i < b.N; i++ {
-		it := newCompIterator(&cl, blocks)
+		it := newCompIterator(&cl, blocks, nil)
 		for it.Valid() {
 			if !it.SkipBlock() {
 				break
@@ -157,7 +157,7 @@ func BenchmarkDecodeTraversal(b *testing.B) {
 		b.SetBytes(int64(cl.n) * 8)
 		sum := int64(0)
 		for i := 0; i < b.N; i++ {
-			it := newCompIterator(&cl, blocks)
+			it := newCompIterator(&cl, blocks, nil)
 			for it.Valid() {
 				docs, tfs := it.Window()
 				for j := range docs {
@@ -175,7 +175,7 @@ func BenchmarkDecodeTraversal(b *testing.B) {
 		// their last-doc metadata alone and never decoded.
 		b.SetBytes(int64(cl.n) * 8)
 		for i := 0; i < b.N; i++ {
-			it := newCompIterator(&cl, blocks)
+			it := newCompIterator(&cl, blocks, nil)
 			for it.Valid() {
 				next := (it.BlockIndex() + 4) * BlockSize
 				if next >= int(cl.n) {
@@ -220,7 +220,7 @@ func TestSkipBlockAlignedListLength(t *testing.T) {
 func TestCompIteratorStaysExhausted(t *testing.T) {
 	rng := rand.New(rand.NewSource(26))
 	cl, pl := compressedRandomList(rng, 4*BlockSize)
-	it := newCompIterator(&cl, nil)
+	it := newCompIterator(&cl, nil, nil)
 	if it.SeekGE(pl[len(pl)-1].Doc + 1) {
 		t.Fatal("seek past the last doc must exhaust")
 	}

@@ -177,6 +177,34 @@ func (s *liveSource) HasBlocks() bool {
 	return ok
 }
 
+// localHeads is implemented by shards whose postings carry an
+// impact-ordered head (*index.Index — computed on seal and on
+// compaction). The memtable does not; its queries simply run unprimed.
+type localHeads interface {
+	HeadOrder(id textproc.TermID) []int32
+	BlockMaxes(id textproc.TermID) []index.BlockMax
+}
+
+// HeadOrder implements the vsm head-source extension: sealed shards
+// hand out their lists' impact-ordered heads for threshold priming;
+// the memtable has none.
+func (s *liveSource) HeadOrder(id textproc.TermID) []int32 {
+	if lh, ok := s.local.(localHeads); ok {
+		return lh.HeadOrder(id)
+	}
+	return nil
+}
+
+// BlockMaxes exposes the shard's per-block impact bounds alongside
+// HeadOrder (priming reads bounds by head ordinal without positioning
+// an iterator). Nil over the memtable.
+func (s *liveSource) BlockMaxes(id textproc.TermID) []index.BlockMax {
+	if lh, ok := s.local.(localHeads); ok {
+		return lh.BlockMaxes(id)
+	}
+	return nil
+}
+
 func (s *liveSource) AvgDocLen() float64 {
 	if s.st.liveDocs == 0 {
 		return 0

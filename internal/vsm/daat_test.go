@@ -188,8 +188,16 @@ func TestMaxScorePrunesWork(t *testing.T) {
 		if bm.BlockSkips == 0 {
 			t.Errorf("%v: block-max WAND never skipped on a block bound", scoring)
 		}
-		t.Logf("%v: docs scored maxscore=%d blockmax=%d exhaustive=%d pruned=%d/%d blockskips=%d",
-			scoring, ms.DocsScored, bm.DocsScored, ex.DocsScored, ms.DocsPruned, bm.DocsPruned, bm.BlockSkips)
+		if ms.HeadBlocksPrimed == 0 || bm.HeadBlocksPrimed == 0 {
+			t.Errorf("%v: pruned modes never primed from the impact-ordered heads (maxscore=%d blockmax=%d)",
+				scoring, ms.HeadBlocksPrimed, bm.HeadBlocksPrimed)
+		}
+		if ex.HeadBlocksPrimed != 0 {
+			t.Errorf("%v: exhaustive mode primed %d head blocks, want 0", scoring, ex.HeadBlocksPrimed)
+		}
+		t.Logf("%v: docs scored maxscore=%d blockmax=%d exhaustive=%d pruned=%d/%d blockskips=%d primed=%d/%d",
+			scoring, ms.DocsScored, bm.DocsScored, ex.DocsScored, ms.DocsPruned, bm.DocsPruned, bm.BlockSkips,
+			ms.HeadBlocksPrimed, bm.HeadBlocksPrimed)
 	}
 }
 

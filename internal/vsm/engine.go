@@ -434,13 +434,14 @@ func (e *Engine) effectiveMode(mode ExecMode, k int) ExecMode {
 		// stays wide, so block-level skipping wins there; BM25's
 		// tighter saturation bounds already shrink MaxScore's
 		// essential set below what WAND's per-pivot bookkeeping
-		// costs. Recalibrated on the block-compressed layout
-		// (interleaved-run medians behind BENCH_search.json): cosine
-		// blockmax 44.2 µs vs maxscore 51.0 µs — block skips now also
-		// skip block decodes, widening WAND's cosine lead — while BM25
-		// maxscore 31.0 µs vs blockmax 43.3 µs keeps MaxScore. See
-		// README "Choosing an execution mode"; per-(list-length, k)
-		// calibration remains the ROADMAP's auto exec-mode item.
+		// costs. Recalibrated with the specialized decode kernels and
+		// head priming (one coherent run behind BENCH_search.json):
+		// cosine blockmax 36.3 µs vs maxscore 42.0 µs — block skips
+		// also skip block decodes, and priming tightens θ before the
+		// first pivot — while BM25 maxscore 24.6 µs vs blockmax
+		// 43.9 µs keeps MaxScore. See README "Choosing an execution
+		// mode"; per-(list-length, k) calibration remains the
+		// ROADMAP's auto exec-mode item.
 		if e.blockSrc != nil && e.blockSrc.HasBlocks() && e.scoring != BM25 {
 			return ExecBlockMax
 		}

@@ -153,6 +153,20 @@ type BlockSource interface {
 	HasBlocks() bool
 }
 
+// headSource is the optional BlockSource extension that fuels top-k
+// threshold priming: each list's impact-ordered head (its
+// highest-bound blocks, strongest first) and the per-block bounds
+// themselves, readable without positioning an iterator or decoding
+// anything. *index.Index implements it natively (heads computed by
+// Build and Merge, persisted by the v5 codec); live shards delegate to
+// their sealed index. Sources without it simply skip priming — the
+// pruned loops then start from an unprimed threshold, exactly the
+// pre-head behavior.
+type headSource interface {
+	HeadOrder(id textproc.TermID) []int32
+	BlockMaxes(id textproc.TermID) []index.BlockMax
+}
+
 // ExecStats counts the work one query performed; returned in every
 // Response (and passed to SearchTermsExec by the legacy surface) to
 // measure pruning effectiveness. All counters are per-call (the engine
@@ -185,6 +199,11 @@ type ExecStats struct {
 	// never decode, so this against Postings/index.BlockSize shows the
 	// decode work pruning saved. 0 over uncompressed sources.
 	BlocksDecoded int `json:"blocks_decoded,omitempty"`
+	// HeadBlocksPrimed is how many impact-ordered head blocks the
+	// pruned modes decoded up front to seed the top-k threshold before
+	// doc-ordered traversal began (their decodes also count in
+	// BlocksDecoded).
+	HeadBlocksPrimed int `json:"head_blocks_primed,omitempty"`
 }
 
 // add accumulates other into s (used by segmented fan-out).
@@ -196,6 +215,7 @@ func (s *ExecStats) Add(other ExecStats) {
 	s.BlockSkips += other.BlockSkips
 	s.SeekProbes += other.SeekProbes
 	s.BlocksDecoded += other.BlocksDecoded
+	s.HeadBlocksPrimed += other.HeadBlocksPrimed
 }
 
 // harvestIterStats folds each iterator's cumulative seek-probe and
@@ -271,6 +291,7 @@ type queryState struct {
 	docs    []corpus.DocID // block-max: cached current doc per live list
 	ubs     []float64      // block-max: cached term bound per live list
 	contrib []float64      // per-term raw contribution of the current candidate
+	prime   []primeEntry   // threshold priming: candidate head blocks
 	avgLen  float64        // BM25: collection average length, read once per query
 	// clock times the query's phases when telemetry or an inline trace
 	// is requested; effMode records the execution strategy actually
@@ -299,6 +320,7 @@ func (qs *queryState) reset() {
 	qs.inv = qs.inv[:0]
 	qs.docs = qs.docs[:0]
 	qs.ubs = qs.ubs[:0]
+	qs.prime = qs.prime[:0]
 	qs.gen += 2
 	if qs.gen == 0 { // wrapped: stale stamps could collide
 		for i := range qs.stamp {
@@ -542,6 +564,164 @@ func (e *Engine) finalizeScore(raw float64, d corpus.DocID, qnorm float64) float
 	return s
 }
 
+// primeEntry is one candidate head block for threshold priming: a
+// term's block and the upper bound on that block's best single-term
+// contribution, in final-score units.
+type primeEntry struct {
+	term, block int32
+	bound       float64
+}
+
+// better orders prime entries strongest bound first, ties broken by
+// term then block so the decode order — and therefore every primed
+// query's floating-point state — is deterministic.
+func (a primeEntry) better(b primeEntry) bool {
+	if a.bound != b.bound {
+		return a.bound > b.bound
+	}
+	if a.term != b.term {
+		return a.term < b.term
+	}
+	return a.block < b.block
+}
+
+// primeBudget caps how many head blocks one query decodes to seed the
+// threshold. A handful of the strongest blocks almost always yields k
+// high-scoring documents (BlockSize postings each), while keeping the
+// worst case — priming that fails to fill a top-k — bounded at a few
+// microseconds of kernel-decoded work.
+const primeBudget = 4
+
+// primeTheta seeds the top-k threshold for the pruned execution loops
+// by decoding up to primeBudget impact-ordered head blocks (strongest
+// single-term bound first, across all query terms) and fully scoring
+// the documents they surface. It returns a threshold strictly below
+// the k-th best primed score — or -Inf when priming is unavailable or
+// surfaces fewer than k documents — that the caller starts its main
+// loop from instead of -Inf.
+//
+// Soundness: each primed document's accumulated partial is a lower
+// bound on its true raw score (a term's blocks partition its list, so
+// no contribution is counted twice, and every contribution is
+// non-negative), and finalizeScore is monotone in the raw score for a
+// fixed document. So k documents have true final scores at or above
+// the k-th primed partial, and the returned threshold backs off
+// strictly below it with margin to spare for the bound checks'
+// floating-point rescaling: any candidate the main loop prunes at
+// this threshold has true score strictly below k others and can never
+// enter the top-k — ties included — leaving results bit-identical to
+// the exhaustive oracle. The keep filter is applied before any
+// primed document enters the accumulator, so tombstoned documents
+// cannot inflate the threshold. The primed heap and accumulator are
+// discarded: the main loop rescoring from scratch is what keeps its
+// floating-point sums canonical.
+func (e *Engine) primeTheta(qs *queryState, k int, qnorm float64, keep func(corpus.DocID) bool, stats *ExecStats) float64 {
+	noPrime := math.Inf(-1)
+	if k <= 0 || e.blockSrc == nil || !e.blockSrc.HasBlocks() {
+		return noPrime
+	}
+	hs, ok := e.blockSrc.(headSource)
+	if !ok {
+		return noPrime
+	}
+	entries := qs.prime[:0]
+	for i := range qs.terms {
+		t := &qs.terms[i]
+		if t.w == 0 || t.ub <= 0 {
+			continue
+		}
+		head := hs.HeadOrder(t.id)
+		if len(head) == 0 {
+			continue
+		}
+		bms := hs.BlockMaxes(t.id)
+		for _, ord := range head {
+			bm := bms[ord]
+			var b float64
+			if e.scoring == BM25 {
+				b = t.w * bm.MaxBM
+			} else {
+				b = t.w * bm.MaxCos / qnorm
+			}
+			if b > 0 {
+				entries = append(entries, primeEntry{term: int32(i), block: ord, bound: b})
+			}
+		}
+	}
+	qs.prime = entries
+	if len(entries) == 0 {
+		return noPrime
+	}
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && entries[j].better(entries[j-1]); j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+	genAlive, genDead := qs.gen, qs.gen+1
+	its := qs.iterSlots(len(qs.terms))
+	primed := 0
+	for idx := 0; idx < len(entries) && primed < primeBudget; idx++ {
+		ent := entries[idx]
+		t := &qs.terms[ent.term]
+		it := &its[ent.term]
+		// Reposition per entry: EnterBlock needs a compressed-mode
+		// iterator, and the main loop re-repositions every slot anyway.
+		e.blockSrc.BlockIterInto(t.id, it)
+		if !it.Valid() {
+			continue
+		}
+		if ent.block != 0 && !it.EnterBlock(int(ent.block)) {
+			continue
+		}
+		qs.ensureDoc(it.BlockLastDoc())
+		docs, tfs := it.Window()
+		for j, d := range docs {
+			st := qs.stamp[d]
+			if st == genDead {
+				continue
+			}
+			if st != genAlive {
+				if keep != nil && !keep(d) {
+					qs.stamp[d] = genDead
+					continue
+				}
+				qs.stamp[d] = genAlive
+				qs.score[d] = 0
+				qs.touched = append(qs.touched, d)
+			}
+			qs.score[d] += e.rawContribution(qs, t, tfs[j], d)
+		}
+		if stats != nil {
+			stats.BlocksDecoded += it.BlocksDecoded()
+			stats.HeadBlocksPrimed++
+		}
+		primed++
+	}
+	theta := noPrime
+	if len(qs.touched) >= k {
+		for _, d := range qs.touched {
+			pushTopK(&qs.heap, k, Result{Doc: d, Score: e.finalizeScore(qs.score[d], d, qnorm)})
+		}
+		// Back the threshold off the k-th primed score by a relative
+		// margin that dwarfs floating-point error, not just one ulp: the
+		// main loops' bound checks rescale the threshold ((theta −
+		// prefix)·den), and a primed document reappearing in the main
+		// loop can beat the k-th primed score by exactly one ulp — a
+		// sub-rounding margin that a single multiply can erase, pruning
+		// a true result. 1e-9 relative slack (scores are non-negative)
+		// is ~10⁶ ulps of headroom at any magnitude while costing
+		// pruning nothing measurable.
+		kth := qs.heap[0].Score
+		theta = kth * (1 - 1e-9)
+		if theta >= kth { // kth = 0 (or denormal): fall back to one step down
+			theta = math.Nextafter(kth, noPrime)
+		}
+		qs.heap = qs.heap[:0]
+	}
+	qs.touched = qs.touched[:0]
+	return theta
+}
+
 // searchMaxScore is the document-at-a-time MaxScore loop. Terms are
 // ordered by ascending contribution bound; the lists whose prefix sum
 // of bounds cannot reach the current k-th best score become
@@ -555,6 +735,11 @@ func (e *Engine) searchMaxScore(ctx context.Context, qs *queryState, k int, qnor
 	done := ctx.Done()
 	rounds := 0
 	n := len(qs.terms)
+	// Seed the threshold from the impact-ordered heads before any list
+	// is positioned: every bound check below starts against the k-th
+	// best primed score instead of -Inf, so pruning bites from the
+	// first candidate.
+	theta := e.primeTheta(qs, k, qnorm, keep, stats)
 	its := qs.iterSlots(n)
 	// curDocs caches each list's current document (drained sentinel
 	// when exhausted) so the per-candidate scans touch one compact
@@ -598,8 +783,10 @@ func (e *Engine) searchMaxScore(ctx context.Context, qs *queryState, k int, qnor
 	}
 	qs.clock.mark(&qs.clock.fetch)
 
-	theta := math.Inf(-1)
 	first := 0 // ord[first:] are the essential lists
+	for first < n && qs.prefix[first] <= theta {
+		first++ // lists non-essential from the start under the primed threshold
+	}
 	for first < n {
 		if rounds++; rounds&255 == 1 && canceled(done) {
 			return nil, ctx.Err()
@@ -765,6 +952,9 @@ func (e *Engine) blockBound(t *qterm, it *index.Iterator, qnorm float64) float64
 func (e *Engine) searchBlockMax(ctx context.Context, qs *queryState, k int, qnorm float64, keep func(corpus.DocID) bool, stats *ExecStats) ([]Result, error) {
 	done := ctx.Done()
 	rounds := 0
+	// Seed the threshold from the impact-ordered heads (see primeTheta)
+	// so pivot selection and block skips bite from the first round.
+	theta := e.primeTheta(qs, k, qnorm, keep, stats)
 	// drained marks exhausted lists in the doc cache; they sort to the
 	// end and are compacted away before the next round.
 	const drained = corpus.DocID(math.MaxInt32)
@@ -787,7 +977,6 @@ func (e *Engine) searchBlockMax(ctx context.Context, qs *queryState, k int, qnor
 	qs.ord, qs.docs, qs.ubs = live, docs, ubs
 	qs.clock.mark(&qs.clock.fetch)
 
-	theta := math.Inf(-1)
 	dirty := false // drained sentinels present in docs
 	for len(live) > 0 {
 		if rounds++; rounds&255 == 1 && canceled(done) {

@@ -36,6 +36,7 @@ type engineMetrics struct {
 	blockSkips    *telemetry.Counter
 	seekProbes    *telemetry.Counter
 	blocksDecoded *telemetry.Counter
+	headPrimed    *telemetry.Counter
 }
 
 // newEngineMetrics resolves every family and child the query path
@@ -76,6 +77,8 @@ func newEngineMetrics(reg *telemetry.Registry, ring *telemetry.TraceRing, scorer
 		"Document comparisons made by iterator seeks.")
 	m.blocksDecoded = reg.Counter("toppriv_blocks_decoded_total",
 		"Compressed postings blocks decoded.")
+	m.headPrimed = reg.Counter("toppriv_head_blocks_primed_total",
+		"Impact-ordered head blocks decoded to seed top-k thresholds.")
 	return m
 }
 
@@ -91,6 +94,7 @@ func (m *engineMetrics) addStats(stats *ExecStats) {
 	m.blockSkips.Add(uint64(stats.BlockSkips))
 	m.seekProbes.Add(uint64(stats.SeekProbes))
 	m.blocksDecoded.Add(uint64(stats.BlocksDecoded))
+	m.headPrimed.Add(uint64(stats.HeadBlocksPrimed))
 }
 
 // EnableMetrics wires the engine to a telemetry registry (histograms
