@@ -31,7 +31,11 @@
 // instead: growth beyond -size-tolerance (default 0.10) always hard-
 // fails — index size is machine-independent, so there is no hardware
 // excuse — while their ns/op (dominated by one-time environment
-// setup) is ignored. Exit status 1 on any failure.
+// setup) is ignored. Entries carrying resident_bytes/doc (the
+// BenchmarkTraversalCold/Warm store-residency rows) gate on that
+// metric with the same size tolerance in addition to their ns/op —
+// those rows are real traversal timings, not setup shells. Exit
+// status 1 on any failure.
 package main
 
 import (
@@ -46,10 +50,11 @@ import (
 	"strings"
 )
 
-// defaultGate gates the end-to-end search benchmarks and the postings
-// decode micro-benchmarks; everything else (live-index, instrumented
-// variants) only warns on regression.
-const defaultGate = "^Benchmark(Search|DecodeTraversal|SeekAfterSkip)"
+// defaultGate gates the end-to-end search benchmarks, the postings
+// decode micro-benchmarks, and the mapped-store traversal benchmarks;
+// everything else (live-index, instrumented variants) only warns on
+// regression.
+const defaultGate = "^Benchmark(Search|DecodeTraversal|SeekAfterSkip|TraversalCold|TraversalWarm)"
 
 // Benchmark is one parsed result line.
 type Benchmark struct {
@@ -221,8 +226,16 @@ func loadBenchmarks(path string) ([]Benchmark, error) {
 }
 
 // sizeMetric is the machine-independent memory-footprint metric
-// (BenchmarkIndexSize): postings bytes per indexed document.
+// (BenchmarkIndexSize): postings bytes per indexed document. Entries
+// carrying it are size-only rows — their ns/op is setup noise.
 const sizeMetric = "index_bytes/doc"
+
+// residentMetric is the heap-residency footprint of the traversal
+// benchmarks (BenchmarkTraversalCold/Warm): heap bytes per document a
+// loaded store actually pins. Unlike sizeMetric rows, these rows are
+// real traversal timings, so the metric gates IN ADDITION to ns/op,
+// not instead of it.
+const residentMetric = "resident_bytes/doc"
 
 // compareBenchmarks diffs new against the old baseline. ns/op growth
 // beyond the tolerance fails gated entries (gate regexp match) and
@@ -275,6 +288,17 @@ func compareBenchmarks(oldB, newB []Benchmark, tolerance, sizeTolerance float64,
 		if !ok {
 			flag(gated, "%s: missing from new results", name)
 			continue
+		}
+		if oldRes, ok := ob.Metrics[residentMetric]; ok && oldRes > 0 {
+			// Residency is machine-independent, so like index_bytes/doc it
+			// hard-fails beyond sizeTolerance regardless of the gate
+			// regexp; the row's ns/op is still compared below.
+			if newRes, ok := nb.Metrics[residentMetric]; !ok {
+				flag(true, "%s: %s missing from new results", name, residentMetric)
+			} else if newRes > oldRes*(1+sizeTolerance) {
+				flag(true, "%s: %s %.1f → %.1f (+%.1f%%, tolerance %.0f%%) — store residency regressed",
+					name, residentMetric, oldRes, newRes, (newRes/oldRes-1)*100, sizeTolerance*100)
+			}
 		}
 		if oldNS, ok := ob.Metrics["ns/op"]; ok && oldNS > 0 {
 			if newNS, ok := nb.Metrics["ns/op"]; ok && newNS > oldNS*(1+tolerance) {

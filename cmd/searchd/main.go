@@ -11,7 +11,10 @@
 // serving, the memtable seals into segments as it fills, a background
 // compactor merges them, and -data persists the segments (TPIX codec
 // per segment plus a manifest) so a restart recovers without
-// re-analyzing a single document.
+// re-analyzing a single document. With -mmap the recovered segments
+// are memory-mapped instead of decoded onto the heap — postings page
+// in on traversal — and -cache-bytes pins a decoded-block cache on
+// top; GET /stats reports the resulting residency.
 //
 // On SIGINT/SIGTERM the server drains in-flight requests, and in -live
 // mode flushes the memtable into a sealed segment and saves to -data
@@ -26,6 +29,7 @@
 //
 //	searchd -corpus corpus.json -addr :8080 [-bm25]
 //	searchd -live -data ./idx -corpus corpus.json -addr :8080
+//	searchd -live -data ./idx -mmap -cache-bytes 8388608 -addr :8080
 //	searchd -corpus corpus.json -addr :8080 -metrics-addr 127.0.0.1:9090 -pprof
 package main
 
@@ -65,6 +69,8 @@ func main() {
 		live        = flag.Bool("live", false, "serve the segmented live index (POST /index, DELETE /doc/{id})")
 		dataDir     = flag.String("data", "", "live mode: segment persistence directory (empty = in-memory only)")
 		seal        = flag.Int("seal", 0, "live mode: memtable seal threshold in documents (0 = default)")
+		mmapFlag    = flag.Bool("mmap", false, "live mode: open saved segments memory-mapped (disk-resident postings; requires -data)")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "with -mmap: pin a decoded-block cache of this many bytes (0 = no cache)")
 		querylogCap = flag.Int("querylog-cap", 0, "retain at most this many query-log entries (0 = default 100k)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		adminToken  = flag.String("admin-token", "", "live mode: require this bearer token on POST /index and DELETE /doc/{id}")
@@ -75,6 +81,12 @@ func main() {
 
 	if *pprofFlag && *metricsAddr == "" {
 		log.Fatal("-pprof requires -metrics-addr: profiling endpoints must not share the public listener")
+	}
+	if *mmapFlag && (!*live || *dataDir == "") {
+		log.Fatal("-mmap requires -live and -data: only saved segments can be memory-mapped")
+	}
+	if *cacheBytes != 0 && !*mmapFlag {
+		log.Fatal("-cache-bytes requires -mmap: the block cache only serves mapped segments")
 	}
 
 	scoring := vsm.Cosine
@@ -93,7 +105,7 @@ func main() {
 		store    *segment.Store
 	)
 	if *live {
-		store = openLiveStore(an, scoring, execMode, *corpusPath, *dataDir, *seal)
+		store = openLiveStore(an, scoring, execMode, *corpusPath, *dataDir, *seal, *mmapFlag, *cacheBytes)
 		searcher = store
 		// A recovered manifest's scoring overrides the flag; report what
 		// is actually served.
@@ -221,8 +233,11 @@ func main() {
 // openLiveStore recovers a saved store from dataDir when a manifest
 // exists; otherwise it opens a fresh store and, when the corpus file is
 // readable, bulk-loads it.
-func openLiveStore(an *textproc.Analyzer, scoring vsm.Scoring, execMode vsm.ExecMode, corpusPath, dataDir string, seal int) *segment.Store {
-	cfg := segment.Config{Scoring: scoring, ExecMode: execMode, Analyzer: an, SealThreshold: seal, Logf: log.Printf}
+func openLiveStore(an *textproc.Analyzer, scoring vsm.Scoring, execMode vsm.ExecMode, corpusPath, dataDir string, seal int, mapped bool, cacheBytes int64) *segment.Store {
+	cfg := segment.Config{
+		Scoring: scoring, ExecMode: execMode, Analyzer: an, SealThreshold: seal,
+		Mapped: mapped, CacheBytes: cacheBytes, Logf: log.Printf,
+	}
 	if dataDir != "" {
 		if _, err := os.Stat(filepath.Join(dataDir, "MANIFEST.json")); err == nil {
 			store, err := segment.Load(dataDir, cfg)
@@ -230,8 +245,12 @@ func openLiveStore(an *textproc.Analyzer, scoring vsm.Scoring, execMode vsm.Exec
 				log.Fatal(err)
 			}
 			s := store.Stats()
-			log.Printf("recovered %d segments / %d live docs from %s (no reindex)",
-				s.Segments, s.LiveDocs, dataDir)
+			how := "no reindex"
+			if mapped {
+				how = "no reindex, mmap"
+			}
+			log.Printf("recovered %d segments / %d live docs from %s (%s)",
+				s.Segments, s.LiveDocs, dataDir, how)
 			return store
 		}
 	}

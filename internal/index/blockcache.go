@@ -1,0 +1,188 @@
+package index
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"toppriv/internal/corpus"
+)
+
+// BlockCache is a shared, capacity-pinned cache of decoded postings
+// blocks, keyed by ⟨owner index, term, block ordinal⟩. Its purpose is
+// disk residency: a mapped index decodes straight from page-cache
+// backed payload bytes, and caching the decoded frames keeps a hot
+// list's blocks from paying the unpack (and, under memory pressure,
+// the page fault) on every traversal.
+//
+// The slot array is allocated once at construction and never grows —
+// the cache's memory budget is pinned, which is what lets the store
+// report an honest resident-bytes figure. Eviction is CLOCK: a hand
+// sweeps the slot ring clearing reference bits until it finds an
+// unreferenced victim, giving LRU-like behavior with one byte of
+// state per slot and no per-hit list surgery. All operations are
+// safe for concurrent use; hit/miss/eviction counters are atomic.
+type BlockCache struct {
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+
+	mu        sync.Mutex
+	slots     []cacheSlot
+	index     map[cacheKey]int32
+	hand      int
+	nextOwner uint32
+}
+
+// cacheKey names one decoded block. The owner field namespaces
+// entries per attached index (see Index.AttachCache), so a retired
+// segment's entries can be purged without touching its neighbors'.
+type cacheKey struct {
+	owner uint32
+	term  int32
+	block int32
+}
+
+type cacheSlot struct {
+	key  cacheKey
+	used bool
+	ref  bool
+	n    int32
+	docs [BlockSize]corpus.DocID
+	tfs  [BlockSize]int32
+}
+
+// slotCostBytes is the accounted resident cost of one slot: the two
+// decoded BlockSize frames (4 bytes per doc, 4 per tf) plus slot and
+// map-entry bookkeeping.
+const slotCostBytes = 8*BlockSize + 80
+
+// NewBlockCache returns a cache holding at most capBytes of decoded
+// blocks (at least one slot). Returns nil for capBytes <= 0 — a nil
+// cache is valid everywhere a cache is optional.
+func NewBlockCache(capBytes int64) *BlockCache {
+	if capBytes <= 0 {
+		return nil
+	}
+	n := int(capBytes / slotCostBytes)
+	if n < 1 {
+		n = 1
+	}
+	return &BlockCache{
+		slots: make([]cacheSlot, n),
+		index: make(map[cacheKey]int32, n),
+	}
+}
+
+// RegisterOwner allocates a fresh namespace for an index attaching to
+// the cache.
+func (c *BlockCache) RegisterOwner() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextOwner++
+	return c.nextOwner
+}
+
+// DropOwner purges every entry of one namespace — called when an
+// index detaches (segment retired by compaction, index closed).
+func (c *BlockCache) DropOwner(owner uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, s := range c.index {
+		if k.owner == owner {
+			c.slots[s].used = false
+			c.slots[s].ref = false
+			delete(c.index, k)
+		}
+	}
+}
+
+// get copies the cached block into the caller's frames, returning its
+// posting count and whether it was present.
+func (c *BlockCache) get(k cacheKey, docs *[BlockSize]corpus.DocID, tfs *[BlockSize]int32) (int, bool) {
+	c.mu.Lock()
+	s, ok := c.index[k]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return 0, false
+	}
+	slot := &c.slots[s]
+	slot.ref = true
+	n := int(slot.n)
+	copy(docs[:n], slot.docs[:n])
+	copy(tfs[:n], slot.tfs[:n])
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return n, true
+}
+
+// put inserts a decoded block, evicting the CLOCK victim when full.
+// A concurrent insert of the same key wins benignly.
+func (c *BlockCache) put(k cacheKey, docs *[BlockSize]corpus.DocID, tfs *[BlockSize]int32, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.index[k]; ok {
+		return
+	}
+	var s int
+	for {
+		slot := &c.slots[c.hand]
+		s = c.hand
+		c.hand++
+		if c.hand == len(c.slots) {
+			c.hand = 0
+		}
+		if !slot.used {
+			break
+		}
+		if !slot.ref {
+			delete(c.index, slot.key)
+			c.evictions.Add(1)
+			break
+		}
+		// Referenced since the last sweep: spare it this pass. Every
+		// probe clears a bit, so at most two sweeps find a victim.
+		slot.ref = false
+	}
+	slot := &c.slots[s]
+	slot.key = k
+	slot.used = true
+	slot.ref = true
+	slot.n = int32(n)
+	copy(slot.docs[:n], docs[:n])
+	copy(slot.tfs[:n], tfs[:n])
+	c.index[k] = int32(s)
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness and
+// footprint, surfaced through GET /stats and the telemetry registry.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	// Entries is the number of blocks currently cached; Slots the
+	// pinned capacity in blocks.
+	Entries int `json:"entries"`
+	Slots   int `json:"slots"`
+	// Bytes is the pinned resident cost of the slot array — allocated
+	// up front, independent of fill.
+	Bytes int64 `json:"bytes"`
+}
+
+// Stats snapshots the cache counters.
+func (c *BlockCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	entries, slots := len(c.index), len(c.slots)
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
+		Slots:     slots,
+		Bytes:     int64(slots) * slotCostBytes,
+	}
+}

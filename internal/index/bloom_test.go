@@ -1,0 +1,183 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+
+	"toppriv/internal/textproc"
+)
+
+// TestBloomNoFalseNegatives is the filter's one hard guarantee: every
+// term added — here, every dictionary term of a built index — must
+// probe positive. A false negative would make the segment store skip a
+// segment that holds real postings, silently dropping results.
+func TestBloomNoFalseNegatives(t *testing.T) {
+	x := multiBlockIndex(t)
+	bl := x.Bloom()
+	for id := 0; id < x.NumTerms(); id++ {
+		term := x.Vocab().Term(textproc.TermID(id))
+		if !bl.MayContain(term) {
+			t.Fatalf("term %q added but MayContain = false", term)
+		}
+	}
+}
+
+// TestBloomFalsePositiveRate checks the sizing constants deliver
+// roughly the designed rate: 10 bits and 7 probes per term is ~0.8%
+// theoretical, so 5% over 2000 absent probes is a loose, stable bound.
+func TestBloomFalsePositiveRate(t *testing.T) {
+	const n = 1000
+	bl := NewTermBloom(n)
+	for i := 0; i < n; i++ {
+		bl.Add(fmt.Sprintf("present-%d", i))
+	}
+	fp := 0
+	const probes = 2000
+	for i := 0; i < probes; i++ {
+		if bl.MayContain(fmt.Sprintf("absent-%d", i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.05 {
+		t.Fatalf("false positive rate %.3f exceeds 0.05 (%d/%d)", rate, fp, probes)
+	}
+}
+
+// TestBloomEmptyRejectsEverything: the zero value, a nil filter, and a
+// filter sized for zero terms all reject every probe.
+func TestBloomEmptyRejectsEverything(t *testing.T) {
+	var zero TermBloom
+	var nilBloom *TermBloom
+	for _, bl := range []*TermBloom{&zero, nilBloom, NewTermBloom(0)} {
+		if bl.MayContain("anything") {
+			t.Fatal("empty filter must reject")
+		}
+	}
+	if NewTermBloom(0).SizeBytes() != 0 || nilBloom.SizeBytes() != 0 {
+		t.Fatal("empty filter must report zero size")
+	}
+}
+
+// TestBloomWireRoundTrip writes an index (v6 appends the bloom tail)
+// and reads it back: the persisted filter must match the built one
+// bit-for-bit, so segment skipping behaves identically before and
+// after a save/load cycle.
+func TestBloomWireRoundTrip(t *testing.T) {
+	for _, x := range []*Index{fixtureIndex(t), multiBlockIndex(t)} {
+		want := x.Bloom()
+		var buf bytes.Buffer
+		if _, err := x.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		y, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := y.Bloom()
+		if got.k != want.k || len(got.bits) != len(want.bits) {
+			t.Fatalf("shape: k=%d/%d words=%d/%d", got.k, want.k, len(got.bits), len(want.bits))
+		}
+		for i := range want.bits {
+			if got.bits[i] != want.bits[i] {
+				t.Fatalf("bloom word %d differs after round trip", i)
+			}
+		}
+	}
+}
+
+// bloomWire serializes a filter in the v6 trailing-section layout.
+func bloomWire(k uint64, words []uint64) []byte {
+	var buf []byte
+	vb := make([]byte, binary.MaxVarintLen64)
+	buf = append(buf, vb[:binary.PutUvarint(vb, k)]...)
+	buf = append(buf, vb[:binary.PutUvarint(vb, uint64(len(words)))]...)
+	for _, w := range words {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], w)
+		buf = append(buf, b[:]...)
+	}
+	return buf
+}
+
+// TestBloomWireCorruptRejected drives readBloomWire with malformed
+// trailing sections: every case must error, never allocate wildly or
+// accept a filter that could yield false negatives.
+func TestBloomWireCorruptRejected(t *testing.T) {
+	cases := []struct {
+		name     string
+		numTerms uint64
+		wire     []byte
+	}{
+		{"truncated at probes", 4, nil},
+		{"truncated at words", 4, bloomWire(7, nil)[:1]},
+		{"truncated bits", 4, bloomWire(7, []uint64{1, 2})[:10]},
+		{"zero probes with terms", 4, bloomWire(0, nil)},
+		{"zero probes nonzero words", 0, bloomWire(0, []uint64{1})},
+		{"nonzero probes zero words", 4, bloomWire(7, nil)},
+		{"probe count too high", 4, bloomWire(maxBloomHashes+1, []uint64{1})},
+		{"implausible word count", 4, append(bloomWire(7, nil)[:1], bloomWire(1<<40, nil)[1:]...)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := readBloomWire(&sliceReader{data: tc.wire}, tc.numTerms); err == nil {
+				t.Fatalf("corrupt bloom wire accepted (%d bytes, %d terms)", len(tc.wire), tc.numTerms)
+			}
+		})
+	}
+	// The one legal empty form: no probes, no words, no terms.
+	bl, err := readBloomWire(&sliceReader{data: bloomWire(0, nil)}, 0)
+	if err != nil {
+		t.Fatalf("empty bloom for empty dictionary must load: %v", err)
+	}
+	if bl.MayContain("x") {
+		t.Fatal("empty bloom must reject")
+	}
+}
+
+// FuzzBloomFilter feeds newline-separated term lists through the
+// filter: even-indexed terms are added, and the invariants checked are
+// (1) no added term ever probes negative, and (2) the wire form reread
+// through readBloomWire reproduces the exact bit array.
+func FuzzBloomFilter(f *testing.F) {
+	f.Add([]byte("apache\nhelicopter\nstock\nmarket\ntrading"))
+	f.Add([]byte("a\n\nb\n\nc"))
+	f.Add([]byte(""))
+	f.Add([]byte("\xff\x00\xfe\nterm"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		terms := strings.Split(string(data), "\n")
+		bl := NewTermBloom(len(terms))
+		var added []string
+		for i, term := range terms {
+			if i%2 == 0 {
+				bl.Add(term)
+				added = append(added, term)
+			}
+		}
+		for _, term := range added {
+			if !bl.MayContain(term) {
+				t.Fatalf("false negative for added term %q", term)
+			}
+		}
+		reread, err := readBloomWire(&sliceReader{data: bloomWire(uint64(bl.k), bl.bits)}, uint64(len(terms)))
+		if err != nil {
+			if len(bl.bits) != 0 {
+				t.Fatalf("wire round trip of real filter failed: %v", err)
+			}
+			return
+		}
+		if reread.k != bl.k || len(reread.bits) != len(bl.bits) {
+			t.Fatalf("wire shape changed: k=%d/%d words=%d/%d", reread.k, bl.k, len(reread.bits), len(bl.bits))
+		}
+		for i := range bl.bits {
+			if reread.bits[i] != bl.bits[i] {
+				t.Fatalf("bloom word %d changed across wire", i)
+			}
+		}
+	})
+}

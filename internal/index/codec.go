@@ -34,19 +34,33 @@ import (
 //	                   uvarint blockMaxTF
 //	                   float64 blockMaxCos | float64 blockMaxBM25
 //	per doc:  uvarint docLen
+//	v6 only:  uvarint bloomHashes, uvarint bloomWords,
+//	          bloomWords × uint64 bloom bit words (little-endian) —
+//	          the per-segment term bloom (see bloom.go)
 //
-// Versions 4 and 5 write the block-compressed postings verbatim — the
+// Versions 4–6 write the block-compressed postings verbatim — the
 // file is a memory image of the lists plus the per-block skip metadata
 // (last docs; byte offsets and start ordinals are rebuilt by walking
 // the self-describing block headers) and impact bounds, so writing
 // does no re-encoding and loading does no re-compression. Version 5
-// additionally persists each list's impact-ordered head. Loading
+// additionally persists each list's impact-ordered head, and version 6
+// a trailing per-segment term bloom filter. Loading through Read
 // fully validates every block (structure and payload) and every head
 // (length cap, ordinal range, no duplicates — a duplicate would make
 // threshold priming double-count a document, turning the prune bound
 // unsound) and rejects corrupt or truncated input with an error,
 // never a panic. Version 4 files load with heads derived from the
-// persisted block bounds, exactly as a fresh build computes them.
+// persisted block bounds, exactly as a fresh build computes them;
+// pre-v6 files derive the bloom from the dictionary on demand.
+//
+// OpenMapped (mapped.go) reads the same format through a zero-copy
+// slice reader over the mapped file: all header, dictionary, skip and
+// impact metadata is eagerly decoded and validated exactly as above,
+// but the packed block payloads stay as views into the mapping and
+// skip the per-posting decode validation — faulting every payload
+// page at open would defeat disk residency. Payload decoding is
+// bounds-checked at traversal time, so a corrupt payload yields wrong
+// postings values, never memory unsafety.
 //
 // Versions 1–3 still load: their varint-delta postings are read into
 // raw lists and compressed on the fly. Version 3 carries per-block
@@ -57,12 +71,86 @@ import (
 
 const codecMagic = "TPIX"
 const (
-	codecVersion   = 5
+	codecVersion   = 6
+	codecVersionV5 = 5
 	codecVersionV4 = 4
 	codecVersionV3 = 3
 	codecVersionV2 = 2
 	codecVersionV1 = 1
 )
+
+// tpixReader is the byte source the codec decodes from: a buffered
+// stream (Read) or an in-memory image (OpenMapped). Bytes returns the
+// next n bytes — the slice-backed reader hands out zero-copy views of
+// the image, the stream reader allocates in bounded chunks so a lying
+// length cannot allocate past what the stream actually holds.
+type tpixReader interface {
+	io.ByteReader
+	io.Reader
+	Bytes(n uint64) ([]byte, error)
+}
+
+// streamReader adapts a bufio.Reader to tpixReader.
+type streamReader struct {
+	*bufio.Reader
+}
+
+func (r streamReader) Bytes(n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	pre := n
+	if pre > chunk {
+		pre = chunk
+	}
+	data := make([]byte, 0, pre)
+	for remaining := n; remaining > 0; {
+		step := remaining
+		if step > chunk {
+			step = chunk
+		}
+		off := len(data)
+		data = append(data, make([]byte, step)...)
+		if _, err := io.ReadFull(r.Reader, data[off:]); err != nil {
+			return nil, err
+		}
+		remaining -= step
+	}
+	return data, nil
+}
+
+// sliceReader reads from one in-memory image — the mapped file. Bytes
+// returns subslices of the image, so block payloads in the decoded
+// index are views into the mapping, not copies.
+type sliceReader struct {
+	data []byte
+	off  int
+}
+
+func (r *sliceReader) ReadByte() (byte, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	b := r.data[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func (r *sliceReader) Bytes(n uint64) ([]byte, error) {
+	if n > uint64(len(r.data)-r.off) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	s := r.data[r.off : r.off+int(n) : r.off+int(n)]
+	r.off += int(n)
+	return s, nil
+}
 
 // WriteTo serializes the index. It returns the number of bytes written.
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
@@ -146,39 +234,63 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 			return cw.n, err
 		}
 	}
+	bl := x.Bloom()
+	if err := writeUvarint(uint64(bl.k)); err != nil {
+		return cw.n, err
+	}
+	if err := writeUvarint(uint64(len(bl.bits))); err != nil {
+		return cw.n, err
+	}
+	var wb [8]byte
+	for _, word := range bl.bits {
+		binary.LittleEndian.PutUint64(wb[:], word)
+		if _, err := cw.Write(wb[:]); err != nil {
+			return cw.n, err
+		}
+	}
 	return cw.n, cw.w.(*bufio.Writer).Flush()
 }
 
-// Read deserializes an index written by WriteTo (any TPIX version).
+// Read deserializes an index written by WriteTo (any TPIX version),
+// fully validating every block payload.
 func Read(r io.Reader) (*Index, error) {
-	br := bufio.NewReader(r)
+	x, _, err := readIndex(streamReader{bufio.NewReader(r)}, true)
+	return x, err
+}
+
+// readIndex decodes one TPIX image from r. verifyPayload selects full
+// per-posting validation of the packed block payloads (the stream
+// path) versus structural-only validation of headers, skip metadata,
+// heads and bloom (the mapped path — see the format comment above).
+// It returns the decoded index and the file's version.
+func readIndex(r tpixReader, verifyPayload bool) (*Index, uint32, error) {
 	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("index: read magic: %w", err)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, 0, fmt.Errorf("index: read magic: %w", err)
 	}
 	if string(magic) != codecMagic {
-		return nil, fmt.Errorf("index: bad magic %q", magic)
+		return nil, 0, fmt.Errorf("index: bad magic %q", magic)
 	}
 	var ver [4]byte
-	if _, err := io.ReadFull(br, ver[:]); err != nil {
-		return nil, fmt.Errorf("index: read version: %w", err)
+	if _, err := io.ReadFull(r, ver[:]); err != nil {
+		return nil, 0, fmt.Errorf("index: read version: %w", err)
 	}
 	version := binary.LittleEndian.Uint32(ver[:])
 	switch version {
-	case codecVersion, codecVersionV4, codecVersionV3, codecVersionV2, codecVersionV1:
+	case codecVersion, codecVersionV5, codecVersionV4, codecVersionV3, codecVersionV2, codecVersionV1:
 	default:
-		return nil, fmt.Errorf("index: unsupported version %d", version)
+		return nil, 0, fmt.Errorf("index: unsupported version %d", version)
 	}
-	numDocs, err := binary.ReadUvarint(br)
+	numDocs, err := binary.ReadUvarint(r)
 	if err != nil {
-		return nil, fmt.Errorf("index: read numDocs: %w", err)
+		return nil, 0, fmt.Errorf("index: read numDocs: %w", err)
 	}
 	if numDocs > math.MaxInt32 {
-		return nil, fmt.Errorf("index: numDocs %d out of range", numDocs)
+		return nil, 0, fmt.Errorf("index: numDocs %d out of range", numDocs)
 	}
-	numTerms, err := binary.ReadUvarint(br)
+	numTerms, err := binary.ReadUvarint(r)
 	if err != nil {
-		return nil, fmt.Errorf("index: read numTerms: %w", err)
+		return nil, 0, fmt.Errorf("index: read numTerms: %w", err)
 	}
 	x := &Index{
 		vocab:   textproc.NewVocab(),
@@ -201,32 +313,32 @@ func Read(r io.Reader) (*Index, error) {
 	}
 	termBuf := make([]byte, 0, 64)
 	for t := uint64(0); t < numTerms; t++ {
-		tl, err := binary.ReadUvarint(br)
+		tl, err := binary.ReadUvarint(r)
 		if err != nil {
-			return nil, fmt.Errorf("index: term %d length: %w", t, err)
+			return nil, 0, fmt.Errorf("index: term %d length: %w", t, err)
 		}
 		if tl > 1<<20 {
-			return nil, fmt.Errorf("index: term %d length %d out of range", t, tl)
+			return nil, 0, fmt.Errorf("index: term %d length %d out of range", t, tl)
 		}
 		if cap(termBuf) < int(tl) {
 			termBuf = make([]byte, tl)
 		}
 		termBuf = termBuf[:tl]
-		if _, err := io.ReadFull(br, termBuf); err != nil {
-			return nil, fmt.Errorf("index: term %d bytes: %w", t, err)
+		if _, err := io.ReadFull(r, termBuf); err != nil {
+			return nil, 0, fmt.Errorf("index: term %d bytes: %w", t, err)
 		}
 		x.vocab.Add(string(termBuf))
-		ll, err := binary.ReadUvarint(br)
+		ll, err := binary.ReadUvarint(r)
 		if err != nil {
-			return nil, fmt.Errorf("index: term %d list length: %w", t, err)
+			return nil, 0, fmt.Errorf("index: term %d list length: %w", t, err)
 		}
 		if ll > numDocs {
 			// A list holds at most one posting per document.
-			return nil, fmt.Errorf("index: term %d list length %d exceeds %d docs", t, ll, numDocs)
+			return nil, 0, fmt.Errorf("index: term %d list length %d exceeds %d docs", t, ll, numDocs)
 		}
 		if version >= codecVersionV4 {
-			if err := x.readCompList(br, t, ll, int(numDocs), version); err != nil {
-				return nil, err
+			if err := x.readCompList(r, t, ll, int(numDocs), version, verifyPayload); err != nil {
+				return nil, 0, err
 			}
 			continue
 		}
@@ -237,20 +349,20 @@ func Read(r io.Reader) (*Index, error) {
 		pl := make([]Posting, 0, plPrealloc)
 		prev := uint64(0)
 		for i := uint64(0); i < ll; i++ {
-			delta, err := binary.ReadUvarint(br)
+			delta, err := binary.ReadUvarint(r)
 			if err != nil {
-				return nil, fmt.Errorf("index: term %d posting %d: %w", t, i, err)
+				return nil, 0, fmt.Errorf("index: term %d posting %d: %w", t, i, err)
 			}
 			prev += delta
 			if prev >= numDocs || (i > 0 && delta == 0) {
-				return nil, fmt.Errorf("index: term %d posting %d: doc %d out of range", t, i, prev)
+				return nil, 0, fmt.Errorf("index: term %d posting %d: doc %d out of range", t, i, prev)
 			}
-			tf, err := binary.ReadUvarint(br)
+			tf, err := binary.ReadUvarint(r)
 			if err != nil {
-				return nil, fmt.Errorf("index: term %d tf %d: %w", t, i, err)
+				return nil, 0, fmt.Errorf("index: term %d tf %d: %w", t, i, err)
 			}
 			if tf == 0 || tf > math.MaxInt32 {
-				return nil, fmt.Errorf("index: term %d posting %d: tf %d out of range", t, i, tf)
+				return nil, 0, fmt.Errorf("index: term %d posting %d: tf %d out of range", t, i, tf)
 			}
 			pl = append(pl, Posting{Doc: corpus.DocID(prev), TF: int32(tf)})
 		}
@@ -262,21 +374,21 @@ func Read(r io.Reader) (*Index, error) {
 			// that recomputation reproduces the term-level values
 			// bit-for-bit, so the stored trio is only validated for
 			// presence, not retained.
-			if _, err := binary.ReadUvarint(br); err != nil {
-				return nil, fmt.Errorf("index: term %d maxTF: %w", t, err)
+			if _, err := binary.ReadUvarint(r); err != nil {
+				return nil, 0, fmt.Errorf("index: term %d maxTF: %w", t, err)
 			}
-			if _, err := readFloat(br); err != nil {
-				return nil, fmt.Errorf("index: term %d maxCos: %w", t, err)
+			if _, err := readFloat(r); err != nil {
+				return nil, 0, fmt.Errorf("index: term %d maxCos: %w", t, err)
 			}
-			if _, err := readFloat(br); err != nil {
-				return nil, fmt.Errorf("index: term %d maxBM25: %w", t, err)
+			if _, err := readFloat(r); err != nil {
+				return nil, 0, fmt.Errorf("index: term %d maxBM25: %w", t, err)
 			}
 		case codecVersionV3:
 			var bs []BlockMax
 			for b := uint64(0); b < (ll+BlockSize-1)/BlockSize; b++ {
-				bm, err := readBlockMax(br)
+				bm, err := readBlockMax(r)
 				if err != nil {
-					return nil, fmt.Errorf("index: term %d block %d: %w", t, b, err)
+					return nil, 0, fmt.Errorf("index: term %d block %d: %w", t, b, err)
 				}
 				bs = append(bs, bm)
 			}
@@ -294,15 +406,20 @@ func Read(r io.Reader) (*Index, error) {
 	}
 	x.docLen = make([]int, 0, dlPrealloc)
 	for d := uint64(0); d < numDocs; d++ {
-		dl, err := binary.ReadUvarint(br)
+		dl, err := binary.ReadUvarint(r)
 		if err != nil {
-			return nil, fmt.Errorf("index: doc %d length: %w", d, err)
+			return nil, 0, fmt.Errorf("index: doc %d length: %w", d, err)
 		}
 		x.docLen = append(x.docLen, int(dl))
 		x.totalLen += int(dl)
 	}
+	if version >= codecVersion {
+		if x.bloom, err = readBloomWire(r, numTerms); err != nil {
+			return nil, 0, err
+		}
+	}
 	switch version {
-	case codecVersion, codecVersionV4:
+	case codecVersion, codecVersionV5, codecVersionV4:
 		// Block-compressed lists and metadata were read directly.
 	case codecVersionV3:
 		x.compressLists(raw)
@@ -313,15 +430,16 @@ func Read(r io.Reader) (*Index, error) {
 		x.computeImpacts(raw)
 		x.compressLists(raw)
 	}
-	return x, nil
+	return x, version, nil
 }
 
 // readCompList reads one term's block-compressed list and per-block
-// metadata (the shared v4/v5 list layout), validating the blocks fully
-// before accepting them. For v5 it also reads and validates the
-// persisted impact-ordered head; for v4 the head is derived from the
-// block bounds, exactly as a fresh build would compute it.
-func (x *Index) readCompList(br *bufio.Reader, t, ll uint64, numDocs int, version uint32) error {
+// metadata (the shared v4–v6 list layout). For v5+ it also reads and
+// validates the persisted impact-ordered head; for v4 the head is
+// derived from the block bounds, exactly as a fresh build would
+// compute it. verifyPayload additionally decodes every block to check
+// the packed postings themselves (see readIndex).
+func (x *Index) readCompList(r tpixReader, t, ll uint64, numDocs int, version uint32, verifyPayload bool) error {
 	if ll == 0 {
 		x.lists = append(x.lists, compList{})
 		x.blocks = append(x.blocks, nil)
@@ -331,35 +449,21 @@ func (x *Index) readCompList(br *bufio.Reader, t, ll uint64, numDocs int, versio
 		x.maxBM = append(x.maxBM, 0)
 		return nil
 	}
-	dataLen, err := binary.ReadUvarint(br)
+	dataLen, err := binary.ReadUvarint(r)
 	if err != nil {
 		return fmt.Errorf("index: term %d data length: %w", t, err)
 	}
 	// Every posting costs at least a bit somewhere and every block at
 	// least ~5 bytes; 16 bytes per posting is a generous ceiling that
-	// rejects corrupt lengths early, and reading in bounded chunks
-	// keeps even an accepted-but-lying length from allocating past
-	// what the stream actually holds.
+	// rejects corrupt lengths early, and the reader's Bytes keeps even
+	// an accepted-but-lying length from allocating past what the
+	// source actually holds.
 	if dataLen > 16*ll+64 {
 		return fmt.Errorf("index: term %d data length %d implausible for %d postings", t, dataLen, ll)
 	}
-	const chunk = 1 << 20
-	pre := dataLen
-	if pre > chunk {
-		pre = chunk
-	}
-	data := make([]byte, 0, pre)
-	for remaining := dataLen; remaining > 0; {
-		step := remaining
-		if step > chunk {
-			step = chunk
-		}
-		off := len(data)
-		data = append(data, make([]byte, step)...)
-		if _, err := io.ReadFull(br, data[off:]); err != nil {
-			return fmt.Errorf("index: term %d data: %w", t, err)
-		}
-		remaining -= step
+	data, err := r.Bytes(dataLen)
+	if err != nil {
+		return fmt.Errorf("index: term %d data: %w", t, err)
 	}
 	// The block count is structural: walk the self-describing headers.
 	offs, _, err := walkBlocks(data, int(ll))
@@ -371,28 +475,28 @@ func (x *Index) readCompList(br *bufio.Reader, t, ll uint64, numDocs int, versio
 	bs := make([]BlockMax, nb)
 	prevLast := int64(-1)
 	for b := 0; b < nb; b++ {
-		delta, err := binary.ReadUvarint(br)
+		delta, err := binary.ReadUvarint(r)
 		if err != nil {
 			return fmt.Errorf("index: term %d block %d last doc: %w", t, b, err)
 		}
 		prevLast += int64(delta)
-		if delta == 0 || prevLast > math.MaxInt32 {
+		if delta == 0 || prevLast >= int64(numDocs) {
 			return fmt.Errorf("index: term %d block %d last doc out of range", t, b)
 		}
 		lasts[b] = corpus.DocID(prevLast)
-		if bs[b], err = readBlockMax(br); err != nil {
+		if bs[b], err = readBlockMax(r); err != nil {
 			return fmt.Errorf("index: term %d block %d: %w", t, b, err)
 		}
 	}
 	var head []int32
-	if version >= codecVersion {
-		if head, err = readHead(br, t, nb); err != nil {
+	if version >= codecVersionV5 {
+		if head, err = readHead(r, t, nb); err != nil {
 			return err
 		}
 	} else {
 		head = headOrder(bs)
 	}
-	cl, err := newCompListFromWire(int(ll), data, lasts, numDocs)
+	cl, err := newCompListWire(int(ll), data, lasts, numDocs, verifyPayload)
 	if err != nil {
 		return fmt.Errorf("index: term %d: %w", t, err)
 	}
@@ -413,8 +517,8 @@ func (x *Index) readCompList(br *bufio.Reader, t, ll uint64, numDocs int, versio
 // duplicate entry would let priming count one document's contribution
 // twice, overstating the primed threshold and silently dropping true
 // results.
-func readHead(br *bufio.Reader, t uint64, nb int) ([]int32, error) {
-	hl, err := binary.ReadUvarint(br)
+func readHead(r tpixReader, t uint64, nb int) ([]int32, error) {
+	hl, err := binary.ReadUvarint(r)
 	if err != nil {
 		return nil, fmt.Errorf("index: term %d head length: %w", t, err)
 	}
@@ -426,7 +530,7 @@ func readHead(br *bufio.Reader, t uint64, nb int) ([]int32, error) {
 	}
 	head := make([]int32, hl)
 	for i := range head {
-		ord, err := binary.ReadUvarint(br)
+		ord, err := binary.ReadUvarint(r)
 		if err != nil {
 			return nil, fmt.Errorf("index: term %d head entry %d: %w", t, i, err)
 		}
@@ -444,16 +548,16 @@ func readHead(br *bufio.Reader, t uint64, nb int) ([]int32, error) {
 }
 
 // readBlockMax reads one persisted per-block impact triple.
-func readBlockMax(br *bufio.Reader) (BlockMax, error) {
-	btf, err := binary.ReadUvarint(br)
+func readBlockMax(r tpixReader) (BlockMax, error) {
+	btf, err := binary.ReadUvarint(r)
 	if err != nil {
 		return BlockMax{}, fmt.Errorf("maxTF: %w", err)
 	}
-	bcos, err := readFloat(br)
+	bcos, err := readFloat(r)
 	if err != nil {
 		return BlockMax{}, fmt.Errorf("maxCos: %w", err)
 	}
-	bbm, err := readFloat(br)
+	bbm, err := readFloat(r)
 	if err != nil {
 		return BlockMax{}, fmt.Errorf("maxBM25: %w", err)
 	}

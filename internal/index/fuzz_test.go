@@ -84,11 +84,12 @@ func FuzzDecodePostings(f *testing.F) {
 	})
 }
 
-// FuzzReadTPIX mutates real v5 files — one small, one whose lists
-// span blocks and carry impact-ordered heads, plus variants clipped
-// and flipped near the head/tail boundary — and requires every Read
-// outcome to be an error or a structurally valid index (postings
-// traversable, heads satisfying the v5 invariants), never a panic.
+// FuzzReadTPIX mutates real current-format files — one small, one
+// whose lists span blocks and carry impact-ordered heads, plus
+// variants clipped and flipped near the head/tail boundary — and
+// requires every Read outcome to be an error or a structurally valid
+// index (postings traversable, heads satisfying the head invariants),
+// never a panic.
 func FuzzReadTPIX(f *testing.F) {
 	x := buildTestIndex(f,
 		"apache helicopter army weapons apache helicopter apache",

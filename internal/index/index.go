@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"toppriv/internal/corpus"
 	"toppriv/internal/textproc"
@@ -100,6 +102,26 @@ type Index struct {
 	// before doc-ordered traversal begins. Persisted by the v5 codec,
 	// derived from the block bounds on legacy loads and merges.
 	heads [][]int32
+
+	// bloom is the per-segment term bloom filter (see bloom.go): read
+	// from v6 files, derived lazily from the dictionary otherwise.
+	// Access through Bloom.
+	bloomOnce sync.Once
+	bloom     *TermBloom
+
+	// mapped, when non-nil, is the disk mapping whose pages back every
+	// list's packed payload (OpenMapped). The index owns it; Close
+	// releases it. Nil for built, merged, and stream-read indexes.
+	mapped *mapping
+	// cache, when non-nil, is the shared decoded-block cache iterators
+	// of this index route block decodes through (AttachCache), with
+	// cacheOwner namespacing this index's entries. Both are atomic
+	// because the segment store detaches retired segments (DropCache)
+	// while searches that snapshotted the old stack may still be
+	// opening iterators — a stale pair is harmless (owner IDs are
+	// never reused, so late inserts just age out), a torn one is not.
+	cache      atomic.Pointer[BlockCache]
+	cacheOwner atomic.Uint32
 }
 
 // maxHeadBlocks caps a list's impact-ordered head. Eight blocks — a
@@ -265,6 +287,57 @@ func maxOverBlocks(bs []BlockMax) (mtf int32, mcos, mbm float64) {
 	return mtf, mcos, mbm
 }
 
+// Bloom returns the index's per-segment term bloom filter, deriving
+// it from the dictionary on first use when the source file predates
+// v6 (or the index was built in memory). Safe for concurrent readers.
+func (x *Index) Bloom() *TermBloom {
+	x.bloomOnce.Do(func() {
+		if x.bloom == nil {
+			x.bloom = buildVocabBloom(x.vocab)
+		}
+	})
+	return x.bloom
+}
+
+// AttachCache routes this index's block decodes through a shared
+// decoded-block cache. The owner ID is published before the cache
+// pointer, so a concurrent reader that observes the cache always
+// reads a valid owner; DropCache/Close detach and purge.
+func (x *Index) AttachCache(c *BlockCache) {
+	if c == nil {
+		return
+	}
+	x.cacheOwner.Store(c.RegisterOwner())
+	x.cache.Store(c)
+}
+
+// DropCache detaches the index from its block cache, purging the
+// entries it owns. Safe concurrent with traversal: an in-flight
+// iterator that captured the cache before the swap keeps using it
+// correctly — its owner ID is retired, never reused, so anything it
+// still inserts is unreachable and ages out of the CLOCK ring.
+func (x *Index) DropCache() {
+	if c := x.cache.Swap(nil); c != nil {
+		c.DropOwner(x.cacheOwner.Load())
+	}
+}
+
+// Mapped reports whether the index's postings payloads are views into
+// a disk mapping (an OpenMapped index on a current-format file).
+func (x *Index) Mapped() bool { return x.mapped != nil }
+
+// Close releases the disk mapping behind an OpenMapped index and
+// detaches its block cache. After Close every traversal touching a
+// mapped payload is invalid — callers must ensure no readers remain
+// (in-memory indexes have no mapping and Close is then cache-drop
+// only). Safe on nil-mapping indexes and safe to call twice.
+func (x *Index) Close() error {
+	x.DropCache()
+	m := x.mapped
+	x.mapped = nil
+	return m.Close()
+}
+
 // Vocab returns the shared vocabulary.
 func (x *Index) Vocab() *textproc.Vocab { return x.vocab }
 
@@ -322,6 +395,20 @@ func (x *Index) Iter(id textproc.TermID) Iterator {
 	if id < 0 || int(id) >= len(x.lists) {
 		return Iterator{}
 	}
+	var it Iterator
+	it.resetCompCached(&x.lists[id], x.blocks[id], x.heads[id], x.cache.Load(), x.cacheOwner.Load(), int32(id))
+	return it
+}
+
+// iterUncached returns an iterator over id's postings that bypasses
+// any attached block cache. Merge traversal uses it: a compaction
+// reads every list of every part exactly once, so routing those
+// decodes through the cache would evict the query working set with
+// blocks that are about to be retired.
+func (x *Index) iterUncached(id textproc.TermID) Iterator {
+	if id < 0 || int(id) >= len(x.lists) {
+		return Iterator{}
+	}
 	return newCompIterator(&x.lists[id], x.blocks[id], x.heads[id])
 }
 
@@ -333,7 +420,7 @@ func (x *Index) IterInto(id textproc.TermID, it *Iterator) {
 		it.ResetList(nil, nil)
 		return
 	}
-	it.resetComp(&x.lists[id], x.blocks[id], x.heads[id])
+	it.resetCompCached(&x.lists[id], x.blocks[id], x.heads[id], x.cache.Load(), x.cacheOwner.Load(), int32(id))
 }
 
 // MaxTF returns the largest term frequency in id's postings list

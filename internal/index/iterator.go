@@ -49,10 +49,16 @@ type Iterator struct {
 	// decodes counts compressed blocks whose doc IDs were actually
 	// decoded since the iterator was (re)positioned — the complement of
 	// probes in the cost model: together they show how much decode work
-	// block skipping saved. Always 0 in slice mode.
+	// block skipping saved. Always 0 in slice mode. Cache hits fill the
+	// window without decoding and are not counted.
 	decodes int
-	docBuf  [BlockSize]corpus.DocID
-	tfBuf   [BlockSize]int32
+	// cache, when non-nil, interposes the shared decoded-block cache on
+	// loadBlock; ckey carries the owning index's namespace and the
+	// list's term, with the block ordinal filled per lookup.
+	cache  *BlockCache
+	ckey   cacheKey
+	docBuf [BlockSize]corpus.DocID
+	tfBuf  [BlockSize]int32
 }
 
 // Iter returns an iterator positioned on the list's first posting.
@@ -79,6 +85,7 @@ func (pl PostingList) IterBlocks(blocks []BlockMax) Iterator {
 // Iter for pooled iterator slots.
 func (it *Iterator) ResetList(pl PostingList, blocks []BlockMax) {
 	it.pl, it.cl, it.blocks, it.head = pl, nil, blocks, nil
+	it.cache = nil
 	it.pos, it.n, it.probes, it.decodes = 0, len(pl), 0, 0
 	if it.n > 0 {
 		it.cur = pl[0].Doc
@@ -89,14 +96,21 @@ func (it *Iterator) ResetList(pl PostingList, blocks []BlockMax) {
 // only the first block's doc IDs. The in-place counterpart of
 // newCompIterator.
 func (it *Iterator) resetComp(cl *compList, blocks []BlockMax, head []int32) {
+	it.resetCompCached(cl, blocks, head, nil, 0, 0)
+}
+
+// resetCompCached is resetComp with a decoded-block cache attached:
+// block loads (including the first, here) consult the cache before
+// decoding. Index.Iter/IterInto route through it so a cache-backed
+// index transparently shares hot blocks across its iterators.
+func (it *Iterator) resetCompCached(cl *compList, blocks []BlockMax, head []int32, c *BlockCache, owner uint32, term int32) {
 	it.pl, it.cl, it.blocks, it.head = nil, cl, blocks, head
+	it.cache = c
+	it.ckey = cacheKey{owner: owner, term: term}
 	it.pos, it.n, it.probes, it.decodes = 0, int(cl.n), 0, 0
-	it.blk, it.blkStart, it.tfOK = 0, 0, false
+	it.blk, it.blkStart, it.blkLen, it.tfOK = 0, 0, 0, false
 	if it.n > 0 {
-		it.hdr = cl.decodeBlockDocs(0, &it.docBuf)
-		it.blkLen = it.hdr.count
-		it.cur = it.docBuf[0]
-		it.decodes = 1
+		it.loadBlock(0)
 	}
 }
 
@@ -109,7 +123,11 @@ func newCompIterator(cl *compList, blocks []BlockMax, head []int32) Iterator {
 }
 
 // loadBlock decodes block b's doc IDs and positions the cursor on its
-// first posting, reporting whether b exists.
+// first posting, reporting whether b exists. With a cache attached a
+// hit fills both window halves (docs and tfs) from the cached copy
+// without touching the packed payload — on a mapped index that is
+// what keeps hot blocks from faulting their pages back in — and a
+// miss decodes both halves eagerly and inserts them.
 func (it *Iterator) loadBlock(b int) bool {
 	if b >= it.cl.numBlocks() {
 		it.pos = it.n
@@ -117,10 +135,25 @@ func (it *Iterator) loadBlock(b int) bool {
 	}
 	it.blk = b
 	it.blkStart = it.cl.blockStart(b)
-	it.hdr = it.cl.decodeBlockDocs(b, &it.docBuf)
-	it.decodes++
-	it.blkLen = it.hdr.count
-	it.tfOK = false
+	if c := it.cache; c != nil {
+		it.ckey.block = int32(b)
+		if n, ok := c.get(it.ckey, &it.docBuf, &it.tfBuf); ok {
+			it.blkLen = n
+			it.tfOK = true
+		} else {
+			it.hdr = it.cl.decodeBlockDocs(b, &it.docBuf)
+			it.decodes++
+			it.blkLen = it.hdr.count
+			it.cl.decodeBlockTFs(it.hdr, &it.tfBuf)
+			it.tfOK = true
+			c.put(it.ckey, &it.docBuf, &it.tfBuf, it.blkLen)
+		}
+	} else {
+		it.hdr = it.cl.decodeBlockDocs(b, &it.docBuf)
+		it.decodes++
+		it.blkLen = it.hdr.count
+		it.tfOK = false
+	}
 	it.pos = it.blkStart
 	it.cur = it.docBuf[0]
 	return true

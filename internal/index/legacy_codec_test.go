@@ -15,9 +15,10 @@ import (
 // writeLegacy serializes x in a historical TPIX layout: version 1
 // (postings only), version 2 (postings plus term-level impact
 // metadata, no blocks), version 3 (postings plus per-block impact
-// metadata, uncompressed varint-delta lists), or version 4
+// metadata, uncompressed varint-delta lists), version 4
 // (block-compressed lists plus per-block metadata, no impact-ordered
-// head). It exists so the upgrade paths can be tested against freshly
+// head), or version 5 (v4 plus persisted heads, no trailing term
+// bloom). It exists so the upgrade paths can be tested against freshly
 // produced legacy bytes, and so the checked-in fixtures can be
 // regenerated (TestRegenerateLegacyFixtures).
 func writeLegacy(t *testing.T, version uint32, x *Index) []byte {
@@ -46,9 +47,9 @@ func writeLegacy(t *testing.T, version uint32, x *Index) []byte {
 		w.WriteString(term)
 		pl := x.Postings(textproc.TermID(id))
 		wu(uint64(len(pl)))
-		if version == codecVersionV4 {
-			// v4 list layout: raw block bytes plus per-block last-doc
-			// deltas and impact triples — the v5 layout minus the head.
+		if version == codecVersionV4 || version == codecVersionV5 {
+			// v4/v5 list layout: raw block bytes plus per-block last-doc
+			// deltas and impact triples; v5 adds the persisted head.
 			if len(pl) == 0 {
 				continue
 			}
@@ -63,6 +64,13 @@ func writeLegacy(t *testing.T, version uint32, x *Index) []byte {
 				wu(uint64(bm.MaxTF))
 				wf(bm.MaxCos)
 				wf(bm.MaxBM)
+			}
+			if version == codecVersionV5 {
+				head := x.heads[id]
+				wu(uint64(len(head)))
+				for _, ord := range head {
+					wu(uint64(ord))
+				}
 			}
 			continue
 		}
@@ -106,12 +114,12 @@ func fixtureIndex(t *testing.T) *Index {
 	)
 }
 
-// TestRegenerateLegacyFixtures rewrites testdata/v2.tpix,
-// testdata/v3.tpix, and testdata/v4.tpix when TPIX_WRITE_FIXTURES is
-// set; normally it only checks the checked-in bytes still match what
-// writeLegacy produces for the fixture corpus. (testdata/v1.tpix
-// predates this helper and is left untouched — it pins the historical
-// writer's bytes, not this reconstruction.)
+// TestRegenerateLegacyFixtures rewrites testdata/v2.tpix through
+// testdata/v5.tpix when TPIX_WRITE_FIXTURES is set; normally it only
+// checks the checked-in bytes still match what writeLegacy produces
+// for the fixture corpus. (testdata/v1.tpix predates this helper and
+// is left untouched — it pins the historical writer's bytes, not this
+// reconstruction.)
 func TestRegenerateLegacyFixtures(t *testing.T) {
 	for _, fx := range []struct {
 		version uint32
@@ -120,6 +128,7 @@ func TestRegenerateLegacyFixtures(t *testing.T) {
 		{codecVersionV2, "testdata/v2.tpix"},
 		{codecVersionV3, "testdata/v3.tpix"},
 		{codecVersionV4, "testdata/v4.tpix"},
+		{codecVersionV5, "testdata/v5.tpix"},
 	} {
 		want := writeLegacy(t, fx.version, fixtureIndex(t))
 		if os.Getenv("TPIX_WRITE_FIXTURES") != "" {
@@ -163,14 +172,14 @@ func TestReadV2Fixture(t *testing.T) {
 	assertImpactsMatchFresh(t, x, fixtureIndex(t))
 }
 
-// TestLegacyUpgradeRoundTrip writes v1 through v4 bytes for a fresh
+// TestLegacyUpgradeRoundTrip writes v1 through v5 bytes for a fresh
 // index, reads them back, and requires the upgraded in-memory form —
 // postings, term-level impacts, per-block bounds, and impact-ordered
-// heads — to match the original bit-for-bit; then a v5 round-trip of
+// heads — to match the original bit-for-bit; then a v6 round-trip of
 // the upgraded index must preserve everything again.
 func TestLegacyUpgradeRoundTrip(t *testing.T) {
 	for _, x := range []*Index{fixtureIndex(t), multiBlockIndex(t)} {
-		for _, version := range []uint32{codecVersionV1, codecVersionV2, codecVersionV3, codecVersionV4} {
+		for _, version := range []uint32{codecVersionV1, codecVersionV2, codecVersionV3, codecVersionV4, codecVersionV5} {
 			y, err := Read(bytes.NewReader(writeLegacy(t, version, x)))
 			if err != nil {
 				t.Fatalf("v%d: %v", version, err)
@@ -178,11 +187,11 @@ func TestLegacyUpgradeRoundTrip(t *testing.T) {
 			assertImpactsMatchFresh(t, y, x)
 			var buf bytes.Buffer
 			if _, err := y.WriteTo(&buf); err != nil {
-				t.Fatalf("v%d→v5 write: %v", version, err)
+				t.Fatalf("v%d→v6 write: %v", version, err)
 			}
 			z, err := Read(&buf)
 			if err != nil {
-				t.Fatalf("v%d→v5 read: %v", version, err)
+				t.Fatalf("v%d→v6 read: %v", version, err)
 			}
 			assertImpactsMatchFresh(t, z, x)
 		}
@@ -212,6 +221,34 @@ func TestReadV4Fixture(t *testing.T) {
 		t.Fatalf("apache postings = %v", pl)
 	}
 	assertImpactsMatchFresh(t, x, fixtureIndex(t))
+}
+
+// TestReadV5Fixture loads the checked-in v5-format TPIX file
+// (block-compressed lists, per-block metadata, persisted heads, no
+// trailing bloom) and checks postings and impact metadata survive and
+// the term bloom is derived from the dictionary on demand — the v5→v6
+// path. If this breaks, v5 files in the field stopped loading.
+func TestReadV5Fixture(t *testing.T) {
+	f, err := os.Open("testdata/v5.tpix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	x, err := Read(f)
+	if err != nil {
+		t.Fatalf("v5 fixture must load: %v", err)
+	}
+	if x.NumDocs() != 4 {
+		t.Fatalf("fixture NumDocs = %d, want 4", x.NumDocs())
+	}
+	pl := x.PostingsByTerm("apache")
+	if len(pl) != 2 || pl[0].Doc != 0 || pl[0].TF != 3 || pl[1].Doc != 2 || pl[1].TF != 1 {
+		t.Fatalf("apache postings = %v", pl)
+	}
+	assertImpactsMatchFresh(t, x, fixtureIndex(t))
+	if !x.Bloom().MayContain("apache") {
+		t.Fatal("derived bloom must contain every dictionary term")
+	}
 }
 
 // TestReadV3Fixture loads the checked-in v3-format TPIX file

@@ -1,0 +1,47 @@
+package index
+
+import "fmt"
+
+// OpenMapped opens a sealed TPIX file as a disk-resident index: the
+// file is memory-mapped (on Linux; elsewhere it is read into the heap
+// — see mmap_fallback.go) and decoded through the zero-copy slice
+// reader, so every list's packed payload is a view into the mapping
+// and pages in on traversal instead of living on the heap. Header,
+// dictionary, skip metadata, impact bounds, heads and bloom are
+// eagerly decoded and validated exactly as Read does; only the
+// per-posting payload verification is skipped (see the codec format
+// comment). The returned index is safe for concurrent readers; Close
+// releases the mapping once no readers remain.
+//
+// Pre-v4 files are not memory images — they are fully decoded into
+// heap lists and the mapping is released before returning, so
+// OpenMapped degrades to Read (plus upgrade) on legacy input.
+func OpenMapped(path string) (*Index, error) {
+	m, err := mapFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: open mapped: %w", err)
+	}
+	// The eager metadata walk touches the whole file front to back;
+	// tell the kernel so readahead batches the faults, then switch to
+	// random for traversal's skippy access pattern.
+	m.adviseSequential()
+	sr := &sliceReader{data: m.data}
+	x, version, err := readIndex(sr, false)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	if sr.off != len(sr.data) {
+		m.Close()
+		return nil, fmt.Errorf("index: %d trailing bytes after index image", len(sr.data)-sr.off)
+	}
+	if version >= codecVersionV4 {
+		x.mapped = m
+		m.adviseRandom()
+	} else {
+		// Legacy postings were re-encoded into fresh heap lists above;
+		// nothing references the mapping.
+		m.Close()
+	}
+	return x, nil
+}

@@ -108,7 +108,7 @@ func mergeRebuild(merged *Index, parts []*Index, termMap [][]textproc.TermID, re
 	for i, part := range parts {
 		dm := remap[i]
 		for t := 0; t < part.NumTerms(); t++ {
-			it := part.Iter(textproc.TermID(t))
+			it := part.iterUncached(textproc.TermID(t))
 			if !it.Valid() {
 				continue
 			}
@@ -214,7 +214,7 @@ func mergeBlockwise(merged *Index, parts []*Index, remap [][]corpus.DocID, dirty
 func partNorms(part *Index) []float64 {
 	norms := make([]float64, part.NumDocs())
 	for t := 0; t < part.NumTerms(); t++ {
-		it := part.Iter(textproc.TermID(t))
+		it := part.iterUncached(textproc.TermID(t))
 		for it.Valid() {
 			docs, tfs := it.Window()
 			for j, d := range docs {

@@ -1,0 +1,39 @@
+//go:build !linux
+
+package index
+
+import "os"
+
+// The portable fallback for platforms without the syscall.Mmap /
+// syscall.Madvise surface this package uses (notably windows): the
+// file is read into the heap in one pread-style pass. OpenMapped then
+// behaves exactly like Read — identical results, no disk residency —
+// which keeps cross-compiled builds green and the open-mode plumbing
+// platform-independent.
+type mapping struct {
+	data []byte
+}
+
+func mapFile(path string) (*mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &mapping{data: data}, nil
+}
+
+// Close releases the buffer. Idempotent; safe on nil.
+func (m *mapping) Close() error {
+	if m != nil {
+		m.data = nil
+	}
+	return nil
+}
+
+// heapBacked reports that the fallback's bytes are ordinary heap
+// memory — resident-bytes accounting must count them.
+func (m *mapping) heapBacked() bool { return m != nil && m.data != nil }
+
+func (m *mapping) adviseSequential() {}
+
+func (m *mapping) adviseRandom() {}

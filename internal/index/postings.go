@@ -483,6 +483,18 @@ func (cl *compList) byteOff(b int) int {
 // last docs — so corrupt or truncated input is rejected here with an
 // error and iterators over accepted lists can decode unchecked.
 func newCompListFromWire(n int, data []byte, lasts []corpus.DocID, numDocs int) (compList, error) {
+	return newCompListWire(n, data, lasts, numDocs, true)
+}
+
+// newCompListWire is newCompListFromWire with the payload decode pass
+// optional: the mapped open path (OpenMapped) accepts lists on
+// structural checks alone — walking every self-describing block header
+// and the skip metadata — without faulting in and decoding every
+// payload page. Block headers, offsets and counts are still fully
+// validated here, so decoding stays in-bounds; a corrupt payload can
+// only yield wrong posting values (a trade the mapped path documents:
+// segment files are written and fsynced by this process).
+func newCompListWire(n int, data []byte, lasts []corpus.DocID, numDocs int, verifyPayload bool) (compList, error) {
 	if n == 0 {
 		if len(data) != 0 || len(lasts) != 0 {
 			return compList{}, fmt.Errorf("index: empty list with %d data bytes", len(data))
@@ -500,6 +512,9 @@ func newCompListFromWire(n int, data []byte, lasts []corpus.DocID, numDocs int) 
 	cl := compList{n: int32(n), data: data, lastDoc: lasts[nb-1]}
 	if nb > 1 {
 		cl.offs, cl.starts, cl.lasts = offs, starts, lasts
+	}
+	if !verifyPayload {
+		return cl, nil
 	}
 	prevLast := corpus.DocID(-1)
 	for b := 0; b < nb; b++ {

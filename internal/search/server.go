@@ -564,12 +564,21 @@ type QueryLogStats struct {
 }
 
 // StatsResponse is the GET /stats reply: the index shape stats the
-// endpoint has always served, plus the query-log ring's state. The
-// extension is additive — clients decoding into index.Stats ignore
-// the new key.
+// endpoint has always served, plus the query-log ring's state and —
+// when the backend runs a block cache — its residency counters. The
+// extensions are additive — clients decoding into index.Stats ignore
+// the new keys, and resident_bytes/resident_bytes_per_doc live inside
+// index.Stats itself.
 type StatsResponse struct {
 	index.Stats
-	QueryLog QueryLogStats `json:"querylog"`
+	QueryLog QueryLogStats     `json:"querylog"`
+	Cache    *index.CacheStats `json:"cache,omitempty"`
+}
+
+// cacheStatsProvider is implemented by backends with a decoded-block
+// cache (segment.Store); ok reports whether one is configured.
+type cacheStatsProvider interface {
+	CacheStats() (index.CacheStats, bool)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -582,7 +591,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "stats unavailable for this backend", http.StatusNotFound)
 		return
 	}
-	writeJSON(w, StatsResponse{Stats: sp.ComputeStats(), QueryLog: s.queryLogStats()})
+	resp := StatsResponse{Stats: sp.ComputeStats(), QueryLog: s.queryLogStats()}
+	if cp, ok := s.engine.(cacheStatsProvider); ok {
+		if cs, ok := cp.CacheStats(); ok {
+			resp.Cache = &cs
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) queryLogStats() QueryLogStats {

@@ -80,6 +80,7 @@ func (st *Store) compactOnce(fanout int) (bool, error) {
 	for i, sg := range st.segs {
 		if sg.live == 0 {
 			st.segs = append(st.segs[:i:i], st.segs[i+1:]...)
+			sg.idx.DropCache()
 			st.mu.Unlock()
 			return true, nil
 		}
@@ -174,6 +175,10 @@ func (st *Store) compactRun(start, end int) (*seg, error) {
 		dead:  make([]bool, merged.NumDocs()),
 		live:  merged.NumDocs(),
 	}
+	// The merged segment takes the retired parts' place in the cache:
+	// heap-resident blocks still pay the decode on every traversal, so
+	// the cache earns its keep regardless of where the payload lives.
+	merged.AttachCache(st.cache)
 
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -207,6 +212,13 @@ func (st *Store) compactRun(start, end int) (*seg, error) {
 	stack = append(stack, out)
 	stack = append(stack, st.segs[end:]...)
 	st.segs = stack
+	// Purge the retired parts' block-cache entries. Do NOT unmap them:
+	// a Save snapshot may still be serializing these indexes without
+	// the store lock — the mapping finalizer reclaims them once no
+	// reference remains.
+	for _, sg := range parts {
+		sg.idx.DropCache()
+	}
 	st.compactRuns.Add(1)
 	st.compactNanos.Add(time.Since(began).Nanoseconds())
 	return out, nil

@@ -243,19 +243,36 @@ func Load(dir string, cfg Config) (*Store, error) {
 	st.nextID = m.NextID
 	st.gen = m.Gen
 	st.rebuildStatsLocked()
+	// Attach the block cache only now: norm computation and the stats
+	// rebuild above traverse every list once, and letting those scans
+	// through the cache would just churn it before the first query.
+	for _, sg := range st.segs {
+		sg.idx.AttachCache(st.cache)
+	}
 	st.start()
 	return st, nil
 }
 
 func (st *Store) loadSeg(dir string, ms manifestSeg) (*seg, error) {
-	f, err := os.Open(filepath.Join(dir, ms.File))
-	if err != nil {
-		return nil, fmt.Errorf("segment: load %s: %w", ms.File, err)
-	}
-	idx, err := index.Read(f)
-	f.Close()
-	if err != nil {
-		return nil, fmt.Errorf("segment: load %s: %w", ms.File, err)
+	var idx *index.Index
+	var err error
+	if st.cfg.Mapped {
+		// Disk-resident open: postings payloads stay views into the
+		// mapped file; only metadata is decoded onto the heap.
+		idx, err = index.OpenMapped(filepath.Join(dir, ms.File))
+		if err != nil {
+			return nil, fmt.Errorf("segment: load %s: %w", ms.File, err)
+		}
+	} else {
+		f, oerr := os.Open(filepath.Join(dir, ms.File))
+		if oerr != nil {
+			return nil, fmt.Errorf("segment: load %s: %w", ms.File, oerr)
+		}
+		idx, err = index.Read(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("segment: load %s: %w", ms.File, err)
+		}
 	}
 	// Replay this segment's dictionary into the shared vocabulary. The
 	// append-only invariant means term t here must intern at ID t; a

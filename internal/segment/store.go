@@ -49,6 +49,19 @@ type Config struct {
 	// benchmarks that need a deterministic segment layout). Explicit
 	// Compact calls still work.
 	DisableCompaction bool
+	// Mapped opens sealed segments disk-resident at Load time
+	// (index.OpenMapped): postings payloads stay views into the mapped
+	// TPIX files and page in on traversal instead of living on the
+	// heap. Segments sealed or compacted after load are in-memory
+	// until the next Save/Load cycle. Search results are bit-identical
+	// to the in-memory open path — the property tests assert it.
+	Mapped bool
+	// CacheBytes, when positive, allocates a pinned decoded-block
+	// cache of that capacity (see index.BlockCache), shared by every
+	// segment in the store — loaded mapped segments and segments
+	// sealed or compacted afterward alike, since heap-held blocks
+	// still pay a decode per traversal. Ignored unless Mapped is set.
+	CacheBytes int64
 	// Logf, when non-nil, receives diagnostics from the background
 	// compactor — without it a persistently failing compaction would
 	// retry invisibly forever. searchd passes log.Printf.
@@ -102,6 +115,14 @@ type Store struct {
 	wg        sync.WaitGroup
 	closed    bool
 
+	// cache is the shared decoded-block cache mapped segments attach to
+	// (nil unless Mapped && CacheBytes > 0). Created once at newStore;
+	// never replaced, so it is safe to read without st.mu.
+	cache *index.BlockCache
+	// bloomSkips counts ⟨shard, request⟩ pairs pruned by the per-segment
+	// term bloom filters without running the shard engine.
+	bloomSkips atomic.Uint64
+
 	// metrics, when non-nil, carries the pre-resolved telemetry handles
 	// the query path updates (see EnableMetrics). Set before serving.
 	metrics *storeMetrics
@@ -123,7 +144,7 @@ func Open(cfg Config) (*Store, error) {
 }
 
 func newStore(cfg Config) (*Store, error) {
-	if cfg.SealThreshold < 0 || cfg.CompactFanout < 0 {
+	if cfg.SealThreshold < 0 || cfg.CompactFanout < 0 || cfg.CacheBytes < 0 {
 		return nil, fmt.Errorf("segment: negative config")
 	}
 	cfg = cfg.withDefaults()
@@ -133,6 +154,9 @@ func newStore(cfg Config) (*Store, error) {
 		vocab:     textproc.NewVocab(),
 		compactCh: make(chan struct{}, 1),
 		closeCh:   make(chan struct{}),
+	}
+	if cfg.Mapped {
+		st.cache = index.NewBlockCache(cfg.CacheBytes)
 	}
 	mt, err := newMemtable(st)
 	if err != nil {
@@ -301,6 +325,10 @@ func (st *Store) sealLocked() error {
 		return err
 	}
 	if sg != nil {
+		// Freshly sealed segments join the shared block cache right away
+		// (AttachCache no-ops on a nil cache): their blocks are heap-held
+		// but still cost a decode per traversal.
+		sg.idx.AttachCache(st.cache)
 		st.segs = append(st.segs, sg)
 	}
 	mt, err := newMemtable(st)
@@ -387,6 +415,32 @@ func (st *Store) SearchBatch(ctx context.Context, reqs []vsm.Request) ([]vsm.Res
 		return resps, nil
 	}
 
+	// Bloom prefilter: a sealed segment whose term bloom contains none
+	// of a request's terms provably cannot contribute a hit, so the
+	// shard never runs that member. nil include means "run every
+	// member" (the common case, and always the memtable); a non-nil
+	// subset lists the member ordinals that survived. False positives
+	// only cost the lookup that was going to happen anyway; false
+	// negatives cannot occur, so results are unchanged.
+	include := make([][]int, len(shards))
+	for i := range shards {
+		bl := shards[i].bloom
+		if bl == nil {
+			continue
+		}
+		sel := make([]int, 0, len(prepared))
+		for j := range prepared {
+			if bloomMayMatch(bl, prepared[j].Terms) {
+				sel = append(sel, j)
+			}
+		}
+		if len(sel) == len(prepared) {
+			continue
+		}
+		st.bloomSkips.Add(uint64(len(prepared) - len(sel)))
+		include[i] = sel
+	}
+
 	type shardOut struct {
 		resps []vsm.Response
 		err   error
@@ -394,13 +448,15 @@ func (st *Store) SearchBatch(ctx context.Context, reqs []vsm.Request) ([]vsm.Res
 	outs := make([]shardOut, len(shards))
 	var wg sync.WaitGroup
 	for i := range shards {
+		if include[i] != nil && len(include[i]) == 0 {
+			continue // every member bloom-skipped; outs[i].resps stays nil
+		}
 		wg.Add(1)
-		go func(i int, sh shard) {
+		go func(i int, sh shard, inc []int) {
 			defer wg.Done()
 			dead := sh.dead
 			keep := func(d corpus.DocID) bool { return !dead[d] }
-			local := make([]vsm.Request, len(prepared))
-			for j, req := range prepared {
+			prep := func(req vsm.Request) vsm.Request {
 				userKeep := req.Keep
 				if userKeep == nil {
 					req.Keep = keep
@@ -410,7 +466,19 @@ func (st *Store) SearchBatch(ctx context.Context, reqs []vsm.Request) ([]vsm.Res
 						return !dead[d] && userKeep(ids[d])
 					}
 				}
-				local[j] = req
+				return req
+			}
+			var local []vsm.Request
+			if inc == nil {
+				local = make([]vsm.Request, len(prepared))
+				for j, req := range prepared {
+					local[j] = prep(req)
+				}
+			} else {
+				local = make([]vsm.Request, len(inc))
+				for k, j := range inc {
+					local[k] = prep(prepared[j])
+				}
 			}
 			rs, err := sh.eng.SearchBatch(ctx, local)
 			if err != nil {
@@ -422,8 +490,18 @@ func (st *Store) SearchBatch(ctx context.Context, reqs []vsm.Request) ([]vsm.Res
 					rs[j].Hits[h].Doc = sh.ids[rs[j].Hits[h].Doc]
 				}
 			}
-			outs[i].resps = rs
-		}(i, shards[i])
+			if inc == nil {
+				outs[i].resps = rs
+			} else {
+				// Scatter the subset back into member order; skipped
+				// members keep a zero Response (no hits, no work).
+				full := make([]vsm.Response, len(prepared))
+				for k, j := range inc {
+					full[j] = rs[k]
+				}
+				outs[i].resps = full
+			}
+		}(i, shards[i], include[i])
 	}
 	wg.Wait()
 	for i := range outs {
@@ -435,6 +513,10 @@ func (st *Store) SearchBatch(ctx context.Context, reqs []vsm.Request) ([]vsm.Res
 	lists := make([][]vsm.Result, len(shards))
 	for j := range reqs {
 		for i := range outs {
+			if outs[i].resps == nil {
+				lists[i] = nil
+				continue
+			}
 			lists[i] = outs[i].resps[j].Hits
 			resps[j].Stats.Add(outs[i].resps[j].Stats)
 		}
@@ -446,11 +528,13 @@ func (st *Store) SearchBatch(ctx context.Context, reqs []vsm.Request) ([]vsm.Res
 }
 
 // shard is one searchable slice of the store: a sealed segment or the
-// memtable, with its engine, global-ID mapping and tombstone bits.
+// memtable, with its engine, global-ID mapping, tombstone bits and —
+// for sealed segments — the term bloom filter queries prefilter on.
 type shard struct {
-	eng  *vsm.Engine
-	ids  []corpus.DocID
-	dead []bool
+	eng   *vsm.Engine
+	ids   []corpus.DocID
+	dead  []bool
+	bloom *index.TermBloom // nil for the memtable: no prefilter
 }
 
 // shardsLocked snapshots the live shards. Caller holds st.mu (either
@@ -459,13 +543,25 @@ func (st *Store) shardsLocked() []shard {
 	shards := make([]shard, 0, len(st.segs)+1)
 	for _, sg := range st.segs {
 		if sg.live > 0 {
-			shards = append(shards, shard{eng: sg.eng, ids: sg.ids, dead: sg.dead})
+			shards = append(shards, shard{eng: sg.eng, ids: sg.ids, dead: sg.dead, bloom: sg.idx.Bloom()})
 		}
 	}
 	if st.mem.live > 0 {
 		shards = append(shards, shard{eng: st.mem.eng, ids: st.mem.ids, dead: st.mem.dead})
 	}
 	return shards
+}
+
+// bloomMayMatch reports whether any query term may occur in a segment
+// according to its bloom filter. False means provably no term occurs —
+// the segment cannot contribute a hit for this request.
+func bloomMayMatch(bl *index.TermBloom, terms []string) bool {
+	for _, t := range terms {
+		if bl.MayContain(t) {
+			return true
+		}
+	}
+	return false
 }
 
 // Search analyzes the raw query and returns the global top-k across all
@@ -619,7 +715,10 @@ func (st *Store) Stats() Stats {
 // sum of the segments' serialized sizes (the memtable, unserialized, is
 // excluded). PostingsBytes counts the sealed segments' exact compressed
 // footprint plus the memtable's uncompressed lists at their in-memory
-// cost of 8 bytes per ⟨int32 doc, int32 tf⟩ posting.
+// cost of 8 bytes per ⟨int32 doc, int32 tf⟩ posting. ResidentBytes
+// drops the mapped segments' page-cache-backed payloads and adds the
+// block cache's pinned allocation, so it reports what the store
+// actually holds on the heap.
 func (st *Store) ComputeStats() index.Stats {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
@@ -632,6 +731,7 @@ func (st *Store) ComputeStats() index.Stats {
 		}
 		s.SizeBytes += part.SizeBytes
 		s.PostingsBytes += part.PostingsBytes
+		s.ResidentBytes += part.ResidentBytes
 	}
 	for _, pl := range st.mem.post {
 		s.NumPostings += len(pl)
@@ -639,12 +739,15 @@ func (st *Store) ComputeStats() index.Stats {
 			s.MaxListLen = len(pl)
 		}
 		s.PostingsBytes += 8 * int64(len(pl))
+		s.ResidentBytes += 8 * int64(len(pl))
 	}
+	s.ResidentBytes += st.cache.Stats().Bytes
 	if s.NumTerms > 0 {
 		s.MeanListLen = float64(s.NumPostings) / float64(s.NumTerms)
 	}
 	if s.NumDocs > 0 {
 		s.BytesPerDoc = float64(s.PostingsBytes) / float64(s.NumDocs)
+		s.ResidentPerDoc = float64(s.ResidentBytes) / float64(s.NumDocs)
 	}
 	if s.NumPostings > 0 && s.SizeBytes > 0 {
 		bytesPerPosting := float64(s.SizeBytes) / float64(s.NumPostings)
@@ -652,5 +755,18 @@ func (st *Store) ComputeStats() index.Stats {
 	}
 	return s
 }
+
+// CacheStats snapshots the shared block cache's counters; ok is false
+// when no cache is configured (not Mapped, or CacheBytes == 0).
+func (st *Store) CacheStats() (index.CacheStats, bool) {
+	if st.cache == nil {
+		return index.CacheStats{}, false
+	}
+	return st.cache.Stats(), true
+}
+
+// BloomSkips returns how many ⟨shard, request⟩ pairs the per-segment
+// bloom filters have pruned since the store opened.
+func (st *Store) BloomSkips() uint64 { return st.bloomSkips.Load() }
 
 var _ vsm.Searcher = (*Store)(nil)
