@@ -25,12 +25,24 @@
 // -metrics-addr those are additionally served on a separate admin
 // listener, and -pprof mounts net/http/pprof there too.
 //
+// The distributed tier reuses this one binary in two more modes. With
+// -shard the process serves one slice of the corpus: a live in-memory
+// store plus the /cluster/* wire endpoints (batch search with injected
+// global statistics, stats export, gid-addressed ingest and delete)
+// that a router drives; it starts empty and receives documents only by
+// router placement. With -router -shards=u1,u2,... the process holds
+// no index at all: it scatter-gathers every query cycle across the
+// shards, merges top-k, degrades gracefully when shards fail, and
+// serves the standard /search surface unchanged.
+//
 // Usage:
 //
 //	searchd -corpus corpus.json -addr :8080 [-bm25]
 //	searchd -live -data ./idx -corpus corpus.json -addr :8080
 //	searchd -live -data ./idx -mmap -cache-bytes 8388608 -addr :8080
 //	searchd -corpus corpus.json -addr :8080 -metrics-addr 127.0.0.1:9090 -pprof
+//	searchd -shard -addr :8081 [-bm25]
+//	searchd -router -shards=http://h1:8081,http://h2:8081 -addr :8080
 package main
 
 import (
@@ -44,9 +56,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"toppriv/internal/cluster"
 	"toppriv/internal/corpus"
 	"toppriv/internal/index"
 	"toppriv/internal/search"
@@ -76,11 +90,32 @@ func main() {
 		adminToken  = flag.String("admin-token", "", "live mode: require this bearer token on POST /index and DELETE /doc/{id}")
 		metricsAddr = flag.String("metrics-addr", "", "also serve GET /metrics and /debug/traces on a separate admin listener at this address")
 		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof on the -metrics-addr admin listener")
+
+		shardMode     = flag.Bool("shard", false, "serve one cluster slice: a live in-memory store plus the /cluster/* wire endpoints")
+		routerMode    = flag.Bool("router", false, "serve as scatter-gather router over -shards (holds no index)")
+		shardList     = flag.String("shards", "", "router mode: comma-separated shard base URLs")
+		shardDeadline = flag.Duration("shard-deadline", 2*time.Second, "router mode: per-shard query deadline before degrading")
+		shardRetries  = flag.Int("shard-retries", 1, "router mode: transport retries per shard exchange on connection refused/reset")
 	)
 	flag.Parse()
 
 	if *pprofFlag && *metricsAddr == "" {
 		log.Fatal("-pprof requires -metrics-addr: profiling endpoints must not share the public listener")
+	}
+	if *shardMode && *routerMode {
+		log.Fatal("-shard and -router are mutually exclusive")
+	}
+	if *shardMode && *dataDir != "" {
+		log.Fatal("-shard does not persist (the gid mapping is router state); run shards in-memory")
+	}
+	if *routerMode && (*live || *dataDir != "" || *mmapFlag) {
+		log.Fatal("-router holds no index: -live/-data/-mmap do not apply")
+	}
+	if *routerMode && *shardList == "" {
+		log.Fatal("-router requires -shards=url1,url2,...")
+	}
+	if !*routerMode && *shardList != "" {
+		log.Fatal("-shards requires -router")
 	}
 	if *mmapFlag && (!*live || *dataDir == "") {
 		log.Fatal("-mmap requires -live and -data: only saved segments can be memory-mapped")
@@ -103,8 +138,45 @@ func main() {
 		searcher vsm.Searcher
 		docs     []corpus.Document
 		store    *segment.Store
+		shard    *cluster.Shard
 	)
-	if *live {
+	switch {
+	case *routerMode:
+		shards := strings.Split(*shardList, ",")
+		for i := range shards {
+			shards[i] = strings.TrimSuffix(strings.TrimSpace(shards[i]), "/")
+		}
+		rt, err := cluster.New(cluster.Config{
+			Shards:   shards,
+			Deadline: *shardDeadline,
+			Retry:    search.RetryPolicy{Max: *shardRetries},
+			Analyzer: an,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats := rt.ComputeStats()
+		log.Printf("router over %d shards: %d docs / %d terms, %s scoring, %v deadline",
+			len(shards), stats.NumDocs, stats.NumTerms, rt.Scoring(), *shardDeadline)
+		// The serving line reports what the cluster actually scores
+		// with, not the (ignored) local flag.
+		if rt.Scoring() == vsm.BM25.String() {
+			scoring = vsm.BM25
+		}
+		searcher = rt
+	case *shardMode:
+		st, err := segment.Open(segment.Config{
+			Scoring: scoring, ExecMode: execMode, Analyzer: an,
+			SealThreshold: *seal, Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		store = st
+		shard = cluster.NewShard(st)
+		searcher = st
+		log.Printf("shard starting empty (%s scoring); awaiting router placement", scoring)
+	case *live:
 		store = openLiveStore(an, scoring, execMode, *corpusPath, *dataDir, *seal, *mmapFlag, *cacheBytes)
 		searcher = store
 		// A recovered manifest's scoring overrides the flag; report what
@@ -113,7 +185,7 @@ func main() {
 			log.Printf("note: -data manifest pins %s scoring, overriding the flag", store.Scoring())
 			scoring = store.Scoring()
 		}
-	} else {
+	default:
 		c := loadCorpus(*corpusPath, an)
 		idx, err := index.Build(c)
 		if err != nil {
@@ -138,13 +210,21 @@ func main() {
 	srv.SetAdminToken(*adminToken)
 	srv.SetMaxK(*maxK)
 	srv.SetMaxBatch(*maxBatch)
+	if shard != nil {
+		shard.Mount(srv)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	mode := "immutable"
-	if *live {
+	switch {
+	case *routerMode:
+		mode = "router"
+	case *shardMode:
+		mode = "shard"
+	case *live:
 		mode = "live"
 	}
 	log.Printf("serving (%s, %s scoring, %s exec) on %s", mode, scoring, execMode, ln.Addr())

@@ -236,6 +236,21 @@ func runStats(server string) {
 	fmt.Printf("PIR-padded bytes:  %d (%.0fx blowup)\n", s.PaddedPIRBytes, s.BlowupFactor())
 	ql := full.QueryLog
 	fmt.Printf("query log:         %d retained, %d evicted (seq [%d, %d))\n", ql.Retained, ql.Evicted, ql.HeadSeq, ql.TailSeq)
+	if c := full.Cluster; c != nil {
+		fmt.Printf("cluster:           %d shards, %d degraded queries\n", len(c.Shards), c.Degraded)
+		for _, sh := range c.Shards {
+			state := "up"
+			if !sh.Up {
+				state = "DOWN"
+			}
+			fmt.Printf("  %-28s %-4s %7d docs  %8d reqs  %5d errs  p99 %.1fms",
+				sh.Shard, state, sh.Docs, sh.Requests, sh.Errors, sh.P99Millis)
+			if sh.LastError != "" {
+				fmt.Printf("  (%s)", sh.LastError)
+			}
+			fmt.Println()
+		}
+	}
 }
 
 // runMetrics scrapes GET /metrics and pretty-prints the families the

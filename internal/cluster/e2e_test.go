@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/index"
+	"toppriv/internal/search"
+	"toppriv/internal/textproc"
+	"toppriv/internal/vsm"
+)
+
+// TestClusterEndToEnd drives the real binary: three searchd -shard
+// processes and one -router process, a routed corpus split, the
+// store-vs-rebuild score-equality oracle over plain HTTP, and a
+// kill-one-shard degradation check. It is the CI integration job's
+// workload; set TOPPRIV_CLUSTER_E2E=1 to run it (it builds the binary
+// and forks four processes, too heavy for every `go test`).
+func TestClusterEndToEnd(t *testing.T) {
+	if os.Getenv("TOPPRIV_CLUSTER_E2E") != "1" {
+		t.Skip("set TOPPRIV_CLUSTER_E2E=1 to run the multi-process cluster test")
+	}
+
+	bin := filepath.Join(t.TempDir(), "searchd")
+	build := exec.Command("go", "build", "-o", bin, "toppriv/cmd/searchd")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building searchd: %v", err)
+	}
+
+	addrs := make([]string, 4)
+	for i := range addrs {
+		addrs[i] = freeAddr(t)
+	}
+	shardURLs := []string{"http://" + addrs[0], "http://" + addrs[1], "http://" + addrs[2]}
+	routerURL := "http://" + addrs[3]
+
+	var procs []*exec.Cmd
+	startProc := func(args ...string) *exec.Cmd {
+		cmd := exec.Command(bin, args...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %v: %v", args, err)
+		}
+		procs = append(procs, cmd)
+		return cmd
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				p.Process.Kill()
+				p.Wait()
+			}
+		}
+	})
+
+	for i := 0; i < 3; i++ {
+		startProc("-shard", "-bm25", "-addr", addrs[i])
+	}
+	for _, u := range shardURLs {
+		waitReady(t, u+"/cluster/stats")
+	}
+	startProc("-router", "-shards", shardURLs[0]+","+shardURLs[1]+","+shardURLs[2],
+		"-addr", addrs[3], "-shard-deadline", "2s", "-shard-retries", "2")
+	waitReady(t, routerURL+"/stats")
+
+	// Ingest through the router (which splits the corpus across the
+	// shards by ring placement), with a few deletes for tombstones.
+	an := textproc.NewAnalyzer()
+	docs := synthDocs(t, 60, 20)
+	var ir search.IndexResponse
+	postJSON(t, routerURL+"/index", search.IndexRequest{Docs: docs}, &ir)
+	if len(ir.IDs) != len(docs) {
+		t.Fatalf("ingest assigned %d ids for %d docs", len(ir.IDs), len(docs))
+	}
+	type entry struct {
+		gid corpus.DocID
+		doc corpus.Document
+	}
+	var alive []entry
+	for i, gid := range ir.IDs {
+		alive = append(alive, entry{gid: gid, doc: docs[i]})
+	}
+	for _, drop := range []int{3, 17, 31, 44} {
+		req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/doc/%d", routerURL, alive[drop].gid), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("delete %d: status %d", alive[drop].gid, resp.StatusCode)
+		}
+		alive = append(alive[:drop], alive[drop+1:]...)
+	}
+
+	// Reference: a single from-scratch index over the survivors.
+	refDocs := make([]corpus.Document, len(alive))
+	gidToRef := make(map[corpus.DocID]corpus.DocID, len(alive))
+	for i, e := range alive {
+		refDocs[i] = corpus.Document{Title: e.doc.Title, Text: e.doc.Text}
+		gidToRef[e.gid] = corpus.DocID(i)
+	}
+	refCorpus, err := corpus.Build(refDocs, an, textproc.PruneSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refIdx, err := index.Build(refCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEng, err := vsm.NewEngine(refIdx, an, vsm.BM25)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := make([]string, 0, 8)
+	for i := 0; i < 8; i++ {
+		queries = append(queries, queryFrom(docs[i*7], i*3, 4))
+	}
+
+	const k = 10
+	full := make(map[string][]search.SearchHit, len(queries))
+	for _, q := range queries {
+		for _, mode := range []string{"exhaustive", "maxscore", "blockmax"} {
+			var sr search.SearchResponse
+			postJSON(t, routerURL+"/search", search.SearchRequest{Query: q, K: len(alive), Exec: mode}, &sr)
+			if sr.Degraded {
+				t.Fatalf("query %q degraded with all shards up: %+v", q, sr.Shards)
+			}
+			want := refEng.SearchTerms(an.Analyze(q), len(alive))
+			if len(sr.Hits) != len(want) {
+				t.Fatalf("query %q mode %s: cluster %d hits, rebuild %d", q, mode, len(sr.Hits), len(want))
+			}
+			// Full retrieval: exact document-set and per-document score
+			// agreement (rank order on exact FP ties may differ).
+			gotScores := make(map[corpus.DocID]float64, len(sr.Hits))
+			for _, hit := range sr.Hits {
+				ref, ok := gidToRef[hit.Doc]
+				if !ok {
+					t.Fatalf("query %q: dead/unknown doc %d in results", q, hit.Doc)
+				}
+				gotScores[ref] = hit.Score
+			}
+			for _, res := range want {
+				gs, ok := gotScores[res.Doc]
+				if !ok {
+					t.Fatalf("query %q mode %s: rebuild doc %d missing from cluster results", q, mode, res.Doc)
+				}
+				if math.Abs(gs-res.Score) > 1e-9 {
+					t.Fatalf("query %q mode %s doc %d: cluster %.12f, rebuild %.12f",
+						q, mode, res.Doc, gs, res.Score)
+				}
+			}
+			if mode == "exhaustive" {
+				full[q] = sr.Hits
+			}
+		}
+	}
+
+	// Kill shard 1 outright and query again: merged survivor results,
+	// Degraded set, within the router's deadline, never an error.
+	procs[1].Process.Kill()
+	procs[1].Wait()
+	time.Sleep(100 * time.Millisecond)
+
+	r := newRing(shardURLs)
+	for _, q := range queries {
+		start := time.Now()
+		var sr search.SearchResponse
+		postJSON(t, routerURL+"/search", search.SearchRequest{Query: q, K: k}, &sr)
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("degraded query %q took %v", q, elapsed)
+		}
+		if !sr.Degraded {
+			t.Fatalf("query %q not degraded after shard kill", q)
+		}
+		want := make([]search.SearchHit, 0, k)
+		for _, hit := range full[q] {
+			if r.place(hit.Doc) == 1 {
+				continue
+			}
+			want = append(want, hit)
+			if len(want) == k {
+				break
+			}
+		}
+		if len(sr.Hits) != len(want) {
+			t.Fatalf("degraded query %q: %d hits, want %d survivors", q, len(sr.Hits), len(want))
+		}
+		for i := range want {
+			if sr.Hits[i].Doc != want[i].Doc || sr.Hits[i].Score != want[i].Score {
+				t.Fatalf("degraded query %q rank %d: doc %d score %.12f, want doc %d score %.12f",
+					q, i, sr.Hits[i].Doc, sr.Hits[i].Score, want[i].Doc, want[i].Score)
+			}
+		}
+	}
+
+	// The router's stats surface reports the kill.
+	var stats search.StatsResponse
+	getJSON(t, routerURL+"/stats", &stats)
+	if stats.Cluster == nil {
+		t.Fatal("router /stats has no cluster section")
+	}
+	downs := 0
+	for _, sh := range stats.Cluster.Shards {
+		if !sh.Up {
+			downs++
+		}
+	}
+	if downs != 1 || stats.Cluster.Degraded == 0 {
+		t.Fatalf("cluster health after kill: %d down, %d degraded cycles", downs, stats.Cluster.Degraded)
+	}
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitReady(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("%s not ready after 10s", url)
+}
+
+func postJSON(t *testing.T, url string, in, out interface{}) {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg bytes.Buffer
+		msg.ReadFrom(resp.Body)
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, msg.String())
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("POST %s: decode: %v", url, err)
+	}
+}
+
+func getJSON(t *testing.T, url string, out interface{}) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}

@@ -1,0 +1,656 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/index"
+	"toppriv/internal/search"
+	"toppriv/internal/telemetry"
+	"toppriv/internal/textproc"
+	"toppriv/internal/vsm"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Shards are the shard base URLs ("http://host:port"). Order is
+	// irrelevant to placement (the ring hashes names, not indices) but
+	// fixed for the life of the router.
+	Shards []string
+	// Deadline bounds one shard's share of one query cycle, retries
+	// included. A shard that misses it is reported down for that cycle
+	// and the survivors' merged results return with Degraded set.
+	// Defaults to 2s.
+	Deadline time.Duration
+	// Retry is the per-shard transport retry budget. The zero value
+	// retries nothing; a Max of 1–2 rides out a shard restart's
+	// connection resets without inflating tail latency.
+	Retry search.RetryPolicy
+	// HTTPClient overrides the transport (nil = http.DefaultClient).
+	HTTPClient *http.Client
+	// Analyzer processes raw query text exactly once, at the router;
+	// shards only ever see analyzed terms. It must match the analyzer
+	// the documents were indexed with. Defaults to textproc.NewAnalyzer.
+	Analyzer *textproc.Analyzer
+}
+
+// Router is the scatter-gather front of the distributed tier. It
+// implements the same surfaces segment.Store offers search.NewServer —
+// vsm.Searcher, vsm.RequestSearcher, search.LiveIndex, stats, titles —
+// so a router process serves the standard API unchanged while fanning
+// every obfuscation cycle out to the shards.
+//
+// Correctness contract: every query carries the cluster-merged
+// collection statistics (N, total length, per-term df summed across
+// the shards' last-reported tables), so each shard weighs query terms
+// exactly as a single index over the whole corpus would, and the
+// merged top-k is score-identical to a single-node rebuild. The tables
+// refresh synchronously on every mutation (shards return their updated
+// stats in the mutation reply), never on the query path — and a down
+// shard's last-known table keeps contributing, so the survivors'
+// scores during degradation equal their non-degraded values.
+type Router struct {
+	shards   []*shardConn
+	ring     *ring
+	an       *textproc.Analyzer
+	scoring  string
+	deadline time.Duration
+
+	// ingestMu serializes mutations: gid assignment must be sequential
+	// and each shard must receive its documents in ascending gid order.
+	ingestMu sync.Mutex
+	nextGid  corpus.DocID
+
+	// titles caches gid → title at ingest time so result rendering
+	// needs no per-hit shard round-trip. Misses (e.g. after a router
+	// restart) fall back to fetching the document from its shard.
+	titleMu sync.RWMutex
+	titles  map[corpus.DocID]string
+
+	degraded  atomic.Uint64
+	mDegraded *telemetry.Counter
+}
+
+// latRingSize bounds the per-shard latency sample window the p99
+// health figure is computed over.
+const latRingSize = 256
+
+// shardConn is the router's view of one shard: transport, last-known
+// statistics, and health counters.
+type shardConn struct {
+	name  string
+	httpc *http.Client
+	retry search.RetryPolicy
+
+	mu      sync.Mutex
+	up      bool
+	lastErr string
+	stats   shardStats // last-known; DF map is replaced wholesale, never mutated
+	lat     [latRingSize]float64
+	latN    int // total samples ever; ring index = latN % latRingSize
+	reqs    uint64
+	errs    uint64
+
+	// Metric handles, nil until EnableMetrics.
+	mReqs *telemetry.Counter
+	mErrs *telemetry.Counter
+	mUp   *telemetry.Gauge
+	mLat  *telemetry.Histogram
+}
+
+// observe records one exchange's outcome under c.mu.
+func (c *shardConn) observe(seconds float64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reqs++
+	if c.mReqs != nil {
+		c.mReqs.Inc()
+	}
+	if err != nil {
+		c.errs++
+		c.up = false
+		c.lastErr = err.Error()
+		if c.mErrs != nil {
+			c.mErrs.Inc()
+		}
+		if c.mUp != nil {
+			c.mUp.Set(0)
+		}
+		return
+	}
+	c.up = true
+	c.lastErr = ""
+	c.lat[c.latN%latRingSize] = seconds
+	c.latN++
+	if c.mUp != nil {
+		c.mUp.Set(1)
+	}
+	if c.mLat != nil {
+		c.mLat.Observe(seconds)
+	}
+}
+
+// p99Locked computes the 99th-percentile latency (milliseconds) over
+// the sample window. Caller holds c.mu.
+func (c *shardConn) p99Locked() float64 {
+	n := c.latN
+	if n > latRingSize {
+		n = latRingSize
+	}
+	if n == 0 {
+		return 0
+	}
+	samples := append([]float64(nil), c.lat[:n]...)
+	sort.Float64s(samples)
+	idx := (99*n + 99) / 100 // ceil(0.99 n)
+	if idx > 0 {
+		idx--
+	}
+	return samples[idx] * 1000
+}
+
+// exchange POSTs (or GETs, body nil) one wire call and decodes the
+// reply, recording health and latency. Non-2xx replies become errors
+// carrying the shard's message.
+func (c *shardConn) exchange(ctx context.Context, method, path string, body []byte, out interface{}) error {
+	start := time.Now()
+	err := c.exchangeRaw(ctx, method, path, body, out)
+	c.observe(time.Since(start).Seconds(), err)
+	return err
+}
+
+func (c *shardConn) exchangeRaw(ctx context.Context, method, path string, body []byte, out interface{}) error {
+	build := func() (*http.Request, error) {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.name+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		return req, nil
+	}
+	resp, err := c.retry.Do(c.httpc, build)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &statusError{code: resp.StatusCode, msg: string(bytes.TrimSpace(msg))}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// statusError is a non-2xx shard reply. It is not transient: the shard
+// is up and answered; retrying the identical request cannot help.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("shard returned %d: %s", e.code, e.msg)
+}
+
+// setStats installs a freshly decoded stats snapshot.
+func (c *shardConn) setStats(st shardStats) {
+	c.mu.Lock()
+	c.stats = st
+	c.mu.Unlock()
+}
+
+// snapStats returns the last-known snapshot. The DF map inside is safe
+// to read after the lock drops because updates replace it wholesale.
+func (c *shardConn) snapStats() shardStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// New connects to every shard, verifies the cluster is coherent
+// (every shard reachable, all on one scoring function), seeds the
+// statistics tables, and resumes global-ID assignment above the
+// cluster-wide high-water mark.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("cluster: no shards configured")
+	}
+	seen := make(map[string]bool, len(cfg.Shards))
+	for _, s := range cfg.Shards {
+		if seen[s] {
+			return nil, fmt.Errorf("cluster: duplicate shard %q", s)
+		}
+		seen[s] = true
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 2 * time.Second
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	if cfg.Analyzer == nil {
+		cfg.Analyzer = textproc.NewAnalyzer()
+	}
+	r := &Router{
+		ring:     newRing(cfg.Shards),
+		an:       cfg.Analyzer,
+		deadline: cfg.Deadline,
+		titles:   make(map[corpus.DocID]string),
+	}
+	for _, name := range cfg.Shards {
+		r.shards = append(r.shards, &shardConn{
+			name:  name,
+			httpc: cfg.HTTPClient,
+			retry: cfg.Retry,
+		})
+	}
+	maxGid := corpus.DocID(-1)
+	for _, c := range r.shards {
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.Deadline)
+		var st shardStats
+		err := c.exchange(ctx, http.MethodGet, "/cluster/stats", nil, &st)
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %s unreachable: %w", c.name, err)
+		}
+		if r.scoring == "" {
+			r.scoring = st.Scoring
+		} else if st.Scoring != r.scoring {
+			return nil, fmt.Errorf("cluster: shard %s scores with %s, cluster uses %s", c.name, st.Scoring, r.scoring)
+		}
+		c.setStats(st)
+		if st.MaxGid > maxGid {
+			maxGid = st.MaxGid
+		}
+	}
+	r.nextGid = maxGid + 1
+	return r, nil
+}
+
+// Scoring reports the cluster's scoring function name.
+func (r *Router) Scoring() string { return r.scoring }
+
+// mergedStats sums the shards' last-known tables into one query's
+// GlobalStats. DF aligns with terms, repeats repeating their df, the
+// exact shape vsm.Request.Global requires.
+func (r *Router) mergedStats(terms []string) *vsm.GlobalStats {
+	g := &vsm.GlobalStats{DF: make([]int, len(terms))}
+	for _, c := range r.shards {
+		st := c.snapStats()
+		g.Docs += st.Docs
+		g.TotalLen += st.TotalLen
+		if st.DF == nil {
+			continue
+		}
+		for i, t := range terms {
+			g.DF[i] += st.DF[t]
+		}
+	}
+	return g
+}
+
+// SearchRequest executes one request through the full scatter-gather
+// path (it is a one-member batch; the shards treat it identically).
+func (r *Router) SearchRequest(ctx context.Context, req vsm.Request) (vsm.Response, error) {
+	resps, err := r.SearchBatch(ctx, []vsm.Request{req})
+	if err != nil {
+		return vsm.Response{}, err
+	}
+	return resps[0], nil
+}
+
+// SearchBatch fans one cycle out to every shard in a single per-shard
+// round-trip, merges each member's per-shard top-k lists, and reports
+// per-shard outcomes. Shard failure degrades the response — merged
+// survivor results plus Degraded and ShardStatus — and is never a
+// whole-query error; only a dead parent context or a malformed request
+// returns one.
+func (r *Router) SearchBatch(ctx context.Context, reqs []vsm.Request) ([]vsm.Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	wire := batchRequest{Queries: make([]wireQuery, len(reqs))}
+	for i, req := range reqs {
+		if err := req.Validate(); err != nil {
+			return nil, fmt.Errorf("cluster: batch member %d: %w", i, err)
+		}
+		if req.Keep != nil {
+			return nil, fmt.Errorf("cluster: batch member %d: keep predicates cannot cross the wire", i)
+		}
+		if req.Global != nil {
+			return nil, fmt.Errorf("cluster: batch member %d: global stats are router-assigned", i)
+		}
+		terms := req.Terms
+		if terms == nil {
+			terms = r.an.Analyze(req.Query)
+		}
+		mode := ""
+		if req.Mode != vsm.ExecAuto {
+			mode = req.Mode.String()
+		}
+		wire.Queries[i] = wireQuery{
+			Terms:  terms,
+			K:      req.K,
+			Mode:   mode,
+			Global: r.mergedStats(terms),
+		}
+	}
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return nil, err
+	}
+
+	type shardOut struct {
+		resps []wireResponse
+		err   error
+	}
+	outs := make([]shardOut, len(r.shards))
+	var wg sync.WaitGroup
+	for i, c := range r.shards {
+		wg.Add(1)
+		go func(i int, c *shardConn) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, r.deadline)
+			defer cancel()
+			var br batchResponse
+			if err := c.exchange(sctx, http.MethodPost, "/cluster/batch", body, &br); err != nil {
+				outs[i].err = err
+				return
+			}
+			if len(br.Responses) != len(reqs) {
+				outs[i].err = fmt.Errorf("shard answered %d members for %d queries", len(br.Responses), len(reqs))
+				return
+			}
+			outs[i].resps = br.Responses
+		}(i, c)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// The caller's context died; the partial results are not a
+		// degradation signal, they are an abandoned query.
+		return nil, err
+	}
+
+	degraded := false
+	status := make([]vsm.ShardStatus, len(r.shards))
+	for i, c := range r.shards {
+		status[i] = vsm.ShardStatus{Shard: c.name, OK: outs[i].err == nil}
+		if outs[i].err != nil {
+			status[i].Err = outs[i].err.Error()
+			degraded = true
+		}
+	}
+	if degraded {
+		r.degraded.Add(1)
+		if r.mDegraded != nil {
+			r.mDegraded.Inc()
+		}
+	}
+
+	resps := make([]vsm.Response, len(reqs))
+	lists := make([][]vsm.Result, 0, len(r.shards))
+	for j := range reqs {
+		lists = lists[:0]
+		for i := range outs {
+			if outs[i].err != nil {
+				continue
+			}
+			wr := &outs[i].resps[j]
+			hits := make([]vsm.Result, len(wr.Hits))
+			for h, wh := range wr.Hits {
+				hits[h] = vsm.Result{Doc: wh.Gid, Score: wh.Score}
+			}
+			lists = append(lists, hits)
+			resps[j].Stats.Add(wr.Stats)
+		}
+		resps[j].Hits = vsm.MergeTopK(lists, wire.Queries[j].K)
+		resps[j].Degraded = degraded
+		resps[j].Shards = status
+	}
+	return resps, nil
+}
+
+// Search analyzes and runs one query — the legacy vsm.Searcher
+// surface, kept so the router drops into search.NewServer unchanged.
+func (r *Router) Search(query string, k int) []vsm.Result {
+	return r.SearchTerms(r.an.Analyze(query), k)
+}
+
+// SearchTerms runs one pre-analyzed query.
+func (r *Router) SearchTerms(terms []string, k int) []vsm.Result {
+	if k <= 0 || len(terms) == 0 {
+		return nil
+	}
+	resp, err := r.SearchRequest(context.Background(), vsm.Request{Terms: terms, K: k})
+	if err != nil {
+		return nil
+	}
+	return resp.Hits
+}
+
+// SearchMode runs one query under an explicit execution mode.
+func (r *Router) SearchMode(query string, k int, mode vsm.ExecMode) []vsm.Result {
+	if k <= 0 {
+		return nil
+	}
+	resp, err := r.SearchRequest(context.Background(), vsm.Request{Query: query, K: k, Mode: mode})
+	if err != nil {
+		return nil
+	}
+	return resp.Hits
+}
+
+// Add ingests documents: sequential global IDs, ring placement, one
+// POST per involved shard with its documents in ascending gid order.
+// Unlike queries, mutations never degrade — a failed shard fails the
+// call, and documents already applied to other shards stay applied
+// (the shard-side ingest is idempotent, so a caller retrying the same
+// logical batch after a transient failure must reuse the returned IDs;
+// retrying via a fresh Add assigns fresh IDs and duplicates).
+func (r *Router) Add(docs ...corpus.Document) ([]corpus.DocID, error) {
+	if len(docs) == 0 {
+		return nil, nil
+	}
+	r.ingestMu.Lock()
+	defer r.ingestMu.Unlock()
+
+	gids := make([]corpus.DocID, len(docs))
+	perShard := make([][]ingestDoc, len(r.shards))
+	for i, d := range docs {
+		gid := r.nextGid + corpus.DocID(i)
+		gids[i] = gid
+		owner := r.ring.place(gid)
+		d.ID = gid
+		perShard[owner] = append(perShard[owner], ingestDoc{Gid: gid, Doc: d})
+	}
+	for i, batch := range perShard {
+		if len(batch) == 0 {
+			continue
+		}
+		body, err := json.Marshal(ingestRequest{Docs: batch})
+		if err != nil {
+			return nil, err
+		}
+		c := r.shards[i]
+		var ir ingestResponse
+		if err := c.exchange(context.Background(), http.MethodPost, "/cluster/index", body, &ir); err != nil {
+			return nil, fmt.Errorf("cluster: ingest to %s: %w", c.name, err)
+		}
+		c.setStats(ir.Stats)
+	}
+	// All shards accepted: commit the gid range and the title cache.
+	r.nextGid += corpus.DocID(len(docs))
+	r.titleMu.Lock()
+	for i, d := range docs {
+		if d.Title != "" {
+			r.titles[gids[i]] = d.Title
+		}
+	}
+	r.titleMu.Unlock()
+	return gids, nil
+}
+
+// Delete tombstones one document on its owning shard.
+func (r *Router) Delete(id corpus.DocID) error {
+	if id < 0 {
+		return fmt.Errorf("cluster: no document %d", id)
+	}
+	c := r.shards[r.ring.place(id)]
+	var dr deleteResponse
+	err := c.exchange(context.Background(), http.MethodDelete, fmt.Sprintf("/cluster/doc/%d", id), nil, &dr)
+	if err != nil {
+		var se *statusError
+		if errors.As(err, &se) && se.code == http.StatusNotFound {
+			return fmt.Errorf("cluster: no document %d", id)
+		}
+		return fmt.Errorf("cluster: delete on %s: %w", c.name, err)
+	}
+	c.setStats(dr.Stats)
+	r.titleMu.Lock()
+	delete(r.titles, id)
+	r.titleMu.Unlock()
+	return nil
+}
+
+// Doc fetches one document from its owning shard.
+func (r *Router) Doc(id corpus.DocID) (corpus.Document, bool) {
+	if id < 0 {
+		return corpus.Document{}, false
+	}
+	c := r.shards[r.ring.place(id)]
+	ctx, cancel := context.WithTimeout(context.Background(), r.deadline)
+	defer cancel()
+	var doc corpus.Document
+	if err := c.exchange(ctx, http.MethodGet, fmt.Sprintf("/cluster/doc/%d", id), nil, &doc); err != nil {
+		return corpus.Document{}, false
+	}
+	return doc, true
+}
+
+// Title resolves a document title from the ingest-time cache, falling
+// back to a shard fetch (and re-caching) on miss — e.g. for documents
+// ingested before this router process started.
+func (r *Router) Title(id corpus.DocID) (string, bool) {
+	r.titleMu.RLock()
+	t, ok := r.titles[id]
+	r.titleMu.RUnlock()
+	if ok {
+		return t, true
+	}
+	doc, ok := r.Doc(id)
+	if !ok {
+		return "", false
+	}
+	if doc.Title != "" {
+		r.titleMu.Lock()
+		r.titles[id] = doc.Title
+		r.titleMu.Unlock()
+	}
+	return doc.Title, doc.Title != ""
+}
+
+// ComputeStats aggregates the shards' last-reported index shapes.
+// Additive fields sum; NumTerms is the size of the union of the
+// shards' live vocabularies (shards index independent term sets, so
+// summing would overcount shared terms); derived ratios recompute.
+func (r *Router) ComputeStats() index.Stats {
+	var out index.Stats
+	terms := make(map[string]struct{})
+	for _, c := range r.shards {
+		st := c.snapStats()
+		out.NumDocs += st.Docs
+		out.NumPostings += st.Index.NumPostings
+		if st.Index.MaxListLen > out.MaxListLen {
+			out.MaxListLen = st.Index.MaxListLen
+		}
+		out.SizeBytes += st.Index.SizeBytes
+		out.PostingsBytes += st.Index.PostingsBytes
+		out.ResidentBytes += st.Index.ResidentBytes
+		out.PaddedPIRBytes += st.Index.PaddedPIRBytes
+		for t := range st.DF {
+			terms[t] = struct{}{}
+		}
+	}
+	out.NumTerms = len(terms)
+	if out.NumTerms > 0 {
+		out.MeanListLen = float64(out.NumPostings) / float64(out.NumTerms)
+	}
+	if out.NumDocs > 0 {
+		out.BytesPerDoc = float64(out.PostingsBytes) / float64(out.NumDocs)
+		out.ResidentPerDoc = float64(out.ResidentBytes) / float64(out.NumDocs)
+	}
+	return out
+}
+
+// ClusterHealth snapshots per-shard health for GET /stats.
+func (r *Router) ClusterHealth() search.ClusterHealth {
+	h := search.ClusterHealth{
+		Shards:   make([]search.ShardHealth, len(r.shards)),
+		Degraded: r.degraded.Load(),
+	}
+	for i, c := range r.shards {
+		c.mu.Lock()
+		h.Shards[i] = search.ShardHealth{
+			Shard:     c.name,
+			Up:        c.up,
+			Docs:      c.stats.Docs,
+			LastError: c.lastErr,
+			Requests:  c.reqs,
+			Errors:    c.errs,
+			P99Millis: c.p99Locked(),
+		}
+		c.mu.Unlock()
+	}
+	return h
+}
+
+// EnableMetrics registers the router's cluster metrics: per-shard
+// request/error counters, an up/down gauge, a shard-exchange latency
+// histogram, and the degraded-query counter. Implements
+// search.MetricsBackend, so search.NewServer wires it automatically.
+func (r *Router) EnableMetrics(reg *telemetry.Registry, _ *telemetry.TraceRing) {
+	reqs := reg.CounterVec("toppriv_cluster_shard_requests_total",
+		"Wire exchanges attempted per shard (queries and mutations).", "shard")
+	errs := reg.CounterVec("toppriv_cluster_shard_errors_total",
+		"Failed wire exchanges per shard (transport failure, deadline, or non-2xx).", "shard")
+	up := reg.GaugeVec("toppriv_cluster_shard_up",
+		"Whether the shard's most recent exchange succeeded (1) or failed (0).", "shard")
+	lat := reg.HistogramVec("toppriv_cluster_shard_seconds",
+		"Latency of successful shard exchanges.", telemetry.DefaultLatencyBuckets, "shard")
+	for _, c := range r.shards {
+		c.mu.Lock()
+		c.mReqs = reqs.With(c.name)
+		c.mErrs = errs.With(c.name)
+		c.mUp = up.With(c.name)
+		c.mLat = lat.With(c.name)
+		if c.up {
+			c.mUp.Set(1)
+		}
+		c.mu.Unlock()
+	}
+	r.mDegraded = reg.Counter("toppriv_cluster_degraded_queries_total",
+		"Query cycles answered without every shard (merged survivor results).")
+	reg.GaugeFunc("toppriv_cluster_shards",
+		"Number of shards this router scatters to.", func() float64 {
+			return float64(len(r.shards))
+		})
+}

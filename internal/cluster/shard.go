@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"toppriv/internal/corpus"
+	"toppriv/internal/search"
+	"toppriv/internal/segment"
+	"toppriv/internal/vsm"
+)
+
+// Shard serves one slice of the corpus over the /cluster/* wire
+// schema, backed by an ordinary segment.Store. The shard is oblivious
+// to the ring — the router decides placement — but it owns the
+// gid↔local-ID translation: the store assigns its own dense IDs in
+// arrival order, and because the router ingests each shard's documents
+// in ascending global-ID order, local ID order mirrors global order.
+// That mirroring is what keeps shard-local score tie-breaks (ascending
+// local ID) identical to a single index's (ascending global ID) after
+// the merge.
+type Shard struct {
+	store *segment.Store
+
+	mu    sync.RWMutex
+	gids  []corpus.DocID                // store-local dense ID → global ID
+	byGid map[corpus.DocID]corpus.DocID // global ID → store-local ID
+}
+
+// NewShard wraps a live store in the shard wire surface.
+func NewShard(store *segment.Store) *Shard {
+	return &Shard{store: store, byGid: make(map[corpus.DocID]corpus.DocID)}
+}
+
+// Store exposes the backing store (for the standard search surface the
+// shard process also serves).
+func (s *Shard) Store() *segment.Store { return s.store }
+
+// Mount attaches the shard's wire endpoints to a search server, beside
+// the standard surface, sharing its HTTP instrumentation.
+func (s *Shard) Mount(srv *search.Server) {
+	srv.Handle("/cluster/batch", http.HandlerFunc(s.handleBatch))
+	srv.Handle("/cluster/stats", http.HandlerFunc(s.handleStats))
+	srv.Handle("/cluster/index", http.HandlerFunc(s.handleIngest))
+	srv.Handle("/cluster/doc/", http.HandlerFunc(s.handleDoc))
+}
+
+// localStats snapshots the shard's live statistics for the router's
+// merge. maxGid is passed in because callers hold s.mu in different
+// modes; it is the last entry of s.gids, or -1 when empty.
+func (s *Shard) localStats(maxGid corpus.DocID) shardStats {
+	docs, totalLen, df := s.store.LocalStats()
+	return shardStats{
+		Docs:     docs,
+		TotalLen: totalLen,
+		DF:       df,
+		MaxGid:   maxGid,
+		Scoring:  s.store.Scoring().String(),
+		Index:    s.store.ComputeStats(),
+	}
+}
+
+// maxGid reads the ingest high-water mark.
+func (s *Shard) maxGid() corpus.DocID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.gids) == 0 {
+		return -1
+	}
+	return s.gids[len(s.gids)-1]
+}
+
+func (s *Shard) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.localStats(s.maxGid()))
+}
+
+// handleBatch executes one cycle against the local store. Every member
+// carries the router's merged statistics, so the store's engines weigh
+// query terms with cluster-wide N/df/avgdl while traversing only local
+// postings.
+func (s *Shard) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var br batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&br); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	reqs := make([]vsm.Request, len(br.Queries))
+	for i, q := range br.Queries {
+		mode, err := vsm.ParseExecMode(q.Mode)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("member %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		terms := q.Terms
+		if terms == nil {
+			terms = []string{}
+		}
+		reqs[i] = vsm.Request{Terms: terms, K: q.K, Mode: mode, Global: q.Global}
+	}
+	resps, err := s.store.SearchBatch(r.Context(), reqs)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	out := batchResponse{Responses: make([]wireResponse, len(resps))}
+	s.mu.RLock()
+	for i := range resps {
+		hits := make([]wireHit, len(resps[i].Hits))
+		for j, h := range resps[i].Hits {
+			hits[j] = wireHit{Gid: s.gids[h.Doc], Score: h.Score}
+		}
+		out.Responses[i] = wireResponse{Hits: hits, Stats: resps[i].Stats}
+	}
+	s.mu.RUnlock()
+	writeJSON(w, out)
+}
+
+// handleIngest adds router-placed documents. Replayed documents (gids
+// already mapped — a router retry after a lost response) are skipped,
+// making ingest idempotent; a never-seen gid at or below the current
+// high-water mark is refused because mapping it would break the
+// local-order-mirrors-global-order invariant.
+func (s *Shard) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var ir ingestRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20)).Decode(&ir); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	maxGid := corpus.DocID(-1)
+	if len(s.gids) > 0 {
+		maxGid = s.gids[len(s.gids)-1]
+	}
+	fresh := make([]corpus.Document, 0, len(ir.Docs))
+	freshGids := make([]corpus.DocID, 0, len(ir.Docs))
+	last := maxGid
+	for _, d := range ir.Docs {
+		if _, known := s.byGid[d.Gid]; known {
+			continue
+		}
+		if d.Gid <= last {
+			http.Error(w, fmt.Sprintf("gid %d arrives out of order (high-water %d)", d.Gid, last), http.StatusConflict)
+			return
+		}
+		last = d.Gid
+		fresh = append(fresh, d.Doc)
+		freshGids = append(freshGids, d.Gid)
+	}
+	if len(fresh) > 0 {
+		locals, err := s.store.Add(fresh...)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		for i, local := range locals {
+			if int(local) != len(s.gids) {
+				// The store assigns dense sequential IDs; anything else
+				// breaks the gid translation table.
+				http.Error(w, fmt.Sprintf("store assigned non-dense id %d", local), http.StatusInternalServerError)
+				return
+			}
+			s.gids = append(s.gids, freshGids[i])
+			s.byGid[freshGids[i]] = local
+		}
+	}
+	maxGid = -1
+	if len(s.gids) > 0 {
+		maxGid = s.gids[len(s.gids)-1]
+	}
+	writeJSON(w, ingestResponse{Stats: s.localStats(maxGid)})
+}
+
+// handleDoc serves GET (fetch) and DELETE (tombstone) for one global
+// document ID.
+func (s *Shard) handleDoc(w http.ResponseWriter, r *http.Request) {
+	gidStr := strings.TrimPrefix(r.URL.Path, "/cluster/doc/")
+	gid64, err := strconv.ParseInt(gidStr, 10, 32)
+	if err != nil || gid64 < 0 {
+		http.Error(w, "no such document", http.StatusNotFound)
+		return
+	}
+	gid := corpus.DocID(gid64)
+	s.mu.RLock()
+	local, ok := s.byGid[gid]
+	s.mu.RUnlock()
+	if !ok {
+		http.Error(w, "no such document", http.StatusNotFound)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		doc, ok := s.store.Doc(local)
+		if !ok {
+			http.Error(w, "no such document", http.StatusNotFound)
+			return
+		}
+		doc.ID = gid
+		writeJSON(w, doc)
+	case http.MethodDelete:
+		if err := s.store.Delete(local); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, deleteResponse{Stats: s.localStats(s.maxGid())})
+	default:
+		http.Error(w, "GET or DELETE required", http.StatusMethodNotAllowed)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

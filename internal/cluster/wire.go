@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"toppriv/internal/corpus"
+	"toppriv/internal/index"
+	"toppriv/internal/vsm"
+)
+
+// The /cluster/* wire schema. Shards speak pre-analyzed terms, global
+// document IDs and cluster-merged statistics; raw query text never
+// reaches a shard (the router analyzes once), and store-local document
+// IDs never leave one.
+
+// batchRequest is the POST /cluster/batch payload: one obfuscation
+// cycle, every member carrying the identical merged statistics.
+type batchRequest struct {
+	Queries []wireQuery `json:"queries"`
+}
+
+// wireQuery is one cycle member as a shard executes it.
+type wireQuery struct {
+	// Terms is the analyzed query in wire order; Global.DF aligns with
+	// it, and cosine shards derive the query norm from it, so every
+	// shard of a cycle computes the identical norm.
+	Terms []string `json:"terms"`
+	K     int      `json:"k"`
+	// Mode names the execution strategy ("" = auto). Results are
+	// identical across modes.
+	Mode string `json:"mode,omitempty"`
+	// Global is the router's merged N/totalLen/df for this query.
+	Global *vsm.GlobalStats `json:"global"`
+}
+
+// batchResponse is the POST /cluster/batch reply; Responses align with
+// the request's Queries.
+type batchResponse struct {
+	Responses []wireResponse `json:"responses"`
+}
+
+// wireResponse is one member's shard-local result: hits carry global
+// document IDs and raw scores. Titles stay off this path — the router
+// resolves display titles from its ingest-time cache.
+type wireResponse struct {
+	Hits  []wireHit     `json:"hits"`
+	Stats vsm.ExecStats `json:"stats"`
+}
+
+type wireHit struct {
+	Gid   corpus.DocID `json:"gid"`
+	Score float64      `json:"score"`
+}
+
+// shardStats is the GET /cluster/stats reply and the refreshed-stats
+// section of every mutation reply: the shard's live collection
+// statistics, keyed by term string because shards have independent
+// vocabularies. Mutation replies carry it synchronously so the
+// router's merged tables are exact without extra round-trips.
+type shardStats struct {
+	// Docs and TotalLen are the shard's live document count and
+	// analyzed token count.
+	Docs     int   `json:"docs"`
+	TotalLen int64 `json:"total_len"`
+	// DF maps term → live document frequency (zero-df terms omitted).
+	DF map[string]int `json:"df"`
+	// MaxGid is the largest global ID ever ingested on this shard (-1
+	// when empty); a restarting router resumes gid assignment above the
+	// cluster-wide maximum.
+	MaxGid corpus.DocID `json:"max_gid"`
+	// Scoring is the shard's scoring function; the router refuses
+	// mixed-scoring clusters.
+	Scoring string `json:"scoring"`
+	// Index is the shard's index-shape statistics, for aggregation.
+	Index index.Stats `json:"index"`
+}
+
+// ingestRequest is the POST /cluster/index payload: documents with
+// router-assigned global IDs, in ascending gid order. Ascending order
+// is load-bearing — the shard's store assigns dense local IDs in
+// arrival order, and local order mirroring gid order is what keeps
+// shard-local score tie-breaks identical to a single index's.
+type ingestRequest struct {
+	Docs []ingestDoc `json:"docs"`
+}
+
+type ingestDoc struct {
+	Gid corpus.DocID    `json:"gid"`
+	Doc corpus.Document `json:"doc"`
+}
+
+// ingestResponse acknowledges an ingest with the shard's refreshed
+// statistics.
+type ingestResponse struct {
+	Stats shardStats `json:"stats"`
+}
+
+// deleteResponse acknowledges a DELETE /cluster/doc/{gid} with the
+// shard's refreshed statistics.
+type deleteResponse struct {
+	Stats shardStats `json:"stats"`
+}

@@ -30,6 +30,7 @@ type BlockCache struct {
 	slots     []cacheSlot
 	index     map[cacheKey]int32
 	hand      int
+	free      int
 	nextOwner uint32
 }
 
@@ -70,6 +71,7 @@ func NewBlockCache(capBytes int64) *BlockCache {
 	return &BlockCache{
 		slots: make([]cacheSlot, n),
 		index: make(map[cacheKey]int32, n),
+		free:  n,
 	}
 }
 
@@ -91,6 +93,7 @@ func (c *BlockCache) DropOwner(owner uint32) {
 		if k.owner == owner {
 			c.slots[s].used = false
 			c.slots[s].ref = false
+			c.free++
 			delete(c.index, k)
 		}
 	}
@@ -133,6 +136,7 @@ func (c *BlockCache) put(k cacheKey, docs *[BlockSize]corpus.DocID, tfs *[BlockS
 			c.hand = 0
 		}
 		if !slot.used {
+			c.free--
 			break
 		}
 		if !slot.ref {
@@ -152,6 +156,42 @@ func (c *BlockCache) put(k cacheKey, docs *[BlockSize]corpus.DocID, tfs *[BlockS
 	copy(slot.docs[:n], docs[:n])
 	copy(slot.tfs[:n], tfs[:n])
 	c.index[k] = int32(s)
+}
+
+// warmPut inserts a decoded block into a free slot, or reports false
+// when none remains. Warming never evicts: a compaction pre-filling the
+// cache with the merged segment's blocks must not displace entries that
+// live queries put there, so it only claims capacity nothing else is
+// using. A concurrent insert of the same key wins benignly.
+func (c *BlockCache) warmPut(k cacheKey, docs *[BlockSize]corpus.DocID, tfs *[BlockSize]int32, n int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.index[k]; ok {
+		return true
+	}
+	if c.free == 0 {
+		return false
+	}
+	// Sweep from the CLOCK hand without moving it: the hand's position
+	// encodes eviction fairness for real puts and warming must not
+	// perturb it.
+	s := c.hand
+	for c.slots[s].used {
+		s++
+		if s == len(c.slots) {
+			s = 0
+		}
+	}
+	slot := &c.slots[s]
+	slot.key = k
+	slot.used = true
+	slot.ref = true
+	slot.n = int32(n)
+	copy(slot.docs[:n], docs[:n])
+	copy(slot.tfs[:n], tfs[:n])
+	c.index[k] = int32(s)
+	c.free--
+	return true
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness and

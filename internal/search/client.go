@@ -46,6 +46,11 @@ type Client struct {
 	// mutation endpoints (AddDocuments, DeleteDocument); required when
 	// the server was started with an admin token.
 	AdminToken string
+	// Retry bounds automatic retries of transient transport errors
+	// (connection refused/reset) on submissions and mutations. The zero
+	// value — the default — retries nothing; the cluster router's shard
+	// client enables a small budget. See RetryPolicy.
+	Retry RetryPolicy
 	// Jitter, when positive, inserts a uniform random delay up to this
 	// duration before each query submission. Submitting a whole cycle
 	// back-to-back leaves a timing signature (υ requests in one burst);
@@ -173,12 +178,14 @@ func (c *Client) SubmitBatch(ctx context.Context, queries [][]string) ([]SearchR
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/search/batch", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpc.Do(req)
+	resp, err := c.Retry.Do(c.httpc, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/search/batch", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +217,14 @@ func (c *Client) submit(terms []string) ([]SearchHit, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.httpc.Post(c.baseURL+"/search", "application/json", bytes.NewReader(body))
+	resp, err := c.Retry.Do(c.httpc, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, c.baseURL+"/search", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -244,13 +258,15 @@ func (c *Client) AddDocuments(docs []corpus.Document) ([]corpus.DocID, error) {
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequest(http.MethodPost, c.baseURL+"/index", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	c.authorize(req)
-	resp, err := c.httpc.Do(req)
+	resp, err := c.Retry.Do(c.httpc, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, c.baseURL+"/index", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		c.authorize(req)
+		return req, nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -269,12 +285,14 @@ func (c *Client) AddDocuments(docs []corpus.Document) ([]corpus.DocID, error) {
 // DeleteDocument tombstones one document on a live server
 // (DELETE /doc/{id}).
 func (c *Client) DeleteDocument(id corpus.DocID) error {
-	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/doc/%d", c.baseURL, id), nil)
-	if err != nil {
-		return err
-	}
-	c.authorize(req)
-	resp, err := c.httpc.Do(req)
+	resp, err := c.Retry.Do(c.httpc, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/doc/%d", c.baseURL, id), nil)
+		if err != nil {
+			return nil, err
+		}
+		c.authorize(req)
+		return req, nil
+	})
 	if err != nil {
 		return err
 	}

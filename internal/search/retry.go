@@ -1,0 +1,91 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"syscall"
+	"time"
+)
+
+// RetryPolicy bounds automatic retries of transient transport failures
+// — connection refused or reset, the failures a restarting or briefly
+// overloaded server produces. The zero value retries nothing, which is
+// the Client default: ordinary clients surface the first error, while a
+// scatter-gather router enables a small budget so one dropped
+// connection does not degrade a whole cycle.
+//
+// Only transport errors are retried, never HTTP status codes: a
+// response, even a 5xx, means the request may have executed, and
+// replaying a mutation on that evidence would double-apply it.
+type RetryPolicy struct {
+	// Max is the number of retries after the initial attempt.
+	Max int
+	// Base is the first backoff delay, doubling per retry (32ms when
+	// zero with Max > 0).
+	Base time.Duration
+	// MaxDelay caps the grown delay (1s when zero).
+	MaxDelay time.Duration
+}
+
+// TransientError reports whether err is a transport failure worth
+// retrying: the connection never carried a response (refused, reset,
+// broken pipe), so the request provably did not execute on the server.
+// Context cancellation and deadline expiry are never transient — the
+// caller gave up, retrying would outlive its budget.
+func TransientError(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE)
+}
+
+// Do executes build-then-send up to 1+Max times, backing off
+// exponentially with jitter between attempts. build constructs a fresh
+// request each attempt — a consumed request body cannot be resent. The
+// request's context bounds the whole loop, backoff waits included.
+func (p RetryPolicy) Do(httpc *http.Client, build func() (*http.Request, error)) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := httpc.Do(req)
+		if err == nil || attempt >= p.Max || !TransientError(err) {
+			return resp, err
+		}
+		delay := p.delay(attempt)
+		select {
+		case <-req.Context().Done():
+			return nil, err
+		case <-time.After(delay):
+		}
+	}
+}
+
+// delay computes the backoff before retry #attempt: Base doubled per
+// attempt, capped at MaxDelay, with the upper half jittered so a fleet
+// of clients retrying the same blip does not re-synchronize into a
+// thundering herd.
+func (p RetryPolicy) delay(attempt int) time.Duration {
+	base := p.Base
+	if base <= 0 {
+		base = 32 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = time.Second
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > maxd {
+		d = maxd
+	}
+	half := int64(d / 2)
+	return time.Duration(half + rand.Int63n(half+1))
+}

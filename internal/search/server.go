@@ -111,6 +111,14 @@ type SearchResponse struct {
 	// set "trace": true and the backend supports tracing. Batch members
 	// served by a shared traversal all carry the same cycle-level trace.
 	Trace *telemetry.PhaseTrace `json:"trace,omitempty"`
+	// Degraded reports that a distributed backend assembled the hits
+	// without every shard (one was down or missed its deadline), so the
+	// ranking covers the surviving shards only. Single-node servers
+	// never set it.
+	Degraded bool `json:"degraded,omitempty"`
+	// Shards is the per-shard outcome of a scatter-gather execution,
+	// present only from a router backend.
+	Shards []vsm.ShardStatus `json:"shards,omitempty"`
 }
 
 // BatchSearchRequest is the POST /search/batch payload: one
@@ -154,11 +162,12 @@ type Server struct {
 	// and *segment.Store do); it powers execution stats, context
 	// cancellation and POST /search/batch. Legacy backends fall back
 	// to the Searcher methods and get neither.
-	reqs  vsm.RequestSearcher
-	modal ModeSearcher // non-nil when engine supports per-request exec modes
-	live  LiveIndex    // non-nil when engine supports mutation
-	docs  []corpus.Document
-	mux   *http.ServeMux
+	reqs   vsm.RequestSearcher
+	modal  ModeSearcher  // non-nil when engine supports per-request exec modes
+	live   LiveIndex     // non-nil when engine supports mutation
+	titles titleProvider // non-nil when engine resolves titles directly
+	docs   []corpus.Document
+	mux    *http.ServeMux
 
 	// adminToken, when non-empty, gates the mutation endpoints behind
 	// an Authorization: Bearer header. Set before serving.
@@ -215,6 +224,9 @@ func NewServer(engine vsm.Searcher, docs []corpus.Document) (*Server, error) {
 	if reqs, ok := engine.(vsm.RequestSearcher); ok {
 		s.reqs = reqs
 	}
+	if titles, ok := engine.(titleProvider); ok {
+		s.titles = titles
+	}
 	s.initTelemetry()
 	s.mux.Handle("/search", s.instrument("/search", s.handleSearch))
 	s.mux.Handle("/search/batch", s.instrument("/search/batch", s.handleSearchBatch))
@@ -224,6 +236,15 @@ func NewServer(engine vsm.Searcher, docs []corpus.Document) (*Server, error) {
 	s.mux.Handle("/metrics", s.instrument("/metrics", s.handleMetrics))
 	s.mux.Handle("/debug/traces", s.instrument("/debug/traces", s.handleTraces))
 	return s, nil
+}
+
+// Handle mounts an additional instrumented route on the server's mux —
+// the seam a cluster shard or router uses to expose its wire endpoints
+// (/cluster/...) alongside the standard search surface, inheriting the
+// same request/error/inflight accounting. Mount before serving.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	route := strings.TrimRight(pattern, "/")
+	s.mux.Handle(pattern, s.instrument(route, h.ServeHTTP))
 }
 
 // SetQueryLogCap bounds the query log to the most recent n entries
@@ -331,30 +352,38 @@ func (s *Server) decodeQuery(req *SearchRequest) (vsm.Request, error) {
 // offers: the structured RequestSearcher (stats, cancellation) or the
 // legacy Searcher methods.
 func (s *Server) execute(ctx context.Context, req *SearchRequest, vreq vsm.Request) (SearchResponse, error) {
-	var (
-		results []vsm.Result
-		stats   *vsm.ExecStats
-		trace   *telemetry.PhaseTrace
-	)
+	var results []vsm.Result
 	switch {
 	case s.reqs != nil:
 		vresp, err := s.reqs.SearchRequest(ctx, vreq)
 		if err != nil {
 			return SearchResponse{}, err
 		}
-		results, stats, trace = vresp.Hits, &vresp.Stats, vresp.Trace
+		return s.toSearchResponse(&vresp), nil
 	case req.Exec != "":
 		results = s.modal.SearchMode(vreq.Query, vreq.K, vreq.Mode)
 	default:
 		results = s.engine.Search(vreq.Query, vreq.K)
 	}
-	return s.toSearchResponse(results, stats, trace), nil
+	return s.toSearchResponse(&vsm.Response{Hits: results}), nil
 }
 
-// toSearchResponse shapes engine hits into the wire form, resolving
-// titles — the one conversion both the single and batch endpoints use.
-func (s *Server) toSearchResponse(results []vsm.Result, stats *vsm.ExecStats, trace *telemetry.PhaseTrace) SearchResponse {
-	resp := SearchResponse{Hits: make([]SearchHit, len(results)), Stats: stats, Trace: trace}
+// toSearchResponse shapes an engine response into the wire form,
+// resolving titles — the one conversion both the single and batch
+// endpoints use. Degradation state (a routed backend's partial-failure
+// signal) passes through untouched.
+func (s *Server) toSearchResponse(vresp *vsm.Response) SearchResponse {
+	results := vresp.Hits
+	resp := SearchResponse{
+		Hits:     make([]SearchHit, len(results)),
+		Trace:    vresp.Trace,
+		Degraded: vresp.Degraded,
+		Shards:   vresp.Shards,
+	}
+	if s.reqs != nil {
+		stats := vresp.Stats
+		resp.Stats = &stats
+	}
 	for i, res := range results {
 		hit := SearchHit{Doc: res.Doc, Score: res.Score}
 		if title, ok := s.title(res.Doc); ok {
@@ -447,7 +476,7 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		for i := range vresps {
-			resp.Responses[i] = s.toSearchResponse(vresps[i].Hits, &vresps[i].Stats, vresps[i].Trace)
+			resp.Responses[i] = s.toSearchResponse(&vresps[i])
 		}
 		writeJSON(w, resp)
 		return
@@ -464,7 +493,19 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// titleProvider is the optional title-resolution surface for backends
+// that know display titles without holding full documents — a router
+// resolves titles from its ingest-time cache rather than a local store.
+// Checked before LiveIndex.Doc, which would force a full document
+// lookup per hit.
+type titleProvider interface {
+	Title(id corpus.DocID) (string, bool)
+}
+
 func (s *Server) title(id corpus.DocID) (string, bool) {
+	if s.titles != nil {
+		return s.titles.Title(id)
+	}
 	if s.live != nil {
 		if doc, ok := s.live.Doc(id); ok {
 			return doc.Title, true
@@ -573,12 +614,48 @@ type StatsResponse struct {
 	index.Stats
 	QueryLog QueryLogStats     `json:"querylog"`
 	Cache    *index.CacheStats `json:"cache,omitempty"`
+	// Cluster aggregates per-shard health when the backend is a
+	// scatter-gather router; nil on single-node servers.
+	Cluster *ClusterHealth `json:"cluster,omitempty"`
 }
 
 // cacheStatsProvider is implemented by backends with a decoded-block
 // cache (segment.Store); ok reports whether one is configured.
 type cacheStatsProvider interface {
 	CacheStats() (index.CacheStats, bool)
+}
+
+// ShardHealth is one shard's aggregate health as the router sees it,
+// surfaced through GET /stats so topprivctl -stats shows cluster state.
+type ShardHealth struct {
+	// Shard is the shard's base URL.
+	Shard string `json:"shard"`
+	// Up reports whether the shard's last exchange succeeded.
+	Up bool `json:"up"`
+	// Docs is the shard's live document count at its last stats report.
+	Docs int `json:"docs"`
+	// LastError is the most recent failure, empty while healthy.
+	LastError string `json:"last_error,omitempty"`
+	// Requests and Errors count this shard's exchanges since router start.
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	// P99Millis is the 99th-percentile round-trip latency over the
+	// router's recent-sample window, in milliseconds (0 until sampled).
+	P99Millis float64 `json:"p99_ms"`
+}
+
+// ClusterHealth aggregates the router's view of its shards.
+type ClusterHealth struct {
+	Shards []ShardHealth `json:"shards"`
+	// Degraded counts queries answered without every shard.
+	Degraded uint64 `json:"degraded_queries"`
+}
+
+// ClusterHealthProvider is implemented by a routing backend that can
+// report per-shard health (the cluster router); single-node backends
+// do not implement it.
+type ClusterHealthProvider interface {
+	ClusterHealth() ClusterHealth
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -596,6 +673,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if cs, ok := cp.CacheStats(); ok {
 			resp.Cache = &cs
 		}
+	}
+	if hp, ok := s.engine.(ClusterHealthProvider); ok {
+		ch := hp.ClusterHealth()
+		resp.Cluster = &ch
 	}
 	writeJSON(w, resp)
 }

@@ -181,44 +181,57 @@ func (st *Store) compactRun(start, end int) (*seg, error) {
 	merged.AttachCache(st.cache)
 
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	// Only this goroutine restructures the stack (single compactor;
-	// Compact serializes with it through the same lock ordering), and
-	// seals only append, so the run is still at [start, end). Verify
-	// anyway — bail out rather than corrupt the stack.
-	if end > len(st.segs) {
-		return nil, fmt.Errorf("segment: stack changed during compaction")
-	}
-	for i, sg := range parts {
-		if st.segs[start+i] != sg {
-			return nil, fmt.Errorf("segment: stack changed during compaction")
+	err = func() error {
+		// Only this goroutine restructures the stack (single compactor;
+		// Compact serializes with it through the same lock ordering), and
+		// seals only append, so the run is still at [start, end). Verify
+		// anyway — bail out rather than corrupt the stack.
+		if end > len(st.segs) {
+			return fmt.Errorf("segment: stack changed during compaction")
 		}
-	}
-	// Deletes that landed while merging: the doc survived into the
-	// merged segment but is now dead. Stats were already adjusted by
-	// Delete; only the tombstone bit must carry over.
-	for i, sg := range parts {
-		for d := range sg.dead {
-			if sg.dead[d] && !deadSnap[i][d] {
-				if nd := remap[i][d]; nd != index.DroppedDoc {
-					out.dead[nd] = true
-					out.live--
+		for i, sg := range parts {
+			if st.segs[start+i] != sg {
+				return fmt.Errorf("segment: stack changed during compaction")
+			}
+		}
+		// Deletes that landed while merging: the doc survived into the
+		// merged segment but is now dead. Stats were already adjusted by
+		// Delete; only the tombstone bit must carry over.
+		for i, sg := range parts {
+			for d := range sg.dead {
+				if sg.dead[d] && !deadSnap[i][d] {
+					if nd := remap[i][d]; nd != index.DroppedDoc {
+						out.dead[nd] = true
+						out.live--
+					}
 				}
 			}
 		}
+		stack := make([]*seg, 0, len(st.segs)-(end-start)+1)
+		stack = append(stack, st.segs[:start]...)
+		stack = append(stack, out)
+		stack = append(stack, st.segs[end:]...)
+		st.segs = stack
+		// Purge the retired parts' block-cache entries. Do NOT unmap them:
+		// a Save snapshot may still be serializing these indexes without
+		// the store lock — the mapping finalizer reclaims them once no
+		// reference remains.
+		for _, sg := range parts {
+			sg.idx.DropCache()
+		}
+		return nil
+	}()
+	st.mu.Unlock()
+	if err != nil {
+		return nil, err
 	}
-	stack := make([]*seg, 0, len(st.segs)-(end-start)+1)
-	stack = append(stack, st.segs[:start]...)
-	stack = append(stack, out)
-	stack = append(stack, st.segs[end:]...)
-	st.segs = stack
-	// Purge the retired parts' block-cache entries. Do NOT unmap them:
-	// a Save snapshot may still be serializing these indexes without
-	// the store lock — the mapping finalizer reclaims them once no
-	// reference remains.
-	for _, sg := range parts {
-		sg.idx.DropCache()
-	}
+	// Populate-on-compact: the retired parts' entries just freed their
+	// slots, and the merge already paid to read every surviving posting —
+	// refill the free capacity with the merged segment's blocks so the
+	// first queries after a compaction hit a warm cache instead of
+	// re-decoding. Outside the lock: warming is pure cache population and
+	// searches may proceed against the new stack meanwhile.
+	merged.WarmCache()
 	st.compactRuns.Add(1)
 	st.compactNanos.Add(time.Since(began).Nanoseconds())
 	return out, nil

@@ -1,11 +1,9 @@
 package segment
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -520,7 +518,7 @@ func (st *Store) SearchBatch(ctx context.Context, reqs []vsm.Request) ([]vsm.Res
 			lists[i] = outs[i].resps[j].Hits
 			resps[j].Stats.Add(outs[i].resps[j].Stats)
 		}
-		resps[j].Hits = mergeTopK(lists, prepared[j].K)
+		resps[j].Hits = vsm.MergeTopK(lists, prepared[j].K)
 	}
 	bt.mark(&bt.merge)
 	st.finishBatch(&bt, prepared, resps)
@@ -609,59 +607,28 @@ func (st *Store) SearchTermsExec(terms []string, k int, mode vsm.ExecMode, stats
 	return resp.Hits
 }
 
-// mergeTopK merges per-shard top-k lists into the global top-k with a
-// size-bounded min-heap. Ties break by ascending global doc ID, the
-// same rule vsm uses, so segmented and single-index rankings agree.
-func mergeTopK(lists [][]vsm.Result, k int) []vsm.Result {
-	h := make(minHeap, 0, k+1)
-	heap.Init(&h)
-	for _, list := range lists {
-		for _, r := range list {
-			if len(h) < k {
-				heap.Push(&h, r)
-				continue
-			}
-			if top := h[0]; r.Score > top.Score || (r.Score == top.Score && r.Doc < top.Doc) {
-				heap.Pop(&h)
-				heap.Push(&h, r)
-			}
-		}
-	}
-	out := make([]vsm.Result, len(h))
-	copy(out, h)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Doc < out[j].Doc
-	})
-	return out
-}
-
-// minHeap orders results worst-first (ties: larger doc ID is worse).
-type minHeap []vsm.Result
-
-func (h minHeap) Len() int { return len(h) }
-func (h minHeap) Less(i, j int) bool {
-	if h[i].Score != h[j].Score {
-		return h[i].Score < h[j].Score
-	}
-	return h[i].Doc > h[j].Doc
-}
-func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(vsm.Result)) }
-func (h *minHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
-}
-
 // Scoring returns the store's effective scoring function. After Load
 // this is the manifest's saved scoring, which overrides the config —
 // callers should report this value, not the one they asked for.
 func (st *Store) Scoring() vsm.Scoring { return st.cfg.Scoring }
+
+// LocalStats exports this store's live collection statistics keyed by
+// term string — the shard side of the cluster's global-statistics
+// exchange. Shards have independent vocabularies, so document
+// frequencies cross the wire as strings; the router sums the per-shard
+// tables into the merged N/df/avgdl it injects into every request.
+// Terms whose live df dropped to zero are omitted.
+func (st *Store) LocalStats() (docs int, totalLen int64, df map[string]int) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	df = make(map[string]int, len(st.df))
+	for id, n := range st.df {
+		if n > 0 {
+			df[st.vocab.Term(textproc.TermID(id))] = int(n)
+		}
+	}
+	return st.liveDocs, int64(st.liveLen), df
+}
 
 // NumDocs returns the number of live documents.
 func (st *Store) NumDocs() int {

@@ -143,7 +143,13 @@ func (e *Engine) SearchBatch(ctx context.Context, reqs []Request) ([]Response, e
 			qs := e.states.Get().(*queryState)
 			qs.reset()
 			if e.resolveTerms(qs, terms) {
-				if qnorm := e.weighTerms(qs); qnorm != 0 {
+				qnorm := 0.0
+				if req.Global != nil {
+					qnorm = e.weighTermsGlobal(qs, terms, req.Global)
+				} else {
+					qnorm = e.weighTerms(qs)
+				}
+				if qnorm != 0 {
 					m.qs, m.qnorm, m.live = qs, qnorm, true
 				}
 			}
@@ -163,7 +169,9 @@ func (e *Engine) SearchBatch(ctx context.Context, reqs []Request) ([]Response, e
 	totalPostings := 0
 	for i := range bs.members {
 		m := &bs.members[i]
-		if !m.live || m.req.Mode != ExecAuto || !sharable {
+		// Members with injected global statistics stay member-at-a-time:
+		// the shared traversal reads the source's own avgdl.
+		if !m.live || m.req.Mode != ExecAuto || !sharable || m.req.Global != nil {
 			continue
 		}
 		for j := range m.qs.terms {

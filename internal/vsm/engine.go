@@ -318,7 +318,7 @@ func (e *Engine) SearchRequest(ctx context.Context, req Request) (Response, erro
 	if req.Trace {
 		resp.Trace = &telemetry.PhaseTrace{}
 	}
-	hits, err := e.searchTermsCtx(ctx, terms, req.K, req.Keep, req.Mode, &resp.Stats, resp.Trace)
+	hits, err := e.searchTermsCtx(ctx, terms, req.K, req.Keep, req.Mode, req.Global, &resp.Stats, resp.Trace)
 	if err != nil {
 		return Response{}, err
 	}
@@ -368,7 +368,7 @@ func (e *Engine) SearchMode(query string, k int, mode ExecMode) []Result {
 // this package assert it. Legacy wrapper over the context-aware path;
 // new code should use SearchRequest.
 func (e *Engine) SearchTermsExec(terms []string, k int, keep func(corpus.DocID) bool, mode ExecMode, stats *ExecStats) []Result {
-	res, _ := e.searchTermsCtx(context.Background(), terms, k, keep, mode, stats, nil)
+	res, _ := e.searchTermsCtx(context.Background(), terms, k, keep, mode, nil, stats, nil)
 	return res
 }
 
@@ -377,7 +377,7 @@ func (e *Engine) SearchTermsExec(terms []string, k int, keep func(corpus.DocID) 
 // error is the context's. When the engine is instrumented or the
 // caller wants an inline trace, the phases are timed and the query is
 // closed out through finishQuery.
-func (e *Engine) searchTermsCtx(ctx context.Context, terms []string, k int, keep func(corpus.DocID) bool, mode ExecMode, stats *ExecStats, trace *telemetry.PhaseTrace) ([]Result, error) {
+func (e *Engine) searchTermsCtx(ctx context.Context, terms []string, k int, keep func(corpus.DocID) bool, mode ExecMode, g *GlobalStats, stats *ExecStats, trace *telemetry.PhaseTrace) ([]Result, error) {
 	if k <= 0 || len(terms) == 0 {
 		return nil, nil
 	}
@@ -396,7 +396,12 @@ func (e *Engine) searchTermsCtx(ctx context.Context, terms []string, k int, keep
 	if !e.resolveTerms(qs, terms) {
 		return nil, nil
 	}
-	qnorm := e.weighTerms(qs)
+	qnorm := 0.0
+	if g != nil {
+		qnorm = e.weighTermsGlobal(qs, terms, g)
+	} else {
+		qnorm = e.weighTerms(qs)
+	}
 	if qnorm == 0 {
 		return nil, nil
 	}

@@ -425,6 +425,91 @@ func (e *Engine) weighTerms(qs *queryState) float64 {
 	}
 }
 
+// weighTermsGlobal is weighTerms with the collection statistics (N,
+// df, avgdl) replaced by cluster-merged values from a router. Postings,
+// norms and impact bounds stay shard-local; only the query-side weights
+// change, so every shard of a scatter-gather cycle scores exactly as a
+// single index over the whole cluster would. terms is the wire-order
+// request bag that g.DF aligns with.
+//
+// The cosine query norm is computed over the wire-order bag — including
+// terms this shard's dictionary lacks but other shards hold — so all
+// shards derive the same norm from the same inputs in the same order.
+func (e *Engine) weighTermsGlobal(qs *queryState, terms []string, g *GlobalStats) float64 {
+	n := float64(g.Docs)
+	// Collapse the aligned (term, df) pairs to one df per distinct term
+	// string; repeated terms carry repeated df values.
+	gdf := make(map[string]int, len(terms))
+	for i, term := range terms {
+		if _, ok := gdf[term]; !ok {
+			gdf[term] = g.DF[i]
+		}
+	}
+	vocab := e.src.Vocab()
+	switch e.scoring {
+	case BM25:
+		if g.Docs == 0 {
+			return 0
+		}
+		qs.avgLen = float64(g.TotalLen) / float64(g.Docs)
+		for i := range qs.terms {
+			t := &qs.terms[i]
+			df := float64(gdf[vocab.Term(t.id)])
+			if df == 0 {
+				t.w = 0
+				continue
+			}
+			t.w = math.Log(1 + (n-df+0.5)/(df+0.5))
+			if e.impacts != nil {
+				t.ub = t.w * e.impacts.MaxBM25Impact(t.id)
+			}
+		}
+		return 1
+	default: // Cosine
+		// Wire-order norm: dedup by term string in first-occurrence
+		// order, qtf = occurrence count, weight from the merged df. This
+		// mirrors what a single engine computes over its resolved bag up
+		// to summation order.
+		qnorm := 0.0
+		seen := make(map[string]bool, len(terms))
+		for i, term := range terms {
+			if seen[term] {
+				continue
+			}
+			seen[term] = true
+			df := gdf[term]
+			if df == 0 {
+				continue
+			}
+			qtf := 0
+			for _, t2 := range terms[i:] {
+				if t2 == term {
+					qtf++
+				}
+			}
+			w := (1 + math.Log(float64(qtf))) * math.Log(1+n/float64(df))
+			qnorm += w * w
+		}
+		qnorm = math.Sqrt(qnorm)
+		if qnorm == 0 {
+			return 0
+		}
+		for i := range qs.terms {
+			t := &qs.terms[i]
+			df := gdf[vocab.Term(t.id)]
+			if df == 0 {
+				t.w = 0
+				continue
+			}
+			t.w = (1 + math.Log(float64(t.qtf))) * math.Log(1+n/float64(df))
+			if e.impacts != nil {
+				t.ub = t.w * e.impacts.MaxCosImpact(t.id) / qnorm
+			}
+		}
+		return qnorm
+	}
+}
+
 // cancelStride is how many postings (exhaustive) or candidates
 // (pruned modes) are processed between context polls — a few blocks'
 // worth of work, so cancellation lands between blocks without a

@@ -41,6 +41,31 @@ type Request struct {
 	// costs a handful of monotonic clock reads. The trace carries no
 	// query content — term count and work counters only.
 	Trace bool
+	// Global, when non-nil, overrides the collection statistics this
+	// request scores with: a scatter-gather router injects the merged
+	// statistics of the whole cluster so every shard scores exactly as
+	// a single index over all documents would, while postings, norms
+	// and impact bounds stay shard-local. Requires Terms (DF aligns
+	// with it); in-process engines and stores leave it nil.
+	Global *GlobalStats
+}
+
+// GlobalStats carries cluster-merged collection statistics for one
+// request — the distributed form of the segment store's global-
+// statistics discipline (store-wide N, df, avgdl over shard-local
+// postings). The router computes them from the shards' reported local
+// statistics; every shard of a cycle receives the identical struct, so
+// query-side weights and the cosine query norm agree across shards and
+// the merged ranking equals a single-node build's.
+type GlobalStats struct {
+	// Docs is the merged live document count N.
+	Docs int `json:"docs"`
+	// TotalLen is the merged analyzed token count; the scorer derives
+	// avgdl as TotalLen/Docs, the same division a single index performs.
+	TotalLen int64 `json:"total_len"`
+	// DF aligns with Request.Terms: DF[i] is the merged live document
+	// frequency of Terms[i] (repeated terms repeat their df).
+	DF []int `json:"df"`
 }
 
 // Validate rejects malformed requests. Empty queries are not an
@@ -51,6 +76,17 @@ type Request struct {
 func (r *Request) Validate() error {
 	if r.K <= 0 {
 		return fmt.Errorf("vsm: request k = %d, must be positive", r.K)
+	}
+	if g := r.Global; g != nil {
+		if r.Terms == nil {
+			return fmt.Errorf("vsm: global stats require pre-analyzed Terms")
+		}
+		if len(g.DF) != len(r.Terms) {
+			return fmt.Errorf("vsm: global df has %d entries for %d terms", len(g.DF), len(r.Terms))
+		}
+		if g.Docs < 0 || g.TotalLen < 0 {
+			return fmt.Errorf("vsm: negative global stats")
+		}
 	}
 	return nil
 }
@@ -70,6 +106,25 @@ type Response struct {
 	// receive the cycle-level trace (Batch > 0) since their phases
 	// cannot be attributed individually.
 	Trace *telemetry.PhaseTrace
+	// Degraded reports that a distributed deployment assembled these
+	// hits without every shard: at least one shard was down or missed
+	// its deadline, so the ranking covers the surviving shards only.
+	// Always false from in-process engines and stores.
+	Degraded bool
+	// Shards is the per-shard outcome of a scatter-gather execution,
+	// populated by a router (nil everywhere else) so callers can tell
+	// exactly which part of the corpus a degraded response is missing.
+	Shards []ShardStatus
+}
+
+// ShardStatus is one shard's outcome within a routed response.
+type ShardStatus struct {
+	// Shard is the shard's base URL.
+	Shard string `json:"shard"`
+	// OK reports whether the shard answered within its deadline.
+	OK bool `json:"ok"`
+	// Err is the failure, present when OK is false.
+	Err string `json:"err,omitempty"`
 }
 
 // RequestSearcher is the structured query surface shared by the static

@@ -33,6 +33,7 @@ import (
 
 	"toppriv/internal/baseline"
 	"toppriv/internal/belief"
+	"toppriv/internal/cluster"
 	"toppriv/internal/core"
 	"toppriv/internal/corpus"
 	"toppriv/internal/index"
@@ -97,6 +98,20 @@ type (
 	Request = vsm.Request
 	// Response is the ranked hits plus execution stats for one Request.
 	Response = vsm.Response
+	// RetryPolicy bounds transport retries on transient connection
+	// errors (used by the trusted client and the cluster router).
+	RetryPolicy = search.RetryPolicy
+	// ClusterConfig parameterizes a scatter-gather router over shard
+	// servers.
+	ClusterConfig = cluster.Config
+	// ClusterRouter fans each query cycle out across shard servers,
+	// injecting cluster-merged collection statistics so the merged
+	// ranking is score-identical to a single index, and degrading
+	// gracefully when shards fail.
+	ClusterRouter = cluster.Router
+	// ClusterShard serves one slice of the corpus to a router over the
+	// /cluster/* wire schema.
+	ClusterShard = cluster.Shard
 )
 
 // Query-execution modes, re-exported from the engine.
@@ -115,6 +130,17 @@ const (
 
 // DefaultPrivacyParams returns the paper's defaults: ε1 = 5%, ε2 = 1%.
 func DefaultPrivacyParams() PrivacyParams { return core.DefaultParams() }
+
+// NewClusterRouter connects a scatter-gather router to running shard
+// servers. The router offers the same surfaces a live store does
+// (search, mutation, stats, titles), so search.NewServer hosts it
+// unchanged and clients cannot tell a cluster from a single node —
+// except for the Degraded flag when part of the corpus is unavailable.
+func NewClusterRouter(cfg ClusterConfig) (*ClusterRouter, error) { return cluster.New(cfg) }
+
+// NewClusterShard wraps a live store in the shard wire surface; mount
+// it on the store's search server (Shard.Mount) to serve a router.
+func NewClusterShard(store *segment.Store) *ClusterShard { return cluster.NewShard(store) }
 
 // ServiceSpec configures NewService.
 type ServiceSpec struct {
