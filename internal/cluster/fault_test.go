@@ -354,6 +354,94 @@ func TestClusterRetryRidesOutFlakyShard(t *testing.T) {
 	}
 }
 
+// TestClusterPartialIngestBurnsGidRange: when one shard rejects its
+// slice of an Add after another shard already accepted, the failed
+// batch's gid range must be burned — a fresh Add assigns strictly
+// higher gids. Reusing the range would bind the same gid to different
+// documents: the shard that accepted would silently skip the replayed
+// gids (idempotency check) while other shards indexed the new
+// documents under them.
+func TestClusterPartialIngestBurnsGidRange(t *testing.T) {
+	var failIngest atomic.Bool
+	tc := newTestCluster(t, vsm.Cosine, 2, Config{})
+	inner := tc.servers[1]
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failIngest.Load() && r.URL.Path == "/cluster/index" {
+			http.Error(w, "injected ingest failure", http.StatusInternalServerError)
+			return
+		}
+		proxyTo(t, inner.URL, w, r)
+	}))
+	defer proxy.Close()
+	r, err := New(Config{
+		Shards:   []string{tc.servers[0].URL, proxy.URL},
+		Analyzer: textproc.NewAnalyzer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	docs := synthDocs(t, 40, 21)
+	base, err := r.Add(docs[:4]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The failed batch must straddle both shards: shard 0 has to accept
+	// part of it (so its gids get mapped) and the proxied shard 1 has to
+	// own part of it (so the injected failure fires at all).
+	failed := docs[4:20]
+	burnedTop := base[len(base)-1] + corpus.DocID(len(failed))
+	owned := [2]int{}
+	for gid := base[len(base)-1] + 1; gid <= burnedTop; gid++ {
+		owned[r.ring.place(gid)]++
+	}
+	if owned[0] == 0 || owned[1] == 0 {
+		t.Fatalf("degenerate placement: failed range splits %d/%d across the shards", owned[0], owned[1])
+	}
+
+	failIngest.Store(true)
+	if _, err := r.Add(failed...); err == nil {
+		t.Fatal("partial ingest did not error")
+	}
+	failIngest.Store(false)
+
+	fresh, err := r.Add(docs[20:]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh[0] <= burnedTop {
+		t.Fatalf("fresh Add reused gid %d from the failed range (burned through %d)", fresh[0], burnedTop)
+	}
+	// Every fresh gid must resolve to exactly the document it was
+	// assigned to — no silent idempotency drops, no cross-shard aliasing.
+	for i, gid := range fresh {
+		got, ok := r.Doc(gid)
+		if !ok {
+			t.Fatalf("gid %d reported ingested but not fetchable", gid)
+		}
+		if got.Text != docs[20+i].Text {
+			t.Fatalf("gid %d names the wrong document", gid)
+		}
+	}
+	// A router restarted against these shards resumes above everything
+	// any shard has mapped, burned holes included.
+	r2, err := New(Config{
+		Shards:   []string{tc.servers[0].URL, proxy.URL},
+		Analyzer: textproc.NewAnalyzer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := r2.Add(docs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] <= fresh[len(fresh)-1] {
+		t.Fatalf("restarted router assigned gid %d at or below high-water %d", again[0], fresh[len(fresh)-1])
+	}
+}
+
 // TestClusterMetricsExposition: EnableMetrics registers the per-shard
 // health families and they appear in the text exposition.
 func TestClusterMetricsExposition(t *testing.T) {

@@ -32,6 +32,12 @@ type Config struct {
 	// and the survivors' merged results return with Degraded set.
 	// Defaults to 2s.
 	Deadline time.Duration
+	// MutationDeadline bounds one shard's ingest or delete exchange,
+	// retries included. Mutations serialize under the router's ingest
+	// lock, so without a deadline one hung shard would stall every
+	// subsequent mutation forever. Defaults to 5× Deadline — mutations
+	// tolerate more latency than a query cycle, but not infinity.
+	MutationDeadline time.Duration
 	// Retry is the per-shard transport retry budget. The zero value
 	// retries nothing; a Max of 1–2 rides out a shard restart's
 	// connection resets without inflating tail latency.
@@ -60,11 +66,12 @@ type Config struct {
 // shard's last-known table keeps contributing, so the survivors'
 // scores during degradation equal their non-degraded values.
 type Router struct {
-	shards   []*shardConn
-	ring     *ring
-	an       *textproc.Analyzer
-	scoring  string
-	deadline time.Duration
+	shards      []*shardConn
+	ring        *ring
+	an          *textproc.Analyzer
+	scoring     string
+	deadline    time.Duration
+	mutDeadline time.Duration
 
 	// ingestMu serializes mutations: gid assignment must be sequential
 	// and each shard must receive its documents in ascending gid order.
@@ -244,6 +251,9 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Deadline <= 0 {
 		cfg.Deadline = 2 * time.Second
 	}
+	if cfg.MutationDeadline <= 0 {
+		cfg.MutationDeadline = 5 * cfg.Deadline
+	}
 	if cfg.HTTPClient == nil {
 		cfg.HTTPClient = http.DefaultClient
 	}
@@ -251,10 +261,11 @@ func New(cfg Config) (*Router, error) {
 		cfg.Analyzer = textproc.NewAnalyzer()
 	}
 	r := &Router{
-		ring:     newRing(cfg.Shards),
-		an:       cfg.Analyzer,
-		deadline: cfg.Deadline,
-		titles:   make(map[corpus.DocID]string),
+		ring:        newRing(cfg.Shards),
+		an:          cfg.Analyzer,
+		deadline:    cfg.Deadline,
+		mutDeadline: cfg.MutationDeadline,
+		titles:      make(map[corpus.DocID]string),
 	}
 	for _, name := range cfg.Shards {
 		r.shards = append(r.shards, &shardConn{
@@ -462,10 +473,14 @@ func (r *Router) SearchMode(query string, k int, mode vsm.ExecMode) []vsm.Result
 // Add ingests documents: sequential global IDs, ring placement, one
 // POST per involved shard with its documents in ascending gid order.
 // Unlike queries, mutations never degrade — a failed shard fails the
-// call, and documents already applied to other shards stay applied
-// (the shard-side ingest is idempotent, so a caller retrying the same
-// logical batch after a transient failure must reuse the returned IDs;
-// retrying via a fresh Add assigns fresh IDs and duplicates).
+// call. The gid range is committed before any shard is contacted: a
+// shard that accepts maps its gids immediately, so after a partial
+// failure the range is spent either way, and reusing it would bind the
+// same gid to different documents (the accepting shard's idempotency
+// check would silently drop the replacements). On error the documents
+// already applied to other shards stay applied under their unreturned
+// gids; retrying via a fresh Add assigns fresh IDs and at worst
+// duplicates content, never corrupts placement.
 func (r *Router) Add(docs ...corpus.Document) ([]corpus.DocID, error) {
 	if len(docs) == 0 {
 		return nil, nil
@@ -482,6 +497,8 @@ func (r *Router) Add(docs ...corpus.Document) ([]corpus.DocID, error) {
 		d.ID = gid
 		perShard[owner] = append(perShard[owner], ingestDoc{Gid: gid, Doc: d})
 	}
+	// Burn the range up front — see the contract above.
+	r.nextGid += corpus.DocID(len(docs))
 	for i, batch := range perShard {
 		if len(batch) == 0 {
 			continue
@@ -492,13 +509,14 @@ func (r *Router) Add(docs ...corpus.Document) ([]corpus.DocID, error) {
 		}
 		c := r.shards[i]
 		var ir ingestResponse
-		if err := c.exchange(context.Background(), http.MethodPost, "/cluster/index", body, &ir); err != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), r.mutDeadline)
+		err = c.exchange(ctx, http.MethodPost, "/cluster/index", body, &ir)
+		cancel()
+		if err != nil {
 			return nil, fmt.Errorf("cluster: ingest to %s: %w", c.name, err)
 		}
 		c.setStats(ir.Stats)
 	}
-	// All shards accepted: commit the gid range and the title cache.
-	r.nextGid += corpus.DocID(len(docs))
 	r.titleMu.Lock()
 	for i, d := range docs {
 		if d.Title != "" {
@@ -515,8 +533,10 @@ func (r *Router) Delete(id corpus.DocID) error {
 		return fmt.Errorf("cluster: no document %d", id)
 	}
 	c := r.shards[r.ring.place(id)]
+	ctx, cancel := context.WithTimeout(context.Background(), r.mutDeadline)
+	defer cancel()
 	var dr deleteResponse
-	err := c.exchange(context.Background(), http.MethodDelete, fmt.Sprintf("/cluster/doc/%d", id), nil, &dr)
+	err := c.exchange(ctx, http.MethodDelete, fmt.Sprintf("/cluster/doc/%d", id), nil, &dr)
 	if err != nil {
 		var se *statusError
 		if errors.As(err, &se) && se.code == http.StatusNotFound {

@@ -46,10 +46,14 @@ type Client struct {
 	// mutation endpoints (AddDocuments, DeleteDocument); required when
 	// the server was started with an admin token.
 	AdminToken string
-	// Retry bounds automatic retries of transient transport errors
-	// (connection refused/reset) on submissions and mutations. The zero
-	// value — the default — retries nothing; the cluster router's shard
-	// client enables a small budget. See RetryPolicy.
+	// Retry bounds automatic retries of transient transport errors. The
+	// zero value — the default — retries nothing; the cluster router's
+	// shard client enables a small budget. Query submissions replay on
+	// any refused or reset connection (they are idempotent); the
+	// mutations (AddDocuments, DeleteDocument) target the single-node
+	// /index surface, which is NOT idempotent, so they replay only
+	// connection-refused failures — the one error proving the server
+	// never saw the request and cannot have applied it. See RetryPolicy.
 	Retry RetryPolicy
 	// Jitter, when positive, inserts a uniform random delay up to this
 	// duration before each query submission. Submitting a whole cycle
@@ -258,7 +262,7 @@ func (c *Client) AddDocuments(docs []corpus.Document) ([]corpus.DocID, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.Retry.Do(c.httpc, func() (*http.Request, error) {
+	resp, err := c.Retry.DoMutation(c.httpc, func() (*http.Request, error) {
 		req, err := http.NewRequest(http.MethodPost, c.baseURL+"/index", bytes.NewReader(body))
 		if err != nil {
 			return nil, err
@@ -285,7 +289,7 @@ func (c *Client) AddDocuments(docs []corpus.Document) ([]corpus.DocID, error) {
 // DeleteDocument tombstones one document on a live server
 // (DELETE /doc/{id}).
 func (c *Client) DeleteDocument(id corpus.DocID) error {
-	resp, err := c.Retry.Do(c.httpc, func() (*http.Request, error) {
+	resp, err := c.Retry.DoMutation(c.httpc, func() (*http.Request, error) {
 		req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/doc/%d", c.baseURL, id), nil)
 		if err != nil {
 			return nil, err

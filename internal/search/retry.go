@@ -18,7 +18,11 @@ import (
 //
 // Only transport errors are retried, never HTTP status codes: a
 // response, even a 5xx, means the request may have executed, and
-// replaying a mutation on that evidence would double-apply it.
+// replaying a mutation on that evidence would double-apply it. Do and
+// DoMutation split the transport errors the same way: Do replays any
+// connection that never carried a response — safe for idempotent
+// calls — while DoMutation replays only connections refused outright,
+// the one failure proving the server never saw the request.
 type RetryPolicy struct {
 	// Max is the number of retries after the initial attempt.
 	Max int
@@ -30,10 +34,14 @@ type RetryPolicy struct {
 }
 
 // TransientError reports whether err is a transport failure worth
-// retrying: the connection never carried a response (refused, reset,
-// broken pipe), so the request provably did not execute on the server.
-// Context cancellation and deadline expiry are never transient — the
-// caller gave up, retrying would outlive its budget.
+// retrying for an idempotent request: the connection never carried a
+// response (refused, reset, broken pipe). A reset or broken pipe does
+// NOT prove the request went unexecuted — the server may have consumed
+// and applied it and only the response was lost — so this predicate is
+// safe only where replaying the request is harmless; non-idempotent
+// mutations must use UnsentError instead. Context cancellation and
+// deadline expiry are never transient — the caller gave up, retrying
+// would outlive its budget.
 func TransientError(err error) bool {
 	if err == nil {
 		return false
@@ -46,18 +54,48 @@ func TransientError(err error) bool {
 		errors.Is(err, syscall.EPIPE)
 }
 
+// UnsentError reports whether err proves the request never reached a
+// server: the dial was refused outright, so nothing was sent and
+// nothing can have executed. The only predicate safe for retrying
+// non-idempotent mutations.
+func UnsentError(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return errors.Is(err, syscall.ECONNREFUSED)
+}
+
 // Do executes build-then-send up to 1+Max times, backing off
-// exponentially with jitter between attempts. build constructs a fresh
-// request each attempt — a consumed request body cannot be resent. The
-// request's context bounds the whole loop, backoff waits included.
+// exponentially with jitter between attempts, retrying any
+// TransientError. Use it only for idempotent requests: a reset may
+// arrive after the server executed the request, and Do will replay.
+// build constructs a fresh request each attempt — a consumed request
+// body cannot be resent. The request's context bounds the whole loop,
+// backoff waits included.
 func (p RetryPolicy) Do(httpc *http.Client, build func() (*http.Request, error)) (*http.Response, error) {
+	return p.do(httpc, build, TransientError)
+}
+
+// DoMutation executes like Do but retries only failures that prove the
+// request never reached a server (UnsentError): resets and broken
+// pipes surface immediately, because the request may already have
+// executed and replaying it against a non-idempotent endpoint would
+// double-apply it.
+func (p RetryPolicy) DoMutation(httpc *http.Client, build func() (*http.Request, error)) (*http.Response, error) {
+	return p.do(httpc, build, UnsentError)
+}
+
+func (p RetryPolicy) do(httpc *http.Client, build func() (*http.Request, error), retriable func(error) bool) (*http.Response, error) {
 	for attempt := 0; ; attempt++ {
 		req, err := build()
 		if err != nil {
 			return nil, err
 		}
 		resp, err := httpc.Do(req)
-		if err == nil || attempt >= p.Max || !TransientError(err) {
+		if err == nil || attempt >= p.Max || !retriable(err) {
 			return resp, err
 		}
 		delay := p.delay(attempt)

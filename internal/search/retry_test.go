@@ -31,6 +31,27 @@ func TestTransientErrorClassification(t *testing.T) {
 	}
 }
 
+func TestUnsentErrorClassification(t *testing.T) {
+	if UnsentError(nil) {
+		t.Error("nil classified unsent")
+	}
+	if UnsentError(context.Canceled) || UnsentError(context.DeadlineExceeded) {
+		t.Error("context errors must not be unsent")
+	}
+	wrapped := fmt.Errorf("Post %q: %w", "http://x", &net.OpError{Op: "dial", Err: syscall.ECONNREFUSED})
+	if !UnsentError(wrapped) {
+		t.Error("wrapped ECONNREFUSED not unsent")
+	}
+	// A reset can arrive after the server executed the request and lost
+	// only the response — it proves nothing about execution.
+	if UnsentError(&net.OpError{Op: "read", Err: syscall.ECONNRESET}) {
+		t.Error("ECONNRESET classified unsent")
+	}
+	if UnsentError(&net.OpError{Op: "write", Err: syscall.EPIPE}) {
+		t.Error("EPIPE classified unsent")
+	}
+}
+
 // flakyListener RST-kills the first n accepted connections, then serves
 // normally — the shape of a server mid-restart.
 type flakyListener struct {
@@ -84,6 +105,61 @@ func TestRetryDoRecoversFromResets(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d after recovery", resp.StatusCode)
+	}
+}
+
+// TestDoMutationNeverReplaysResets: a reset mid-exchange may follow
+// server-side execution, so DoMutation must surface it on the first
+// attempt even with budget left — replaying could double-apply.
+func TestDoMutationNeverReplaysResets(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyListener{Listener: inner}
+	fl.kills.Store(1)
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})}
+	go srv.Serve(fl)
+	defer srv.Close()
+
+	url := "http://" + inner.Addr().String() + "/"
+	builds := 0
+	p := RetryPolicy{Max: 3, Base: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	_, err = p.DoMutation(http.DefaultClient, func() (*http.Request, error) {
+		builds++
+		return http.NewRequest(http.MethodPost, url, nil)
+	})
+	if err == nil {
+		t.Fatal("reset did not surface through DoMutation")
+	}
+	if builds != 1 {
+		t.Fatalf("DoMutation made %d attempts on a reset, want 1", builds)
+	}
+}
+
+// TestDoMutationRetriesRefused: a refused dial proves the server never
+// saw the request, so mutations may safely ride out a restart window.
+func TestDoMutationRetriesRefused(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	builds := 0
+	p := RetryPolicy{Max: 2, Base: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	_, err = p.DoMutation(http.DefaultClient, func() (*http.Request, error) {
+		builds++
+		return http.NewRequest(http.MethodPost, "http://"+addr+"/", nil)
+	})
+	if err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+	if builds != 3 {
+		t.Fatalf("made %d attempts, want 1+Max = 3", builds)
 	}
 }
 
