@@ -26,14 +26,22 @@
 // listener, and -pprof mounts net/http/pprof there too.
 //
 // The distributed tier reuses this one binary in two more modes. With
-// -shard the process serves one slice of the corpus: a live in-memory
-// store plus the /cluster/* wire endpoints (batch search with injected
-// global statistics, stats export, gid-addressed ingest and delete)
-// that a router drives; it starts empty and receives documents only by
-// router placement. With -router -shards=u1,u2,... the process holds
-// no index at all: it scatter-gathers every query cycle across the
-// shards, merges top-k, degrades gracefully when shards fail, and
-// serves the standard /search surface unchanged.
+// -shard the process serves one slice of the corpus: a live store plus
+// the /cluster/* wire endpoints (batch search with injected global
+// statistics, stats export, gid-addressed ingest and delete) that a
+// router drives; it receives documents only by router placement, and
+// with -data it persists the store, the gid mapping, and the applied
+// journal sequence so a restart — graceful or kill -9 — recovers
+// without losing anything saved. With -router -shards=u1,u2,... the
+// process holds no index at all: it scatter-gathers every query cycle
+// across the shards, merges top-k, degrades gracefully when shards
+// fail, and serves the standard /search surface unchanged. Adding
+// -journal gives the router a durable placement journal: mutations are
+// acknowledged once fsynced there, a health loop re-drives anything a
+// crashed or rebooted shard missed, and a router restart replays its
+// placement state from disk. SIGINT/SIGTERM drains all modes the same
+// way: in-flight requests finish, then shards flush and save, routers
+// fsync and compact the journal.
 //
 // Usage:
 //
@@ -42,7 +50,9 @@
 //	searchd -live -data ./idx -mmap -cache-bytes 8388608 -addr :8080
 //	searchd -corpus corpus.json -addr :8080 -metrics-addr 127.0.0.1:9090 -pprof
 //	searchd -shard -addr :8081 [-bm25]
+//	searchd -shard -data ./shard0 -addr :8081
 //	searchd -router -shards=http://h1:8081,http://h2:8081 -addr :8080
+//	searchd -router -shards=... -journal ./journal -addr :8080
 package main
 
 import (
@@ -91,11 +101,14 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "also serve GET /metrics and /debug/traces on a separate admin listener at this address")
 		pprofFlag   = flag.Bool("pprof", false, "mount net/http/pprof on the -metrics-addr admin listener")
 
-		shardMode     = flag.Bool("shard", false, "serve one cluster slice: a live in-memory store plus the /cluster/* wire endpoints")
+		shardMode     = flag.Bool("shard", false, "serve one cluster slice: a live store plus the /cluster/* wire endpoints (-data makes it persistent)")
 		routerMode    = flag.Bool("router", false, "serve as scatter-gather router over -shards (holds no index)")
 		shardList     = flag.String("shards", "", "router mode: comma-separated shard base URLs")
 		shardDeadline = flag.Duration("shard-deadline", 2*time.Second, "router mode: per-shard query deadline before degrading")
 		shardRetries  = flag.Int("shard-retries", 1, "router mode: transport retries per shard exchange on connection refused/reset")
+		journalDir    = flag.String("journal", "", "router mode: placement journal directory (durable acks, crash recovery, shard catch-up)")
+		probeEvery    = flag.Duration("probe-interval", time.Second, "router mode with -journal: shard health-probe and catch-up period")
+		shardSaveEvry = flag.Int("shard-save-every", 0, "shard mode with -data: background save after this many mutations (0 = default)")
 	)
 	flag.Parse()
 
@@ -105,11 +118,14 @@ func main() {
 	if *shardMode && *routerMode {
 		log.Fatal("-shard and -router are mutually exclusive")
 	}
-	if *shardMode && *dataDir != "" {
-		log.Fatal("-shard does not persist (the gid mapping is router state); run shards in-memory")
-	}
 	if *routerMode && (*live || *dataDir != "" || *mmapFlag) {
 		log.Fatal("-router holds no index: -live/-data/-mmap do not apply")
+	}
+	if *journalDir != "" && !*routerMode {
+		log.Fatal("-journal requires -router")
+	}
+	if *shardSaveEvry != 0 && (!*shardMode || *dataDir == "") {
+		log.Fatal("-shard-save-every requires -shard with -data")
 	}
 	if *routerMode && *shardList == "" {
 		log.Fatal("-router requires -shards=url1,url2,...")
@@ -139,6 +155,7 @@ func main() {
 		docs     []corpus.Document
 		store    *segment.Store
 		shard    *cluster.Shard
+		router   *cluster.Router
 	)
 	switch {
 	case *routerMode:
@@ -147,17 +164,25 @@ func main() {
 			shards[i] = strings.TrimSuffix(strings.TrimSpace(shards[i]), "/")
 		}
 		rt, err := cluster.New(cluster.Config{
-			Shards:   shards,
-			Deadline: *shardDeadline,
-			Retry:    search.RetryPolicy{Max: *shardRetries},
-			Analyzer: an,
+			Shards:        shards,
+			Deadline:      *shardDeadline,
+			Retry:         search.RetryPolicy{Max: *shardRetries},
+			Analyzer:      an,
+			JournalDir:    *journalDir,
+			ProbeInterval: *probeEvery,
+			Logf:          log.Printf,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		router = rt
 		stats := rt.ComputeStats()
-		log.Printf("router over %d shards: %d docs / %d terms, %s scoring, %v deadline",
-			len(shards), stats.NumDocs, stats.NumTerms, rt.Scoring(), *shardDeadline)
+		durability := "memory-only placement"
+		if *journalDir != "" {
+			durability = "journaled placement in " + *journalDir
+		}
+		log.Printf("router over %d shards: %d docs / %d terms, %s scoring, %v deadline, %s",
+			len(shards), stats.NumDocs, stats.NumTerms, rt.Scoring(), *shardDeadline, durability)
 		// The serving line reports what the cluster actually scores
 		// with, not the (ignored) local flag.
 		if rt.Scoring() == vsm.BM25.String() {
@@ -165,17 +190,35 @@ func main() {
 		}
 		searcher = rt
 	case *shardMode:
-		st, err := segment.Open(segment.Config{
+		storeCfg := segment.Config{
 			Scoring: scoring, ExecMode: execMode, Analyzer: an,
 			SealThreshold: *seal, Logf: log.Printf,
-		})
-		if err != nil {
-			log.Fatal(err)
 		}
-		store = st
-		shard = cluster.NewShard(st)
-		searcher = st
-		log.Printf("shard starting empty (%s scoring); awaiting router placement", scoring)
+		if *dataDir != "" {
+			sh, err := cluster.OpenShard(storeCfg, cluster.ShardConfig{
+				Dir: *dataDir, SaveEvery: *shardSaveEvry, Logf: log.Printf,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			shard = sh
+			store = sh.Store()
+			if store.Scoring() != scoring {
+				log.Printf("note: -data manifest pins %s scoring, overriding the flag", store.Scoring())
+				scoring = store.Scoring()
+			}
+			log.Printf("shard serving %d docs from %s (%s scoring); awaiting router placement",
+				store.NumDocs(), *dataDir, scoring)
+		} else {
+			st, err := segment.Open(storeCfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			store = st
+			shard = cluster.NewShard(st)
+			log.Printf("shard starting empty, in-memory (%s scoring); awaiting router placement", scoring)
+		}
+		searcher = store
 	case *live:
 		store = openLiveStore(an, scoring, execMode, *corpusPath, *dataDir, *seal, *mmapFlag, *cacheBytes)
 		searcher = store
@@ -293,7 +336,22 @@ func main() {
 	if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
 		log.Printf("serve: %v", serveErr)
 	}
-	if store != nil {
+	switch {
+	case router != nil:
+		// Drained routers fsync and compact the placement journal so a
+		// restart replays from the snapshot alone.
+		if err := router.Close(); err != nil {
+			log.Printf("router close: %v", err)
+		}
+	case shard != nil:
+		// Shard drain mirrors live mode: close against stragglers, then
+		// the final save writes the store and the gid table together.
+		if err := shard.Close(); err != nil {
+			log.Printf("shard close: %v", err)
+		} else if shard.Persistent() {
+			log.Printf("saved %d segments and gid table to %s", store.NumSegments(), *dataDir)
+		}
+	case store != nil:
 		// Close first: any straggler that outlived the drain now gets
 		// ErrClosed instead of an acknowledgment its document would lose
 		// on exit. Save (which seals the memtable itself) then writes

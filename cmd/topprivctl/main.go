@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"toppriv/internal/belief"
 	"toppriv/internal/core"
@@ -238,6 +239,10 @@ func runStats(server string) {
 	fmt.Printf("query log:         %d retained, %d evicted (seq [%d, %d))\n", ql.Retained, ql.Evicted, ql.HeadSeq, ql.TailSeq)
 	if c := full.Cluster; c != nil {
 		fmt.Printf("cluster:           %d shards, %d degraded queries\n", len(c.Shards), c.Degraded)
+		if c.Journaled {
+			fmt.Printf("journal:           %d bytes WAL, %d pending records, %d replayed entries, %d recoveries\n",
+				c.JournalBytes, c.PendingRecords, c.ReplayedEntries, c.Recoveries)
+		}
 		for _, sh := range c.Shards {
 			state := "up"
 			if !sh.Up {
@@ -245,6 +250,12 @@ func runStats(server string) {
 			}
 			fmt.Printf("  %-28s %-4s %7d docs  %8d reqs  %5d errs  p99 %.1fms",
 				sh.Shard, state, sh.Docs, sh.Requests, sh.Errors, sh.P99Millis)
+			if sh.Restarts > 0 {
+				fmt.Printf("  %d restarts", sh.Restarts)
+			}
+			if sh.LastSeenUnix > 0 {
+				fmt.Printf("  last seen %s", time.Unix(sh.LastSeenUnix, 0).Format(time.TimeOnly))
+			}
 			if sh.LastError != "" {
 				fmt.Printf("  (%s)", sh.LastError)
 			}

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// FaultTransport is the deterministic fault-injection harness for the
+// distributed tier: an http.RoundTripper wrapper that injects the
+// failure modes a real network produces — connection resets, delays,
+// responses cut mid-body, and blackholed exchanges — from a seeded
+// source, so a failing trial replays exactly from its seed. It pairs
+// with the journal writer's kill-after-N-bytes crash hook to drive the
+// crash-anywhere recovery property tests.
+//
+// The errors it fabricates are shaped like the real thing: a reset
+// surfaces as a *net.OpError wrapping syscall.ECONNRESET, so
+// search.RetryPolicy classifies injected faults exactly as it would
+// classify the genuine article.
+type FaultTransport struct {
+	// Base performs the real exchange (nil = http.DefaultTransport).
+	Base http.RoundTripper
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	plan  FaultPlan
+	queue []FaultKind
+	armed bool
+	count map[FaultKind]uint64
+}
+
+// FaultKind names one injectable transport fault.
+type FaultKind int
+
+const (
+	// FaultNone passes the exchange through untouched.
+	FaultNone FaultKind = iota
+	// FaultReset fails the exchange with a connection reset before the
+	// request reaches the shard (the shard never sees it).
+	FaultReset
+	// FaultDelay delays the exchange by the plan's DelayFor, then
+	// delivers it normally.
+	FaultDelay
+	// FaultPartial delivers the request but cuts the response body
+	// after a few bytes — the shard applied the mutation, the caller
+	// never saw the acknowledgement.
+	FaultPartial
+	// FaultBlackhole swallows the exchange until the caller's context
+	// deadline; neither side hears anything.
+	FaultBlackhole
+)
+
+// FaultPlan sets the per-exchange probability of each fault. The
+// probabilities are evaluated in order (reset, delay, partial,
+// blackhole) from one seeded stream, so a plan plus a serialized
+// request sequence replays identically.
+type FaultPlan struct {
+	Seed      int64
+	Reset     float64
+	Delay     float64
+	Partial   float64
+	Blackhole float64
+	// DelayFor is the FaultDelay duration (default 50ms).
+	DelayFor time.Duration
+}
+
+// NewFaultTransport wraps base with an armed plan.
+func NewFaultTransport(base http.RoundTripper, plan FaultPlan) *FaultTransport {
+	ft := &FaultTransport{Base: base, count: make(map[FaultKind]uint64)}
+	ft.Arm(plan)
+	return ft
+}
+
+// Arm (re)seeds the probabilistic plan and enables injection.
+func (ft *FaultTransport) Arm(plan FaultPlan) {
+	if plan.DelayFor <= 0 {
+		plan.DelayFor = 50 * time.Millisecond
+	}
+	ft.mu.Lock()
+	ft.plan = plan
+	ft.rng = rand.New(rand.NewSource(plan.Seed))
+	ft.armed = true
+	ft.mu.Unlock()
+}
+
+// Disarm stops all injection (queued one-shots included).
+func (ft *FaultTransport) Disarm() {
+	ft.mu.Lock()
+	ft.armed = false
+	ft.queue = nil
+	ft.mu.Unlock()
+}
+
+// Inject queues exact one-shot faults, consumed in order by the next
+// exchanges ahead of any probabilistic draw — the fully deterministic
+// mode for pinning one failure to one request.
+func (ft *FaultTransport) Inject(kinds ...FaultKind) {
+	ft.mu.Lock()
+	ft.queue = append(ft.queue, kinds...)
+	ft.armed = true
+	ft.mu.Unlock()
+}
+
+// Injected reports how many faults of kind have fired.
+func (ft *FaultTransport) Injected(kind FaultKind) uint64 {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.count[kind]
+}
+
+// next draws the fault for one exchange.
+func (ft *FaultTransport) next() (FaultKind, time.Duration) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	if !ft.armed {
+		return FaultNone, 0
+	}
+	if len(ft.queue) > 0 {
+		k := ft.queue[0]
+		ft.queue = ft.queue[1:]
+		ft.count[k]++
+		return k, ft.plan.DelayFor
+	}
+	var k FaultKind
+	switch draw := ft.rng.Float64(); {
+	case draw < ft.plan.Reset:
+		k = FaultReset
+	case draw < ft.plan.Reset+ft.plan.Delay:
+		k = FaultDelay
+	case draw < ft.plan.Reset+ft.plan.Delay+ft.plan.Partial:
+		k = FaultPartial
+	case draw < ft.plan.Reset+ft.plan.Delay+ft.plan.Partial+ft.plan.Blackhole:
+		k = FaultBlackhole
+	default:
+		return FaultNone, 0
+	}
+	ft.count[k]++
+	return k, ft.plan.DelayFor
+}
+
+func (ft *FaultTransport) base() http.RoundTripper {
+	if ft.Base != nil {
+		return ft.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper with the armed faults.
+func (ft *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	kind, delay := ft.next()
+	switch kind {
+	case FaultReset:
+		return nil, &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	case FaultDelay:
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
+	case FaultBlackhole:
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	}
+	resp, err := ft.base().RoundTrip(req)
+	if err != nil || kind != FaultPartial {
+		return resp, err
+	}
+	// Cut the response a few bytes in: the exchange happened on the
+	// server, the client's read of the acknowledgement fails.
+	resp.Body = &partialBody{rc: resp.Body, remaining: 8}
+	return resp, nil
+}
+
+// partialBody yields at most remaining bytes, then fails the read the
+// way a connection dropped mid-response does.
+type partialBody struct {
+	rc        io.ReadCloser
+	remaining int
+}
+
+func (p *partialBody) Read(b []byte) (int, error) {
+	if p.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(b) > p.remaining {
+		b = b[:p.remaining]
+	}
+	n, err := p.rc.Read(b)
+	p.remaining -= n
+	if err != nil {
+		return n, err
+	}
+	if p.remaining <= 0 {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, nil
+}
+
+func (p *partialBody) Close() error { return p.rc.Close() }

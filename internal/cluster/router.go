@@ -48,6 +48,33 @@ type Config struct {
 	// shards only ever see analyzed terms. It must match the analyzer
 	// the documents were indexed with. Defaults to textproc.NewAnalyzer.
 	Analyzer *textproc.Analyzer
+	// JournalDir enables the placement journal: mutations are
+	// acknowledged once fsynced to the journal, shards that miss them
+	// are caught up by the health loop, and a restarted router replays
+	// its placement state from disk. Empty disables journaling and
+	// restores the PR 9 memory-only semantics (mutation failures are
+	// caller errors, restarts lose placement state).
+	JournalDir string
+	// SnapshotBytes triggers journal compaction once the WAL grows past
+	// this many bytes. Defaults to 4 MiB.
+	SnapshotBytes int64
+	// ProbeInterval is the health loop's probe period. The loop probes
+	// every shard's /cluster/stats, detects restarts, re-drives pending
+	// mutations, and compacts the journal. Defaults to 1s. The loop
+	// only runs when journaling is enabled.
+	ProbeInterval time.Duration
+	// DisableHealthLoop suppresses the background health loop (tests
+	// drive recovery deterministically via Probe). Startup replay and
+	// synchronous catch-up still run.
+	DisableHealthLoop bool
+	// TitleCacheSize bounds the in-memory gid → title cache; the lowest
+	// (oldest) gids are evicted past the cap. Evicted titles still
+	// resolve through the owning shard (and the journal snapshot
+	// carries the cache across restarts). 0 means 65536; negative means
+	// unbounded.
+	TitleCacheSize int
+	// Logf receives recovery-path diagnostics (nil = silent).
+	Logf func(format string, args ...interface{})
 }
 
 // Router is the scatter-gather front of the distributed tier. It
@@ -67,25 +94,52 @@ type Config struct {
 // scores during degradation equal their non-degraded values.
 type Router struct {
 	shards      []*shardConn
+	byName      map[string]*shardConn
 	ring        *ring
 	an          *textproc.Analyzer
-	scoring     string
 	deadline    time.Duration
 	mutDeadline time.Duration
+	logf        func(format string, args ...interface{})
+
+	// scoringMu guards scoring, which is learned lazily when journaling
+	// lets the router start with every shard down.
+	scoringMu sync.Mutex
+	scoring   string
 
 	// ingestMu serializes mutations: gid assignment must be sequential
 	// and each shard must receive its documents in ascending gid order.
+	// It also guards pending — the journaled mutations not yet durable
+	// on every target shard, in ascending Seq order.
 	ingestMu sync.Mutex
 	nextGid  corpus.DocID
+	pending  []journalRecord
+
+	// journal, when non-nil, is the durability point: Add/Delete return
+	// success once their record is fsynced, and delivery failures leave
+	// the record pending for the health loop to re-drive.
+	journal   *journal
+	snapBytes int64
 
 	// titles caches gid → title at ingest time so result rendering
-	// needs no per-hit shard round-trip. Misses (e.g. after a router
-	// restart) fall back to fetching the document from its shard.
-	titleMu sync.RWMutex
-	titles  map[corpus.DocID]string
+	// needs no per-hit shard round-trip, bounded to titleCap entries
+	// (lowest gids evicted first). Misses — eviction, or a router
+	// restart — fall back to fetching the document from its shard.
+	titleMu  sync.RWMutex
+	titles   map[corpus.DocID]string
+	titleCap int
 
-	degraded  atomic.Uint64
-	mDegraded *telemetry.Counter
+	probeEvery time.Duration
+	stopCh     chan struct{}
+	stopOnce   sync.Once
+	loopWG     sync.WaitGroup
+
+	degraded   atomic.Uint64
+	recoveries atomic.Uint64
+	replayed   atomic.Uint64
+
+	mDegraded   *telemetry.Counter
+	mRecoveries *telemetry.Counter
+	mReplayed   *telemetry.Counter
 }
 
 // latRingSize bounds the per-shard latency sample window the p99
@@ -107,12 +161,21 @@ type shardConn struct {
 	latN    int // total samples ever; ring index = latN % latRingSize
 	reqs    uint64
 	errs    uint64
+	// lastSeen is the wall time of the last successful exchange.
+	lastSeen time.Time
+	// instance is the shard's last-reported process nonce; a change
+	// means the shard restarted, bumping restarts and flagging the
+	// shard for catch-up.
+	instance      uint64
+	restarts      uint64
+	needsRecovery bool
 
 	// Metric handles, nil until EnableMetrics.
-	mReqs *telemetry.Counter
-	mErrs *telemetry.Counter
-	mUp   *telemetry.Gauge
-	mLat  *telemetry.Histogram
+	mReqs     *telemetry.Counter
+	mErrs     *telemetry.Counter
+	mUp       *telemetry.Gauge
+	mLat      *telemetry.Histogram
+	mRestarts *telemetry.Counter
 }
 
 // observe records one exchange's outcome under c.mu.
@@ -137,6 +200,7 @@ func (c *shardConn) observe(seconds float64, err error) {
 	}
 	c.up = true
 	c.lastErr = ""
+	c.lastSeen = time.Now()
 	c.lat[c.latN%latRingSize] = seconds
 	c.latN++
 	if c.mUp != nil {
@@ -218,11 +282,26 @@ func (e *statusError) Error() string {
 	return fmt.Sprintf("shard returned %d: %s", e.code, e.msg)
 }
 
-// setStats installs a freshly decoded stats snapshot.
-func (c *shardConn) setStats(st shardStats) {
+// setStats installs a freshly decoded stats snapshot, watching the
+// shard's instance nonce: a change means the shard process restarted,
+// so it is counted and the shard flagged for catch-up. Returns whether
+// a restart was detected.
+func (c *shardConn) setStats(st shardStats) (restarted bool) {
 	c.mu.Lock()
+	if c.instance != 0 && st.Instance != 0 && st.Instance != c.instance {
+		restarted = true
+		c.restarts++
+		c.needsRecovery = true
+		if c.mRestarts != nil {
+			c.mRestarts.Inc()
+		}
+	}
+	if st.Instance != 0 {
+		c.instance = st.Instance
+	}
 	c.stats = st
 	c.mu.Unlock()
+	return restarted
 }
 
 // snapStats returns the last-known snapshot. The DF map inside is safe
@@ -233,10 +312,12 @@ func (c *shardConn) snapStats() shardStats {
 	return c.stats
 }
 
-// New connects to every shard, verifies the cluster is coherent
-// (every shard reachable, all on one scoring function), seeds the
-// statistics tables, and resumes global-ID assignment above the
-// cluster-wide high-water mark.
+// New connects to every shard, verifies the cluster is coherent (all
+// on one scoring function), seeds the statistics tables, and resumes
+// global-ID assignment above the cluster-wide high-water mark. Without
+// a journal every shard must be reachable; with one, down shards are
+// tolerated — the replayed journal knows the gid high-water and the
+// health loop re-admits them when they return.
 func New(cfg Config) (*Router, error) {
 	if len(cfg.Shards) == 0 {
 		return nil, errors.New("cluster: no shards configured")
@@ -260,33 +341,88 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Analyzer == nil {
 		cfg.Analyzer = textproc.NewAnalyzer()
 	}
+	if cfg.SnapshotBytes <= 0 {
+		cfg.SnapshotBytes = 4 << 20
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	titleCap := cfg.TitleCacheSize
+	switch {
+	case titleCap == 0:
+		titleCap = 65536
+	case titleCap < 0:
+		titleCap = 0 // unbounded
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
 	r := &Router{
+		byName:      make(map[string]*shardConn, len(cfg.Shards)),
 		ring:        newRing(cfg.Shards),
 		an:          cfg.Analyzer,
 		deadline:    cfg.Deadline,
 		mutDeadline: cfg.MutationDeadline,
+		logf:        logf,
 		titles:      make(map[corpus.DocID]string),
+		titleCap:    titleCap,
+		snapBytes:   cfg.SnapshotBytes,
+		probeEvery:  cfg.ProbeInterval,
+		stopCh:      make(chan struct{}),
 	}
 	for _, name := range cfg.Shards {
-		r.shards = append(r.shards, &shardConn{
+		c := &shardConn{
 			name:  name,
 			httpc: cfg.HTTPClient,
 			retry: cfg.Retry,
-		})
+		}
+		r.shards = append(r.shards, c)
+		r.byName[name] = c
 	}
-	maxGid := corpus.DocID(-1)
+
+	journaledGid := corpus.DocID(-1)
+	if cfg.JournalDir != "" {
+		j, jst, err := openJournal(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		r.journal = j
+		r.pending = jst.Pending
+		r.replayed.Add(uint64(jst.Replayed))
+		if jst.NextGid > 0 {
+			journaledGid = jst.NextGid - 1
+		}
+		if jst.TornBytes > 0 {
+			logf("cluster: journal had a torn tail (%d bytes truncated); the cut record was never acknowledged", jst.TornBytes)
+		}
+		if len(jst.Pending) > 0 {
+			logf("cluster: journal replayed %d record(s), %d still pending shard durability", jst.Replayed, len(jst.Pending))
+		}
+		r.titleMu.Lock()
+		for gid, title := range jst.Titles {
+			r.titles[gid] = title
+		}
+		r.boundTitlesLocked()
+		r.titleMu.Unlock()
+	}
+
+	maxGid := journaledGid
 	for _, c := range r.shards {
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.Deadline)
 		var st shardStats
 		err := c.exchange(ctx, http.MethodGet, "/cluster/stats", nil, &st)
 		cancel()
 		if err != nil {
-			return nil, fmt.Errorf("cluster: shard %s unreachable: %w", c.name, err)
+			if r.journal == nil {
+				return nil, fmt.Errorf("cluster: shard %s unreachable: %w", c.name, err)
+			}
+			logf("cluster: shard %s unreachable at startup (%v); health loop will re-admit it", c.name, err)
+			continue
 		}
-		if r.scoring == "" {
-			r.scoring = st.Scoring
-		} else if st.Scoring != r.scoring {
-			return nil, fmt.Errorf("cluster: shard %s scores with %s, cluster uses %s", c.name, st.Scoring, r.scoring)
+		if err := r.noteScoring(c.name, st.Scoring); err != nil {
+			r.closeJournal()
+			return nil, err
 		}
 		c.setStats(st)
 		if st.MaxGid > maxGid {
@@ -294,11 +430,322 @@ func New(cfg Config) (*Router, error) {
 		}
 	}
 	r.nextGid = maxGid + 1
+
+	if r.journal != nil {
+		// Startup catch-up: re-drive whatever the journal says the shards
+		// may have missed, then keep doing so in the background.
+		r.ingestMu.Lock()
+		for _, c := range r.shards {
+			if r.shardLagsLocked(c) {
+				c.mu.Lock()
+				c.needsRecovery = true
+				c.mu.Unlock()
+				if err := r.driveShardLocked(c, 0); err != nil {
+					logf("cluster: startup catch-up for %s: %v (health loop will retry)", c.name, err)
+				}
+			}
+		}
+		r.pruneLocked()
+		r.ingestMu.Unlock()
+		if !cfg.DisableHealthLoop {
+			r.loopWG.Add(1)
+			go r.healthLoop()
+		}
+	}
 	return r, nil
 }
 
-// Scoring reports the cluster's scoring function name.
-func (r *Router) Scoring() string { return r.scoring }
+// noteScoring records or checks the cluster scoring function; shards
+// are checked lazily because a journaled router may start before any
+// shard is reachable.
+func (r *Router) noteScoring(shard, scoring string) error {
+	if scoring == "" {
+		return nil
+	}
+	r.scoringMu.Lock()
+	defer r.scoringMu.Unlock()
+	if r.scoring == "" {
+		r.scoring = scoring
+		return nil
+	}
+	if scoring != r.scoring {
+		return fmt.Errorf("cluster: shard %s scores with %s, cluster uses %s", shard, scoring, r.scoring)
+	}
+	return nil
+}
+
+// Scoring reports the cluster's scoring function name ("" until any
+// shard has been reached on a journaled router that started all-down).
+func (r *Router) Scoring() string {
+	r.scoringMu.Lock()
+	defer r.scoringMu.Unlock()
+	return r.scoring
+}
+
+// closeJournal releases the journal during failed construction.
+func (r *Router) closeJournal() {
+	if r.journal != nil {
+		r.journal.Close()
+	}
+}
+
+// Close stops the health loop and, when journaling, compacts what it
+// can into the snapshot and closes the WAL — the graceful-drain path.
+// A closed router must not be used for further mutations.
+func (r *Router) Close() error {
+	r.stopOnce.Do(func() { close(r.stopCh) })
+	r.loopWG.Wait()
+	if r.journal == nil {
+		return nil
+	}
+	r.ingestMu.Lock()
+	defer r.ingestMu.Unlock()
+	r.pruneLocked()
+	if err := r.compactLocked(); err != nil && err != errJournalCrash {
+		r.logf("cluster: final journal compaction: %v", err)
+	}
+	return r.journal.Close()
+}
+
+// healthLoop probes every shard on a fixed period, re-drives pending
+// mutations to shards that lag the journal, and compacts the WAL.
+func (r *Router) healthLoop() {
+	defer r.loopWG.Done()
+	t := time.NewTicker(r.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case <-t.C:
+			r.Probe()
+		}
+	}
+}
+
+// Probe runs one health-loop iteration synchronously: probe every
+// shard's stats, catch up lagging shards, prune shard-durable records,
+// and compact the journal past the size threshold. Tests that disable
+// the background loop call it directly.
+func (r *Router) Probe() {
+	for _, c := range r.shards {
+		ctx, cancel := context.WithTimeout(context.Background(), r.deadline)
+		var st shardStats
+		err := c.exchange(ctx, http.MethodGet, "/cluster/stats", nil, &st)
+		cancel()
+		if err != nil {
+			continue
+		}
+		if err := r.noteScoring(c.name, st.Scoring); err != nil {
+			r.logf("%v", err)
+			continue
+		}
+		if c.setStats(st) {
+			r.logf("cluster: shard %s restarted (instance %x)", c.name, st.Instance)
+		}
+	}
+	if r.journal == nil {
+		return
+	}
+	r.ingestMu.Lock()
+	defer r.ingestMu.Unlock()
+	for _, c := range r.shards {
+		c.mu.Lock()
+		needs := c.needsRecovery
+		c.mu.Unlock()
+		if !needs && !r.shardLagsLocked(c) {
+			continue
+		}
+		if err := r.driveShardLocked(c, 0); err != nil {
+			r.logf("cluster: catch-up for %s: %v", c.name, err)
+		}
+	}
+	r.pruneLocked()
+	if r.journal.Size() > r.snapBytes {
+		if err := r.compactLocked(); err != nil {
+			r.logf("cluster: journal compaction: %v", err)
+		}
+	}
+}
+
+// shardLagsLocked reports whether any pending record targets c beyond
+// its last-reported applied sequence. Caller holds ingestMu.
+func (r *Router) shardLagsLocked(c *shardConn) bool {
+	st := c.snapStats()
+	for i := range r.pending {
+		rec := &r.pending[i]
+		if rec.rejected {
+			continue
+		}
+		if rec.Seq > st.AppliedSeq && rec.targets(c.name) {
+			return true
+		}
+	}
+	return false
+}
+
+// driveShardLocked delivers, in sequence order, every pending record
+// targeting c that its current instance has not yet applied. Delivery
+// is conditional on the shard's instance nonce: a shard that restarted
+// in between rejects with 412, and the drive refreshes its view and
+// starts over from the new instance's durable baseline — which is what
+// makes a stale cached applied-sequence harmless (over-delivery is
+// idempotent; under-delivery can only follow a restart, and the nonce
+// check catches every restart). freshSeq, when nonzero, marks the
+// record whose first delivery this is; everything else delivered here
+// counts as a replayed entry. Caller holds ingestMu.
+func (r *Router) driveShardLocked(c *shardConn, freshSeq uint64) error {
+	for attempt := 0; ; attempt++ {
+		st := c.snapStats()
+		if st.Instance == 0 || attempt > 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), r.deadline)
+			var fresh shardStats
+			err := c.exchange(ctx, http.MethodGet, "/cluster/stats", nil, &fresh)
+			cancel()
+			if err != nil {
+				return err
+			}
+			if err := r.noteScoring(c.name, fresh.Scoring); err != nil {
+				return err
+			}
+			c.setStats(fresh)
+			st = fresh
+		}
+		err := r.sendPendingLocked(c, st, freshSeq)
+		if err == nil {
+			c.mu.Lock()
+			recovered := c.needsRecovery
+			c.needsRecovery = false
+			c.mu.Unlock()
+			if recovered {
+				r.recoveries.Add(1)
+				if r.mRecoveries != nil {
+					r.mRecoveries.Inc()
+				}
+				r.logf("cluster: shard %s caught up with the journal", c.name)
+			}
+			return nil
+		}
+		var se *statusError
+		if errors.As(err, &se) && se.code == http.StatusPreconditionFailed && attempt < 3 {
+			// The shard restarted mid-drive; refresh and restart from its
+			// new durable baseline.
+			continue
+		}
+		return err
+	}
+}
+
+// sendPendingLocked walks the pending records in sequence order and
+// delivers c's share of each one the shard has not applied. Caller
+// holds ingestMu.
+func (r *Router) sendPendingLocked(c *shardConn, st shardStats, freshSeq uint64) error {
+	for i := range r.pending {
+		rec := &r.pending[i]
+		if rec.rejected || rec.Seq <= st.AppliedSeq || !rec.targets(c.name) {
+			continue
+		}
+		var reply shardStats
+		if del := rec.Delete; del != nil && del.Shard == c.name {
+			var dr deleteResponse
+			ctx, cancel := context.WithTimeout(context.Background(), r.mutDeadline)
+			err := c.exchange(ctx, http.MethodDelete,
+				fmt.Sprintf("/cluster/doc/%d?seq=%d&instance=%d", del.Gid, rec.Seq, st.Instance), nil, &dr)
+			cancel()
+			if err != nil {
+				var se *statusError
+				if errors.As(err, &se) && se.code == http.StatusNotFound {
+					// The document does not exist on the current, in-sync
+					// instance: the delete can never succeed. Retire it.
+					rec.rejected = true
+					continue
+				}
+				return err
+			}
+			reply = dr.Stats
+		} else {
+			var docs []ingestDoc
+			for _, p := range rec.Places {
+				if p.Shard == c.name {
+					docs = p.Docs
+					break
+				}
+			}
+			if len(docs) == 0 {
+				continue
+			}
+			body, err := json.Marshal(ingestRequest{Docs: docs, Seq: rec.Seq, IfInstance: st.Instance})
+			if err != nil {
+				return err
+			}
+			var ir ingestResponse
+			ctx, cancel := context.WithTimeout(context.Background(), r.mutDeadline)
+			err = c.exchange(ctx, http.MethodPost, "/cluster/index", body, &ir)
+			cancel()
+			if err != nil {
+				return err
+			}
+			reply = ir.Stats
+		}
+		c.setStats(reply)
+		st = reply
+		if rec.Seq != freshSeq {
+			r.replayed.Add(1)
+			if r.mReplayed != nil {
+				r.mReplayed.Inc()
+			}
+		}
+	}
+	return nil
+}
+
+// pruneLocked drops pending records every target shard has made
+// durable (and retired records). In-memory shards report durable
+// sequence 0 forever, so their records — by design — never prune: the
+// journal is the only durable copy. Caller holds ingestMu.
+func (r *Router) pruneLocked() {
+	keep := r.pending[:0]
+	for i := range r.pending {
+		rec := &r.pending[i]
+		if rec.rejected {
+			continue
+		}
+		durable := true
+		for _, name := range rec.shardNames() {
+			c := r.byName[name]
+			if c == nil || c.snapStats().DurableSeq < rec.Seq {
+				durable = false
+				break
+			}
+		}
+		if !durable {
+			keep = append(keep, *rec)
+		}
+	}
+	tail := r.pending[len(keep):]
+	for i := range tail {
+		tail[i] = journalRecord{}
+	}
+	r.pending = keep
+}
+
+// compactLocked snapshots the journal: next gid, pending records, and
+// the title cache, then resets the WAL. Caller holds ingestMu.
+func (r *Router) compactLocked() error {
+	r.titleMu.RLock()
+	titles := make(map[corpus.DocID]string, len(r.titles))
+	for gid, t := range r.titles {
+		titles[gid] = t
+	}
+	r.titleMu.RUnlock()
+	pending := make([]journalRecord, 0, len(r.pending))
+	for i := range r.pending {
+		if !r.pending[i].rejected {
+			pending = append(pending, r.pending[i])
+		}
+	}
+	return r.journal.Compact(r.nextGid, pending, titles)
+}
 
 // mergedStats sums the shards' last-known tables into one query's
 // GlobalStats. DF aligns with terms, repeats repeating their df, the
@@ -481,6 +928,12 @@ func (r *Router) SearchMode(query string, k int, mode vsm.ExecMode) []vsm.Result
 // already applied to other shards stay applied under their unreturned
 // gids; retrying via a fresh Add assigns fresh IDs and at worst
 // duplicates content, never corrupts placement.
+// With a journal the contract strengthens: the record — gid burn and
+// full placements — is fsynced before anything is delivered, success
+// means journal-durable (not necessarily shard-delivered), and a
+// delivery that fails leaves the record pending for the health loop to
+// re-drive through the same idempotent path. No acknowledged document
+// can be lost while the journal directory survives.
 func (r *Router) Add(docs ...corpus.Document) ([]corpus.DocID, error) {
 	if len(docs) == 0 {
 		return nil, nil
@@ -497,6 +950,40 @@ func (r *Router) Add(docs ...corpus.Document) ([]corpus.DocID, error) {
 		d.ID = gid
 		perShard[owner] = append(perShard[owner], ingestDoc{Gid: gid, Doc: d})
 	}
+
+	if r.journal != nil {
+		rec := journalRecord{Base: r.nextGid, Burn: len(docs)}
+		for i, batch := range perShard {
+			if len(batch) > 0 {
+				rec.Places = append(rec.Places, placeEntry{Shard: r.shards[i].name, Docs: batch})
+			}
+		}
+		if err := r.journal.Append(&rec); err != nil {
+			// Nothing durable, nothing delivered: the mutation never
+			// happened and the gid range is not burned.
+			return nil, fmt.Errorf("cluster: journal: %w", err)
+		}
+		r.nextGid += corpus.DocID(len(docs))
+		r.pending = append(r.pending, rec)
+		r.cacheTitles(docs, gids)
+		for i, batch := range perShard {
+			if len(batch) == 0 {
+				continue
+			}
+			c := r.shards[i]
+			if err := r.driveShardLocked(c, rec.Seq); err != nil {
+				r.logf("cluster: ingest to %s deferred: %v (journaled, will re-drive)", c.name, err)
+			}
+		}
+		r.pruneLocked()
+		if r.journal.Size() > r.snapBytes {
+			if err := r.compactLocked(); err != nil {
+				r.logf("cluster: journal compaction: %v", err)
+			}
+		}
+		return gids, nil
+	}
+
 	// Burn the range up front — see the contract above.
 	r.nextGid += corpus.DocID(len(docs))
 	for i, batch := range perShard {
@@ -517,22 +1004,81 @@ func (r *Router) Add(docs ...corpus.Document) ([]corpus.DocID, error) {
 		}
 		c.setStats(ir.Stats)
 	}
+	r.cacheTitles(docs, gids)
+	return gids, nil
+}
+
+// cacheTitles inserts the batch's titles into the bounded cache.
+func (r *Router) cacheTitles(docs []corpus.Document, gids []corpus.DocID) {
 	r.titleMu.Lock()
 	for i, d := range docs {
 		if d.Title != "" {
 			r.titles[gids[i]] = d.Title
 		}
 	}
+	r.boundTitlesLocked()
 	r.titleMu.Unlock()
-	return gids, nil
 }
 
-// Delete tombstones one document on its owning shard.
+// boundTitlesLocked evicts the lowest (oldest) gids down to the cap.
+// Evicted titles still resolve: Title falls back to a shard fetch, and
+// the journal snapshot carries the surviving cache across restarts.
+// Caller holds titleMu.
+func (r *Router) boundTitlesLocked() {
+	if r.titleCap <= 0 || len(r.titles) <= r.titleCap {
+		return
+	}
+	gids := make([]corpus.DocID, 0, len(r.titles))
+	for gid := range r.titles {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, gid := range gids[:len(gids)-r.titleCap] {
+		delete(r.titles, gid)
+	}
+}
+
+// Delete tombstones one document on its owning shard. With a journal
+// the delete is durable once journaled: if the shard is down the call
+// succeeds and the health loop applies it on rejoin; only a reachable,
+// in-sync shard answering "no such document" fails the call.
 func (r *Router) Delete(id corpus.DocID) error {
 	if id < 0 {
 		return fmt.Errorf("cluster: no document %d", id)
 	}
 	c := r.shards[r.ring.place(id)]
+	if r.journal != nil {
+		r.ingestMu.Lock()
+		defer r.ingestMu.Unlock()
+		if id >= r.nextGid {
+			return fmt.Errorf("cluster: no document %d", id)
+		}
+		rec := journalRecord{Delete: &deleteEntry{Shard: c.name, Gid: id}}
+		if err := r.journal.Append(&rec); err != nil {
+			return fmt.Errorf("cluster: journal: %w", err)
+		}
+		r.pending = append(r.pending, rec)
+		if err := r.driveShardLocked(c, rec.Seq); err != nil {
+			r.logf("cluster: delete %d on %s deferred: %v (journaled, will re-drive)", id, c.name, err)
+		}
+		// The drive retires a delete the shard rejected as unknown; that
+		// is the one case the caller must hear about.
+		rejected := false
+		for i := range r.pending {
+			if r.pending[i].Seq == rec.Seq {
+				rejected = r.pending[i].rejected
+				break
+			}
+		}
+		r.pruneLocked()
+		r.titleMu.Lock()
+		delete(r.titles, id)
+		r.titleMu.Unlock()
+		if rejected {
+			return fmt.Errorf("cluster: no document %d", id)
+		}
+		return nil
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), r.mutDeadline)
 	defer cancel()
 	var dr deleteResponse
@@ -583,6 +1129,7 @@ func (r *Router) Title(id corpus.DocID) (string, bool) {
 	if doc.Title != "" {
 		r.titleMu.Lock()
 		r.titles[id] = doc.Title
+		r.boundTitlesLocked()
 		r.titleMu.Unlock()
 	}
 	return doc.Title, doc.Title != ""
@@ -637,8 +1184,21 @@ func (r *Router) ClusterHealth() search.ClusterHealth {
 			Requests:  c.reqs,
 			Errors:    c.errs,
 			P99Millis: c.p99Locked(),
+			Restarts:  c.restarts,
+		}
+		if !c.lastSeen.IsZero() {
+			h.Shards[i].LastSeenUnix = c.lastSeen.Unix()
 		}
 		c.mu.Unlock()
+	}
+	h.Recoveries = r.recoveries.Load()
+	h.ReplayedEntries = r.replayed.Load()
+	if r.journal != nil {
+		h.Journaled = true
+		h.JournalBytes = r.journal.Size()
+		r.ingestMu.Lock()
+		h.PendingRecords = len(r.pending)
+		r.ingestMu.Unlock()
 	}
 	return h
 }
@@ -656,12 +1216,16 @@ func (r *Router) EnableMetrics(reg *telemetry.Registry, _ *telemetry.TraceRing) 
 		"Whether the shard's most recent exchange succeeded (1) or failed (0).", "shard")
 	lat := reg.HistogramVec("toppriv_cluster_shard_seconds",
 		"Latency of successful shard exchanges.", telemetry.DefaultLatencyBuckets, "shard")
+	restarts := reg.CounterVec("toppriv_cluster_shard_restarts_total",
+		"Shard process restarts observed (instance nonce changes between stats reports).", "shard")
 	for _, c := range r.shards {
 		c.mu.Lock()
 		c.mReqs = reqs.With(c.name)
 		c.mErrs = errs.With(c.name)
 		c.mUp = up.With(c.name)
 		c.mLat = lat.With(c.name)
+		c.mRestarts = restarts.With(c.name)
+		c.mRestarts.Add(c.restarts)
 		if c.up {
 			c.mUp.Set(1)
 		}
@@ -669,6 +1233,18 @@ func (r *Router) EnableMetrics(reg *telemetry.Registry, _ *telemetry.TraceRing) 
 	}
 	r.mDegraded = reg.Counter("toppriv_cluster_degraded_queries_total",
 		"Query cycles answered without every shard (merged survivor results).")
+	r.mRecoveries = reg.Counter("toppriv_cluster_recoveries_total",
+		"Completed shard catch-ups: restarted or rejoined shards reconciled with the placement journal.")
+	r.mRecoveries.Add(r.recoveries.Load())
+	r.mReplayed = reg.Counter("toppriv_cluster_replayed_entries_total",
+		"Journal records replayed at startup plus records re-driven to shards during catch-up.")
+	r.mReplayed.Add(r.replayed.Load())
+	if r.journal != nil {
+		reg.GaugeFunc("toppriv_cluster_journal_bytes",
+			"Placement journal WAL size in bytes (resets at snapshot compaction).", func() float64 {
+				return float64(r.journal.Size())
+			})
+	}
 	reg.GaugeFunc("toppriv_cluster_shards",
 		"Number of shards this router scatters to.", func() float64 {
 			return float64(len(r.shards))

@@ -3,10 +3,14 @@ package cluster
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"toppriv/internal/corpus"
 	"toppriv/internal/search"
@@ -23,22 +27,207 @@ import (
 // That mirroring is what keeps shard-local score tie-breaks (ascending
 // local ID) identical to a single index's (ascending global ID) after
 // the merge.
+//
+// A shard opened with OpenShard is persistent: the gid table and the
+// applied journal sequence are saved atomically beside the store's
+// crash-safe generation-numbered manifest, and recovered on restart.
+// The title table needs no file of its own — titles live inside the
+// documents the store already persists. Anything ingested after the
+// last save is lost by kill -9 by design: the shard's durable sequence
+// tells the router exactly which journaled mutations to re-drive.
 type Shard struct {
 	store *segment.Store
+	cfg   ShardConfig
+
+	// instance is a process-lifetime nonce; the router detects shard
+	// restarts by watching it change across stats reports.
+	instance uint64
+
+	// mutMu serializes mutations and saves against each other, so a
+	// save's store snapshot and its gid-table snapshot always describe
+	// the same state. Queries never take it. Ordered before mu.
+	mutMu sync.Mutex
 
 	mu    sync.RWMutex
-	gids  []corpus.DocID                // store-local dense ID → global ID
+	gids  []corpus.DocID                // store-local dense ID → global ID (-1: recovered hole)
 	byGid map[corpus.DocID]corpus.DocID // global ID → store-local ID
+	// hwm is the largest gid ever mapped (-1 when none): the ingest
+	// ordering check, kept as a field because recovery can leave holes
+	// at the tail of gids.
+	hwm corpus.DocID
+	// appliedSeq is the highest journal sequence applied; durableSeq is
+	// its value as of the last completed save.
+	appliedSeq uint64
+	durableSeq uint64
+	// dirty counts mutations since the last save.
+	dirty int
+
+	saveCh  chan struct{}
+	closeCh chan struct{}
+	wg      sync.WaitGroup
+	closed  bool
 }
 
-// NewShard wraps a live store in the shard wire surface.
+// ShardConfig parameterizes a persistent shard.
+type ShardConfig struct {
+	// Dir is the persistence directory (store segments + SHARD.json).
+	// Empty means in-memory only.
+	Dir string
+	// SaveEvery triggers a background save after this many mutations
+	// (ingest batches and deletes). Zero means 32.
+	SaveEvery int
+	// SaveInterval is the background saver's poll interval; a save runs
+	// on the tick whenever unsaved mutations exist. Zero means 5s.
+	SaveInterval time.Duration
+	// Logf receives save-path diagnostics (nil = silent).
+	Logf func(format string, args ...interface{})
+}
+
+func (c ShardConfig) withDefaults() ShardConfig {
+	if c.SaveEvery == 0 {
+		c.SaveEvery = 32
+	}
+	if c.SaveInterval == 0 {
+		c.SaveInterval = 5 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...interface{}) {}
+	}
+	return c
+}
+
+const (
+	shardMetaName    = "SHARD.json"
+	shardMetaVersion = 1
+)
+
+// shardMeta is the gid-table sidecar, written atomically after each
+// store save. It always describes a state at or before the saved
+// store's: a crash between store save and meta write leaves the meta
+// one save behind, which recovery repairs by tombstoning the store's
+// unmapped tail documents (the router re-drives them afterwards).
+type shardMeta struct {
+	Version    int            `json:"version"`
+	Gids       []corpus.DocID `json:"gids"`
+	AppliedSeq uint64         `json:"applied_seq"`
+}
+
+// NewShard wraps a live store in the shard wire surface, in-memory
+// only: nothing survives a restart, and the shard reports durable
+// sequence 0 so a journaling router retains every mutation for replay.
 func NewShard(store *segment.Store) *Shard {
-	return &Shard{store: store, byGid: make(map[corpus.DocID]corpus.DocID)}
+	return &Shard{
+		store:    store,
+		cfg:      ShardConfig{}.withDefaults(),
+		instance: rand.Uint64() | 1,
+		byGid:    make(map[corpus.DocID]corpus.DocID),
+		hwm:      -1,
+		saveCh:   make(chan struct{}, 1),
+		closeCh:  make(chan struct{}),
+	}
+}
+
+// OpenShard opens a persistent shard in cfg.Dir: an existing store
+// manifest and SHARD.json are recovered (a never-crashed and a crashed-
+// and-recovered shard answer identically for everything durable), an
+// empty directory starts a fresh shard. The background saver starts
+// immediately.
+func OpenShard(storeCfg segment.Config, cfg ShardConfig) (*Shard, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("cluster: OpenShard requires a directory (use NewShard for in-memory)")
+	}
+	var store *segment.Store
+	var err error
+	haveManifest := false
+	if _, serr := os.Stat(filepath.Join(cfg.Dir, "MANIFEST.json")); serr == nil {
+		haveManifest = true
+		store, err = segment.Load(cfg.Dir, storeCfg)
+	} else {
+		store, err = segment.Open(storeCfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := NewShard(store)
+	s.cfg = cfg
+	if err := s.recover(haveManifest); err != nil {
+		store.Close()
+		return nil, err
+	}
+	s.wg.Add(1)
+	go s.saveLoop()
+	return s, nil
+}
+
+// recover reconciles the store's document count with the persisted gid
+// table. The meta is written after the store save, so the only crash
+// inconsistency is a store one save ahead of its meta: documents exist
+// whose gid mapping was lost. Those tail documents are tombstoned —
+// they are unreachable by gid and were never shard-durable in the
+// journal's eyes, so the router re-drives them as fresh ingests.
+func (s *Shard) recover(haveManifest bool) error {
+	var meta shardMeta
+	metaPath := filepath.Join(s.cfg.Dir, shardMetaName)
+	f, err := os.Open(metaPath)
+	switch {
+	case err == nil:
+		derr := json.NewDecoder(f).Decode(&meta)
+		f.Close()
+		if derr != nil {
+			return fmt.Errorf("cluster: shard meta corrupt: %w", derr)
+		}
+		if meta.Version != shardMetaVersion {
+			return fmt.Errorf("cluster: shard meta: unsupported version %d", meta.Version)
+		}
+		if !haveManifest && len(meta.Gids) > 0 {
+			return fmt.Errorf("cluster: shard meta present but store manifest missing in %s", s.cfg.Dir)
+		}
+	case os.IsNotExist(err):
+		if haveManifest {
+			// A store without a gid table is a -live directory, not a
+			// shard's; serving it would invent gid mappings.
+			return fmt.Errorf("cluster: %s holds a store but no %s — not a shard directory", s.cfg.Dir, shardMetaName)
+		}
+	default:
+		return fmt.Errorf("cluster: shard meta: %w", err)
+	}
+
+	total := int(s.store.Stats().NextID) // dense local IDs: total docs ever, dead included
+	if len(meta.Gids) > total {
+		return fmt.Errorf("cluster: shard meta maps %d docs but store holds %d", len(meta.Gids), total)
+	}
+	s.gids = append(s.gids, meta.Gids...)
+	for local, gid := range s.gids {
+		if gid < 0 {
+			continue
+		}
+		s.byGid[gid] = corpus.DocID(local)
+		if gid > s.hwm {
+			s.hwm = gid
+		}
+	}
+	// Store ahead of meta: tombstone the unmapped tail and record holes.
+	for local := len(meta.Gids); local < total; local++ {
+		if err := s.store.Delete(corpus.DocID(local)); err != nil && err != segment.ErrNotFound {
+			return fmt.Errorf("cluster: shard recovery: tombstoning unmapped doc %d: %w", local, err)
+		}
+		s.gids = append(s.gids, -1)
+	}
+	if dropped := total - len(meta.Gids); dropped > 0 {
+		s.cfg.Logf("cluster: shard recovery dropped %d unmapped tail document(s); the router will re-drive them", dropped)
+	}
+	s.appliedSeq = meta.AppliedSeq
+	s.durableSeq = meta.AppliedSeq
+	return nil
 }
 
 // Store exposes the backing store (for the standard search surface the
 // shard process also serves).
 func (s *Shard) Store() *segment.Store { return s.store }
+
+// Persistent reports whether the shard saves to disk.
+func (s *Shard) Persistent() bool { return s.cfg.Dir != "" }
 
 // Mount attaches the shard's wire endpoints to a search server, beside
 // the standard surface, sharing its HTTP instrumentation.
@@ -49,29 +238,136 @@ func (s *Shard) Mount(srv *search.Server) {
 	srv.Handle("/cluster/doc/", http.HandlerFunc(s.handleDoc))
 }
 
-// localStats snapshots the shard's live statistics for the router's
-// merge. maxGid is passed in because callers hold s.mu in different
-// modes; it is the last entry of s.gids, or -1 when empty.
-func (s *Shard) localStats(maxGid corpus.DocID) shardStats {
-	docs, totalLen, df := s.store.LocalStats()
-	return shardStats{
-		Docs:     docs,
-		TotalLen: totalLen,
-		DF:       df,
-		MaxGid:   maxGid,
-		Scoring:  s.store.Scoring().String(),
-		Index:    s.store.ComputeStats(),
+// saveLoop is the background saver: it saves when kicked past the
+// mutation threshold and on every interval tick with unsaved work.
+func (s *Shard) saveLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.SaveInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.closeCh:
+			return
+		case <-s.saveCh:
+		case <-tick.C:
+			s.mu.RLock()
+			dirty := s.dirty
+			s.mu.RUnlock()
+			if dirty == 0 {
+				continue
+			}
+		}
+		if err := s.Save(); err != nil {
+			s.cfg.Logf("cluster: shard background save: %v", err)
+		}
 	}
 }
 
-// maxGid reads the ingest high-water mark.
-func (s *Shard) maxGid() corpus.DocID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if len(s.gids) == 0 {
-		return -1
+// noteMutation bumps the dirty counter (caller holds s.mu) and returns
+// whether the save threshold tripped.
+func (s *Shard) noteMutationLocked() bool {
+	s.dirty++
+	return s.cfg.Dir != "" && s.dirty >= s.cfg.SaveEvery
+}
+
+func (s *Shard) kickSave() {
+	select {
+	case s.saveCh <- struct{}{}:
+	default:
 	}
-	return s.gids[len(s.gids)-1]
+}
+
+// Save persists the store (segments + manifest, the existing
+// generation-numbered crash-safe path) and then the gid table
+// atomically. Mutations are held off for the duration so both files
+// describe one state; queries proceed throughout. No-op without a
+// persistence directory.
+func (s *Shard) Save() error {
+	if s.cfg.Dir == "" {
+		return nil
+	}
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	if err := s.store.Save(s.cfg.Dir); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	meta := shardMeta{
+		Version:    shardMetaVersion,
+		Gids:       append([]corpus.DocID(nil), s.gids...),
+		AppliedSeq: s.appliedSeq,
+	}
+	s.mu.RUnlock()
+	tmp := filepath.Join(s.cfg.Dir, shardMetaName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("cluster: shard meta: %w", err)
+	}
+	if err := json.NewEncoder(f).Encode(&meta); err != nil {
+		f.Close()
+		return fmt.Errorf("cluster: shard meta: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("cluster: shard meta: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("cluster: shard meta: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.cfg.Dir, shardMetaName)); err != nil {
+		return fmt.Errorf("cluster: shard meta: %w", err)
+	}
+	if err := syncJournalDir(s.cfg.Dir); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.durableSeq = meta.AppliedSeq
+	s.dirty = 0
+	s.mu.Unlock()
+	return nil
+}
+
+// Close stops the background saver, closes the store against further
+// mutations, and takes a final save — the graceful-drain order, so
+// nothing acknowledged before Close can miss the disk.
+func (s *Shard) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.closeCh)
+	s.wg.Wait()
+	s.store.Close()
+	return s.Save()
+}
+
+// localStats snapshots the shard's live statistics for the router's
+// merge.
+func (s *Shard) localStats() shardStats {
+	docs, totalLen, df := s.store.LocalStats()
+	s.mu.RLock()
+	maxGid := s.hwm
+	applied := s.appliedSeq
+	durable := s.durableSeq
+	s.mu.RUnlock()
+	if !s.Persistent() {
+		durable = 0
+	}
+	return shardStats{
+		Docs:       docs,
+		TotalLen:   totalLen,
+		DF:         df,
+		MaxGid:     maxGid,
+		AppliedSeq: applied,
+		DurableSeq: durable,
+		Instance:   s.instance,
+		Persistent: s.Persistent(),
+		Scoring:    s.store.Scoring().String(),
+		Index:      s.store.ComputeStats(),
+	}
 }
 
 func (s *Shard) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -79,7 +375,7 @@ func (s *Shard) handleStats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, s.localStats(s.maxGid()))
+	writeJSON(w, s.localStats())
 }
 
 // handleBatch executes one cycle against the local store. Every member
@@ -128,10 +424,12 @@ func (s *Shard) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleIngest adds router-placed documents. Replayed documents (gids
-// already mapped — a router retry after a lost response) are skipped,
-// making ingest idempotent; a never-seen gid at or below the current
-// high-water mark is refused because mapping it would break the
-// local-order-mirrors-global-order invariant.
+// already mapped — a router retry after a lost response, or a journal
+// re-drive after a crash) are skipped, making ingest idempotent; a
+// never-seen gid at or below the current high-water mark is refused
+// because mapping it would break the local-order-mirrors-global-order
+// invariant. The request's journal sequence advances the applied
+// high-water even when every document is a replay.
 func (s *Shard) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -142,26 +440,33 @@ func (s *Shard) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	maxGid := corpus.DocID(-1)
-	if len(s.gids) > 0 {
-		maxGid = s.gids[len(s.gids)-1]
+	if ir.IfInstance != 0 && ir.IfInstance != s.instance {
+		http.Error(w, fmt.Sprintf("instance mismatch: request for %x, shard is %x", ir.IfInstance, s.instance), http.StatusPreconditionFailed)
+		return
 	}
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	s.mu.RLock()
+	last := s.hwm
 	fresh := make([]corpus.Document, 0, len(ir.Docs))
 	freshGids := make([]corpus.DocID, 0, len(ir.Docs))
-	last := maxGid
+	conflict := corpus.DocID(-1)
 	for _, d := range ir.Docs {
 		if _, known := s.byGid[d.Gid]; known {
 			continue
 		}
 		if d.Gid <= last {
-			http.Error(w, fmt.Sprintf("gid %d arrives out of order (high-water %d)", d.Gid, last), http.StatusConflict)
-			return
+			conflict = d.Gid
+			break
 		}
 		last = d.Gid
 		fresh = append(fresh, d.Doc)
 		freshGids = append(freshGids, d.Gid)
+	}
+	s.mu.RUnlock()
+	if conflict >= 0 {
+		http.Error(w, fmt.Sprintf("gid %d arrives out of order (high-water %d)", conflict, last), http.StatusConflict)
+		return
 	}
 	if len(fresh) > 0 {
 		locals, err := s.store.Add(fresh...)
@@ -169,26 +474,45 @@ func (s *Shard) handleIngest(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		s.mu.Lock()
 		for i, local := range locals {
 			if int(local) != len(s.gids) {
 				// The store assigns dense sequential IDs; anything else
 				// breaks the gid translation table.
+				s.mu.Unlock()
 				http.Error(w, fmt.Sprintf("store assigned non-dense id %d", local), http.StatusInternalServerError)
 				return
 			}
 			s.gids = append(s.gids, freshGids[i])
 			s.byGid[freshGids[i]] = local
+			if freshGids[i] > s.hwm {
+				s.hwm = freshGids[i]
+			}
 		}
+		s.mu.Unlock()
 	}
-	maxGid = -1
-	if len(s.gids) > 0 {
-		maxGid = s.gids[len(s.gids)-1]
+	s.finishMutation(ir.Seq)
+	writeJSON(w, ingestResponse{Stats: s.localStats()})
+}
+
+// finishMutation advances the applied journal sequence and the dirty
+// counter after a successful mutation, kicking the saver at threshold.
+// Caller holds mutMu.
+func (s *Shard) finishMutation(seq uint64) {
+	s.mu.Lock()
+	if seq > s.appliedSeq {
+		s.appliedSeq = seq
 	}
-	writeJSON(w, ingestResponse{Stats: s.localStats(maxGid)})
+	kick := s.noteMutationLocked()
+	s.mu.Unlock()
+	if kick {
+		s.kickSave()
+	}
 }
 
 // handleDoc serves GET (fetch) and DELETE (tombstone) for one global
-// document ID.
+// document ID. Journaled deletes carry their sequence number in the
+// ?seq query parameter.
 func (s *Shard) handleDoc(w http.ResponseWriter, r *http.Request) {
 	gidStr := strings.TrimPrefix(r.URL.Path, "/cluster/doc/")
 	gid64, err := strconv.ParseInt(gidStr, 10, 32)
@@ -200,12 +524,12 @@ func (s *Shard) handleDoc(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	local, ok := s.byGid[gid]
 	s.mu.RUnlock()
-	if !ok {
-		http.Error(w, "no such document", http.StatusNotFound)
-		return
-	}
 	switch r.Method {
 	case http.MethodGet:
+		if !ok {
+			http.Error(w, "no such document", http.StatusNotFound)
+			return
+		}
 		doc, ok := s.store.Doc(local)
 		if !ok {
 			http.Error(w, "no such document", http.StatusNotFound)
@@ -214,11 +538,36 @@ func (s *Shard) handleDoc(w http.ResponseWriter, r *http.Request) {
 		doc.ID = gid
 		writeJSON(w, doc)
 	case http.MethodDelete:
+		var seq uint64
+		if v := r.URL.Query().Get("seq"); v != "" {
+			seq, _ = strconv.ParseUint(v, 10, 64)
+		}
+		if v := r.URL.Query().Get("instance"); v != "" {
+			want, _ := strconv.ParseUint(v, 10, 64)
+			if want != 0 && want != s.instance {
+				http.Error(w, fmt.Sprintf("instance mismatch: request for %x, shard is %x", want, s.instance), http.StatusPreconditionFailed)
+				return
+			}
+		}
+		s.mutMu.Lock()
+		defer s.mutMu.Unlock()
+		if !ok {
+			http.Error(w, "no such document", http.StatusNotFound)
+			return
+		}
 		if err := s.store.Delete(local); err != nil {
+			if seq > 0 && err == segment.ErrNotFound {
+				// A journal re-drive of a delete that already applied:
+				// idempotent, advance the sequence and acknowledge.
+				s.finishMutation(seq)
+				writeJSON(w, deleteResponse{Stats: s.localStats()})
+				return
+			}
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
-		writeJSON(w, deleteResponse{Stats: s.localStats(s.maxGid())})
+		s.finishMutation(seq)
+		writeJSON(w, deleteResponse{Stats: s.localStats()})
 	default:
 		http.Error(w, "GET or DELETE required", http.StatusMethodNotAllowed)
 	}

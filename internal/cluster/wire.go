@@ -66,6 +66,19 @@ type shardStats struct {
 	// when empty); a restarting router resumes gid assignment above the
 	// cluster-wide maximum.
 	MaxGid corpus.DocID `json:"max_gid"`
+	// AppliedSeq is the highest router journal sequence number this
+	// shard has applied (in memory); DurableSeq is the highest it had
+	// applied as of its last completed save — the high-water the router
+	// prunes journaled mutations against. An in-memory shard reports
+	// DurableSeq 0 forever: it can lose everything, so the journal must
+	// retain everything.
+	AppliedSeq uint64 `json:"applied_seq"`
+	DurableSeq uint64 `json:"durable_seq"`
+	// Instance is a random nonce drawn at shard process start. A change
+	// between two stats reports is how the router counts shard restarts.
+	Instance uint64 `json:"instance"`
+	// Persistent reports whether the shard saves to disk at all.
+	Persistent bool `json:"persistent"`
 	// Scoring is the shard's scoring function; the router refuses
 	// mixed-scoring clusters.
 	Scoring string `json:"scoring"`
@@ -80,6 +93,18 @@ type shardStats struct {
 // shard-local score tie-breaks identical to a single index's.
 type ingestRequest struct {
 	Docs []ingestDoc `json:"docs"`
+	// Seq is the router's journal sequence number for this mutation
+	// (0 = unjournaled). The shard tracks the high-water of applied
+	// seqs and persists it with each save, so the router can tell
+	// exactly which journal records a restarted shard still needs.
+	Seq uint64 `json:"seq,omitempty"`
+	// IfInstance, when nonzero, makes the ingest conditional on the
+	// shard's process nonce: a shard whose instance differs rejects
+	// with 412. That closes the restart race — the router's in-order
+	// catch-up baseline is only valid for the instance it was read
+	// from, so delivery to any other instance must bounce back to a
+	// fresh reconciliation instead of applying out of order.
+	IfInstance uint64 `json:"if_instance,omitempty"`
 }
 
 type ingestDoc struct {

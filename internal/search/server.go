@@ -642,6 +642,12 @@ type ShardHealth struct {
 	// P99Millis is the 99th-percentile round-trip latency over the
 	// router's recent-sample window, in milliseconds (0 until sampled).
 	P99Millis float64 `json:"p99_ms"`
+	// LastSeenUnix is the Unix time of the shard's most recent
+	// successful exchange (0 = never reached by this router process).
+	LastSeenUnix int64 `json:"last_seen_unix,omitempty"`
+	// Restarts counts shard process restarts this router has observed
+	// (the shard's instance nonce changing between stats reports).
+	Restarts uint64 `json:"restarts"`
 }
 
 // ClusterHealth aggregates the router's view of its shards.
@@ -649,6 +655,20 @@ type ClusterHealth struct {
 	Shards []ShardHealth `json:"shards"`
 	// Degraded counts queries answered without every shard.
 	Degraded uint64 `json:"degraded_queries"`
+	// Recoveries counts completed shard catch-ups: a restarted or
+	// rejoined shard brought back in sync with the placement journal.
+	Recoveries uint64 `json:"recoveries,omitempty"`
+	// JournalBytes is the placement journal's current WAL size (0 when
+	// journaling is disabled).
+	JournalBytes int64 `json:"journal_bytes,omitempty"`
+	// ReplayedEntries counts journal records replayed at startup plus
+	// records re-driven to shards during catch-up.
+	ReplayedEntries uint64 `json:"replayed_entries,omitempty"`
+	// PendingRecords is the number of journaled mutations not yet
+	// confirmed durable by every target shard.
+	PendingRecords int `json:"pending_records,omitempty"`
+	// Journaled reports whether a placement journal backs this router.
+	Journaled bool `json:"journaled,omitempty"`
 }
 
 // ClusterHealthProvider is implemented by a routing backend that can

@@ -112,6 +112,12 @@ type (
 	// ClusterShard serves one slice of the corpus to a router over the
 	// /cluster/* wire schema.
 	ClusterShard = cluster.Shard
+	// ClusterShardConfig parameterizes a persistent shard: data
+	// directory, save cadence, logging.
+	ClusterShardConfig = cluster.ShardConfig
+	// StoreConfig parameterizes a live segment store (scoring,
+	// execution mode, seal threshold); used by OpenClusterShard.
+	StoreConfig = segment.Config
 )
 
 // Query-execution modes, re-exported from the engine.
@@ -136,11 +142,27 @@ func DefaultPrivacyParams() PrivacyParams { return core.DefaultParams() }
 // (search, mutation, stats, titles), so search.NewServer hosts it
 // unchanged and clients cannot tell a cluster from a single node —
 // except for the Degraded flag when part of the corpus is unavailable.
+// Set ClusterConfig.JournalDir for a durable placement journal:
+// mutations are acknowledged only after an fsynced WAL append, a
+// router restart replays them, and the health loop re-drives whatever
+// a crashed shard missed.
 func NewClusterRouter(cfg ClusterConfig) (*ClusterRouter, error) { return cluster.New(cfg) }
 
 // NewClusterShard wraps a live store in the shard wire surface; mount
 // it on the store's search server (Shard.Mount) to serve a router.
+// The shard is memory-only; use OpenClusterShard for one that
+// survives restarts.
 func NewClusterShard(store *segment.Store) *ClusterShard { return cluster.NewShard(store) }
+
+// OpenClusterShard opens (or creates) a persistent shard: the segment
+// store recovers from its manifest, the gid table and applied journal
+// sequence from SHARD.json beside it, and a background saver persists
+// both as mutations accumulate. Close flushes and saves; kill -9
+// rewinds to the last save and the router's journal re-drives the
+// rest.
+func OpenClusterShard(storeCfg StoreConfig, cfg ClusterShardConfig) (*ClusterShard, error) {
+	return cluster.OpenShard(storeCfg, cfg)
+}
 
 // ServiceSpec configures NewService.
 type ServiceSpec struct {
